@@ -1,0 +1,70 @@
+// Figure 2: MVICH small-message latency vs message size on cLAN and
+// Berkeley VIA for {static-polling, static-spinwait, on-demand}. The
+// paper's observation: all three coincide — on-demand costs nothing once
+// connections exist, and ping-pong completions land within the spin
+// window so spinwait never sleeps.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace odmpi;
+
+namespace {
+
+double pingpong_us(const bench::Config& cfg, bool bvia, std::size_t bytes) {
+  mpi::JobOptions opt = bench::job_options(cfg, bvia);
+  double result = -1;
+  mpi::World world(2, opt);
+  if (!world.run([&](mpi::Comm& c) {
+        std::vector<std::byte> buf(bytes ? bytes : 1);
+        const int iters = 100;
+        const auto round = [&] {
+          if (c.rank() == 0) {
+            c.send(buf.data(), bytes, mpi::kByte, 1, 0);
+            c.recv(buf.data(), bytes, mpi::kByte, 1, 0);
+          } else {
+            c.recv(buf.data(), bytes, mpi::kByte, 0, 0);
+            c.send(buf.data(), bytes, mpi::kByte, 0, 0);
+          }
+        };
+        for (int i = 0; i < 10; ++i) round();  // warmup incl. connect
+        const double t0 = c.wtime();
+        for (int i = 0; i < iters; ++i) round();
+        if (c.rank() == 0) result = (c.wtime() - t0) * 1e6 / (2.0 * iters);
+      })) {
+    return -1;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Figure 2 — MVICH one-way latency vs message size");
+  const std::vector<std::size_t> sizes =
+      bench::quick_mode()
+          ? std::vector<std::size_t>{4, 1024, 8192}
+          : std::vector<std::size_t>{4,   16,   64,   256,  512, 1024,
+                                     2048, 3072, 4096, 4999, 5001, 6144,
+                                     8192, 12288, 16384};
+  for (bool bvia : {false, true}) {
+    const auto configs = bvia ? bench::bvia_configs() : bench::clan_configs();
+    std::printf("\n%s latency (us):\n%10s", bvia ? "Berkeley VIA" : "cLAN",
+                "bytes");
+    for (const auto& c : configs) std::printf("  %16s", c.label.c_str());
+    std::printf("\n");
+    for (std::size_t s : sizes) {
+      std::printf("%10zu", s);
+      for (const auto& c : configs) {
+        std::printf("  %16.2f", pingpong_us(c, bvia, s));
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\npaper shape: the three configurations coincide on each device\n"
+      "(~14 us small-message on cLAN, ~35 us on BVIA), with the slope\n"
+      "steepening at the 5000-byte eager->rendezvous switch.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 5: MPI_Allreduce (MPI_SUM) latency vs number of processes, using
+// the llcbench measurement procedure the paper used: repeat the collective
+// many times, each process reports its own average, and the master
+// gathers and averages the values.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace odmpi;
+
+namespace {
+
+double allreduce_us(const bench::Config& cfg, bool bvia, int nprocs) {
+  mpi::JobOptions opt = bench::job_options(cfg, bvia);
+  const int iters = bench::quick_mode() ? 100 : 1000;
+  double result = -1;
+  mpi::World world(nprocs, opt);
+  if (!world.run([&](mpi::Comm& c) {
+        double v = c.rank(), s = 0;
+        for (int i = 0; i < 10; ++i) {
+          c.allreduce(&v, &s, 1, mpi::kDouble, mpi::Op::kSum);
+        }
+        const double t0 = c.wtime();
+        for (int i = 0; i < iters; ++i) {
+          c.allreduce(&v, &s, 1, mpi::kDouble, mpi::Op::kSum);
+        }
+        double mine = (c.wtime() - t0) * 1e6 / iters;
+        // llcbench-style reporting: master gathers everyone's average.
+        std::vector<double> all(static_cast<std::size_t>(c.size()));
+        c.gather(&mine, 1, all.data(), mpi::kDouble, 0);
+        if (c.rank() == 0) {
+          double sum = 0;
+          for (double x : all) sum += x;
+          result = sum / c.size();
+        }
+      })) {
+    return -1;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading(
+      "Figure 5 — MPI_Allreduce (MPI_SUM) latency vs number of processes");
+  const std::vector<int> sizes = bench::quick_mode()
+                                     ? std::vector<int>{4, 8, 16}
+                                     : std::vector<int>{2, 3, 4, 5, 6, 7, 8,
+                                                        10, 12, 14, 16};
+  for (bool bvia : {false, true}) {
+    const auto configs = bvia ? bench::bvia_configs() : bench::clan_configs();
+    std::printf("\n%s allreduce latency (us):\n%8s",
+                bvia ? "Berkeley VIA" : "cLAN", "procs");
+    for (const auto& c : configs) std::printf("  %16s", c.label.c_str());
+    std::printf("\n");
+    for (int np : sizes) {
+      if (bvia && np > 8) continue;
+      std::printf("%8d", np);
+      for (const auto& c : configs) {
+        std::printf("  %16.1f", allreduce_us(c, bvia, np));
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\npaper shape: same ordering as the barrier — on-demand ==\n"
+      "static-polling << static-spinwait on cLAN; on-demand < static on\n"
+      "Berkeley VIA.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 7 + Table 3 (Berkeley VIA half): NAS kernels on BVIA/Myrinet
+// with on-demand vs static-polling, at the paper's 4- and 8-process
+// cells. On BVIA, fewer open VIs means a faster NIC, so on-demand wins.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/nas/common.h"
+
+using namespace odmpi;
+
+namespace {
+
+struct Cell {
+  const char* kernel;
+  char cls;
+  int np;
+};
+
+double nas_seconds(const bench::Config& cfg, const Cell& cell) {
+  mpi::JobOptions opt = bench::job_options(cfg, /*bvia=*/true);
+  double secs = -1;
+  mpi::World world(cell.np, opt);
+  if (!world.run([&](mpi::Comm& c) {
+        nas::KernelResult r = nas::kernel_by_name(cell.kernel)(
+            c, nas::class_from_char(cell.cls));
+        if (c.rank() == 0) {
+          secs = r.time_sec;
+          if (!r.verified) {
+            std::fprintf(stderr, "%s.%c.%d FAILED VERIFICATION\n",
+                         cell.kernel, cell.cls, cell.np);
+          }
+        }
+      })) {
+    return -1;
+  }
+  return secs;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading(
+      "Figure 7 / Table 3 — NAS kernels on Berkeley VIA (Myrinet)");
+  std::vector<Cell> cells;
+  if (bench::quick_mode()) {
+    cells = {{"IS", 'S', 8}, {"CG", 'S', 8}, {"SP", 'S', 4}};
+  } else {
+    cells = {
+        {"IS", 'A', 8}, {"IS", 'B', 8}, {"CG", 'A', 8}, {"CG", 'B', 8},
+        {"EP", 'A', 8}, {"CG", 'A', 4}, {"IS", 'A', 4}, {"BT", 'A', 4},
+        {"SP", 'A', 4},
+    };
+  }
+  std::printf("\n%-10s | %15s %15s | %14s\n", "cell", "on-demand (s)",
+              "polling (s)", "od / polling");
+  for (const Cell& cell : cells) {
+    const double od = nas_seconds(bench::on_demand(), cell);
+    const double pl = nas_seconds(bench::static_polling(), cell);
+    std::printf("%s.%c.%-4d | %15.2f %15.2f | %14.3f\n", cell.kernel,
+                cell.cls, cell.np, od, pl, od / pl);
+  }
+  std::printf(
+      "\npaper shape: on-demand <= static-polling in every cell (IS.A.8:\n"
+      "1.98 vs 1.99 s; CG.B.8: 203.2 vs 205.0 s in the paper), because the\n"
+      "NIC scans fewer doorbells — and even with equal VI counts (IS) the\n"
+      "count grows gradually instead of starting at N-1.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Raw simulator performance (google-benchmark, wall-clock): event loop
+// throughput, fiber context switches, and end-to-end simulated messages
+// per second — the numbers that bound how large a virtual cluster the
+// reproduction can handle.
+#include <benchmark/benchmark.h>
+
+#include "src/odmpi.h"
+
+using namespace odmpi;
+
+namespace {
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    const int n = static_cast<int>(state.range(0));
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      engine.schedule_at(i, [&fired] { ++fired; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineEventThroughput)->Arg(1000)->Arg(100000);
+
+void BM_FiberSwitch(benchmark::State& state) {
+  sim::Fiber fiber([] {
+    for (;;) sim::Fiber::yield_to_scheduler();
+  });
+  for (auto _ : state) {
+    fiber.resume();
+  }
+  state.SetItemsProcessed(state.iterations() * 2);  // two switches per resume
+}
+BENCHMARK(BM_FiberSwitch);
+
+void BM_SimulatedPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    mpi::JobOptions opt;
+    opt.device.connection_model = mpi::ConnectionModel::kOnDemand;
+    mpi::World world(2, opt);
+    world.run([](mpi::Comm& c) {
+      std::int32_t v = 0;
+      for (int i = 0; i < 100; ++i) {
+        if (c.rank() == 0) {
+          c.send(&v, 1, mpi::kInt32, 1, 0);
+          c.recv(&v, 1, mpi::kInt32, 1, 0);
+        } else {
+          c.recv(&v, 1, mpi::kInt32, 0, 0);
+          c.send(&v, 1, mpi::kInt32, 0, 0);
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 200);  // messages simulated
+}
+BENCHMARK(BM_SimulatedPingPong);
+
+void BM_SimulatedAllreduce32(benchmark::State& state) {
+  for (auto _ : state) {
+    mpi::JobOptions opt;
+    opt.device.connection_model = mpi::ConnectionModel::kOnDemand;
+    mpi::World world(32, opt);
+    world.run([](mpi::Comm& c) {
+      double v = c.rank(), s = 0;
+      for (int i = 0; i < 20; ++i) {
+        c.allreduce(&v, &s, 1, mpi::kDouble, mpi::Op::kSum);
+      }
+    });
+  }
+}
+BENCHMARK(BM_SimulatedAllreduce32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,140 @@
+// Example: 2D heat diffusion with halo exchange — the classic
+// nearest-neighbour MPI application (the kind Table 1 shows uses a
+// handful of the N-1 possible connections).
+//
+// A square grid of ranks each owns a tile of the plate; every step
+// exchanges ghost rows/columns with the four neighbours and applies a
+// Jacobi stencil; every 50 steps an allreduce tracks the global heat.
+// At the end the example prints how the on-demand VI counts compare to a
+// full mesh.
+//
+//   ./examples/heat_stencil [nprocs] [steps]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "src/odmpi.h"
+
+using namespace odmpi;
+
+namespace {
+
+constexpr int kTile = 32;  // local tile edge
+
+struct Tile {
+  std::vector<double> cur, next;
+  int px, py, x, y;  // process grid and my coordinates
+
+  std::size_t idx(int i, int j) const {
+    return static_cast<std::size_t>(i) * (kTile + 2) +
+           static_cast<std::size_t>(j);
+  }
+  int rank_of(int gx, int gy) const { return gx * py + gy; }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int nprocs = argc > 1 ? std::atoi(argv[1]) : 16;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 200;
+
+  mpi::JobOptions opt;
+  opt.device.connection_model = mpi::ConnectionModel::kOnDemand;
+
+  mpi::World world(nprocs, opt);
+  const bool ok = world.run([steps](mpi::Comm& comm) {
+    Tile t;
+    // Near-square process grid.
+    t.px = static_cast<int>(std::lround(std::sqrt(comm.size())));
+    while (comm.size() % t.px != 0) --t.px;
+    t.py = comm.size() / t.px;
+    t.x = comm.rank() / t.py;
+    t.y = comm.rank() % t.py;
+
+    t.cur.assign(static_cast<std::size_t>((kTile + 2) * (kTile + 2)), 0.0);
+    t.next = t.cur;
+    // A hot spot on the rank owning the plate centre.
+    if (t.x == t.px / 2 && t.y == t.py / 2) {
+      for (int i = kTile / 2 - 2; i < kTile / 2 + 2; ++i)
+        for (int j = kTile / 2 - 2; j < kTile / 2 + 2; ++j)
+          t.cur[t.idx(i + 1, j + 1)] = 100.0;
+    }
+
+    std::vector<double> ghost_send(kTile), ghost_recv(kTile);
+    double global_heat = 0;
+    for (int step = 0; step < steps; ++step) {
+      // Exchange the four halos (non-periodic: edges use kProcNull).
+      struct Side {
+        int partner;
+        bool row;     // exchanging a row (true) or a column
+        int send_at;  // interior line to send
+        int recv_at;  // ghost line to fill
+      };
+      const Side sides[4] = {
+          {t.x > 0 ? t.rank_of(t.x - 1, t.y) : mpi::kProcNull, true, 1, 0},
+          {t.x + 1 < t.px ? t.rank_of(t.x + 1, t.y) : mpi::kProcNull, true,
+           kTile, kTile + 1},
+          {t.y > 0 ? t.rank_of(t.x, t.y - 1) : mpi::kProcNull, false, 1, 0},
+          {t.y + 1 < t.py ? t.rank_of(t.x, t.y + 1) : mpi::kProcNull, false,
+           kTile, kTile + 1},
+      };
+      for (const Side& s : sides) {
+        for (int k = 0; k < kTile; ++k) {
+          ghost_send[static_cast<std::size_t>(k)] =
+              s.row ? t.cur[t.idx(s.send_at, k + 1)]
+                    : t.cur[t.idx(k + 1, s.send_at)];
+        }
+        comm.sendrecv(ghost_send.data(), kTile, mpi::kDouble, s.partner, step,
+                      ghost_recv.data(), kTile, mpi::kDouble, s.partner,
+                      step);
+        if (s.partner != mpi::kProcNull) {
+          for (int k = 0; k < kTile; ++k) {
+            if (s.row) {
+              t.cur[t.idx(s.recv_at, k + 1)] =
+                  ghost_recv[static_cast<std::size_t>(k)];
+            } else {
+              t.cur[t.idx(k + 1, s.recv_at)] =
+                  ghost_recv[static_cast<std::size_t>(k)];
+            }
+          }
+        }
+      }
+
+      // Jacobi step.
+      for (int i = 1; i <= kTile; ++i) {
+        for (int j = 1; j <= kTile; ++j) {
+          t.next[t.idx(i, j)] =
+              t.cur[t.idx(i, j)] +
+              0.2 * (t.cur[t.idx(i - 1, j)] + t.cur[t.idx(i + 1, j)] +
+                     t.cur[t.idx(i, j - 1)] + t.cur[t.idx(i, j + 1)] -
+                     4.0 * t.cur[t.idx(i, j)]);
+        }
+      }
+      std::swap(t.cur, t.next);
+
+      if (step % 50 == 49) {
+        double local = 0;
+        for (int i = 1; i <= kTile; ++i)
+          for (int j = 1; j <= kTile; ++j) local += t.cur[t.idx(i, j)];
+        comm.allreduce(&local, &global_heat, 1, mpi::kDouble, mpi::Op::kSum);
+      }
+    }
+    if (comm.rank() == 0) {
+      std::printf("after %d steps: total heat %.4f (diffusion conserves it)\n",
+                  steps, global_heat);
+    }
+  });
+  if (!ok) {
+    std::fprintf(stderr, "simulation deadlocked\n");
+    return 1;
+  }
+
+  std::printf("\nper-process VI endpoints (on-demand):\n");
+  double avg = 0;
+  for (int r = 0; r < nprocs; ++r) avg += world.report(r).vis_created;
+  std::printf("  mean %.2f of a possible %d — the stencil only ever needed "
+              "its neighbours\n",
+              avg / nprocs, nprocs - 1);
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Example: Sweep3D-style wavefront transport sweeps — one of the Table 1
+// applications. A 2D process grid performs sweeps from each of the four
+// corners; a rank can start a plane only after receiving the boundary
+// angles from its upstream neighbours, so the computation ripples
+// diagonally across the grid. A classic case where on-demand connection
+// management pins exactly the 2-4 neighbour connections each rank uses.
+//
+//   ./examples/wavefront [nprocs] [planes]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "src/odmpi.h"
+
+using namespace odmpi;
+
+namespace {
+constexpr int kLine = 24;  // boundary values per plane edge
+constexpr mpi::Tag kTagSweep = 9;
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int nprocs = argc > 1 ? std::atoi(argv[1]) : 16;
+  const int planes = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  mpi::JobOptions opt;
+  opt.device.connection_model = mpi::ConnectionModel::kOnDemand;
+
+  mpi::World world(nprocs, opt);
+  const bool ok = world.run([planes](mpi::Comm& comm) {
+    int px = static_cast<int>(std::lround(std::sqrt(comm.size())));
+    while (comm.size() % px != 0) --px;
+    const int py = comm.size() / px;
+    const int x = comm.rank() / py, y = comm.rank() % py;
+    const auto rank_of = [py](int gx, int gy) { return gx * py + gy; };
+
+    std::vector<double> cell(kLine * kLine, 1.0);
+    std::vector<double> in_x(kLine), in_y(kLine), out_x(kLine), out_y(kLine);
+
+    // Four sweep directions (the eight-octant sweep collapsed to four in
+    // 2D): (dx, dy) gives the downstream direction.
+    const int dirs[4][2] = {{+1, +1}, {+1, -1}, {-1, +1}, {-1, -1}};
+    for (const auto& d : dirs) {
+      const int from_x = x - d[0], from_y = y - d[1];
+      const int to_x = x + d[0], to_y = y + d[1];
+      const bool has_up_x = from_x >= 0 && from_x < px;
+      const bool has_up_y = from_y >= 0 && from_y < py;
+      const bool has_dn_x = to_x >= 0 && to_x < px;
+      const bool has_dn_y = to_y >= 0 && to_y < py;
+      for (int k = 0; k < planes; ++k) {
+        if (has_up_x) {
+          comm.recv(in_x.data(), kLine, mpi::kDouble, rank_of(from_x, y),
+                    kTagSweep);
+        } else {
+          std::fill(in_x.begin(), in_x.end(), 1.0);
+        }
+        if (has_up_y) {
+          comm.recv(in_y.data(), kLine, mpi::kDouble, rank_of(x, from_y),
+                    kTagSweep);
+        } else {
+          std::fill(in_y.begin(), in_y.end(), 1.0);
+        }
+        // Transport recurrence across the local cell.
+        for (int i = 0; i < kLine; ++i) {
+          for (int j = 0; j < kLine; ++j) {
+            const double up_i = i > 0 ? cell[(i - 1) * kLine + j] : in_x[j];
+            const double up_j = j > 0 ? cell[i * kLine + j - 1] : in_y[i];
+            cell[i * kLine + j] =
+                0.5 * cell[i * kLine + j] + 0.25 * (up_i + up_j);
+          }
+        }
+        for (int j = 0; j < kLine; ++j)
+          out_x[j] = cell[(kLine - 1) * kLine + j];
+        for (int i = 0; i < kLine; ++i)
+          out_y[i] = cell[i * kLine + kLine - 1];
+        if (has_dn_x) {
+          comm.send(out_x.data(), kLine, mpi::kDouble, rank_of(to_x, y),
+                    kTagSweep);
+        }
+        if (has_dn_y) {
+          comm.send(out_y.data(), kLine, mpi::kDouble, rank_of(x, to_y),
+                    kTagSweep);
+        }
+      }
+    }
+    double local = 0;
+    for (double v : cell) local += v;
+    double total = 0;
+    comm.allreduce(&local, &total, 1, mpi::kDouble, mpi::Op::kSum);
+    if (comm.rank() == 0) {
+      std::printf("wavefront flux after %d planes x 4 octants: %.4f\n",
+                  planes, total);
+    }
+  });
+  if (!ok) {
+    std::fprintf(stderr, "simulation deadlocked\n");
+    return 1;
+  }
+  double vis = 0;
+  for (int r = 0; r < nprocs; ++r) vis += world.report(r).vis_created;
+  std::printf("mean VIs/process: %.2f — Table 1 reports 3.5 distinct\n"
+              "destinations for Sweep3D at 64 processes; a static setup\n"
+              "would pin %d per process.\n",
+              vis / nprocs, nprocs - 1);
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include <cstring>
+#include <vector>
+
+#include "src/mpi/coll/coll_internal.h"
+
+namespace odmpi::mpi {
+
+void Comm::allgather(const void* sendbuf, int sendcount, void* recvbuf,
+                     Datatype dt) const {
+  using namespace coll;
+  const int n = size();
+  const int me = rank();
+  const std::size_t block = static_cast<std::size_t>(sendcount) * dt.size();
+  auto* out = static_cast<std::byte*>(recvbuf);
+  std::memcpy(out + static_cast<std::size_t>(me) * block, sendbuf, block);
+  if (n == 1) return;
+
+  if (is_pow2(n)) {
+    // Recursive doubling: round k exchanges the 2^k blocks accumulated so
+    // far with partner me XOR 2^k.
+    for (int mask = 1; mask < n; mask <<= 1) {
+      const int partner = me ^ mask;
+      const int my_start = (me / mask) * mask;        // blocks I hold
+      const int their_start = (partner / mask) * mask;
+      coll_sendrecv(out + static_cast<std::size_t>(my_start) * block,
+                    static_cast<std::size_t>(mask) * block, partner,
+                    out + static_cast<std::size_t>(their_start) * block,
+                    static_cast<std::size_t>(mask) * block, partner,
+                    kTagAllgather);
+    }
+    return;
+  }
+  // Ring for non-power-of-two sizes.
+  const int right = (me + 1) % n;
+  const int left = (me - 1 + n) % n;
+  int have = me;  // block received in the previous round
+  for (int step = 0; step < n - 1; ++step) {
+    const int incoming = (have - 1 + n) % n;
+    coll_sendrecv(out + static_cast<std::size_t>(have) * block, block, right,
+                  out + static_cast<std::size_t>(incoming) * block, block,
+                  left, kTagAllgather);
+    have = incoming;
+  }
+}
+
+}  // namespace odmpi::mpi

@@ -1,0 +1,46 @@
+#include <cstring>
+#include <vector>
+
+#include "src/mpi/coll/coll_internal.h"
+
+namespace odmpi::mpi {
+
+void Comm::allreduce(const void* sendbuf, void* recvbuf, int count,
+                     Datatype dt, Op op) const {
+  using namespace coll;
+  const int n = size();
+  const std::size_t bytes = static_cast<std::size_t>(count) * dt.size();
+  std::memcpy(recvbuf, sendbuf, bytes);
+  if (n == 1) return;
+  const int me = rank();
+  const int base = pow2_floor(n);
+  std::vector<std::byte> incoming(bytes);
+
+  // Fold extras into the power-of-two base set.
+  if (me >= base) {
+    coll_send(recvbuf, bytes, me - base, kTagAllreduce);
+    coll_recv(recvbuf, bytes, me - base, kTagAllreduce);
+    return;
+  }
+  if (me + base < n) {
+    coll_recv(incoming.data(), bytes, me + base, kTagAllreduce);
+    apply_op(op, dt, recvbuf, incoming.data(),
+             static_cast<std::size_t>(count));
+  }
+
+  // Recursive doubling: each round exchanges the running reduction with
+  // partner me XOR 2^k (log2 N distinct partners — Table 2's Allreduce).
+  for (int mask = 1; mask < base; mask <<= 1) {
+    const int partner = me ^ mask;
+    coll_sendrecv(recvbuf, bytes, partner, incoming.data(), bytes, partner,
+                  kTagAllreduce);
+    apply_op(op, dt, recvbuf, incoming.data(),
+             static_cast<std::size_t>(count));
+  }
+
+  if (me + base < n) {
+    coll_send(recvbuf, bytes, me + base, kTagAllreduce);
+  }
+}
+
+}  // namespace odmpi::mpi

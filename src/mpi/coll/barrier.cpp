@@ -1,0 +1,34 @@
+#include "src/mpi/coll/coll_internal.h"
+
+namespace odmpi::mpi {
+
+void Comm::barrier() const {
+  using namespace coll;
+  const int n = size();
+  if (n == 1) return;
+  const int me = rank();
+  const int base = pow2_floor(n);
+
+  // Fold the ranks beyond the largest power of two into the base set —
+  // this is the "extra steps for nodes not in the binomial tree" that
+  // causes the paper's fluctuation on non-power-of-two sizes (Fig 4).
+  if (me >= base) {
+    coll_send(nullptr, 0, me - base, kTagBarrier);
+    coll_recv(nullptr, 0, me - base, kTagBarrier);
+    return;
+  }
+  if (me + base < n) {
+    coll_recv(nullptr, 0, me + base, kTagBarrier);
+  }
+  // Recursive doubling among the power-of-two base set: partner = me XOR
+  // 2^k, so every rank meets exactly log2(base) distinct peers (Table 2).
+  for (int mask = 1; mask < base; mask <<= 1) {
+    const int partner = me ^ mask;
+    coll_sendrecv(nullptr, 0, partner, nullptr, 0, partner, kTagBarrier);
+  }
+  if (me + base < n) {
+    coll_send(nullptr, 0, me + base, kTagBarrier);
+  }
+}
+
+}  // namespace odmpi::mpi

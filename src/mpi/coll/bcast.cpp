@@ -1,0 +1,33 @@
+#include "src/mpi/coll/coll_internal.h"
+
+namespace odmpi::mpi {
+
+void Comm::bcast(void* buf, int count, Datatype dt, int root) const {
+  using namespace coll;
+  const int n = size();
+  if (n == 1) return;
+  const std::size_t bytes = static_cast<std::size_t>(count) * dt.size();
+  // Binomial tree on virtual ranks relative to the root; tree edges are
+  // XOR partners of the virtual rank, exactly MPICH-1.2's MPIR_Bcast.
+  const int vr = (rank() - root + n) % n;
+
+  int mask = 1;
+  while (mask < n) {
+    if (vr & mask) {
+      const int parent = ((vr - mask) + root) % n;
+      coll_recv(buf, bytes, parent, kTagBcast);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vr + mask < n) {
+      const int child = (vr + mask + root) % n;
+      coll_send(buf, bytes, child, kTagBcast);
+    }
+    mask >>= 1;
+  }
+}
+
+}  // namespace odmpi::mpi

@@ -1,0 +1,37 @@
+// Shared helpers for the collective algorithms. The algorithm choices
+// replicate the MPICH-1.2-era implementations MVICH inherited, because
+// Table 2 of the paper (VIs used per process) is a direct function of
+// each algorithm's communication partners:
+//  * barrier/allreduce: recursive doubling (XOR partners -> log2 N VIs);
+//  * bcast/reduce: binomial trees whose edges are XOR partners too;
+//  * gather/scatter: linear (rooted);
+//  * allgather: recursive doubling (power of two) or ring;
+//  * alltoall: pairwise exchange (N-1 partners — the full mesh IS needs).
+#pragma once
+
+#include "src/mpi/comm.h"
+
+namespace odmpi::mpi::coll {
+
+// Tags inside the collective context, one per operation (debuggability).
+inline constexpr Tag kTagBarrier = 1;
+inline constexpr Tag kTagBcast = 2;
+inline constexpr Tag kTagReduce = 3;
+inline constexpr Tag kTagAllreduce = 4;
+inline constexpr Tag kTagGather = 5;
+inline constexpr Tag kTagScatter = 6;
+inline constexpr Tag kTagAllgather = 7;
+inline constexpr Tag kTagAlltoall = 8;
+inline constexpr Tag kTagReduceScatter = 9;
+inline constexpr Tag kTagScan = 10;
+
+[[nodiscard]] inline bool is_pow2(int n) { return (n & (n - 1)) == 0; }
+
+/// Largest power of two <= n.
+[[nodiscard]] inline int pow2_floor(int n) {
+  int p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+}  // namespace odmpi::mpi::coll

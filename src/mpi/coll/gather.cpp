@@ -1,0 +1,30 @@
+#include <cstring>
+#include <vector>
+
+#include "src/mpi/coll/coll_internal.h"
+
+namespace odmpi::mpi {
+
+void Comm::gather(const void* sendbuf, int sendcount, void* recvbuf,
+                  Datatype dt, int root) const {
+  using namespace coll;
+  const int n = size();
+  const std::size_t block = static_cast<std::size_t>(sendcount) * dt.size();
+  if (rank() != root) {
+    coll_send(sendbuf, block, root, kTagGather);
+    return;
+  }
+  // Linear gather, as in MPICH-1.2: the root posts a receive per peer.
+  auto* out = static_cast<std::byte*>(recvbuf);
+  std::memcpy(out + static_cast<std::size_t>(root) * block, sendbuf, block);
+  std::vector<Request> reqs;
+  reqs.reserve(static_cast<std::size_t>(n - 1));
+  for (int r = 0; r < n; ++r) {
+    if (r == root) continue;
+    reqs.push_back(coll_irecv(out + static_cast<std::size_t>(r) * block,
+                              block, r, kTagGather));
+  }
+  wait_all(reqs);
+}
+
+}  // namespace odmpi::mpi

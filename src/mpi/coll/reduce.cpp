@@ -1,0 +1,49 @@
+#include <cstring>
+#include <vector>
+
+#include "src/mpi/coll/coll_internal.h"
+
+namespace odmpi::mpi {
+
+void Comm::reduce(const void* sendbuf, void* recvbuf, int count, Datatype dt,
+                  Op op, int root) const {
+  using namespace coll;
+  const int n = size();
+  const std::size_t bytes = static_cast<std::size_t>(count) * dt.size();
+  const bool am_root = rank() == root;
+
+  // Accumulator: the root reduces in place into recvbuf; everyone else
+  // works in a scratch buffer.
+  std::vector<std::byte> scratch;
+  std::byte* acc;
+  if (am_root) {
+    acc = static_cast<std::byte*>(recvbuf);
+  } else {
+    scratch.resize(bytes);
+    acc = scratch.data();
+  }
+  std::memcpy(acc, sendbuf, bytes);
+
+  // Mirror of the binomial bcast tree: children fold into parents. All
+  // our ops are commutative, so combine order does not affect the result.
+  std::vector<std::byte> incoming(bytes);
+  const int vr = (rank() - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if ((vr & mask) == 0) {
+      if (vr + mask < n) {
+        const int child = (vr + mask + root) % n;
+        coll_recv(incoming.data(), bytes, child, kTagReduce);
+        apply_op(op, dt, acc, incoming.data(),
+                 static_cast<std::size_t>(count));
+      }
+    } else {
+      const int parent = ((vr - mask) + root) % n;
+      coll_send(acc, bytes, parent, kTagReduce);
+      break;
+    }
+    mask <<= 1;
+  }
+}
+
+}  // namespace odmpi::mpi

@@ -1,0 +1,39 @@
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "src/mpi/coll/coll_internal.h"
+
+namespace odmpi::mpi {
+
+void Comm::reduce_scatter(const void* sendbuf, void* recvbuf,
+                          const int* recvcounts, Datatype dt, Op op) const {
+  using namespace coll;
+  const int n = size();
+  const int me = rank();
+  int total = 0;
+  for (int r = 0; r < n; ++r) total += recvcounts[r];
+
+  // Reduce the full vector to rank 0, then scatter the segments — the
+  // MPICH-1.2 implementation (reduce + scatterv).
+  std::vector<std::byte> full(static_cast<std::size_t>(total) * dt.size());
+  reduce(sendbuf, full.data(), total, dt, op, /*root=*/0);
+
+  const std::size_t my_bytes =
+      static_cast<std::size_t>(recvcounts[me]) * dt.size();
+  if (me == 0) {
+    std::memcpy(recvbuf, full.data(),
+                static_cast<std::size_t>(recvcounts[0]) * dt.size());
+    std::size_t off = static_cast<std::size_t>(recvcounts[0]) * dt.size();
+    for (int r = 1; r < n; ++r) {
+      const std::size_t bytes =
+          static_cast<std::size_t>(recvcounts[r]) * dt.size();
+      coll_send(full.data() + off, bytes, r, kTagReduceScatter);
+      off += bytes;
+    }
+  } else {
+    coll_recv(recvbuf, my_bytes, 0, kTagReduceScatter);
+  }
+}
+
+}  // namespace odmpi::mpi

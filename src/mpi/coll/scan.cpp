@@ -1,0 +1,28 @@
+#include <cstring>
+#include <vector>
+
+#include "src/mpi/coll/coll_internal.h"
+
+namespace odmpi::mpi {
+
+void Comm::scan(const void* sendbuf, void* recvbuf, int count, Datatype dt,
+                Op op) const {
+  using namespace coll;
+  const int n = size();
+  const int me = rank();
+  const std::size_t bytes = static_cast<std::size_t>(count) * dt.size();
+  std::memcpy(recvbuf, sendbuf, bytes);
+
+  // Chain scan (MPICH-1 style): receive the running prefix from the left
+  // neighbour, fold, pass to the right.
+  if (me > 0) {
+    std::vector<std::byte> incoming(bytes);
+    coll_recv(incoming.data(), bytes, me - 1, kTagScan);
+    apply_op(op, dt, recvbuf, incoming.data(), static_cast<std::size_t>(count));
+  }
+  if (me + 1 < n) {
+    coll_send(recvbuf, bytes, me + 1, kTagScan);
+  }
+}
+
+}  // namespace odmpi::mpi

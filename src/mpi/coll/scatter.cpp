@@ -1,0 +1,30 @@
+#include <cstring>
+#include <vector>
+
+#include "src/mpi/coll/coll_internal.h"
+
+namespace odmpi::mpi {
+
+void Comm::scatter(const void* sendbuf, int count, void* recvbuf, Datatype dt,
+                   int root) const {
+  using namespace coll;
+  const int n = size();
+  const std::size_t block = static_cast<std::size_t>(count) * dt.size();
+  if (rank() != root) {
+    coll_recv(recvbuf, block, root, kTagScatter);
+    return;
+  }
+  // Linear scatter (MPICH-1.2): one send per peer from the root.
+  const auto* in = static_cast<const std::byte*>(sendbuf);
+  std::memcpy(recvbuf, in + static_cast<std::size_t>(root) * block, block);
+  std::vector<Request> reqs;
+  reqs.reserve(static_cast<std::size_t>(n - 1));
+  for (int r = 0; r < n; ++r) {
+    if (r == root) continue;
+    reqs.push_back(coll_isend(in + static_cast<std::size_t>(r) * block, block,
+                              r, kTagScatter));
+  }
+  wait_all(reqs);
+}
+
+}  // namespace odmpi::mpi

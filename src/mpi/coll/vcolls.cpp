@@ -1,0 +1,77 @@
+// Variable-count collectives: gatherv, scatterv, allgatherv. Linear
+// rooted algorithms (MPICH-1.2 style), ring-free allgatherv built from
+// gatherv + bcast to keep block placement simple and correct.
+#include <cstring>
+#include <vector>
+
+#include "src/mpi/coll/coll_internal.h"
+
+namespace odmpi::mpi {
+
+void Comm::gatherv(const void* sendbuf, int sendcount, void* recvbuf,
+                   const int* recvcounts, const int* displs, Datatype dt,
+                   int root) const {
+  using namespace coll;
+  const int n = size();
+  const std::size_t ext = dt.size();
+  if (rank() != root) {
+    coll_send(sendbuf, static_cast<std::size_t>(sendcount) * ext, root,
+              kTagGather);
+    return;
+  }
+  auto* out = static_cast<std::byte*>(recvbuf);
+  std::memcpy(out + static_cast<std::size_t>(displs[root]) * ext, sendbuf,
+              static_cast<std::size_t>(sendcount) * ext);
+  std::vector<Request> reqs;
+  for (int r = 0; r < n; ++r) {
+    if (r == root) continue;
+    reqs.push_back(
+        coll_irecv(out + static_cast<std::size_t>(displs[r]) * ext,
+                   static_cast<std::size_t>(recvcounts[r]) * ext, r,
+                   kTagGather));
+  }
+  wait_all(reqs);
+}
+
+void Comm::scatterv(const void* sendbuf, const int* sendcounts,
+                    const int* displs, void* recvbuf, int recvcount,
+                    Datatype dt, int root) const {
+  using namespace coll;
+  const int n = size();
+  const std::size_t ext = dt.size();
+  if (rank() != root) {
+    coll_recv(recvbuf, static_cast<std::size_t>(recvcount) * ext, root,
+              kTagScatter);
+    return;
+  }
+  const auto* in = static_cast<const std::byte*>(sendbuf);
+  std::memcpy(recvbuf, in + static_cast<std::size_t>(displs[root]) * ext,
+              static_cast<std::size_t>(sendcounts[root]) * ext);
+  std::vector<Request> reqs;
+  for (int r = 0; r < n; ++r) {
+    if (r == root) continue;
+    reqs.push_back(
+        coll_isend(in + static_cast<std::size_t>(displs[r]) * ext,
+                   static_cast<std::size_t>(sendcounts[r]) * ext, r,
+                   kTagScatter));
+  }
+  wait_all(reqs);
+}
+
+void Comm::allgatherv(const void* sendbuf, int sendcount, void* recvbuf,
+                      const int* recvcounts, const int* displs,
+                      Datatype dt) const {
+  const int n = size();
+  // Gather to rank 0 then broadcast the assembled buffer (the correct
+  // total extent is known to every rank from counts+displs).
+  gatherv(sendbuf, sendcount, recvbuf, recvcounts, displs, dt, /*root=*/0);
+  std::size_t total_end = 0;
+  for (int r = 0; r < n; ++r) {
+    total_end = std::max(total_end, static_cast<std::size_t>(displs[r]) +
+                                        static_cast<std::size_t>(
+                                            recvcounts[r]));
+  }
+  bcast(recvbuf, static_cast<int>(total_end), dt, /*root=*/0);
+}
+
+}  // namespace odmpi::mpi

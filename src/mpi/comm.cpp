@@ -1,0 +1,252 @@
+#include "src/mpi/comm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/sim/process.h"
+
+namespace odmpi::mpi {
+
+Comm::Comm(RankContext* rc, Group group, ContextId context) {
+  s_ = std::make_shared<State>();
+  s_->rc = rc;
+  s_->context = context;
+  s_->my_rank = group.rank_of_world(rc->device->rank());
+  s_->group = std::move(group);
+  assert(s_->my_rank >= 0 && "calling rank must be a member of the group");
+}
+
+double Comm::wtime() const {
+  auto* p = sim::Process::current();
+  assert(p != nullptr);
+  return sim::to_sec(p->now());
+}
+
+Rank Comm::to_world(int r) const {
+  if (r == kAnySource || r == kProcNull) return r;
+  return s_->group.world_rank(r);
+}
+
+MsgStatus Comm::translate(MsgStatus st) const {
+  if (st.source >= 0) st.source = s_->group.rank_of_world(st.source);
+  return st;
+}
+
+// --- Blocking point-to-point -------------------------------------------------
+
+namespace {
+std::size_t bytes_of(int count, Datatype dt) {
+  assert(count >= 0);
+  return static_cast<std::size_t>(count) * dt.size();
+}
+}  // namespace
+
+void Comm::send(const void* buf, int count, Datatype dt, int dest,
+                Tag tag) const {
+  Device& d = device();
+  d.wait(d.post_send(buf, bytes_of(count, dt), to_world(dest), tag,
+                     s_->context, SendMode::kStandard));
+}
+
+void Comm::ssend(const void* buf, int count, Datatype dt, int dest,
+                 Tag tag) const {
+  Device& d = device();
+  d.wait(d.post_send(buf, bytes_of(count, dt), to_world(dest), tag,
+                     s_->context, SendMode::kSynchronous));
+}
+
+void Comm::bsend(const void* buf, int count, Datatype dt, int dest,
+                 Tag tag) const {
+  Device& d = device();
+  d.wait(d.post_send(buf, bytes_of(count, dt), to_world(dest), tag,
+                     s_->context, SendMode::kBuffered));
+}
+
+void Comm::rsend(const void* buf, int count, Datatype dt, int dest,
+                 Tag tag) const {
+  Device& d = device();
+  d.wait(d.post_send(buf, bytes_of(count, dt), to_world(dest), tag,
+                     s_->context, SendMode::kReady));
+}
+
+MsgStatus Comm::recv(void* buf, int count, Datatype dt, int source,
+                     Tag tag) const {
+  Device& d = device();
+  RequestPtr req = d.post_recv(buf, bytes_of(count, dt), to_world(source), tag,
+                               s_->context, &s_->group.world_ranks());
+  d.wait(req);
+  return translate(req->status);
+}
+
+MsgStatus Comm::sendrecv(const void* sendbuf, int sendcount, Datatype sendtype,
+                         int dest, Tag sendtag, void* recvbuf, int recvcount,
+                         Datatype recvtype, int source, Tag recvtag) const {
+  Device& d = device();
+  RequestPtr recv_req =
+      d.post_recv(recvbuf, bytes_of(recvcount, recvtype), to_world(source),
+                  recvtag, s_->context, &s_->group.world_ranks());
+  RequestPtr send_req =
+      d.post_send(sendbuf, bytes_of(sendcount, sendtype), to_world(dest),
+                  sendtag, s_->context, SendMode::kStandard);
+  d.wait(send_req);
+  d.wait(recv_req);
+  return translate(recv_req->status);
+}
+
+MsgStatus Comm::sendrecv_replace(void* buf, int count, Datatype dt,
+                                 int dest, Tag sendtag, int source,
+                                 Tag recvtag) const {
+  // The outgoing data is staged in a temporary so the receive can land in
+  // the caller's buffer (MPI_Sendrecv_replace semantics).
+  const std::size_t bytes = bytes_of(count, dt);
+  std::vector<std::byte> staged(static_cast<const std::byte*>(buf),
+                                static_cast<const std::byte*>(buf) + bytes);
+  return sendrecv(staged.data(), count, dt, dest, sendtag, buf, count, dt,
+                  source, recvtag);
+}
+
+// --- Nonblocking ---------------------------------------------------------
+
+Request Comm::isend(const void* buf, int count, Datatype dt, int dest,
+                    Tag tag) const {
+  Device& d = device();
+  return Request(d.post_send(buf, bytes_of(count, dt), to_world(dest), tag,
+                             s_->context, SendMode::kStandard),
+                 &d);
+}
+
+Request Comm::issend(const void* buf, int count, Datatype dt, int dest,
+                     Tag tag) const {
+  Device& d = device();
+  return Request(d.post_send(buf, bytes_of(count, dt), to_world(dest), tag,
+                             s_->context, SendMode::kSynchronous),
+                 &d);
+}
+
+Request Comm::ibsend(const void* buf, int count, Datatype dt, int dest,
+                     Tag tag) const {
+  Device& d = device();
+  return Request(d.post_send(buf, bytes_of(count, dt), to_world(dest), tag,
+                             s_->context, SendMode::kBuffered),
+                 &d);
+}
+
+Request Comm::irecv(void* buf, int count, Datatype dt, int source,
+                    Tag tag) const {
+  Device& d = device();
+  return Request(d.post_recv(buf, bytes_of(count, dt), to_world(source), tag,
+                             s_->context, &s_->group.world_ranks()),
+                 &d);
+}
+
+// --- Probe -----------------------------------------------------------------
+
+bool Comm::iprobe(int source, Tag tag, MsgStatus* status) const {
+  MsgStatus st;
+  if (!device().iprobe(to_world(source), tag, s_->context, &st)) return false;
+  if (status != nullptr) *status = translate(st);
+  return true;
+}
+
+MsgStatus Comm::probe(int source, Tag tag) const {
+  MsgStatus st;
+  device().wait_until(
+      [&] { return device().iprobe(to_world(source), tag, s_->context, &st); });
+  return translate(st);
+}
+
+// --- Collective-plane helpers ---------------------------------------------
+
+void Comm::coll_send(const void* buf, std::size_t bytes, int dest,
+                     Tag tag) const {
+  Device& d = device();
+  d.wait(d.post_send(buf, bytes, to_world(dest), tag, coll_context(),
+                     SendMode::kStandard));
+}
+
+void Comm::coll_recv(void* buf, std::size_t bytes, int src, Tag tag) const {
+  Device& d = device();
+  RequestPtr req = d.post_recv(buf, bytes, to_world(src), tag, coll_context(),
+                               &s_->group.world_ranks());
+  d.wait(req);
+}
+
+Request Comm::coll_isend(const void* buf, std::size_t bytes, int dest,
+                         Tag tag) const {
+  Device& d = device();
+  return Request(d.post_send(buf, bytes, to_world(dest), tag, coll_context(),
+                             SendMode::kStandard),
+                 &d);
+}
+
+Request Comm::coll_irecv(void* buf, std::size_t bytes, int src,
+                         Tag tag) const {
+  Device& d = device();
+  return Request(d.post_recv(buf, bytes, to_world(src), tag, coll_context(),
+                             &s_->group.world_ranks()),
+                 &d);
+}
+
+void Comm::coll_sendrecv(const void* sbuf, std::size_t sbytes, int dest,
+                         void* rbuf, std::size_t rbytes, int src,
+                         Tag tag) const {
+  Device& d = device();
+  RequestPtr recv_req = d.post_recv(rbuf, rbytes, to_world(src), tag,
+                                    coll_context(), &s_->group.world_ranks());
+  RequestPtr send_req = d.post_send(sbuf, sbytes, to_world(dest), tag,
+                                    coll_context(), SendMode::kStandard);
+  d.wait(send_req);
+  d.wait(recv_req);
+}
+
+// --- Communicator management -------------------------------------------------
+
+Comm Comm::dup() const {
+  // Agree on a context id: the max of everyone's next_context (collective
+  // over this communicator), MPICH-style.
+  std::int32_t mine = s_->rc->next_context;
+  std::int32_t agreed = 0;
+  allreduce(&mine, &agreed, 1, kInt32, Op::kMax);
+  s_->rc->next_context = agreed + 2;
+  return Comm(s_->rc, s_->group, agreed);
+}
+
+Comm Comm::split(int color, int key) const {
+  const int n = size();
+  // Gather (color, key, world_rank) from everyone.
+  std::vector<std::int32_t> mine = {static_cast<std::int32_t>(color),
+                                    static_cast<std::int32_t>(key),
+                                    static_cast<std::int32_t>(to_world(rank()))};
+  std::vector<std::int32_t> all(static_cast<std::size_t>(3 * n));
+  allgather(mine.data(), 3, all.data(), kInt32);
+
+  // Agree on the new context (shared across colors: groups are disjoint,
+  // so reusing one id cannot cause cross-talk).
+  std::int32_t next = s_->rc->next_context;
+  std::int32_t agreed = 0;
+  allreduce(&next, &agreed, 1, kInt32, Op::kMax);
+  s_->rc->next_context = agreed + 2;
+
+  if (color < 0) return Comm();
+
+  struct Member {
+    int key;
+    Rank world;
+  };
+  std::vector<Member> members;
+  for (int i = 0; i < n; ++i) {
+    const auto* rec = &all[static_cast<std::size_t>(3 * i)];
+    if (rec[0] == color) members.push_back({rec[1], rec[2]});
+  }
+  std::sort(members.begin(), members.end(), [](const Member& a,
+                                               const Member& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.world < b.world;
+  });
+  std::vector<Rank> ranks;
+  ranks.reserve(members.size());
+  for (const Member& m : members) ranks.push_back(m.world);
+  return Comm(s_->rc, Group(std::move(ranks)), agreed);
+}
+
+}  // namespace odmpi::mpi

@@ -1,0 +1,171 @@
+// The communicator: the library's main public handle.
+//
+// MPI-1.2 subset sufficient for the paper's entire evaluation: blocking
+// and nonblocking point-to-point in all four send modes, wildcards,
+// probe, eleven collectives, and communicator dup/split. Methods take
+// (buffer, count, datatype) like the C bindings, plus typed std::span
+// conveniences.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/mpi/datatype.h"
+#include "src/mpi/device.h"
+#include "src/mpi/group.h"
+#include "src/mpi/op.h"
+#include "src/mpi/request.h"
+#include "src/mpi/types.h"
+
+namespace odmpi::mpi {
+
+/// Per-rank library context shared by all communicators of that rank.
+struct RankContext {
+  Device* device = nullptr;
+  ContextId next_context = 2;  // 0/1 reserved for the world communicator
+};
+
+class Comm {
+ public:
+  Comm() = default;
+
+  /// Builds a communicator over `group` with point-to-point context
+  /// `context` (its collective context is context+1, MPICH-style).
+  Comm(RankContext* rc, Group group, ContextId context);
+
+  [[nodiscard]] bool valid() const { return s_ != nullptr; }
+  [[nodiscard]] int rank() const { return s_->my_rank; }
+  [[nodiscard]] int size() const { return s_->group.size(); }
+  [[nodiscard]] const Group& group() const { return s_->group; }
+  [[nodiscard]] ContextId context() const { return s_->context; }
+  [[nodiscard]] Device& device() const { return *s_->rc->device; }
+
+  /// Virtual wall-clock in seconds (MPI_Wtime).
+  [[nodiscard]] double wtime() const;
+
+  // --- Blocking point-to-point ---------------------------------------------
+
+  void send(const void* buf, int count, Datatype dt, int dest, Tag tag) const;
+  void ssend(const void* buf, int count, Datatype dt, int dest, Tag tag) const;
+  void bsend(const void* buf, int count, Datatype dt, int dest, Tag tag) const;
+  void rsend(const void* buf, int count, Datatype dt, int dest, Tag tag) const;
+  MsgStatus recv(void* buf, int count, Datatype dt, int source,
+                 Tag tag) const;
+  MsgStatus sendrecv(const void* sendbuf, int sendcount, Datatype sendtype,
+                     int dest, Tag sendtag, void* recvbuf, int recvcount,
+                     Datatype recvtype, int source, Tag recvtag) const;
+  MsgStatus sendrecv_replace(void* buf, int count, Datatype dt, int dest,
+                             Tag sendtag, int source, Tag recvtag) const;
+
+  // --- Nonblocking point-to-point ------------------------------------------
+
+  Request isend(const void* buf, int count, Datatype dt, int dest,
+                Tag tag) const;
+  Request issend(const void* buf, int count, Datatype dt, int dest,
+                 Tag tag) const;
+  Request ibsend(const void* buf, int count, Datatype dt, int dest,
+                 Tag tag) const;
+  Request irecv(void* buf, int count, Datatype dt, int source, Tag tag) const;
+
+  // --- Probe ------------------------------------------------------------
+
+  bool iprobe(int source, Tag tag, MsgStatus* status = nullptr) const;
+  MsgStatus probe(int source, Tag tag) const;
+
+  // --- Collectives -----------------------------------------------------
+
+  void barrier() const;
+  void bcast(void* buf, int count, Datatype dt, int root) const;
+  void reduce(const void* sendbuf, void* recvbuf, int count, Datatype dt,
+              Op op, int root) const;
+  void allreduce(const void* sendbuf, void* recvbuf, int count, Datatype dt,
+                 Op op) const;
+  void gather(const void* sendbuf, int sendcount, void* recvbuf, Datatype dt,
+              int root) const;
+  void scatter(const void* sendbuf, int count, void* recvbuf, Datatype dt,
+               int root) const;
+  void allgather(const void* sendbuf, int sendcount, void* recvbuf,
+                 Datatype dt) const;
+  void alltoall(const void* sendbuf, int count, void* recvbuf,
+                Datatype dt) const;
+  void alltoallv(const void* sendbuf, const int* sendcounts,
+                 const int* sdispls, void* recvbuf, const int* recvcounts,
+                 const int* rdispls, Datatype dt) const;
+  void reduce_scatter(const void* sendbuf, void* recvbuf,
+                      const int* recvcounts, Datatype dt, Op op) const;
+  void scan(const void* sendbuf, void* recvbuf, int count, Datatype dt,
+            Op op) const;
+  void gatherv(const void* sendbuf, int sendcount, void* recvbuf,
+               const int* recvcounts, const int* displs, Datatype dt,
+               int root) const;
+  void scatterv(const void* sendbuf, const int* sendcounts, const int* displs,
+                void* recvbuf, int recvcount, Datatype dt, int root) const;
+  void allgatherv(const void* sendbuf, int sendcount, void* recvbuf,
+                  const int* recvcounts, const int* displs,
+                  Datatype dt) const;
+
+  // --- Communicator management -------------------------------------------
+
+  /// Duplicate with a fresh context (collective).
+  [[nodiscard]] Comm dup() const;
+
+  /// Partition by color, order by (key, rank) (collective). A negative
+  /// color yields an invalid communicator for that caller.
+  [[nodiscard]] Comm split(int color, int key) const;
+
+  // --- Typed conveniences ----------------------------------------------
+
+  template <typename T>
+  void send(std::span<const T> data, int dest, Tag tag) const {
+    send(data.data(), static_cast<int>(data.size()), datatype_of<T>(), dest,
+         tag);
+  }
+  template <typename T>
+  MsgStatus recv(std::span<T> data, int source, Tag tag) const {
+    return recv(data.data(), static_cast<int>(data.size()), datatype_of<T>(),
+                source, tag);
+  }
+  template <typename T>
+  T allreduce_one(T value, Op op) const {
+    T out{};
+    allreduce(&value, &out, 1, datatype_of<T>(), op);
+    return out;
+  }
+  template <typename T>
+  void bcast_one(T& value, int root) const {
+    bcast(&value, 1, datatype_of<T>(), root);
+  }
+
+  // --- Internals shared with the collective implementations ---------------
+
+  /// Collective-plane context id (user traffic never matches it).
+  [[nodiscard]] ContextId coll_context() const { return s_->context + 1; }
+
+  /// World rank of a communicator rank; passes wildcards through.
+  [[nodiscard]] Rank to_world(int r) const;
+
+  /// Low-level helpers used by coll/*.cpp (bytes, coll context).
+  void coll_send(const void* buf, std::size_t bytes, int dest, Tag tag) const;
+  void coll_recv(void* buf, std::size_t bytes, int src, Tag tag) const;
+  Request coll_isend(const void* buf, std::size_t bytes, int dest,
+                     Tag tag) const;
+  Request coll_irecv(void* buf, std::size_t bytes, int src, Tag tag) const;
+  void coll_sendrecv(const void* sbuf, std::size_t sbytes, int dest,
+                     void* rbuf, std::size_t rbytes, int src, Tag tag) const;
+
+ private:
+  struct State {
+    RankContext* rc;
+    Group group;
+    ContextId context;
+    int my_rank;
+  };
+
+  MsgStatus translate(MsgStatus st) const;
+
+  std::shared_ptr<State> s_;
+};
+
+}  // namespace odmpi::mpi

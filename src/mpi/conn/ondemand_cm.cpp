@@ -1,0 +1,95 @@
+#include "src/mpi/conn/ondemand_cm.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/mpi/conn/static_cm.h"
+
+namespace odmpi::mpi {
+
+namespace {
+// Inverse of Device::pair_discriminator.
+std::pair<Rank, Rank> decode_pair(via::Discriminator disc) {
+  const auto hi = static_cast<Rank>(disc & 0xFFFFFF);
+  const auto lo = static_cast<Rank>((disc >> 24) & 0xFFFFFF);
+  return {lo, hi};
+}
+}  // namespace
+
+void OnDemandConnectionManager::ensure_connection(Rank peer) {
+  Channel& ch = device_.channel(peer);
+  if (ch.state != Channel::State::kUnconnected) return;
+  device_.prepare_channel(ch);
+  ch.state = Channel::State::kConnecting;
+  device_.stats().add("mpi.ondemand_connects");
+  device_.nic().connections().connect_peer(*ch.vi, peer,
+                                           device_.pair_discriminator(peer));
+  if (ch.vi->state() == via::ViState::kConnected) {
+    // The peer's request had already arrived: matched synchronously.
+    device_.channel_connected(ch);
+  } else {
+    connecting_.push_back(peer);
+  }
+}
+
+void OnDemandConnectionManager::on_any_source(
+    const std::vector<Rank>& comm_world_ranks) {
+  // Section 3.5: the receive may match a message from any member, so a
+  // connection request goes to all of them; whichever one eventually
+  // sends will find an established (or establishing) connection.
+  for (Rank peer : comm_world_ranks) {
+    if (peer != device_.rank()) ensure_connection(peer);
+  }
+}
+
+bool OnDemandConnectionManager::progress() {
+  bool progressed = false;
+
+  // Incoming requests from peers we have not connected to yet: answer
+  // each with our own connect_peer, which claims the queued request and
+  // establishes immediately.
+  via::ConnectionService& svc = device_.nic().connections();
+  if (svc.has_incoming()) {
+    for (const via::IncomingRequest& req : svc.poll_incoming()) {
+      const auto [lo, hi] = decode_pair(req.discriminator);
+      const Rank peer = (lo == device_.rank()) ? hi : lo;
+      assert(peer == req.src_node && "discriminator / source mismatch");
+      ensure_connection(peer);
+      progressed = true;
+    }
+  }
+
+  // Locally initiated requests that completed since the last check.
+  if (!connecting_.empty()) {
+    auto it = connecting_.begin();
+    while (it != connecting_.end()) {
+      Channel& ch = device_.channel(*it);
+      if (ch.vi->state() == via::ViState::kConnected) {
+        device_.channel_connected(ch);
+        it = connecting_.erase(it);
+        progressed = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return progressed;
+}
+
+std::unique_ptr<ConnectionManager> ConnectionManager::create(
+    Device& device, ConnectionModel model) {
+  switch (model) {
+    case ConnectionModel::kStaticClientServer:
+      return std::make_unique<StaticConnectionManager>(device,
+                                                       /*client_server=*/true);
+    case ConnectionModel::kStaticPeerToPeer:
+      return std::make_unique<StaticConnectionManager>(
+          device, /*client_server=*/false);
+    case ConnectionModel::kOnDemand:
+      return std::make_unique<OnDemandConnectionManager>(device);
+  }
+  assert(false && "unknown connection model");
+  return nullptr;
+}
+
+}  // namespace odmpi::mpi

@@ -1,0 +1,40 @@
+// On-demand connection management — the paper's contribution.
+//
+// No VI exists until a pair of processes first communicates. The first
+// send to (or named receive from) a peer creates a VI, preposts its eager
+// buffers and issues a nonblocking peer-to-peer connection request;
+// MPID_DeviceCheck() (Device::progress) then treats connection requests
+// "as another type of nonblocking communication request": it polls for
+// incoming peer requests and answers them with the matching connect_peer,
+// and completes locally initiated requests, draining each channel's
+// pre-posted send FIFO in order. A receive from MPI_ANY_SOURCE connects
+// to every process in the communicator (section 3.5).
+#pragma once
+
+#include <vector>
+
+#include "src/mpi/device.h"
+
+namespace odmpi::mpi {
+
+class OnDemandConnectionManager final : public ConnectionManager {
+ public:
+  explicit OnDemandConnectionManager(Device& device)
+      : ConnectionManager(device) {}
+
+  /// Nothing happens at init — that is the whole point.
+  void init() override {}
+
+  void ensure_connection(Rank peer) override;
+  void on_any_source(const std::vector<Rank>& comm_world_ranks) override;
+  bool progress() override;
+
+  [[nodiscard]] ConnectionModel model() const override {
+    return ConnectionModel::kOnDemand;
+  }
+
+ private:
+  std::vector<Rank> connecting_;  // channels with a pending peer request
+};
+
+}  // namespace odmpi::mpi

@@ -1,0 +1,37 @@
+// Static connection management: the original MVICH scheme. Every process
+// creates N-1 VIs and connects them all inside MPI_Init, so the VI layer
+// is fully connected before the application runs. Two bootstrap flavours
+// (paper section 5.6 / Figure 8):
+//  * peer-to-peer: all requests issued at once, matched as they arrive;
+//  * client/server: serialized — each process accepts from higher ranks
+//    in rank order, then connects to lower ranks in descending order.
+#pragma once
+
+#include "src/mpi/device.h"
+
+namespace odmpi::mpi {
+
+class StaticConnectionManager final : public ConnectionManager {
+ public:
+  StaticConnectionManager(Device& device, bool client_server)
+      : ConnectionManager(device), client_server_(client_server) {}
+
+  void init() override;
+
+  void ensure_connection(Rank peer) override;
+  void on_any_source(const std::vector<Rank>& comm_world_ranks) override;
+  bool progress() override { return false; }
+
+  [[nodiscard]] ConnectionModel model() const override {
+    return client_server_ ? ConnectionModel::kStaticClientServer
+                          : ConnectionModel::kStaticPeerToPeer;
+  }
+
+ private:
+  void init_peer_to_peer();
+  void init_client_server();
+
+  bool client_server_;
+};
+
+}  // namespace odmpi::mpi

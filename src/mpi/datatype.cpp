@@ -1,0 +1,16 @@
+#include "src/mpi/datatype.h"
+
+namespace odmpi::mpi {
+
+const char* to_string(TypeKind k) {
+  switch (k) {
+    case TypeKind::kByte: return "byte";
+    case TypeKind::kInt32: return "int32";
+    case TypeKind::kInt64: return "int64";
+    case TypeKind::kFloat: return "float";
+    case TypeKind::kDouble: return "double";
+  }
+  return "unknown";
+}
+
+}  // namespace odmpi::mpi

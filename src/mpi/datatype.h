@@ -1,0 +1,54 @@
+// Basic MPI datatypes. Only fixed-size contiguous types are supported —
+// enough for the paper's benchmarks (NAS kernels use INT/DOUBLE and raw
+// bytes). A datatype is (kind, extent); reduction dispatch uses the kind.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace odmpi::mpi {
+
+enum class TypeKind : std::uint8_t {
+  kByte,
+  kInt32,
+  kInt64,
+  kFloat,
+  kDouble,
+};
+
+struct Datatype {
+  TypeKind kind;
+  std::size_t extent;
+
+  [[nodiscard]] std::size_t size() const { return extent; }
+  bool operator==(const Datatype&) const = default;
+};
+
+inline constexpr Datatype kByte{TypeKind::kByte, 1};
+inline constexpr Datatype kInt32{TypeKind::kInt32, 4};
+inline constexpr Datatype kInt64{TypeKind::kInt64, 8};
+inline constexpr Datatype kFloat{TypeKind::kFloat, 4};
+inline constexpr Datatype kDouble{TypeKind::kDouble, 8};
+
+/// Maps a C++ arithmetic type to its Datatype (for the typed helpers).
+template <typename T>
+constexpr Datatype datatype_of();
+
+template <>
+constexpr Datatype datatype_of<std::byte>() { return kByte; }
+template <>
+constexpr Datatype datatype_of<char>() { return kByte; }
+template <>
+constexpr Datatype datatype_of<unsigned char>() { return kByte; }
+template <>
+constexpr Datatype datatype_of<std::int32_t>() { return kInt32; }
+template <>
+constexpr Datatype datatype_of<std::int64_t>() { return kInt64; }
+template <>
+constexpr Datatype datatype_of<float>() { return kFloat; }
+template <>
+constexpr Datatype datatype_of<double>() { return kDouble; }
+
+[[nodiscard]] const char* to_string(TypeKind k);
+
+}  // namespace odmpi::mpi

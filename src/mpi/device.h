@@ -1,0 +1,291 @@
+// The ADI device: MVICH's VIA device layer rebuilt in C++.
+//
+// One Device per MPI process. It owns:
+//  * a virtual channel per peer, each bound to one VI once connected,
+//    with credit-based eager flow control over preposted descriptors
+//    (kCredits x eager_buf_bytes = the "120 kB per VI" of the paper);
+//  * the eager (segmented, below eager_threshold) and rendezvous
+//    (RTS/CTS/RDMA-write/FIN) protocols;
+//  * the matching engine;
+//  * a pluggable ConnectionManager (static or on-demand — the paper's
+//    experimental axis);
+//  * progress(): the MPID_DeviceCheck() equivalent driving message AND
+//    connection progress from the same polling loop (paper section 3.3);
+//  * the wait loop implementing the polling / spinwait completion
+//    policies of section 5.3.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mpi/matching.h"
+#include "src/mpi/packet.h"
+#include "src/mpi/request.h"
+#include "src/mpi/types.h"
+#include "src/sim/stats.h"
+#include "src/via/provider.h"
+
+namespace odmpi::mpi {
+
+class ConnectionManager;
+
+/// Protocol knobs. Defaults replicate MVICH's configuration as described
+/// in the paper (eager->rendezvous switch at 5000 bytes, 120 kB of pinned
+/// eager buffers per VI, spin count 100).
+struct DeviceConfig {
+  std::size_t eager_threshold = 5000;
+  std::size_t eager_buf_bytes = 3840;  // 32 x 3840 B = 120 kB per VI
+  int credits = 32;
+  int send_pool_size = 64;  // device-global eager send buffers
+  WaitPolicy wait_policy = WaitPolicy::spinwait(100);
+  ConnectionModel connection_model = ConnectionModel::kOnDemand;
+  // Paper's planned future work: grow a channel's credit window with
+  // traffic instead of a fixed allocation (start small, double on use).
+  bool dynamic_credits = false;
+  int initial_dynamic_credits = 4;
+
+  [[nodiscard]] std::size_t eager_payload() const {
+    return eager_buf_bytes - kHeaderBytes;
+  }
+};
+
+/// A registered eager buffer (wire staging area) with its descriptor.
+struct EagerBuf {
+  std::vector<std::byte> mem;
+  via::MemoryHandle handle = via::kInvalidMemoryHandle;
+  via::Descriptor desc;
+};
+
+/// One queued wire packet waiting for credits / a send buffer.
+struct OutPacket {
+  PacketHeader header;
+  const std::byte* payload = nullptr;  // into the user / buffered buffer
+  std::size_t payload_bytes = 0;
+  RequestPtr req;          // owning send request (null for control)
+  bool last_segment = false;
+};
+
+/// Per-peer virtual channel.
+struct Channel {
+  enum class State : std::uint8_t { kUnconnected, kConnecting, kConnected };
+
+  Rank peer = -1;
+  State state = State::kUnconnected;
+  via::Vi* vi = nullptr;
+  int credits = 0;       // sends we may post before the peer refills us
+  int credit_limit = 0;  // current window size (== credits posted by peer)
+  int unreturned = 0;    // arrivals not yet credited back to the peer
+  std::int64_t msgs_received = 0;
+  bool credit_msg_queued = false;  // explicit kCredit packet outstanding
+  std::deque<OutPacket> outq;       // wire packets awaiting credits/buffers
+  std::deque<RequestPtr> park_fifo;  // the paper's pre-posted send FIFO
+  std::vector<std::unique_ptr<EagerBuf>> recv_bufs;
+
+  // Reassembly of the (single, in-order) incoming eager message.
+  RequestPtr in_req;               // matched: land in the user buffer
+  UnexpectedMsg* in_unexp = nullptr;  // unmatched: accumulate
+  std::size_t in_offset = 0;
+  std::size_t in_total = 0;
+
+  [[nodiscard]] bool connected() const { return state == State::kConnected; }
+};
+
+class Device {
+ public:
+  Device(via::Cluster& cluster, Rank rank, int size, DeviceConfig config);
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  /// MPID_Init: runs the connection manager's bootstrap (full mesh for
+  /// static models, nothing for on-demand).
+  void init();
+
+  /// MPID_End happens in two phases with a job-wide barrier in between
+  /// (as in MVICH): first every rank quiesces its own in-flight traffic,
+  /// then — once all ranks agree — connections are torn down. Without the
+  /// barrier a rank could disconnect while a peer still holds queued
+  /// credit-return packets for it.
+  void finalize_quiesce();
+  void finalize_teardown();
+
+  /// Convenience for single-device tests: quiesce + teardown back to back.
+  void finalize() {
+    finalize_quiesce();
+    finalize_teardown();
+  }
+
+  // --- Point-to-point ------------------------------------------------------
+
+  RequestPtr post_send(const void* buf, std::size_t bytes, Rank dst_world,
+                       Tag tag, ContextId ctx, SendMode mode);
+  RequestPtr post_recv(void* buf, std::size_t capacity, Rank src_world,
+                       Tag tag, ContextId ctx,
+                       const std::vector<Rank>* comm_world_ranks = nullptr);
+
+  /// One pass of MPID_DeviceCheck(): polls completion queues, handles
+  /// arrived packets, progresses connections, drains parked sends and
+  /// credit-starved out-queues. Returns true if anything advanced.
+  bool progress();
+
+  /// Runs progress under the configured wait policy until `pred` holds.
+  void wait_until(const std::function<bool()>& pred);
+
+  void wait(const RequestPtr& req);
+  bool test(const RequestPtr& req);
+
+  /// Nonblocking probe for a matching arrived envelope.
+  bool iprobe(Rank src_world, Tag tag, ContextId ctx, MsgStatus* status);
+
+  // --- Introspection -------------------------------------------------------
+
+  [[nodiscard]] Rank rank() const { return rank_; }
+  [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] const DeviceConfig& config() const { return config_; }
+  [[nodiscard]] via::Nic& nic() { return nic_; }
+  [[nodiscard]] via::Cluster& cluster() { return cluster_; }
+  /// Statistics registry; hot-path counters are folded in on access.
+  [[nodiscard]] sim::Stats& stats() {
+    stats_.set("mpi.sends", hot_.sends);
+    stats_.set("mpi.send_bytes", hot_.send_bytes);
+    stats_.set("mpi.recvs", hot_.recvs);
+    stats_.set("mpi.eager_sends", hot_.eager_sends);
+    stats_.set("mpi.rndv_sends", hot_.rndv_sends);
+    stats_.set("mpi.rndv_bytes", hot_.rndv_bytes);
+    stats_.set("mpi.packets_sent", hot_.packets_sent);
+    stats_.set("mpi.packets_received", hot_.packets_received);
+    stats_.set("mpi.self_sends", hot_.self_sends);
+    return stats_;
+  }
+  [[nodiscard]] Channel& channel(Rank peer) {
+    return *channels_.at(static_cast<std::size_t>(peer));
+  }
+  [[nodiscard]] ConnectionManager& connection_manager() { return *cm_; }
+  [[nodiscard]] MatchingEngine& matching() { return matching_; }
+
+  /// Distinct peers this process ever communicated with (parked or sent).
+  [[nodiscard]] int distinct_peers_contacted() const;
+
+  // --- Used by connection managers -----------------------------------------
+
+  /// Creates the channel's VI, registers + preposts its eager receive
+  /// buffers, and leaves it ready for a connect call. Idempotent.
+  void prepare_channel(Channel& ch);
+
+  /// Marks the channel connected and drains its park FIFO in order.
+  void channel_connected(Channel& ch);
+
+  /// Pair-unique VIA discriminator for (rank, peer).
+  [[nodiscard]] via::Discriminator pair_discriminator(Rank peer) const;
+
+  [[nodiscard]] via::CompletionQueue& send_cq() { return *send_cq_; }
+  [[nodiscard]] via::CompletionQueue& recv_cq() { return *recv_cq_; }
+
+ private:
+  // Send path.
+  void start_protocol(const RequestPtr& req);
+  void enqueue_eager(Channel& ch, const RequestPtr& req);
+  void enqueue_control(Channel& ch, PacketHeader header);
+  bool drain_outq(Channel& ch);
+  void deliver_self(const RequestPtr& req);
+
+  // Receive path.
+  bool poll_recv_cq();
+  bool poll_send_cq();
+  void handle_packet(Channel& ch, const std::byte* data, std::size_t bytes);
+  void handle_eager_first(Channel& ch, const PacketHeader& h,
+                          const std::byte* payload, std::size_t payload_bytes);
+  void handle_eager_data(Channel& ch, const std::byte* payload,
+                         std::size_t payload_bytes);
+  void handle_rts(Channel& ch, const PacketHeader& h);
+  void handle_cts(const PacketHeader& h);
+  void handle_fin(const PacketHeader& h);
+  void finish_eager_recv(Channel& ch);
+  void send_cts(Channel& ch, const RequestPtr& recv, std::size_t total_bytes,
+                std::uint64_t sender_cookie);
+  void maybe_return_credits(Channel& ch);
+  void take_credits(Channel& ch, PacketHeader& header);
+
+  // Buffers / registration.
+  EagerBuf* acquire_send_buf();
+  void release_send_buf(EagerBuf* buf);
+  via::MemoryHandle register_cached(const std::byte* addr, std::size_t bytes);
+
+  via::Cluster& cluster_;
+  via::Nic& nic_;
+  Rank rank_;
+  int size_;
+  DeviceConfig config_;
+  std::unique_ptr<ConnectionManager> cm_;
+
+  via::CompletionQueue* send_cq_ = nullptr;
+  via::CompletionQueue* recv_cq_ = nullptr;
+
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::unordered_map<via::Vi*, Channel*> vi_to_channel_;
+  MatchingEngine matching_;
+
+  std::vector<std::unique_ptr<EagerBuf>> send_pool_;
+  std::vector<EagerBuf*> free_send_bufs_;
+  std::deque<Channel*> starved_channels_;  // waiting for a send buffer
+
+  std::unordered_map<std::uint64_t, RequestPtr> rndv_senders_;
+  std::unordered_map<std::uint64_t, RequestPtr> rndv_receivers_;
+  std::uint64_t next_cookie_ = 1;
+
+  // Rendezvous RDMA descriptors in flight (returned via user_context).
+  std::vector<std::unique_ptr<via::Descriptor>> rdma_in_flight_;
+
+  // Registration cache: base address -> (handle, length).
+  std::map<const std::byte*, std::pair<via::MemoryHandle, std::size_t>>
+      reg_cache_;
+
+  // Per-packet/per-message counters kept as plain integers: the map-based
+  // registry is far too slow for the data path (millions of packets).
+  struct HotCounters {
+    std::int64_t sends = 0, send_bytes = 0, recvs = 0;
+    std::int64_t eager_sends = 0, rndv_sends = 0, rndv_bytes = 0;
+    std::int64_t packets_sent = 0, packets_received = 0, self_sends = 0;
+  };
+  HotCounters hot_;
+  sim::Stats stats_;
+  bool finalized_ = false;
+};
+
+/// Strategy interface for connection management (paper sections 3-4).
+class ConnectionManager {
+ public:
+  explicit ConnectionManager(Device& device) : device_(device) {}
+  virtual ~ConnectionManager() = default;
+
+  /// Runs inside MPID_Init.
+  virtual void init() = 0;
+
+  /// Called when a send or a named-source receive first touches `peer`.
+  /// Must put the channel in at least kConnecting state.
+  virtual void ensure_connection(Rank peer) = 0;
+
+  /// Called when a receive is posted with MPI_ANY_SOURCE: the on-demand
+  /// manager connects to every process in the communicator (section 3.5).
+  virtual void on_any_source(const std::vector<Rank>& comm_world_ranks) = 0;
+
+  /// Folded into every MPID_DeviceCheck() pass. Returns true if any
+  /// connection state advanced.
+  virtual bool progress() = 0;
+
+  [[nodiscard]] virtual ConnectionModel model() const = 0;
+
+  static std::unique_ptr<ConnectionManager> create(Device& device,
+                                                   ConnectionModel model);
+
+ protected:
+  Device& device_;
+};
+
+}  // namespace odmpi::mpi

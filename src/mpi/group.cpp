@@ -1,0 +1,26 @@
+#include "src/mpi/group.h"
+
+#include <numeric>
+
+namespace odmpi::mpi {
+
+Group::Group(std::vector<Rank> world_ranks)
+    : world_ranks_(std::move(world_ranks)) {
+  index_.reserve(world_ranks_.size());
+  for (int i = 0; i < size(); ++i) {
+    index_.emplace(world_ranks_[static_cast<std::size_t>(i)], i);
+  }
+}
+
+Group Group::world(int n) {
+  std::vector<Rank> ranks(static_cast<std::size_t>(n));
+  std::iota(ranks.begin(), ranks.end(), 0);
+  return Group(std::move(ranks));
+}
+
+int Group::rank_of_world(Rank world) const {
+  auto it = index_.find(world);
+  return it == index_.end() ? -1 : it->second;
+}
+
+}  // namespace odmpi::mpi

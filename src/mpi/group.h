@@ -1,0 +1,46 @@
+// Process groups: an ordered set of world ranks. Communicators are a
+// group plus a context id.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mpi/types.h"
+
+namespace odmpi::mpi {
+
+class Group {
+ public:
+  Group() = default;
+  explicit Group(std::vector<Rank> world_ranks);
+
+  /// The world group {0, 1, ..., n-1}.
+  static Group world(int n);
+
+  [[nodiscard]] int size() const {
+    return static_cast<int>(world_ranks_.size());
+  }
+
+  /// Translates a group-relative rank to a world rank.
+  [[nodiscard]] Rank world_rank(int group_rank) const {
+    return world_ranks_.at(static_cast<std::size_t>(group_rank));
+  }
+
+  /// Translates a world rank to its group-relative rank (-1 if absent).
+  [[nodiscard]] int rank_of_world(Rank world) const;
+
+  [[nodiscard]] bool contains(Rank world) const {
+    return rank_of_world(world) >= 0;
+  }
+
+  [[nodiscard]] const std::vector<Rank>& world_ranks() const {
+    return world_ranks_;
+  }
+
+ private:
+  std::vector<Rank> world_ranks_;
+  std::unordered_map<Rank, int> index_;
+};
+
+}  // namespace odmpi::mpi

@@ -1,0 +1,62 @@
+#include "src/mpi/matching.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace odmpi::mpi {
+
+RequestPtr MatchingEngine::match_arrival(ContextId ctx, Rank src, Tag tag) {
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    RequestPtr& req = *it;
+    if (matches(req->context, req->src, req->tag, ctx, src, tag)) {
+      RequestPtr found = std::move(req);
+      posted_.erase(it);
+      return found;
+    }
+  }
+  return nullptr;
+}
+
+UnexpectedMsg* MatchingEngine::match_posted(const RequestPtr& recv) {
+  for (auto& msg : unexpected_) {
+    if (msg->claimed != nullptr) continue;
+    if (matches(recv->context, recv->src, recv->tag, msg->context, msg->src,
+                msg->tag)) {
+      return msg.get();
+    }
+  }
+  return nullptr;
+}
+
+UnexpectedMsg* MatchingEngine::peek_unexpected(ContextId ctx, Rank src,
+                                               Tag tag) {
+  for (auto& msg : unexpected_) {
+    if (msg->claimed != nullptr) continue;
+    if (matches(ctx, src, tag, msg->context, msg->src, msg->tag)) {
+      return msg.get();
+    }
+  }
+  return nullptr;
+}
+
+UnexpectedMsg* MatchingEngine::add_unexpected(
+    std::unique_ptr<UnexpectedMsg> msg) {
+  unexpected_.push_back(std::move(msg));
+  return unexpected_.back().get();
+}
+
+void MatchingEngine::remove_unexpected(UnexpectedMsg* msg) {
+  auto it = std::find_if(unexpected_.begin(), unexpected_.end(),
+                         [msg](const auto& m) { return m.get() == msg; });
+  assert(it != unexpected_.end());
+  unexpected_.erase(it);
+}
+
+bool MatchingEngine::cancel_posted(const RequestPtr& recv) {
+  auto it = std::find(posted_.begin(), posted_.end(), recv);
+  if (it == posted_.end()) return false;
+  posted_.erase(it);
+  return true;
+}
+
+}  // namespace odmpi::mpi

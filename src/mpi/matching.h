@@ -1,0 +1,80 @@
+// MPI message matching: the posted-receive queue and the unexpected-message
+// queue, with (context, source, tag) matching including MPI_ANY_SOURCE /
+// MPI_ANY_TAG wildcards.
+//
+// Non-overtaking (MPI 1.2 section 3.5) falls out of scanning both queues
+// strictly in arrival/post order. An unexpected entry may be *claimed* by a
+// receive before all of its eager segments have arrived; the remaining
+// segments then land directly in the user buffer.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "src/mpi/request.h"
+#include "src/mpi/types.h"
+
+namespace odmpi::mpi {
+
+/// A message that arrived (or whose rendezvous RTS arrived) before a
+/// matching receive was posted.
+struct UnexpectedMsg {
+  Rank src = -1;  // world rank
+  Tag tag = 0;
+  ContextId context = 0;
+  std::size_t total_bytes = 0;
+  std::size_t arrived_bytes = 0;
+  bool is_rendezvous = false;
+  std::uint64_t sender_cookie = 0;     // RTS cookie (rendezvous only)
+  std::vector<std::byte> payload;      // accumulated eager data
+  RequestPtr claimed;                  // receive bound to this entry
+  RequestState* self_send = nullptr;   // pending self-ssend to complete
+
+  [[nodiscard]] bool complete() const {
+    return is_rendezvous || arrived_bytes >= total_bytes;
+  }
+};
+
+class MatchingEngine {
+ public:
+  /// Does (context, src, tag) of a posted receive match a message
+  /// envelope? `req_src`/`req_tag` may be wildcards.
+  static bool matches(ContextId req_ctx, Rank req_src, Tag req_tag,
+                      ContextId msg_ctx, Rank msg_src, Tag msg_tag) {
+    return req_ctx == msg_ctx &&
+           (req_src == kAnySource || req_src == msg_src) &&
+           (req_tag == kAnyTag || req_tag == msg_tag);
+  }
+
+  /// Arrival side: finds and removes the oldest posted receive matching
+  /// the envelope, or null if none is posted.
+  RequestPtr match_arrival(ContextId ctx, Rank src, Tag tag);
+
+  /// Post side: finds the oldest unclaimed unexpected message matching
+  /// the receive, or null. The entry stays in the queue (claimed) until
+  /// the device disposes of it with remove_unexpected().
+  UnexpectedMsg* match_posted(const RequestPtr& recv);
+
+  /// Probe: oldest unclaimed unexpected entry matching (ctx, src, tag).
+  UnexpectedMsg* peek_unexpected(ContextId ctx, Rank src, Tag tag);
+
+  void add_posted(RequestPtr recv) { posted_.push_back(std::move(recv)); }
+  UnexpectedMsg* add_unexpected(std::unique_ptr<UnexpectedMsg> msg);
+  void remove_unexpected(UnexpectedMsg* msg);
+
+  /// Cancels a posted receive (used by tests); true if it was queued.
+  bool cancel_posted(const RequestPtr& recv);
+
+  [[nodiscard]] std::size_t posted_count() const { return posted_.size(); }
+  [[nodiscard]] std::size_t unexpected_count() const {
+    return unexpected_.size();
+  }
+
+ private:
+  std::deque<RequestPtr> posted_;
+  std::deque<std::unique_ptr<UnexpectedMsg>> unexpected_;
+};
+
+}  // namespace odmpi::mpi

@@ -1,0 +1,96 @@
+#include "src/mpi/op.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace odmpi::mpi {
+
+namespace {
+
+template <typename T>
+void apply_arith(Op op, T* inout, const T* in, std::size_t count) {
+  switch (op) {
+    case Op::kSum:
+      for (std::size_t i = 0; i < count; ++i) inout[i] += in[i];
+      return;
+    case Op::kProd:
+      for (std::size_t i = 0; i < count; ++i) inout[i] *= in[i];
+      return;
+    case Op::kMax:
+      for (std::size_t i = 0; i < count; ++i)
+        inout[i] = std::max(inout[i], in[i]);
+      return;
+    case Op::kMin:
+      for (std::size_t i = 0; i < count; ++i)
+        inout[i] = std::min(inout[i], in[i]);
+      return;
+    default:
+      break;
+  }
+  if constexpr (std::is_integral_v<T>) {
+    switch (op) {
+      case Op::kLand:
+        for (std::size_t i = 0; i < count; ++i)
+          inout[i] = (inout[i] != 0 && in[i] != 0) ? 1 : 0;
+        return;
+      case Op::kLor:
+        for (std::size_t i = 0; i < count; ++i)
+          inout[i] = (inout[i] != 0 || in[i] != 0) ? 1 : 0;
+        return;
+      case Op::kBand:
+        for (std::size_t i = 0; i < count; ++i) inout[i] &= in[i];
+        return;
+      case Op::kBor:
+        for (std::size_t i = 0; i < count; ++i) inout[i] |= in[i];
+        return;
+      default:
+        break;
+    }
+  }
+  assert(false && "op not defined for this datatype");
+}
+
+}  // namespace
+
+void apply_op(Op op, Datatype datatype, void* inout, const void* in,
+              std::size_t count) {
+  switch (datatype.kind) {
+    case TypeKind::kByte:
+      apply_arith(op, static_cast<std::uint8_t*>(inout),
+                  static_cast<const std::uint8_t*>(in), count);
+      return;
+    case TypeKind::kInt32:
+      apply_arith(op, static_cast<std::int32_t*>(inout),
+                  static_cast<const std::int32_t*>(in), count);
+      return;
+    case TypeKind::kInt64:
+      apply_arith(op, static_cast<std::int64_t*>(inout),
+                  static_cast<const std::int64_t*>(in), count);
+      return;
+    case TypeKind::kFloat:
+      apply_arith(op, static_cast<float*>(inout),
+                  static_cast<const float*>(in), count);
+      return;
+    case TypeKind::kDouble:
+      apply_arith(op, static_cast<double*>(inout),
+                  static_cast<const double*>(in), count);
+      return;
+  }
+  assert(false && "unknown datatype");
+}
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::kSum: return "sum";
+    case Op::kProd: return "prod";
+    case Op::kMax: return "max";
+    case Op::kMin: return "min";
+    case Op::kLand: return "land";
+    case Op::kLor: return "lor";
+    case Op::kBand: return "band";
+    case Op::kBor: return "bor";
+  }
+  return "unknown";
+}
+
+}  // namespace odmpi::mpi

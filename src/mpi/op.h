@@ -1,0 +1,29 @@
+// Reduction operations (MPI_SUM, MPI_MAX, ...) with element-wise apply.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/mpi/datatype.h"
+
+namespace odmpi::mpi {
+
+enum class Op : std::uint8_t {
+  kSum,
+  kProd,
+  kMax,
+  kMin,
+  kLand,  // logical and
+  kLor,   // logical or
+  kBand,  // bitwise and
+  kBor,   // bitwise or
+};
+
+/// inout[i] = inout[i] OP in[i] for `count` elements of `datatype`.
+/// Logical/bitwise ops are only defined for integer kinds (asserted).
+void apply_op(Op op, Datatype datatype, void* inout, const void* in,
+              std::size_t count);
+
+[[nodiscard]] const char* to_string(Op op);
+
+}  // namespace odmpi::mpi

@@ -1,0 +1,53 @@
+// Wire packet format for the MPI device protocol over VIA.
+//
+// Every eager buffer starts with a fixed 64-byte header. Data above the
+// eager threshold travels by rendezvous: RTS -> CTS (carrying the
+// registered target buffer) -> RDMA write -> FIN.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "src/mpi/types.h"
+
+namespace odmpi::mpi {
+
+enum class PacketType : std::uint8_t {
+  kEagerFirst = 1,  // first (or only) segment: carries the full envelope
+  kEagerData,       // continuation segment of a multi-packet eager message
+  kRts,             // rendezvous request-to-send
+  kCts,             // clear-to-send: target address + memory handle
+  kFin,             // rendezvous completion notification
+  kCredit,          // explicit flow-control credit return
+};
+
+struct PacketHeader {
+  PacketType type = PacketType::kEagerFirst;
+  std::uint8_t credits = 0;  // piggybacked credit return (every packet)
+  std::uint16_t reserved = 0;
+  std::int32_t src_rank = -1;  // world rank of the sender
+  std::int32_t tag = 0;
+  std::int32_t context = 0;
+  std::uint64_t total_bytes = 0;    // full message length (first/RTS)
+  std::uint64_t cookie = 0;         // sender-side rendezvous id
+  std::uint64_t recv_cookie = 0;    // receiver-side rendezvous id (CTS/FIN)
+  std::uint64_t remote_addr = 0;    // CTS: target buffer address
+  std::uint32_t remote_handle = 0;  // CTS: target memory handle
+  std::uint32_t pad = 0;
+};
+
+inline constexpr std::size_t kHeaderBytes = 64;
+static_assert(sizeof(PacketHeader) <= kHeaderBytes,
+              "header must fit the reserved prefix of an eager buffer");
+
+inline void write_header(std::byte* buf, const PacketHeader& h) {
+  std::memcpy(buf, &h, sizeof(PacketHeader));
+}
+
+inline PacketHeader read_header(const std::byte* buf) {
+  PacketHeader h;
+  std::memcpy(&h, buf, sizeof(PacketHeader));
+  return h;
+}
+
+}  // namespace odmpi::mpi

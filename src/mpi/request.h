@@ -1,0 +1,97 @@
+// Nonblocking communication requests. A RequestState mirrors an MVICH
+// MPIR request: envelope, protocol progress flags, and completion status.
+// The public `Request` is a cheap shared handle; `wait()`/`test()`
+// delegate to the owning device's progress engine.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/mpi/types.h"
+
+namespace odmpi::mpi {
+
+class Device;
+
+enum class ReqKind : std::uint8_t { kSend, kRecv };
+
+struct RequestState {
+  ReqKind kind = ReqKind::kSend;
+  bool done = false;
+
+  // Envelope (ranks are world ranks inside the device layer).
+  ContextId context = 0;
+  Tag tag = 0;
+
+  // --- Send side ---
+  Rank dst = -1;
+  const std::byte* send_buf = nullptr;
+  std::size_t bytes = 0;
+  SendMode mode = SendMode::kStandard;
+  std::vector<std::byte> buffered_copy;  // owns data for buffered mode
+  std::size_t bytes_enqueued = 0;        // handed to the channel out-queue
+  std::size_t bytes_copied = 0;          // copied into wire buffers
+  bool rts_sent = false;
+  bool cts_received = false;
+  bool fin_sent = false;
+  std::uint64_t cookie = 0;  // rendezvous identity at the sender
+
+  // --- Receive side ---
+  Rank src = kAnySource;  // world rank or kAnySource
+  std::byte* recv_buf = nullptr;
+  std::size_t capacity = 0;
+  std::size_t bytes_received = 0;
+  bool truncated = false;  // arrived message exceeded capacity
+  MsgStatus status;        // source is a world rank; Comm translates
+
+  [[nodiscard]] const std::byte* payload() const {
+    return mode == SendMode::kBuffered ? buffered_copy.data() : send_buf;
+  }
+};
+
+using RequestPtr = std::shared_ptr<RequestState>;
+
+/// Public handle returned by isend/irecv. Null-state handles (from
+/// sends/recvs to kProcNull) are complete and waitable.
+class Request {
+ public:
+  Request() = default;
+  Request(RequestPtr state, Device* device)
+      : state_(std::move(state)), device_(device) {}
+
+  /// Blocks (per the device wait policy) until the operation completes;
+  /// returns the receive status (meaningful for receives).
+  MsgStatus wait();
+
+  /// Progresses once; true if complete.
+  bool test();
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] bool done() const {
+    return state_ == nullptr || state_->done;
+  }
+  [[nodiscard]] const RequestPtr& state() const { return state_; }
+  [[nodiscard]] Device* device() const { return device_; }
+
+ private:
+  RequestPtr state_;
+  Device* device_ = nullptr;
+};
+
+/// MPI_Waitall / MPI_Waitany / MPI_Waitsome / MPI_Testall equivalents.
+void wait_all(std::vector<Request>& requests);
+std::size_t wait_any(std::vector<Request>& requests);
+
+/// Blocks until at least one request completes; returns the indices of
+/// every completed request (like MPI_Waitsome's outcount+indices).
+std::vector<std::size_t> wait_some(std::vector<Request>& requests);
+
+/// True if every request is complete (progresses once, like MPI_Testall).
+bool test_all(std::vector<Request>& requests);
+
+/// Index of a completed request after one progress pass, or npos.
+inline constexpr std::size_t kNoRequest = static_cast<std::size_t>(-1);
+std::size_t test_any(std::vector<Request>& requests);
+
+}  // namespace odmpi::mpi

@@ -1,0 +1,134 @@
+#include "src/mpi/runtime.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace odmpi::mpi {
+
+World::World(int nranks, JobOptions options)
+    : nranks_(nranks),
+      options_(std::move(options)),
+      cluster_(engine_, nranks, options_.profile),
+      reports_(static_cast<std::size_t>(nranks)) {
+  assert(nranks >= 1);
+  contexts_.resize(static_cast<std::size_t>(nranks));
+  devices_.resize(static_cast<std::size_t>(nranks));
+}
+
+World::~World() = default;
+
+void World::oob_barrier() {
+  auto* p = sim::Process::current();
+  assert(p != nullptr);
+  // Sense-reversing barrier: a process may carry a latched wakeup signal
+  // from earlier NIC activity (Process::block consumes it and returns
+  // immediately), so waiting must re-check the generation in a loop
+  // rather than trust a single block().
+  const std::uint64_t my_generation = barrier_generation_;
+  ++barrier_waiting_;
+  if (barrier_waiting_ == nranks_) {
+    barrier_waiting_ = 0;
+    ++barrier_generation_;
+    for (sim::Process* blocked : barrier_blocked_) blocked->wakeup();
+    barrier_blocked_.clear();
+    return;
+  }
+  barrier_blocked_.push_back(p);
+  while (barrier_generation_ == my_generation) {
+    p->block();
+  }
+}
+
+void World::rank_main(int rank, const std::function<void(Comm&)>& fn) {
+  auto* proc = sim::Process::current();
+  RankReport& report = reports_[static_cast<std::size_t>(rank)];
+
+  // ---- MPI_Init ----
+  const sim::SimTime t_start = proc->now();
+  // Out-of-band bootstrap: process-manager launch + address exchange.
+  const auto log_n = static_cast<std::int64_t>(
+      std::ceil(std::log2(std::max(2, nranks_))));
+  proc->advance(options_.bootstrap_base +
+                log_n * options_.bootstrap_per_rank_log);
+  oob_barrier();
+
+  auto device = std::make_unique<Device>(cluster_, rank, nranks_,
+                                         options_.device);
+  auto ctx = std::make_unique<RankContext>();
+  ctx->device = device.get();
+  devices_[static_cast<std::size_t>(rank)] = std::move(device);
+  contexts_[static_cast<std::size_t>(rank)] = std::move(ctx);
+  Device& dev = *devices_[static_cast<std::size_t>(rank)];
+
+  dev.init();
+  report.init_time = proc->now() - t_start;
+
+  // ---- User code ----
+  Comm world(contexts_[static_cast<std::size_t>(rank)].get(),
+             Group::world(nranks_), /*context=*/0);
+  const sim::SimTime t_body = proc->now();
+  fn(world);
+  report.body_time = proc->now() - t_body;
+
+  // ---- MPI_Finalize ----
+  dev.finalize_quiesce();
+  oob_barrier();  // nobody disconnects until everyone has quiesced
+  dev.finalize_teardown();
+  oob_barrier();
+  report.total_time = proc->now() - t_start;
+  report.finished = true;
+  report.vis_created = cluster_.nic(rank).vis_ever_created();
+  report.connections = static_cast<int>(
+      cluster_.nic(rank).connections().connections_established());
+  report.pinned_bytes_peak = cluster_.nic(rank).memory().peak_pinned_bytes();
+  report.device_stats = dev.stats();
+  report.device_stats.merge(cluster_.nic(rank).stats());
+}
+
+bool World::run(const std::function<void(Comm&)>& fn) {
+  assert(!ran_ && "World::run is one-shot; build a fresh World per job");
+  ran_ = true;
+  processes_.reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    processes_.push_back(std::make_unique<sim::Process>(
+        engine_, r, [this, r, &fn] { rank_main(r, fn); },
+        options_.stack_bytes));
+    processes_.back()->start();
+  }
+  engine_.run_until(options_.deadline);
+  return std::all_of(reports_.begin(), reports_.end(),
+                     [](const RankReport& r) { return r.finished; });
+}
+
+sim::SimTime World::completion_time() const {
+  sim::SimTime t = 0;
+  for (const auto& p : processes_) t = std::max(t, p->now());
+  return t;
+}
+
+double World::mean_init_us() const {
+  double sum = 0;
+  for (const RankReport& r : reports_) sum += sim::to_us(r.init_time);
+  return sum / nranks_;
+}
+
+double World::mean_vis_per_process() const {
+  double sum = 0;
+  for (const RankReport& r : reports_) sum += r.vis_created;
+  return sum / nranks_;
+}
+
+sim::Stats World::aggregate_stats() {
+  sim::Stats total = cluster_.aggregate_stats();
+  for (const RankReport& r : reports_) total.merge(r.device_stats);
+  return total;
+}
+
+bool run_world(int nranks, const JobOptions& options,
+               const std::function<void(Comm&)>& fn) {
+  World world(nranks, options);
+  return world.run(fn);
+}
+
+}  // namespace odmpi::mpi

@@ -1,0 +1,109 @@
+// The job launcher: builds a simulated cluster, spawns one process fiber
+// per MPI rank, runs MPI_Init / user code / MPI_Finalize, and collects the
+// per-rank reports (init time, run time, VIs created, pinned memory) the
+// paper's tables and figures are made of.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/mpi/comm.h"
+#include "src/mpi/device.h"
+#include "src/sim/engine.h"
+#include "src/sim/process.h"
+#include "src/sim/stats.h"
+#include "src/via/provider.h"
+
+namespace odmpi::mpi {
+
+struct JobOptions {
+  via::DeviceProfile profile = via::DeviceProfile::clan();
+  DeviceConfig device;
+
+  /// Virtual-time budget; a run that does not finish by then is reported
+  /// as deadlocked (false from World::run).
+  sim::SimTime deadline = sim::seconds(36000);
+
+  /// Out-of-band (process-manager / sockets) bootstrap cost charged to
+  /// every rank at the head of MPI_Init: address exchange and the like.
+  /// This is the part of "MPI_Init has communication" that does not go
+  /// through VIA (paper section 5.5 note).
+  sim::SimTime bootstrap_base = sim::microseconds(250);
+  sim::SimTime bootstrap_per_rank_log = sim::microseconds(60);
+
+  std::size_t stack_bytes = 1 << 20;
+  std::uint64_t seed = 0x0D0C2002;  // reproducible workloads
+};
+
+struct RankReport {
+  bool finished = false;
+  sim::SimTime init_time = 0;      // MPI_Init duration (Figure 8)
+  sim::SimTime body_time = 0;      // init end -> user function return
+  sim::SimTime total_time = 0;     // start -> finalize complete
+  int vis_created = 0;             // Table 2's per-process VI count
+  int connections = 0;
+  std::int64_t pinned_bytes_peak = 0;  // NIC high-water pinned memory
+  sim::Stats device_stats;
+};
+
+class World {
+ public:
+  explicit World(int nranks, JobOptions options = {});
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Runs `fn(world_comm)` on every rank. Returns true when every rank
+  /// reached the end of MPI_Finalize within the virtual deadline; false
+  /// signals a deadlock or timeout (reports are still populated with
+  /// whatever completed).
+  bool run(const std::function<void(Comm&)>& fn);
+
+  [[nodiscard]] int size() const { return nranks_; }
+  [[nodiscard]] const JobOptions& options() const { return options_; }
+  [[nodiscard]] const RankReport& report(int rank) const {
+    return reports_.at(static_cast<std::size_t>(rank));
+  }
+
+  /// Virtual time when the last rank finished its user function.
+  [[nodiscard]] sim::SimTime completion_time() const;
+
+  /// Mean MPI_Init duration across ranks (Figure 8's metric).
+  [[nodiscard]] double mean_init_us() const;
+
+  /// Mean VIs created per process (Table 2's metric).
+  [[nodiscard]] double mean_vis_per_process() const;
+
+  /// Aggregate device+NIC statistics across all ranks.
+  [[nodiscard]] sim::Stats aggregate_stats();
+
+  /// Out-of-band barrier over the management network: used by MPI_Init /
+  /// MPI_Finalize bookkeeping, never by application traffic.
+  void oob_barrier();
+
+ private:
+  void rank_main(int rank, const std::function<void(Comm&)>& fn);
+
+  int nranks_;
+  JobOptions options_;
+  sim::Engine engine_;
+  via::Cluster cluster_;
+  std::vector<std::unique_ptr<sim::Process>> processes_;
+  std::vector<std::unique_ptr<RankContext>> contexts_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<RankReport> reports_;
+
+  // oob barrier state (sense-reversing; see the .cpp)
+  int barrier_waiting_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+  std::vector<sim::Process*> barrier_blocked_;
+  bool ran_ = false;
+};
+
+/// One-call convenience: run `fn` on `nranks` ranks with `options`.
+bool run_world(int nranks, const JobOptions& options,
+               const std::function<void(Comm&)>& fn);
+
+}  // namespace odmpi::mpi

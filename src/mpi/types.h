@@ -1,0 +1,70 @@
+// Core MPI-subset types shared across the library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace odmpi::mpi {
+
+using Rank = int;
+using Tag = int;
+using ContextId = int;
+
+/// Wildcards and sentinels (MPI_ANY_SOURCE / MPI_ANY_TAG / MPI_PROC_NULL).
+inline constexpr Rank kAnySource = -1;
+inline constexpr Tag kAnyTag = -1;
+inline constexpr Rank kProcNull = -2;
+
+/// MPI_Status equivalent: filled in on receive completion.
+struct MsgStatus {
+  Rank source = kAnySource;  // communicator-relative rank of the sender
+  Tag tag = kAnyTag;
+  std::size_t count_bytes = 0;
+};
+
+/// MPI send modes (standard/synchronous/buffered/ready), section 3.6 of
+/// the paper: only buffered is local; the others may depend on the
+/// receiver — and under on-demand connections, standard-mode completion
+/// additionally depends on connection establishment.
+enum class SendMode : std::uint8_t {
+  kStandard,
+  kSynchronous,
+  kBuffered,
+  kReady,
+};
+
+/// Connection-management strategy (the paper's experimental axis).
+enum class ConnectionModel : std::uint8_t {
+  kStaticClientServer,  // fully connected in MPI_Init, serialized C/S
+  kStaticPeerToPeer,    // fully connected in MPI_Init, parallel P2P
+  kOnDemand,            // the paper's contribution
+};
+
+[[nodiscard]] inline const char* to_string(ConnectionModel m) {
+  switch (m) {
+    case ConnectionModel::kStaticClientServer: return "static-cs";
+    case ConnectionModel::kStaticPeerToPeer: return "static-p2p";
+    case ConnectionModel::kOnDemand: return "on-demand";
+  }
+  return "unknown";
+}
+
+/// Completion-wait policy (paper section 5.3): MVICH's default spins
+/// `spin_count` times then falls through to the kernel wait ("spinwait");
+/// raising the spin count to effectively infinity gives "polling".
+struct WaitPolicy {
+  static constexpr int kInfiniteSpin = -1;
+
+  int spin_count = 100;
+
+  static WaitPolicy polling() { return WaitPolicy{kInfiniteSpin}; }
+  static WaitPolicy spinwait(int spins = 100) { return WaitPolicy{spins}; }
+
+  [[nodiscard]] bool is_polling() const { return spin_count == kInfiniteSpin; }
+};
+
+[[nodiscard]] inline const char* to_string(const WaitPolicy& p) {
+  return p.is_polling() ? "polling" : "spinwait";
+}
+
+}  // namespace odmpi::mpi

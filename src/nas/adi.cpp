@@ -1,0 +1,247 @@
+#include "src/nas/adi.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "src/sim/rng.h"
+
+namespace odmpi::nas {
+
+namespace {
+
+constexpr int kM = 8;      // cell edge (points per cell per dim)
+constexpr int kComp = 5;   // solution components per point (NPB's 5)
+constexpr mpi::Tag kTagFace = 61;
+constexpr mpi::Tag kTagSweep = 62;
+
+struct Multipartition {
+  int q = 0, r = 0, c = 0;
+
+  [[nodiscard]] int rank_of(int row, int col) const {
+    return ((row % q + q) % q) * q + ((col % q + q) % q);
+  }
+  // Fixed partners (see header).
+  [[nodiscard]] int xp() const { return rank_of(r - 1, c - 1); }
+  [[nodiscard]] int xm() const { return rank_of(r + 1, c + 1); }
+  [[nodiscard]] int yp() const { return rank_of(r + 1, c); }
+  [[nodiscard]] int ym() const { return rank_of(r - 1, c); }
+  [[nodiscard]] int zp() const { return rank_of(r, c + 1); }
+  [[nodiscard]] int zm() const { return rank_of(r, c - 1); }
+};
+
+struct Cell {
+  std::vector<double> u;  // kM^3 * kComp
+
+  static std::size_t idx(int x, int y, int z, int comp) {
+    return ((static_cast<std::size_t>(x) * kM + static_cast<std::size_t>(y)) *
+                kM +
+            static_cast<std::size_t>(z)) *
+               kComp +
+           static_cast<std::size_t>(comp);
+  }
+};
+
+// Plane of values entering/leaving a cell along one dimension.
+using Plane = std::vector<double>;  // kM * kM * kComp
+
+void extract_plane(const Cell& cell, int dim, int layer, Plane& out) {
+  out.resize(static_cast<std::size_t>(kM) * kM * kComp);
+  std::size_t k = 0;
+  for (int a = 0; a < kM; ++a)
+    for (int b = 0; b < kM; ++b)
+      for (int comp = 0; comp < kComp; ++comp) {
+        const int x = dim == 0 ? layer : a;
+        const int y = dim == 1 ? layer : (dim == 0 ? a : b);
+        const int z = dim == 2 ? layer : b;
+        out[k++] = cell.u[Cell::idx(x, y, z, comp)];
+      }
+}
+
+void blend_plane(Cell& cell, int dim, int layer, const Plane& in) {
+  std::size_t k = 0;
+  for (int a = 0; a < kM; ++a)
+    for (int b = 0; b < kM; ++b)
+      for (int comp = 0; comp < kComp; ++comp) {
+        const int x = dim == 0 ? layer : a;
+        const int y = dim == 1 ? layer : (dim == 0 ? a : b);
+        const int z = dim == 2 ? layer : b;
+        auto& v = cell.u[Cell::idx(x, y, z, comp)];
+        v = 0.5 * (v + in[k++]);
+      }
+}
+
+/// Forward (dir=+1) or backward (dir=-1) line recurrence along `dim`,
+/// seeded by the incoming boundary plane; returns the exit plane.
+void sweep_cell(Cell& cell, int dim, int dir, const Plane& boundary,
+                Plane& exit) {
+  exit.resize(static_cast<std::size_t>(kM) * kM * kComp);
+  std::size_t k = 0;
+  for (int a = 0; a < kM; ++a)
+    for (int b = 0; b < kM; ++b)
+      for (int comp = 0; comp < kComp; ++comp) {
+        double prev = boundary.empty() ? 0.25 : boundary[k];
+        for (int s = 0; s < kM; ++s) {
+          const int i = dir > 0 ? s : kM - 1 - s;
+          const int x = dim == 0 ? i : a;
+          const int y = dim == 1 ? i : (dim == 0 ? a : b);
+          const int z = dim == 2 ? i : b;
+          auto& v = cell.u[Cell::idx(x, y, z, comp)];
+          v = 0.6 * v + 0.4 * prev;  // convex: stays in [0, 1]
+          prev = v;
+        }
+        exit[k++] = prev;
+      }
+}
+
+}  // namespace
+
+KernelResult run_adi(mpi::Comm& comm, Class cls, const AdiConfig& cfg) {
+  const int p = comm.size();
+  const int q = static_cast<int>(std::lround(std::sqrt(p)));
+  assert(q * q == p && "SP/BT require a square process count");
+
+  Multipartition mp;
+  mp.q = q;
+  mp.r = comm.rank() / q;
+  mp.c = comm.rank() % q;
+
+  std::vector<Cell> cells(static_cast<std::size_t>(q));
+  sim::Rng rng(0x5350, static_cast<std::uint64_t>(comm.rank()));
+  for (Cell& cell : cells) {
+    cell.u.resize(static_cast<std::size_t>(kM) * kM * kM * kComp);
+    for (auto& v : cell.u) v = rng.next_double();
+  }
+
+  const int steps = iterations(cfg.name, cls);
+  const double budget = compute_budget(cfg.name, cls);
+  const std::size_t plane_doubles =
+      static_cast<std::size_t>(kM) * kM * kComp *
+      static_cast<std::size_t>(cfg.boundary_factor);
+
+  comm.barrier();
+  const double t0 = comm.wtime();
+
+  Plane plane, incoming, exit_plane;
+  std::vector<double> face_out, face_in;
+  double checksum = 0;
+  bool verified = true;
+
+  for (int step = 0; step < steps; ++step) {
+    // ---- copy_faces: aggregated ghost exchange in all six directions.
+    struct Dir {
+      int dim, layer_out, layer_in, to, from;
+    };
+    const Dir dirs[6] = {
+        {0, kM - 1, 0, mp.xp(), mp.xm()}, {0, 0, kM - 1, mp.xm(), mp.xp()},
+        {1, kM - 1, 0, mp.yp(), mp.ym()}, {1, 0, kM - 1, mp.ym(), mp.yp()},
+        {2, kM - 1, 0, mp.zp(), mp.zm()}, {2, 0, kM - 1, mp.zm(), mp.zp()},
+    };
+    for (const Dir& d : dirs) {
+      face_out.clear();
+      for (const Cell& cell : cells) {
+        extract_plane(cell, d.dim, d.layer_out, plane);
+        face_out.insert(face_out.end(), plane.begin(), plane.end());
+      }
+      face_in.resize(face_out.size());
+      comm.sendrecv(face_out.data(), static_cast<int>(face_out.size()),
+                    mpi::kDouble, d.to, kTagFace, face_in.data(),
+                    static_cast<int>(face_in.size()), mpi::kDouble, d.from,
+                    kTagFace);
+      std::size_t off = 0;
+      const std::size_t per_cell = plane.size();
+      for (Cell& cell : cells) {
+        plane.assign(face_in.begin() + static_cast<std::ptrdiff_t>(off),
+                     face_in.begin() + static_cast<std::ptrdiff_t>(off + per_cell));
+        blend_plane(cell, d.dim, d.layer_in, plane);
+        off += per_cell;
+      }
+    }
+
+    // ---- pipelined x / y / z sweeps, forward then backward.
+    for (int dim = 0; dim < 3; ++dim) {
+      int succ, pred;
+      if (dim == 0) {
+        succ = mp.xp();
+        pred = mp.xm();
+      } else if (dim == 1) {
+        succ = mp.yp();
+        pred = mp.ym();
+      } else {
+        succ = mp.zp();
+        pred = mp.zm();
+      }
+      // Which of my cells is active at stage s of this dimension's sweep?
+      const auto cell_at_stage = [&](int s) -> Cell& {
+        int g;
+        if (dim == 0) {
+          g = s;
+        } else if (dim == 1) {
+          g = ((s - mp.r) % q + q) % q;
+        } else {
+          g = ((s - mp.c) % q + q) % q;
+        }
+        return cells[static_cast<std::size_t>(g)];
+      };
+      for (int dir : {+1, -1}) {
+        const int to = dir > 0 ? succ : pred;
+        const int from = dir > 0 ? pred : succ;
+        // Boundary hand-offs use nonblocking sends with per-stage buffers
+        // (as NPB does): a blocking rendezvous send here would deadlock —
+        // at each stage every process sends along a cyclic successor
+        // relation while its receiver is itself blocked sending.
+        std::vector<mpi::Request> pending;
+        std::vector<Plane> send_bufs(static_cast<std::size_t>(q));
+        for (int stage = 0; stage < q; ++stage) {
+          const int s = dir > 0 ? stage : q - 1 - stage;
+          incoming.clear();
+          if (stage > 0) {
+            incoming.resize(plane_doubles);
+            comm.recv(incoming.data(), static_cast<int>(plane_doubles),
+                      mpi::kDouble, from, kTagSweep);
+            incoming.resize(static_cast<std::size_t>(kM) * kM * kComp);
+          }
+          sweep_cell(cell_at_stage(s), dim, dir, incoming, exit_plane);
+          if (stage < q - 1) {
+            Plane& buf = send_bufs[static_cast<std::size_t>(stage)];
+            buf = exit_plane;
+            buf.resize(plane_doubles, 0.0);
+            pending.push_back(comm.isend(buf.data(),
+                                         static_cast<int>(plane_doubles),
+                                         mpi::kDouble, to, kTagSweep));
+          }
+        }
+        mpi::wait_all(pending);
+      }
+    }
+
+    // Periodic residual norm (NPB checks rhs norms along the way).
+    if (step % 20 == 19 || step == steps - 1) {
+      double local = 0;
+      for (const Cell& cell : cells)
+        for (double v : cell.u) {
+          local += v;
+          if (v < 0.0 || v > 1.0) verified = false;
+        }
+      comm.allreduce(&local, &checksum, 1, mpi::kDouble, mpi::Op::kSum);
+    }
+    charge_compute(comm, budget, steps, step);
+  }
+
+  double elapsed = comm.wtime() - t0;
+  double max_elapsed = 0;
+  comm.allreduce(&elapsed, &max_elapsed, 1, mpi::kDouble, mpi::Op::kMax);
+
+  if (!std::isfinite(checksum) || checksum <= 0) verified = false;
+
+  KernelResult res;
+  res.name = cfg.name;
+  res.cls = cls;
+  res.nprocs = p;
+  res.time_sec = max_elapsed;
+  res.verified = verified;
+  res.checksum = checksum;
+  return res;
+}
+
+}  // namespace odmpi::nas

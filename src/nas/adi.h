@@ -1,0 +1,32 @@
+// Shared core for NAS SP and BT: the multi-partition ADI scheme.
+//
+// With P = q*q processes, the 3D domain is carved into q^3 cells and each
+// process owns the q cells along a diagonal: cell g of process (r, c)
+// sits at (gx=g, gy=(r+g) mod q, gz=(c+g) mod q). The diagonal layout
+// means every sweep stage keeps all processes busy, and each process has
+// exactly six distinct communication partners:
+//   +x -> (r-1, c-1)   -x -> (r+1, c+1)
+//   +y -> (r+1, c)     -y -> (r-1, c)
+//   +z -> (r, c+1)     -z -> (r, c-1)
+// which (plus the allreduce tree) reproduces Table 2's ~8 VIs at 16
+// processes and ~9.8 at 36.
+//
+// Each time step does the NPB sequence: copy_faces (six aggregated face
+// exchanges), then pipelined forward+backward line sweeps in x, y, z with
+// a boundary plane handed to the successor cell's owner at each stage.
+// The numerics are convex-combination line recurrences — real
+// data-dependent arithmetic whose boundedness is the verification.
+#pragma once
+
+#include "src/nas/common.h"
+
+namespace odmpi::nas {
+
+struct AdiConfig {
+  const char* name;      // "SP" or "BT"
+  int boundary_factor;   // BT ships 5x5 block rows -> bigger planes
+};
+
+KernelResult run_adi(mpi::Comm& comm, Class cls, const AdiConfig& cfg);
+
+}  // namespace odmpi::nas

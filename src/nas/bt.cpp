@@ -1,0 +1,12 @@
+// NAS BT: block tridiagonal ADI solver on the multi-partition scheme.
+#include "src/nas/adi.h"
+
+namespace odmpi::nas {
+
+KernelResult run_bt(mpi::Comm& comm, Class cls) {
+  // BT hands 5x5 block rows (not scalar lines) to the successor cell, so
+  // its boundary planes are substantially larger than SP's.
+  return run_adi(comm, cls, AdiConfig{"BT", /*boundary_factor=*/3});
+}
+
+}  // namespace odmpi::nas

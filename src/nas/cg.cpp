@@ -1,0 +1,262 @@
+// NAS CG: conjugate gradient with the NPB 2D processor-grid communication
+// structure — row-group recursive-doubling reduction for the distributed
+// matrix-vector product, a transpose-style redistribution exchange, and
+// global allreduces for the dot products. The numerics run on a reduced
+// dense SPD system and are verified by the residual norm; the full-class
+// problem is represented by virtual compute charges and by padding the
+// exchange messages to class-scaled sizes (so the eager/rendezvous split
+// matches the real benchmark).
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "src/nas/common.h"
+#include "src/sim/rng.h"
+
+namespace odmpi::nas {
+
+namespace {
+
+constexpr int kN = 256;          // reduced global problem size
+constexpr int kInnerIters = 25;  // NPB cgitmax
+constexpr mpi::Tag kTagReduce = 31;
+constexpr mpi::Tag kTagExchange = 32;
+
+int class_n(Class cls) {
+  switch (cls) {
+    case Class::S: return 1400;
+    case Class::A: return 14000;
+    case Class::B: return 75000;
+    case Class::C: return 150000;
+  }
+  return 1400;
+}
+
+// Symmetric pseudo-random entry in [0, 1).
+double sym_entry(int i, int j) {
+  const int lo = std::min(i, j), hi = std::max(i, j);
+  std::uint64_t s =
+      static_cast<std::uint64_t>(lo) * 1000003u + static_cast<std::uint64_t>(hi);
+  return static_cast<double>(sim::splitmix64(s) >> 11) * 0x1.0p-53;
+}
+
+double matrix_entry(int i, int j) {
+  return (i == j ? static_cast<double>(kN) : 0.0) + sym_entry(i, j);
+}
+
+struct CgGrid {
+  int nprows, npcols, row, col, nr, nc, r0, c0;
+  std::size_t pad_doubles;  // exchange size scaled to the NPB class
+  std::vector<double> a_block;  // my dense block, precomputed once
+};
+
+CgGrid make_grid(mpi::Comm& comm, Class cls) {
+  const int p = comm.size();
+  assert((p & (p - 1)) == 0 && "NPB CG requires a power-of-two process count");
+  int l = 0;
+  while ((1 << l) < p) ++l;
+  CgGrid g;
+  g.npcols = 1 << (l / 2);
+  g.nprows = 1 << (l - l / 2);
+  g.row = comm.rank() / g.npcols;
+  g.col = comm.rank() % g.npcols;
+  g.nr = kN / g.nprows;
+  g.nc = kN / g.npcols;
+  g.r0 = g.row * g.nr;
+  g.c0 = g.col * g.nc;
+  const std::size_t class_seg =
+      static_cast<std::size_t>(class_n(cls)) / static_cast<std::size_t>(g.nprows);
+  // Cap the padding: the protocol behaviour (rendezvous) is identical
+  // beyond the threshold and huge memcpys only burn wall-clock time in
+  // the simulator's triple-copy data path.
+  g.pad_doubles =
+      std::max<std::size_t>(static_cast<std::size_t>(g.nr),
+                            std::min<std::size_t>(class_seg, 1024));
+  g.a_block.resize(static_cast<std::size_t>(g.nr) *
+                   static_cast<std::size_t>(g.nc));
+  for (int i = 0; i < g.nr; ++i)
+    for (int j = 0; j < g.nc; ++j)
+      g.a_block[static_cast<std::size_t>(i) * g.nc + j] =
+          matrix_entry(g.r0 + i, g.c0 + j);
+  return g;
+}
+
+/// q_row = sum over the row group of (A_block x p_col), then redistribute
+/// so every rank gets w over its column segment.
+void distributed_matvec(mpi::Comm& comm, const CgGrid& g,
+                        const std::vector<double>& p_col,
+                        std::vector<double>& w_col,
+                        std::vector<double>& scratch_a,
+                        std::vector<double>& scratch_b) {
+  // Local dense block gemv.
+  scratch_a.assign(g.pad_doubles, 0.0);
+  for (int i = 0; i < g.nr; ++i) {
+    const double* row = &g.a_block[static_cast<std::size_t>(i) * g.nc];
+    double sum = 0;
+    for (int j = 0; j < g.nc; ++j) {
+      sum += row[j] * p_col[static_cast<std::size_t>(j)];
+    }
+    scratch_a[static_cast<std::size_t>(i)] = sum;
+  }
+
+  // Row-group allreduce by recursive doubling (XOR partners inside the
+  // row, which are XOR partners of the global rank too).
+  scratch_b.assign(g.pad_doubles, 0.0);
+  for (int mask = 1; mask < g.npcols; mask <<= 1) {
+    const int partner = g.row * g.npcols + (g.col ^ mask);
+    comm.sendrecv(scratch_a.data(), static_cast<int>(g.pad_doubles), mpi::kDouble,
+                  partner, kTagReduce, scratch_b.data(),
+                  static_cast<int>(g.pad_doubles), mpi::kDouble, partner,
+                  kTagReduce);
+    for (int i = 0; i < g.nr; ++i)
+      scratch_a[static_cast<std::size_t>(i)] +=
+          scratch_b[static_cast<std::size_t>(i)];
+  }
+
+  // Redistribute the reduced row segment into column segments.
+  w_col.assign(static_cast<std::size_t>(g.nc), 0.0);
+  if (g.nprows == g.npcols) {
+    const int partner = g.col * g.npcols + g.row;  // transpose position
+    if (partner == comm.rank()) {
+      std::copy_n(scratch_a.begin(), g.nr, w_col.begin());
+    } else {
+      comm.sendrecv(scratch_a.data(), static_cast<int>(g.pad_doubles),
+                    mpi::kDouble, partner, kTagExchange, scratch_b.data(),
+                    static_cast<int>(g.pad_doubles), mpi::kDouble, partner,
+                    kTagExchange);
+      std::copy_n(scratch_b.begin(), g.nr, w_col.begin());
+    }
+  } else {
+    // nprows == 2*npcols: each rank's reduced segment is half a column
+    // segment. Sender (r, c) feeds receivers (2c, r/2) and (2c+1, r/2);
+    // receiver (r', c') gets its lower half from (2c', r'/2) and its
+    // upper half from (2c'+1, r'/2).
+    assert(g.nprows == 2 * g.npcols);
+    const int dst_lo = (2 * g.col) * g.npcols + g.row / 2;
+    const int dst_hi = (2 * g.col + 1) * g.npcols + g.row / 2;
+    const int recv_lo_src = (2 * g.col) * g.npcols + g.row / 2;
+    const int recv_hi_src = (2 * g.col + 1) * g.npcols + g.row / 2;
+    std::vector<mpi::Request> reqs;
+    std::vector<double> lo(g.pad_doubles), hi(g.pad_doubles);
+    reqs.push_back(comm.irecv(lo.data(), static_cast<int>(g.pad_doubles),
+                              mpi::kDouble, recv_lo_src, kTagExchange));
+    reqs.push_back(comm.irecv(hi.data(), static_cast<int>(g.pad_doubles),
+                              mpi::kDouble, recv_hi_src, kTagExchange));
+    reqs.push_back(comm.isend(scratch_a.data(),
+                              static_cast<int>(g.pad_doubles), mpi::kDouble,
+                              dst_lo, kTagExchange));
+    reqs.push_back(comm.isend(scratch_a.data(),
+                              static_cast<int>(g.pad_doubles), mpi::kDouble,
+                              dst_hi, kTagExchange));
+    mpi::wait_all(reqs);
+    std::copy_n(lo.begin(), g.nr, w_col.begin());
+    std::copy_n(hi.begin(), g.nr, w_col.begin() + g.nr);
+  }
+}
+
+double distributed_dot(mpi::Comm& comm, const CgGrid& g,
+                       const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double local = 0;
+  for (int i = 0; i < g.nc; ++i)
+    local += a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+  double sum = 0;
+  comm.allreduce(&local, &sum, 1, mpi::kDouble, mpi::Op::kSum);
+  // Column segments are replicated across the nprows rows; the replicas
+  // contribute identical partial sums, so the division is exact.
+  return sum / g.nprows;
+}
+
+}  // namespace
+
+KernelResult run_cg(mpi::Comm& comm, Class cls) {
+  const CgGrid g = make_grid(comm, cls);
+  const int niter = iterations("CG", cls);
+  const double budget = compute_budget("CG", cls);
+
+  std::vector<double> x(static_cast<std::size_t>(g.nc), 1.0);
+  std::vector<double> z, r, p, w;
+  std::vector<double> sa, sb;
+
+  comm.barrier();
+  const double t0 = comm.wtime();
+
+  double zeta = 0, zeta_prev = 0, rnorm = 0;
+  bool verified = true;
+  for (int iter = 0; iter < niter; ++iter) {
+    // conj_grad: solve A z = x approximately.
+    z.assign(static_cast<std::size_t>(g.nc), 0.0);
+    r = x;
+    p = r;
+    double rho = distributed_dot(comm, g, r, r);
+    const double rho_initial = rho;
+    for (int it = 0; it < kInnerIters; ++it) {
+      distributed_matvec(comm, g, p, w, sa, sb);
+      const double d = distributed_dot(comm, g, p, w);
+      const double alpha = rho / d;
+      for (int i = 0; i < g.nc; ++i) {
+        z[static_cast<std::size_t>(i)] +=
+            alpha * p[static_cast<std::size_t>(i)];
+        r[static_cast<std::size_t>(i)] -=
+            alpha * w[static_cast<std::size_t>(i)];
+      }
+      const double rho0 = rho;
+      rho = distributed_dot(comm, g, r, r);
+      const double beta = rho / rho0;
+      for (int i = 0; i < g.nc; ++i) {
+        p[static_cast<std::size_t>(i)] =
+            r[static_cast<std::size_t>(i)] +
+            beta * p[static_cast<std::size_t>(i)];
+      }
+    }
+    if (!(rho < rho_initial)) verified = false;  // CG must reduce the residual
+
+    // ||r|| = ||x - A z|| and the eigenvalue estimate.
+    distributed_matvec(comm, g, z, w, sa, sb);
+    double diff2 = 0;
+    for (int i = 0; i < g.nc; ++i) {
+      const double d = x[static_cast<std::size_t>(i)] -
+                       w[static_cast<std::size_t>(i)];
+      diff2 += d * d;
+    }
+    double diff2_sum = 0;
+    comm.allreduce(&diff2, &diff2_sum, 1, mpi::kDouble, mpi::Op::kSum);
+    rnorm = std::sqrt(diff2_sum / g.nprows);
+
+    const double xz = distributed_dot(comm, g, x, z);
+    zeta_prev = zeta;
+    zeta = static_cast<double>(kN) + 1.0 / xz;
+
+    // x = z / ||z||.
+    const double znorm = std::sqrt(distributed_dot(comm, g, z, z));
+    for (int i = 0; i < g.nc; ++i)
+      x[static_cast<std::size_t>(i)] =
+          z[static_cast<std::size_t>(i)] / znorm;
+
+    charge_compute(comm, budget, niter, iter);
+  }
+  // The timed section ends with everyone done (NPB reports max time).
+  double elapsed = comm.wtime() - t0;
+  double max_elapsed = 0;
+  comm.allreduce(&elapsed, &max_elapsed, 1, mpi::kDouble, mpi::Op::kMax);
+
+  // The residual of the inner solve is the hard correctness check; the
+  // eigenvalue estimate must land in the spectrum of A = kN*I + S with
+  // S's entries in [0, 1).
+  if (rnorm > 1e-8 * kN) verified = false;
+  if (!(zeta > kN - 1.0 && zeta < 2.5 * kN)) verified = false;
+  (void)zeta_prev;
+
+  KernelResult res;
+  res.name = "CG";
+  res.cls = cls;
+  res.nprocs = comm.size();
+  res.time_sec = max_elapsed;
+  res.verified = verified;
+  res.checksum = zeta;
+  return res;
+}
+
+}  // namespace odmpi::nas

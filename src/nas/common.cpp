@@ -1,0 +1,98 @@
+#include "src/nas/common.h"
+
+#include <cassert>
+#include <map>
+
+#include "src/sim/process.h"
+
+namespace odmpi::nas {
+
+const char* to_string(Class c) {
+  switch (c) {
+    case Class::S: return "S";
+    case Class::A: return "A";
+    case Class::B: return "B";
+    case Class::C: return "C";
+  }
+  return "?";
+}
+
+Class class_from_char(char c) {
+  switch (c) {
+    case 'S': return Class::S;
+    case 'A': return Class::A;
+    case 'B': return Class::B;
+    case 'C': return Class::C;
+  }
+  assert(false && "unknown NPB class");
+  return Class::S;
+}
+
+void charge_compute(mpi::Comm& comm, double total_proc_seconds, int slices,
+                    int /*slice_index*/) {
+  auto* p = sim::Process::current();
+  assert(p != nullptr && slices > 0);
+  const double per_slice =
+      total_proc_seconds / comm.size() / static_cast<double>(slices);
+  p->advance(static_cast<sim::SimTime>(per_slice * 1e9));
+}
+
+double compute_budget(const std::string& kernel, Class cls) {
+  // Processor-seconds for the whole job, calibrated so that run times at
+  // the paper's process counts land near Table 3 (static-polling column).
+  // Example: CG.B.16 = 152.6 s x 16 procs ~ 2400 proc-s.
+  static const std::map<std::string, std::map<Class, double>> kBudget = {
+      {"CG", {{Class::S, 2}, {Class::A, 70}, {Class::B, 2400},
+              {Class::C, 9200}}},
+      {"MG", {{Class::S, 1.5}, {Class::A, 72}, {Class::B, 340},
+              {Class::C, 4900}}},
+      {"IS", {{Class::S, 0.5}, {Class::A, 18}, {Class::B, 80},
+              {Class::C, 640}}},
+      {"EP", {{Class::S, 4}, {Class::A, 160}, {Class::B, 640},
+              {Class::C, 2560}}},
+      {"FT", {{Class::S, 3}, {Class::A, 100}, {Class::B, 1100},
+              {Class::C, 4400}}},
+      {"SP", {{Class::S, 8}, {Class::A, 1580}, {Class::B, 8300},
+              {Class::C, 33000}}},
+      {"BT", {{Class::S, 12}, {Class::A, 2900}, {Class::B, 13000},
+              {Class::C, 52000}}},
+      {"LU", {{Class::S, 6}, {Class::A, 1600}, {Class::B, 6600},
+              {Class::C, 26000}}},
+  };
+  return kBudget.at(kernel).at(cls);
+}
+
+int iterations(const std::string& kernel, Class cls) {
+  struct It {
+    int s, a, b, c;
+  };
+  static const std::map<std::string, It> kIters = {
+      {"CG", {5, 15, 75, 75}},   {"MG", {4, 4, 20, 20}},
+      {"IS", {4, 10, 10, 10}},   {"EP", {4, 16, 16, 16}},
+      {"FT", {4, 6, 20, 20}},    {"SP", {40, 400, 400, 400}},
+      {"BT", {30, 200, 200, 200}}, {"LU", {10, 250, 250, 250}},
+  };
+  const It it = kIters.at(kernel);
+  switch (cls) {
+    case Class::S: return it.s;
+    case Class::A: return it.a;
+    case Class::B: return it.b;
+    case Class::C: return it.c;
+  }
+  return it.s;
+}
+
+KernelFn kernel_by_name(const std::string& name) {
+  if (name == "CG") return &run_cg;
+  if (name == "MG") return &run_mg;
+  if (name == "IS") return &run_is;
+  if (name == "EP") return &run_ep;
+  if (name == "FT") return &run_ft;
+  if (name == "SP") return &run_sp;
+  if (name == "BT") return &run_bt;
+  if (name == "LU") return &run_lu;
+  assert(false && "unknown NAS kernel");
+  return nullptr;
+}
+
+}  // namespace odmpi::nas

@@ -1,0 +1,58 @@
+// Shared infrastructure for the NAS-kernel reproductions.
+//
+// Each kernel runs the *real* NPB communication structure (who talks to
+// whom, how often, how big) and real — but size-reduced — numerics that
+// are verified for correctness. The full-class computation is represented
+// by virtual-time charges calibrated per (kernel, class) so absolute run
+// times land in the regime of the paper's Table 3 (700 MHz PIII Xeon).
+#pragma once
+
+#include <string>
+
+#include "src/mpi/comm.h"
+#include "src/sim/time.h"
+
+namespace odmpi::nas {
+
+enum class Class { S, A, B, C };
+
+[[nodiscard]] const char* to_string(Class c);
+[[nodiscard]] Class class_from_char(char c);
+
+struct KernelResult {
+  std::string name;           // "CG", "MG", ...
+  Class cls = Class::S;
+  int nprocs = 0;
+  double time_sec = 0;        // timed-section virtual seconds (max rank)
+  bool verified = false;
+  double checksum = 0;        // deterministic run digest
+};
+
+/// Charges virtual compute time to the calling rank: `total_proc_seconds`
+/// is the whole job's compute, split evenly across ranks and charged in
+/// `slices` equal pieces by the kernels (between communication phases).
+void charge_compute(mpi::Comm& comm, double total_proc_seconds, int slices,
+                    int slice_index);
+
+/// Per-(kernel, class) total compute in processor-seconds, calibrated to
+/// Table 3 of the paper (see EXPERIMENTS.md for the derivation).
+double compute_budget(const std::string& kernel, Class cls);
+
+/// NPB iteration counts per class.
+int iterations(const std::string& kernel, Class cls);
+
+using KernelFn = KernelResult (*)(mpi::Comm&, Class);
+
+KernelResult run_cg(mpi::Comm& comm, Class cls);
+KernelResult run_mg(mpi::Comm& comm, Class cls);
+KernelResult run_is(mpi::Comm& comm, Class cls);
+KernelResult run_ep(mpi::Comm& comm, Class cls);
+KernelResult run_ft(mpi::Comm& comm, Class cls);
+KernelResult run_sp(mpi::Comm& comm, Class cls);
+KernelResult run_lu(mpi::Comm& comm, Class cls);
+KernelResult run_bt(mpi::Comm& comm, Class cls);
+
+/// Looks a kernel up by name ("CG", "MG", "IS", "EP", "FT", "SP", "BT", "LU").
+KernelFn kernel_by_name(const std::string& name);
+
+}  // namespace odmpi::nas

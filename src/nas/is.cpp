@@ -1,0 +1,146 @@
+// NAS IS: parallel integer bucket sort. Communication per iteration is
+// exactly NPB's: an allreduce of the bucket-size histogram, an alltoall
+// of the send counts, an alltoallv of the keys (the full-mesh exchange
+// that keeps IS at utilization 1.0 in Table 2), and a neighbour boundary
+// exchange for verification. Keys are real and the sort is verified.
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "src/nas/common.h"
+#include "src/sim/rng.h"
+
+namespace odmpi::nas {
+
+namespace {
+
+constexpr mpi::Tag kTagBoundary = 51;
+
+int keys_per_rank(Class cls) {
+  switch (cls) {
+    case Class::S: return 1 << 10;
+    case Class::A: return 1 << 14;
+    case Class::B: return 1 << 16;
+    case Class::C: return 1 << 17;
+  }
+  return 1 << 10;
+}
+
+}  // namespace
+
+KernelResult run_is(mpi::Comm& comm, Class cls) {
+  const int n = comm.size();
+  const int me = comm.rank();
+  const int local_n = keys_per_rank(cls);
+  const std::int32_t key_max = 1 << 19;  // NPB A's key range
+  const std::int32_t bucket_width = (key_max + n - 1) / n;
+
+  sim::Rng rng(0x4953, static_cast<std::uint64_t>(me));
+  std::vector<std::int32_t> keys(static_cast<std::size_t>(local_n));
+  for (auto& k : keys)
+    k = static_cast<std::int32_t>(rng.next_below(
+        static_cast<std::uint64_t>(key_max)));
+
+  const int niter = iterations("IS", cls);
+  const double budget = compute_budget("IS", cls);
+
+  comm.barrier();
+  const double t0 = comm.wtime();
+
+  bool verified = true;
+  double checksum = 0;
+  std::vector<std::int64_t> local_hist(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> global_hist(static_cast<std::size_t>(n));
+  std::vector<int> scounts(static_cast<std::size_t>(n));
+  std::vector<int> sdispls(static_cast<std::size_t>(n));
+  std::vector<int> rcounts(static_cast<std::size_t>(n));
+  std::vector<int> rdispls(static_cast<std::size_t>(n));
+
+  for (int iter = 0; iter < niter; ++iter) {
+    // NPB perturbs two keys each iteration to defeat caching effects.
+    keys[static_cast<std::size_t>(iter % local_n)] =
+        static_cast<std::int32_t>(iter % key_max);
+    keys[static_cast<std::size_t>((iter * 7) % local_n)] =
+        static_cast<std::int32_t>((key_max - iter) % key_max);
+
+    // Local histogram over the rank-buckets, then the global histogram.
+    std::fill(local_hist.begin(), local_hist.end(), 0);
+    for (std::int32_t k : keys)
+      ++local_hist[static_cast<std::size_t>(k / bucket_width)];
+    comm.allreduce(local_hist.data(), global_hist.data(), n, mpi::kInt64,
+                   mpi::Op::kSum);
+
+    // Partition keys by destination bucket.
+    std::vector<std::int32_t> sendbuf(keys.size());
+    std::fill(scounts.begin(), scounts.end(), 0);
+    for (std::int32_t k : keys)
+      ++scounts[static_cast<std::size_t>(k / bucket_width)];
+    sdispls[0] = 0;
+    for (int r = 1; r < n; ++r)
+      sdispls[static_cast<std::size_t>(r)] =
+          sdispls[static_cast<std::size_t>(r - 1)] +
+          scounts[static_cast<std::size_t>(r - 1)];
+    std::vector<int> fill = sdispls;
+    for (std::int32_t k : keys)
+      sendbuf[static_cast<std::size_t>(
+          fill[static_cast<std::size_t>(k / bucket_width)]++)] = k;
+
+    // Exchange the counts (alltoall), then the keys (alltoallv).
+    comm.alltoall(scounts.data(), 1, rcounts.data(), mpi::kInt32);
+    rdispls[0] = 0;
+    for (int r = 1; r < n; ++r)
+      rdispls[static_cast<std::size_t>(r)] =
+          rdispls[static_cast<std::size_t>(r - 1)] +
+          rcounts[static_cast<std::size_t>(r - 1)];
+    const int recv_total = rdispls[static_cast<std::size_t>(n - 1)] +
+                           rcounts[static_cast<std::size_t>(n - 1)];
+    std::vector<std::int32_t> recvbuf(static_cast<std::size_t>(recv_total));
+    comm.alltoallv(sendbuf.data(), scounts.data(), sdispls.data(),
+                   recvbuf.data(), rcounts.data(), rdispls.data(),
+                   mpi::kInt32);
+
+    // The received count must agree with the global histogram.
+    if (recv_total != global_hist[static_cast<std::size_t>(me)]) {
+      verified = false;
+    }
+
+    // Local sort and verification.
+    std::sort(recvbuf.begin(), recvbuf.end());
+    for (std::int32_t k : recvbuf) {
+      if (k / bucket_width != me) verified = false;
+    }
+    // Boundary exchange with the right neighbour (NPB's full_verify).
+    std::int32_t my_max = recvbuf.empty() ? me * bucket_width - 1
+                                          : recvbuf.back();
+    std::int32_t left_max = -1;
+    if (n > 1) {
+      const int right = (me + 1) % n;
+      const int left = (me - 1 + n) % n;
+      comm.sendrecv(&my_max, 1, mpi::kInt32, right, kTagBoundary, &left_max,
+                    1, mpi::kInt32, left, kTagBoundary);
+      if (me > 0 && !recvbuf.empty() && left_max > recvbuf.front()) {
+        verified = false;
+      }
+    }
+    double local_sum = 0;
+    for (std::int32_t k : recvbuf) local_sum += k;
+    comm.allreduce(&local_sum, &checksum, 1, mpi::kDouble, mpi::Op::kSum);
+
+    charge_compute(comm, budget, niter, iter);
+  }
+
+  double elapsed = comm.wtime() - t0;
+  double max_elapsed = 0;
+  comm.allreduce(&elapsed, &max_elapsed, 1, mpi::kDouble, mpi::Op::kMax);
+
+  KernelResult res;
+  res.name = "IS";
+  res.cls = cls;
+  res.nprocs = n;
+  res.time_sec = max_elapsed;
+  res.verified = verified;
+  res.checksum = checksum;
+  return res;
+}
+
+}  // namespace odmpi::nas

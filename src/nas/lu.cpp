@@ -1,0 +1,158 @@
+// NAS LU: SSOR solver with the NPB wavefront communication pattern — a 2D
+// process grid over the x-y plane; each lower-triangular sweep receives
+// boundary lines from the north and west neighbours plane by plane,
+// relaxes, and forwards to the south and east (the upper sweep reverses
+// the direction), exactly the Sweep3D-style pipeline of Table 1. Global
+// allreduce norms bound each time step.
+//
+// LU is part of the NPB suite the paper lists but does not plot; it is
+// included for suite completeness and appears in the extended resource
+// tables.
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "src/nas/adi.h"
+#include "src/nas/common.h"
+#include "src/sim/rng.h"
+
+namespace odmpi::nas {
+
+namespace {
+
+constexpr int kNx = 12, kNy = 12, kNz = 16;  // reduced local block
+constexpr mpi::Tag kTagWave = 71;
+
+struct LuGrid {
+  int px, py, x, y;  // process grid and my coordinates
+
+  [[nodiscard]] int rank_of(int gx, int gy) const { return gx * py + gy; }
+  [[nodiscard]] int north() const { return x > 0 ? rank_of(x - 1, y) : -1; }
+  [[nodiscard]] int south() const {
+    return x + 1 < px ? rank_of(x + 1, y) : -1;
+  }
+  [[nodiscard]] int west() const { return y > 0 ? rank_of(x, y - 1) : -1; }
+  [[nodiscard]] int east() const {
+    return y + 1 < py ? rank_of(x, y + 1) : -1;
+  }
+};
+
+std::size_t idx(int i, int j, int k) {
+  return (static_cast<std::size_t>(k) * kNx + static_cast<std::size_t>(i)) *
+             kNy +
+         static_cast<std::size_t>(j);
+}
+
+}  // namespace
+
+KernelResult run_lu(mpi::Comm& comm, Class cls) {
+  LuGrid g;
+  g.px = static_cast<int>(std::lround(std::sqrt(comm.size())));
+  while (comm.size() % g.px != 0) --g.px;
+  g.py = comm.size() / g.px;
+  g.x = comm.rank() / g.py;
+  g.y = comm.rank() % g.py;
+
+  std::vector<double> u(static_cast<std::size_t>(kNx * kNy * kNz));
+  sim::Rng rng(0x4C55, static_cast<std::uint64_t>(comm.rank()));
+  for (auto& v : u) v = rng.next_double();
+
+  const int steps = iterations("LU", cls);
+  const double budget = compute_budget("LU", cls);
+
+  comm.barrier();
+  const double t0 = comm.wtime();
+
+  std::vector<double> north_in(kNy), west_in(kNx);
+  std::vector<double> south_out(kNy), east_out(kNx);
+  double checksum = 0;
+  bool verified = true;
+
+  for (int step = 0; step < steps; ++step) {
+    for (int dir : {+1, -1}) {  // lower then upper triangular sweep
+      for (int kk = 0; kk < kNz; ++kk) {
+        const int k = dir > 0 ? kk : kNz - 1 - kk;
+        // Receive the incoming wavefront boundary for this plane.
+        const int recv_ns = dir > 0 ? g.north() : g.south();
+        const int recv_we = dir > 0 ? g.west() : g.east();
+        if (recv_ns >= 0) {
+          comm.recv(north_in.data(), kNy, mpi::kDouble, recv_ns, kTagWave);
+        } else {
+          std::fill(north_in.begin(), north_in.end(), 0.25);
+        }
+        if (recv_we >= 0) {
+          comm.recv(west_in.data(), kNx, mpi::kDouble, recv_we, kTagWave);
+        } else {
+          std::fill(west_in.begin(), west_in.end(), 0.25);
+        }
+        // SSOR-style relaxation sweeping in the wavefront direction.
+        if (dir > 0) {
+          for (int i = 0; i < kNx; ++i) {
+            for (int j = 0; j < kNy; ++j) {
+              const double nb_i = i > 0 ? u[idx(i - 1, j, k)]
+                                        : north_in[static_cast<std::size_t>(j)];
+              const double nb_j = j > 0 ? u[idx(i, j - 1, k)]
+                                        : west_in[static_cast<std::size_t>(i)];
+              u[idx(i, j, k)] =
+                  0.5 * u[idx(i, j, k)] + 0.25 * nb_i + 0.25 * nb_j;
+            }
+          }
+        } else {
+          for (int i = kNx - 1; i >= 0; --i) {
+            for (int j = kNy - 1; j >= 0; --j) {
+              const double nb_i = i + 1 < kNx
+                                      ? u[idx(i + 1, j, k)]
+                                      : north_in[static_cast<std::size_t>(j)];
+              const double nb_j = j + 1 < kNy
+                                      ? u[idx(i, j + 1, k)]
+                                      : west_in[static_cast<std::size_t>(i)];
+              u[idx(i, j, k)] =
+                  0.5 * u[idx(i, j, k)] + 0.25 * nb_i + 0.25 * nb_j;
+            }
+          }
+        }
+        // Forward the outgoing wavefront boundary.
+        const int send_ns = dir > 0 ? g.south() : g.north();
+        const int send_we = dir > 0 ? g.east() : g.west();
+        if (send_ns >= 0) {
+          const int edge = dir > 0 ? kNx - 1 : 0;
+          for (int j = 0; j < kNy; ++j)
+            south_out[static_cast<std::size_t>(j)] = u[idx(edge, j, k)];
+          comm.send(south_out.data(), kNy, mpi::kDouble, send_ns, kTagWave);
+        }
+        if (send_we >= 0) {
+          const int edge = dir > 0 ? kNy - 1 : 0;
+          for (int i = 0; i < kNx; ++i)
+            east_out[static_cast<std::size_t>(i)] = u[idx(i, edge, k)];
+          comm.send(east_out.data(), kNx, mpi::kDouble, send_we, kTagWave);
+        }
+      }
+    }
+    // Step norm (NPB computes rsdnm via allreduce).
+    double local = 0;
+    for (double v : u) {
+      local += v;
+      if (v < 0.0 || v > 1.0) verified = false;  // convex updates stay in range
+    }
+    comm.allreduce(&local, &checksum, 1, mpi::kDouble, mpi::Op::kSum);
+    charge_compute(comm, budget, steps, step);
+  }
+
+  double elapsed = comm.wtime() - t0;
+  double max_elapsed = 0;
+  comm.allreduce(&elapsed, &max_elapsed, 1, mpi::kDouble, mpi::Op::kMax);
+
+  if (!std::isfinite(checksum) || checksum <= 0) verified = false;
+
+  KernelResult res;
+  res.name = "LU";
+  res.cls = cls;
+  res.nprocs = comm.size();
+  res.time_sec = max_elapsed;
+  res.verified = verified;
+  res.checksum = checksum;
+  return res;
+}
+
+}  // namespace odmpi::nas

@@ -1,0 +1,12 @@
+// NAS SP: scalar pentadiagonal ADI solver on the multi-partition scheme.
+#include "src/nas/adi.h"
+
+namespace odmpi::nas {
+
+KernelResult run_sp(mpi::Comm& comm, Class cls) {
+  // SP's sweep boundaries are scalar lines: one plane of the 5 solution
+  // components per stage.
+  return run_adi(comm, cls, AdiConfig{"SP", /*boundary_factor=*/1});
+}
+
+}  // namespace odmpi::nas

@@ -1,0 +1,38 @@
+// Umbrella header for the odmpi library.
+//
+// odmpi reproduces "Impact of On-Demand Connection Management in MPI over
+// VIA" (Wu, Liu, Wyckoff, Panda — CLUSTER 2002): a deterministic cluster
+// simulator, a VIA emulation with both connection models, an MVICH-style
+// MPI library with pluggable static / on-demand connection management,
+// and the NAS-kernel workloads the paper evaluates.
+//
+// Quick start:
+//
+//   #include "src/odmpi.h"
+//   using namespace odmpi;
+//
+//   mpi::JobOptions opt;
+//   opt.profile = via::DeviceProfile::clan();
+//   opt.device.connection_model = mpi::ConnectionModel::kOnDemand;
+//   mpi::World world(8, opt);
+//   world.run([](mpi::Comm& comm) {
+//     double x = comm.rank(), sum = 0;
+//     comm.allreduce(&x, &sum, 1, mpi::kDouble, mpi::Op::kSum);
+//   });
+#pragma once
+
+#include "src/mpi/comm.h"
+#include "src/mpi/datatype.h"
+#include "src/mpi/device.h"
+#include "src/mpi/group.h"
+#include "src/mpi/op.h"
+#include "src/mpi/request.h"
+#include "src/mpi/runtime.h"
+#include "src/mpi/types.h"
+#include "src/sim/engine.h"
+#include "src/sim/process.h"
+#include "src/sim/rng.h"
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+#include "src/via/device_profile.h"
+#include "src/via/provider.h"

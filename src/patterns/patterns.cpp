@@ -1,0 +1,188 @@
+#include "src/patterns/patterns.h"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+
+namespace odmpi::patterns {
+
+namespace {
+
+/// Splits a power-of-two process count over three dimensions by dealing
+/// factor-2 bits round-robin (64 -> 4x4x4, 1024 -> 16x8x8).
+std::array<int, 3> grid3(int n) {
+  assert((n & (n - 1)) == 0);
+  std::array<int, 3> p = {1, 1, 1};
+  int dim = 0;
+  while (n > 1) {
+    p[static_cast<std::size_t>(dim)] *= 2;
+    n /= 2;
+    dim = (dim + 1) % 3;
+  }
+  return p;
+}
+
+std::array<int, 2> grid2(int n) {
+  int a = static_cast<int>(std::lround(std::sqrt(n)));
+  while (n % a != 0) --a;
+  return {a, n / a};
+}
+
+}  // namespace
+
+double average_destinations(const DestinationSets& sets) {
+  double total = 0;
+  for (const auto& s : sets) total += static_cast<double>(s.size());
+  return total / static_cast<double>(sets.size());
+}
+
+DestinationSets sppm(int nprocs) {
+  const auto p = grid3(nprocs);
+  DestinationSets dests(static_cast<std::size_t>(nprocs));
+  const auto rank_of = [&](int x, int y, int z) {
+    return (x * p[1] + y) * p[2] + z;
+  };
+  for (int x = 0; x < p[0]; ++x) {
+    for (int y = 0; y < p[1]; ++y) {
+      for (int z = 0; z < p[2]; ++z) {
+        auto& d = dests[static_cast<std::size_t>(rank_of(x, y, z))];
+        // Non-periodic 6-face halo exchange.
+        if (x > 0) d.insert(rank_of(x - 1, y, z));
+        if (x + 1 < p[0]) d.insert(rank_of(x + 1, y, z));
+        if (y > 0) d.insert(rank_of(x, y - 1, z));
+        if (y + 1 < p[1]) d.insert(rank_of(x, y + 1, z));
+        if (z > 0) d.insert(rank_of(x, y, z - 1));
+        if (z + 1 < p[2]) d.insert(rank_of(x, y, z + 1));
+      }
+    }
+  }
+  return dests;
+}
+
+DestinationSets smg2000(int nprocs) {
+  const auto p = grid3(nprocs);
+  DestinationSets dests(static_cast<std::size_t>(nprocs));
+  const auto rank_of = [&](int x, int y, int z) {
+    return (x * p[1] + y) * p[2] + z;
+  };
+  // Semicoarsening in z: every level couples z-partners at a doubled
+  // stride, and the 27-point coarse operators couple the +-1 xy
+  // neighbourhood at each of those levels. Coarse-level data
+  // redistribution wraps the boundaries, so the partner offsets are
+  // periodic — which is what drives SMG's unusually large partner sets
+  // (41.88 of 63 possible in the paper's Table 1).
+  const auto wrap = [](int v, int n) { return ((v % n) + n) % n; };
+  for (int x = 0; x < p[0]; ++x) {
+    for (int y = 0; y < p[1]; ++y) {
+      for (int z = 0; z < p[2]; ++z) {
+        auto& d = dests[static_cast<std::size_t>(rank_of(x, y, z))];
+        for (int stride = 1; stride < 2 * p[2]; stride *= 2) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            for (int dy = -1; dy <= 1; ++dy) {
+              for (int dz : {-stride, stride, 0}) {
+                if (dx == 0 && dy == 0 && dz == 0) continue;
+                d.insert(rank_of(wrap(x + dx, p[0]), wrap(y + dy, p[1]),
+                                 wrap(z + dz, p[2])));
+              }
+            }
+          }
+        }
+        d.erase(rank_of(x, y, z));
+      }
+    }
+  }
+  return dests;
+}
+
+DestinationSets sphot(int nprocs) {
+  DestinationSets dests(static_cast<std::size_t>(nprocs));
+  // Workers report tallies to the master; the master only receives.
+  for (int r = 1; r < nprocs; ++r) dests[static_cast<std::size_t>(r)].insert(0);
+  return dests;
+}
+
+DestinationSets sweep3d(int nprocs) {
+  const auto p = grid2(nprocs);
+  DestinationSets dests(static_cast<std::size_t>(nprocs));
+  const auto rank_of = [&](int x, int y) { return x * p[1] + y; };
+  for (int x = 0; x < p[0]; ++x) {
+    for (int y = 0; y < p[1]; ++y) {
+      auto& d = dests[static_cast<std::size_t>(rank_of(x, y))];
+      // Wavefront sweeps pass through all four non-periodic neighbours.
+      if (x > 0) d.insert(rank_of(x - 1, y));
+      if (x + 1 < p[0]) d.insert(rank_of(x + 1, y));
+      if (y > 0) d.insert(rank_of(x, y - 1));
+      if (y + 1 < p[1]) d.insert(rank_of(x, y + 1));
+    }
+  }
+  return dests;
+}
+
+DestinationSets samrai(int nprocs) {
+  DestinationSets dests(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) {
+    auto& d = dests[static_cast<std::size_t>(r)];
+    // Patches laid out along a space-filling curve: near neighbours on
+    // the curve, plus one longer-range partner from patch migration.
+    for (int off : {-2, -1, 1, 2}) {
+      const int t = r + off;
+      if (t >= 0 && t < nprocs) d.insert(t);
+    }
+    d.insert((r + 7) % nprocs);
+    d.erase(r);
+  }
+  return dests;
+}
+
+DestinationSets cg(int nprocs) {
+  assert((nprocs & (nprocs - 1)) == 0);
+  int l = 0;
+  while ((1 << l) < nprocs) ++l;
+  const int npcols = 1 << (l / 2);
+  const int nprows = 1 << (l - l / 2);
+  DestinationSets dests(static_cast<std::size_t>(nprocs));
+  for (int me = 0; me < nprocs; ++me) {
+    auto& d = dests[static_cast<std::size_t>(me)];
+    const int row = me / npcols, col = me % npcols;
+    // Row-group recursive-doubling reduction.
+    for (int mask = 1; mask < npcols; mask <<= 1) {
+      d.insert(row * npcols + (col ^ mask));
+    }
+    // Transpose-style redistribution.
+    if (npcols == nprows) {
+      const int partner = col * npcols + row;
+      if (partner != me) d.insert(partner);
+    } else {
+      d.insert((2 * col) * npcols + row / 2);
+      d.insert((2 * col + 1) * npcols + row / 2);
+      d.erase(me);
+    }
+    // Allreduce (recursive doubling over the full communicator).
+    for (int mask = 1; mask < nprocs; mask <<= 1) d.insert(me ^ mask);
+  }
+  return dests;
+}
+
+std::vector<PatternRow> table1() {
+  struct App {
+    const char* name;
+    DestinationSets (*fn)(int);
+    double paper64;
+    double paper1024;  // the paper reports upper bounds at 1024
+  };
+  const App apps[] = {
+      {"sPPM", &sppm, 5.5, 6},        {"SMG2000", &smg2000, 41.88, 1023},
+      {"Sphot", &sphot, 0.98, 1},     {"Sweep3D", &sweep3d, 3.5, 4},
+      {"SAMRAI", &samrai, 4.94, 10},  {"CG", &cg, 6.36, 11},
+  };
+  std::vector<PatternRow> rows;
+  for (const App& app : apps) {
+    rows.push_back({app.name, 64, average_destinations(app.fn(64)),
+                    app.paper64});
+    rows.push_back({app.name, 1024, average_destinations(app.fn(1024)),
+                    app.paper1024});
+  }
+  return rows;
+}
+
+}  // namespace odmpi::patterns

@@ -1,0 +1,54 @@
+// Communication-pattern generators for the applications of the paper's
+// Table 1 (taken from Vetter & Mueller's IPDPS'02 characterization):
+// sPPM, SMG2000, Sphot, Sweep3D, SAMRAI and NPB CG. Each generator yields
+// the set of *send destinations* per rank — Table 1's metric is the
+// average number of distinct destinations per process (Sphot's 0.98 at 64
+// ranks only works if receive-only masters count zero).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace odmpi::patterns {
+
+using DestinationSets = std::vector<std::set<int>>;
+
+/// sPPM: 3D hydrodynamics, non-periodic nearest-neighbour halo exchange
+/// on a 3D process grid (plus the boundary-condition partner asymmetry).
+DestinationSets sppm(int nprocs);
+
+/// SMG2000: semicoarsening multigrid; destinations grow with the level
+/// count because coarse levels exchange at power-of-two strides in the
+/// semicoarsened dimension and with a widening stencil in the others.
+DestinationSets smg2000(int nprocs);
+
+/// Sphot: Monte-Carlo photon transport, worker -> master result reports.
+DestinationSets sphot(int nprocs);
+
+/// Sweep3D: 2D process grid wavefront sweeps (non-periodic, 4 neighbours).
+DestinationSets sweep3d(int nprocs);
+
+/// SAMRAI: structured AMR; locality-dominated partner sets with a few
+/// long-range partners from load balancing (synthetic stand-in for the
+/// proprietary input deck, documented in DESIGN.md).
+DestinationSets samrai(int nprocs);
+
+/// NPB CG: the 2D grid row-reduction + transpose exchange + allreduce
+/// tree destinations, matching src/nas/cg.cpp.
+DestinationSets cg(int nprocs);
+
+/// Average number of distinct destinations per process (Table 1 metric).
+double average_destinations(const DestinationSets& sets);
+
+struct PatternRow {
+  std::string name;
+  int nprocs;
+  double average;   // measured from our generator
+  double paper;     // Table 1's published value
+};
+
+/// All Table 1 rows (64 and 1024 processes per application).
+std::vector<PatternRow> table1();
+
+}  // namespace odmpi::patterns

@@ -1,0 +1,68 @@
+#include "src/sim/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace odmpi::sim {
+
+EventId Engine::schedule_at(SimTime t, std::function<void()> action) {
+  if (t < now_) {
+    throw std::logic_error("Engine::schedule_at: time in the past");
+  }
+  EventId id = next_id_++;
+  queue_.push(Event{t, id, std::move(action)});
+  return id;
+}
+
+EventId Engine::schedule_after(SimTime delay, std::function<void()> action) {
+  assert(delay >= 0);
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+bool Engine::cancel(EventId id) {
+  // Lazy cancellation: remember the id and drop the event when popped.
+  // The cancelled list stays tiny in practice (timeouts that fired early),
+  // so a linear scan at pop time is fine and keeps the queue simple.
+  if (id == 0 || id >= next_id_) return false;
+  cancelled_.push_back(id);
+  return true;
+}
+
+bool Engine::pop_and_fire() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    assert(ev.time >= now_);
+    now_ = ev.time;
+    ++events_processed_;
+    ev.action();
+    return true;
+  }
+  return false;
+}
+
+SimTime Engine::run() {
+  while (pop_and_fire()) {
+  }
+  return now_;
+}
+
+SimTime Engine::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    if (!pop_and_fire()) break;
+  }
+  if (now_ < deadline && queue_.empty()) {
+    // Quiescent before the deadline: advance the clock to the deadline so
+    // callers can rely on now() == deadline after a bounded run.
+    now_ = deadline;
+  }
+  return now_;
+}
+
+}  // namespace odmpi::sim

@@ -1,0 +1,78 @@
+// The discrete-event engine.
+//
+// A single global queue of (time, sequence, action) events, processed in
+// strictly nondecreasing (time, sequence) order. Determinism: ties in time
+// are broken by insertion sequence, and nothing in the simulation consults
+// wall-clock time or unseeded randomness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace odmpi::sim {
+
+/// Opaque id that can be used to cancel a scheduled event.
+using EventId = std::uint64_t;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current global virtual time: the timestamp of the event being
+  /// processed (or of the last processed event while between events).
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `action` at absolute virtual time `t` (>= now()).
+  EventId schedule_at(SimTime t, std::function<void()> action);
+
+  /// Schedules `action` `delay` after the current global time.
+  EventId schedule_after(SimTime delay, std::function<void()> action);
+
+  /// Cancels a previously scheduled event. Returns false if the event has
+  /// already fired or was already cancelled.
+  bool cancel(EventId id);
+
+  /// Runs until the event queue is empty. Returns the final virtual time.
+  SimTime run();
+
+  /// Runs until the queue is empty or virtual time would exceed
+  /// `deadline`; events beyond the deadline remain queued.
+  SimTime run_until(SimTime deadline);
+
+  /// Number of events processed so far (for tests and perf benches).
+  [[nodiscard]] std::uint64_t events_processed() const {
+    return events_processed_;
+  }
+
+  /// Number of events currently queued (including cancelled tombstones).
+  [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    EventId id;  // also the tie-break sequence number
+    std::function<void()> action;
+
+    // std::priority_queue is a max-heap; invert for earliest-first.
+    bool operator<(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  bool pop_and_fire();
+
+  std::priority_queue<Event> queue_;
+  std::vector<EventId> cancelled_;  // sorted insertion not needed; see .cpp
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace odmpi::sim

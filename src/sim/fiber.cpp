@@ -1,0 +1,59 @@
+#include "src/sim/fiber.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace odmpi::sim {
+
+namespace {
+// Single-threaded simulation: plain globals are safe and fast.
+Fiber* g_current_fiber = nullptr;
+}  // namespace
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
+    : body_(std::move(body)), stack_((stack_bytes + 15) & ~std::size_t{15}) {}
+
+Fiber::~Fiber() {
+  // A fiber destroyed mid-flight simply abandons its stack; the simulation
+  // tears everything down together at the end of a run.
+}
+
+Fiber* Fiber::current() { return g_current_fiber; }
+
+void Fiber::trampoline() {
+  Fiber* self = g_current_fiber;
+  assert(self != nullptr);
+  self->body_();
+  self->finished_ = true;
+  // Return to the scheduler for good. uc_link would also work, but an
+  // explicit swap keeps all switching in one place.
+  swapcontext(&self->context_, &self->scheduler_context_);
+  // Unreachable: a finished fiber is never resumed.
+  std::abort();
+}
+
+void Fiber::resume() {
+  assert(g_current_fiber == nullptr && "resume() called from inside a fiber");
+  assert(!finished_ && "resume() on a finished fiber");
+  if (!started_) {
+    started_ = true;
+    getcontext(&context_);
+    context_.uc_stack.ss_sp = stack_.data();
+    context_.uc_stack.ss_size = stack_.size();
+    context_.uc_link = nullptr;
+    makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+  }
+  g_current_fiber = this;
+  swapcontext(&scheduler_context_, &context_);
+  g_current_fiber = nullptr;
+}
+
+void Fiber::yield_to_scheduler() {
+  Fiber* self = g_current_fiber;
+  assert(self != nullptr && "yield outside of a fiber");
+  g_current_fiber = nullptr;
+  swapcontext(&self->context_, &self->scheduler_context_);
+  g_current_fiber = self;
+}
+
+}  // namespace odmpi::sim

@@ -1,0 +1,86 @@
+#include "src/sim/process.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace odmpi::sim {
+
+namespace {
+Process* g_current_process = nullptr;
+}  // namespace
+
+Process::Process(Engine& engine, int id, std::function<void()> body,
+                 std::size_t stack_bytes)
+    : engine_(engine), id_(id) {
+  fiber_ = std::make_unique<Fiber>(
+      [this, body = std::move(body)] {
+        body();
+        state_ = State::Finished;
+      },
+      stack_bytes);
+}
+
+Process* Process::current() { return g_current_process; }
+
+SimTime Process::current_time(const Engine& engine) {
+  if (g_current_process != nullptr) return g_current_process->now();
+  return engine.now();
+}
+
+void Process::start(SimTime delay) {
+  assert(state_ == State::NotStarted);
+  state_ = State::Ready;
+  local_now_ = engine_.now() + delay;
+  engine_.schedule_after(delay, [this] { resume_now(); });
+}
+
+void Process::resume_now() {
+  assert(state_ == State::Ready);
+  local_now_ = std::max(local_now_, engine_.now());
+  state_ = State::Running;
+  Process* prev = g_current_process;
+  g_current_process = this;
+  fiber_->resume();
+  g_current_process = prev;
+}
+
+void Process::yield() {
+  assert(g_current_process == this && "yield() from outside the process");
+  state_ = State::Ready;
+  engine_.schedule_at(local_now_, [this] { resume_now(); });
+  Fiber::yield_to_scheduler();
+}
+
+void Process::sleep(SimTime dt) {
+  advance(dt);
+  yield();
+}
+
+SimTime Process::block() {
+  assert(g_current_process == this && "block() from outside the process");
+  if (pending_signal_) {
+    pending_signal_ = false;
+    return 0;
+  }
+  const SimTime blocked_at = local_now_;
+  state_ = State::Blocked;
+  Fiber::yield_to_scheduler();
+  // wakeup() moved us to Ready and scheduled the resume; resume_now()
+  // already advanced local_now_ to the wakeup time.
+  return local_now_ - blocked_at;
+}
+
+void Process::wakeup() {
+  if (state_ == State::Blocked) {
+    state_ = State::Ready;
+    const SimTime t = std::max(Process::current_time(engine_), local_now_);
+    local_now_ = t;
+    engine_.schedule_at(t, [this] { resume_now(); });
+  } else if (state_ == State::Running || state_ == State::Ready) {
+    pending_signal_ = true;
+  }
+  // Wakeups aimed at finished/unstarted processes are dropped: the only
+  // sources are completion queues, whose owners outlive their waiters.
+}
+
+}  // namespace odmpi::sim

@@ -1,0 +1,95 @@
+// A simulated process: a fiber with a local virtual clock.
+//
+// Execution model (process-oriented DES):
+//  * "Resume process P" is itself an engine event. A process therefore only
+//    runs when every event with an earlier timestamp has been delivered.
+//  * While running, a process charges work to its *local* clock with
+//    advance(); the global clock stays at the resume timestamp. Anything
+//    the process emits (packets, wakeups) is stamped with its local time,
+//    so causality is preserved exactly.
+//  * yield() re-schedules the process at its local time and lets the engine
+//    deliver any events that "happened" in between — this is what makes a
+//    polling loop interleave correctly with message arrivals.
+//  * block()/wakeup() implement a binary-semaphore style wait used by
+//    completion queues; a wakeup that races a running process is latched
+//    and consumed by the next block().
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/sim/engine.h"
+#include "src/sim/fiber.h"
+#include "src/sim/time.h"
+
+namespace odmpi::sim {
+
+class Process {
+ public:
+  enum class State { NotStarted, Ready, Running, Blocked, Finished };
+
+  /// Creates a process that runs `body` when started. `id` is free-form
+  /// (MPI rank for our usage) and appears in diagnostics.
+  Process(Engine& engine, int id, std::function<void()> body,
+          std::size_t stack_bytes = Fiber::kDefaultStackBytes);
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  /// Schedules the first resume at engine.now() + delay.
+  void start(SimTime delay = 0);
+
+  /// Local virtual time of this process.
+  [[nodiscard]] SimTime now() const { return local_now_; }
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] bool finished() const { return state_ == State::Finished; }
+
+  /// --- Calls below must be made from inside the process's fiber. ---
+
+  /// Charges `dt` of virtual work to the local clock without yielding.
+  void advance(SimTime dt) {
+    assert(dt >= 0);
+    local_now_ += dt;
+  }
+
+  /// Lets the engine deliver pending events up to the local time, then
+  /// continues. The interleaving point of every polling loop.
+  void yield();
+
+  /// advance(dt) then yield(): models a timed sleep.
+  void sleep(SimTime dt);
+
+  /// Blocks until some other event calls wakeup(). A latched wakeup (one
+  /// that arrived while the process was running) returns immediately.
+  /// Returns the virtual duration actually spent blocked (0 if latched).
+  SimTime block();
+
+  /// --- Calls below may be made from anywhere. ---
+
+  /// Unblocks the process (or latches the signal if it is not blocked).
+  void wakeup();
+
+  /// The process currently executing, or nullptr when in plain engine
+  /// context (e.g. a packet-delivery event).
+  static Process* current();
+
+  /// Local time of the current process, or the engine's global time when
+  /// no process is running. The correct timestamp for emitted events.
+  static SimTime current_time(const Engine& engine);
+
+ private:
+  void resume_now();
+
+  Engine& engine_;
+  int id_;
+  State state_ = State::NotStarted;
+  SimTime local_now_ = 0;
+  bool pending_signal_ = false;
+  std::unique_ptr<Fiber> fiber_;
+};
+
+}  // namespace odmpi::sim

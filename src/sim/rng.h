@@ -1,0 +1,44 @@
+// Deterministic random-number streams.
+//
+// Each rank (and each workload generator) gets its own stream derived from
+// a master seed + stream id via splitmix64, so adding a rank or reordering
+// draws in one rank never perturbs another — a prerequisite for the
+// determinism property tests.
+#pragma once
+
+#include <cstdint>
+
+namespace odmpi::sim {
+
+/// xoshiro256** seeded through splitmix64. Not cryptographic; fast and
+/// statistically solid for workload generation.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Independent stream `stream` of the same master seed.
+  Rng(std::uint64_t seed, std::uint64_t stream);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// True with probability p.
+  bool next_bool(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// The splitmix64 step, exposed for seeding hierarchies elsewhere.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace odmpi::sim

@@ -1,0 +1,4 @@
+#include "src/sim/stats.h"
+
+// Header-only today; the translation unit anchors the target and leaves
+// room for heavier reporting (percentile timers) without touching callers.

@@ -1,0 +1,56 @@
+// Lightweight statistics registry shared by every layer.
+//
+// The VIA layer counts VIs, connections, pinned bytes and dropped packets;
+// the MPI layer counts messages, protocol events and parked sends; the
+// benchmark harnesses read these to regenerate the paper's resource tables
+// (Table 2) alongside the timing figures.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/sim/time.h"
+
+namespace odmpi::sim {
+
+class Stats {
+ public:
+  /// Adds `delta` to the named counter (created at 0 on first touch).
+  void add(const std::string& name, std::int64_t delta = 1) {
+    counters_[name] += delta;
+  }
+
+  /// Sets a gauge to an absolute value.
+  void set(const std::string& name, std::int64_t value) {
+    counters_[name] = value;
+  }
+
+  /// Tracks a running maximum (e.g. peak pinned bytes).
+  void set_max(const std::string& name, std::int64_t value) {
+    auto& cur = counters_[name];
+    if (value > cur) cur = value;
+  }
+
+  [[nodiscard]] std::int64_t get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, std::int64_t>& all() const {
+    return counters_;
+  }
+
+  void clear() { counters_.clear(); }
+
+  /// Merges another registry into this one (summing counters); used to
+  /// aggregate per-rank stats into cluster totals.
+  void merge(const Stats& other) {
+    for (const auto& [k, v] : other.counters_) counters_[k] += v;
+  }
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+};
+
+}  // namespace odmpi::sim

@@ -1,0 +1,31 @@
+// Virtual time for the discrete-event simulation.
+//
+// All simulated latencies in the library are expressed as SimTime. The unit
+// is the nanosecond: fine enough to express sub-microsecond NIC costs
+// (e.g. per-VI doorbell polling on Berkeley VIA) without floating point,
+// wide enough (int64) for ~292 simulated years.
+#pragma once
+
+#include <cstdint>
+
+namespace odmpi::sim {
+
+/// Virtual simulation time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// Handy constructors so cost models read like the paper ("40 us wake-up").
+constexpr SimTime nanoseconds(std::int64_t n) { return n; }
+constexpr SimTime microseconds(std::int64_t us) { return us * 1000; }
+constexpr SimTime milliseconds(std::int64_t ms) { return ms * 1000 * 1000; }
+constexpr SimTime seconds(std::int64_t s) { return s * 1000 * 1000 * 1000; }
+
+/// Fractional helpers used by cost models (e.g. 0.4 us per extra VI).
+constexpr SimTime microseconds_f(double us) {
+  return static_cast<SimTime>(us * 1000.0);
+}
+
+constexpr double to_us(SimTime t) { return static_cast<double>(t) / 1000.0; }
+constexpr double to_ms(SimTime t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_sec(SimTime t) { return static_cast<double>(t) / 1e9; }
+
+}  // namespace odmpi::sim

@@ -1,0 +1,46 @@
+#include "src/via/completion.h"
+
+#include <cassert>
+
+#include "src/via/device_profile.h"
+
+namespace odmpi::via {
+
+std::optional<Completion> CompletionQueue::poll() {
+  if (auto* p = sim::Process::current()) {
+    p->advance(profile_.cq_poll_cost);
+  }
+  if (entries_.empty()) return std::nullopt;
+  Completion c = entries_.front();
+  entries_.pop_front();
+  return c;
+}
+
+Completion CompletionQueue::wait() {
+  auto* p = sim::Process::current();
+  assert(p != nullptr && "CompletionQueue::wait outside a process");
+  p->advance(profile_.cq_poll_cost);
+  while (entries_.empty()) {
+    waiter_ = p;
+    const sim::SimTime blocked = p->block();
+    waiter_ = nullptr;
+    if (blocked > 0 && !profile_.wait_is_poll) {
+      // cLAN-style wait: the process really slept in the kernel and pays
+      // the interrupt + reschedule cost on the way out. On Berkeley VIA
+      // wait degenerates to polling: the elapsed virtual time is the same
+      // (the process owns its CPU either way) but there is no penalty.
+      ++kernel_wakeups_;
+      p->advance(profile_.blocking_wait_wakeup);
+    }
+  }
+  Completion c = entries_.front();
+  entries_.pop_front();
+  return c;
+}
+
+void CompletionQueue::push(const Completion& completion) {
+  entries_.push_back(completion);
+  if (waiter_ != nullptr) waiter_->wakeup();
+}
+
+}  // namespace odmpi::via

@@ -1,0 +1,68 @@
+// Completion queues.
+//
+// A VI's work queues can be bound to completion queues at creation time;
+// the NIC then pushes a completion entry whenever a descriptor finishes.
+// MVICH binds the receive queues of every VI to a single CQ and drives all
+// progress by polling it — we reproduce that structure.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "src/sim/process.h"
+#include "src/via/descriptor.h"
+#include "src/via/types.h"
+
+namespace odmpi::via {
+
+class Vi;
+struct DeviceProfile;
+
+struct Completion {
+  Vi* vi = nullptr;
+  Descriptor* descriptor = nullptr;
+  bool is_receive = false;
+};
+
+class CompletionQueue {
+ public:
+  explicit CompletionQueue(const DeviceProfile& profile)
+      : profile_(profile) {}
+
+  CompletionQueue(const CompletionQueue&) = delete;
+  CompletionQueue& operator=(const CompletionQueue&) = delete;
+
+  /// Nonblocking poll (VipCQDone). Charges the device's poll cost to the
+  /// calling process and pops the oldest completion if any.
+  std::optional<Completion> poll();
+
+  /// Blocking wait (VipCQWait): returns the oldest completion, sleeping
+  /// if the queue is empty. On devices where wait is a kernel sleep
+  /// (cLAN), an actual sleep costs `blocking_wait_wakeup` on the way out;
+  /// on Berkeley VIA this degenerates to a poll loop.
+  Completion wait();
+
+  /// True if a completion is available without consuming it. Free of
+  /// cost-model charges; used by wait-policy loops for bookkeeping.
+  [[nodiscard]] bool has_entries() const { return !entries_.empty(); }
+
+  [[nodiscard]] std::size_t depth() const { return entries_.size(); }
+
+  /// NIC side: enqueue a completion and wake any waiter.
+  void push(const Completion& completion);
+
+  /// Times the queue transitioned a waiter out of a real kernel sleep
+  /// (spinwait's failure mode in the paper).
+  [[nodiscard]] std::uint64_t kernel_wakeups() const {
+    return kernel_wakeups_;
+  }
+
+ private:
+  const DeviceProfile& profile_;
+  std::deque<Completion> entries_;
+  sim::Process* waiter_ = nullptr;
+  std::uint64_t kernel_wakeups_ = 0;
+};
+
+}  // namespace odmpi::via

@@ -1,0 +1,232 @@
+#include "src/via/connection.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/via/nic.h"
+#include "src/via/provider.h"
+#include "src/via/vi.h"
+
+namespace odmpi::via {
+
+void ConnectionService::send_control(NodeId dst,
+                                     std::function<void(Nic&)> handler) {
+  Cluster& cluster = nic_.cluster();
+  Nic& remote = cluster.nic(dst);
+  cluster.fabric().deliver(
+      nic_.node(), dst,
+      static_cast<std::size_t>(nic_.profile().conn_handshake_bytes),
+      sim::Process::current_time(cluster.engine()),
+      nic_.profile().nic_base_cost, /*dst_nic_delay=*/0,
+      /*on_tx_done=*/{},
+      [&remote, handler = std::move(handler)] { handler(remote); });
+}
+
+void ConnectionService::establish(Vi& vi, NodeId remote_node, ViId remote_vi) {
+  vi.set_connected(remote_node, remote_vi);
+  ++connections_established_;
+  nic_.stats().add("conn.established");
+  nic_.notify_host();
+}
+
+// --- Peer-to-peer model -----------------------------------------------------
+
+Status ConnectionService::connect_peer(Vi& vi, NodeId remote_node,
+                                       Discriminator disc) {
+  if (vi.state() != ViState::kIdle) return Status::kInvalidState;
+  Nic::charge_host(nic_.profile().conn_os_cost);
+  nic_.stats().add("conn.peer_initiated");
+
+  // A matching request may already have arrived (the remote side called
+  // connect_peer first): claim it and complete the connection now.
+  auto it = std::find_if(unmatched_.begin(), unmatched_.end(),
+                         [&](const IncomingRequest& r) {
+                           return r.discriminator == disc &&
+                                  r.src_node == remote_node;
+                         });
+  if (it != unmatched_.end()) {
+    const IncomingRequest req = *it;
+    unmatched_.erase(it);
+    establish(vi, req.src_node, req.src_vi);
+    const NodeId me = nic_.node();
+    const ViId my_vi = vi.id();
+    const ViId their_vi = req.src_vi;
+    send_control(req.src_node, [their_vi, me, my_vi](Nic& remote) {
+      remote.connections().on_peer_ack(their_vi, me, my_vi);
+    });
+    return Status::kSuccess;
+  }
+
+  vi.state_ = ViState::kConnectPending;
+  pending_peer_[disc] = PendingPeer{&vi, remote_node};
+  const IncomingRequest req{nic_.node(), vi.id(), disc};
+  send_control(remote_node, [req](Nic& remote) {
+    remote.connections().on_peer_request(req);
+  });
+  return Status::kSuccess;
+}
+
+void ConnectionService::on_peer_request(const IncomingRequest& request) {
+  auto it = pending_peer_.find(request.discriminator);
+  if (it != pending_peer_.end() &&
+      it->second.remote_node == request.src_node) {
+    // Crossing or second-arriving request: we already issued ours, so the
+    // match completes here.
+    Vi* vi = it->second.vi;
+    pending_peer_.erase(it);
+    establish(*vi, request.src_node, request.src_vi);
+    const NodeId me = nic_.node();
+    const ViId my_vi = vi->id();
+    const ViId their_vi = request.src_vi;
+    send_control(request.src_node, [their_vi, me, my_vi](Nic& remote) {
+      remote.connections().on_peer_ack(their_vi, me, my_vi);
+    });
+    return;
+  }
+  // No local request yet: queue it for the host's progress loop (the
+  // on-demand connection manager polls these in device_check).
+  unmatched_.push_back(request);
+  nic_.stats().add("conn.peer_unmatched_queued");
+  nic_.notify_host();
+}
+
+void ConnectionService::on_peer_ack(ViId local_vi, NodeId remote_node,
+                                    ViId remote_vi) {
+  Vi* vi = nic_.find_vi(local_vi);
+  if (vi == nullptr) return;
+  if (vi->state() == ViState::kConnectPending) {
+    // Remove the pending entry that carried this VI.
+    for (auto it = pending_peer_.begin(); it != pending_peer_.end(); ++it) {
+      if (it->second.vi == vi) {
+        pending_peer_.erase(it);
+        break;
+      }
+    }
+    establish(*vi, remote_node, remote_vi);
+  }
+  // Already connected (crossing requests): the ack is redundant.
+}
+
+std::vector<IncomingRequest> ConnectionService::poll_incoming() {
+  Nic::charge_host(nic_.profile().cq_poll_cost);
+  return {unmatched_.begin(), unmatched_.end()};
+}
+
+// --- Client/server model ----------------------------------------------------
+
+IncomingRequest ConnectionService::connect_wait(Discriminator disc) {
+  auto* p = sim::Process::current();
+  assert(p != nullptr && "connect_wait outside a process");
+  assert(nic_.profile().supports_client_server &&
+         "device does not implement the client/server model");
+  for (;;) {
+    auto it = std::find_if(
+        cs_pending_.begin(), cs_pending_.end(),
+        [&](const IncomingRequest& r) { return r.discriminator == disc; });
+    if (it != cs_pending_.end()) {
+      IncomingRequest req = *it;
+      cs_pending_.erase(it);
+      return req;
+    }
+    cs_waiters_.push_back(CsWaiter{disc, p});
+    p->block();
+    std::erase_if(cs_waiters_,
+                  [p](const CsWaiter& w) { return w.process == p; });
+  }
+}
+
+Status ConnectionService::connect_accept(const IncomingRequest& request,
+                                         Vi& vi) {
+  if (vi.state() != ViState::kIdle) return Status::kInvalidState;
+  Nic::charge_host(nic_.profile().conn_os_cost);
+  establish(vi, request.src_node, request.src_vi);
+  const NodeId me = nic_.node();
+  const ViId my_vi = vi.id();
+  const ViId their_vi = request.src_vi;
+  send_control(request.src_node, [their_vi, me, my_vi](Nic& remote) {
+    remote.connections().on_cs_response(their_vi, true, me, my_vi);
+  });
+  return Status::kSuccess;
+}
+
+void ConnectionService::connect_reject(const IncomingRequest& request) {
+  const ViId their_vi = request.src_vi;
+  send_control(request.src_node, [their_vi](Nic& remote) {
+    remote.connections().on_cs_response(their_vi, false, -1, -1);
+  });
+}
+
+Status ConnectionService::connect_request(Vi& vi, NodeId remote_node,
+                                          Discriminator disc) {
+  auto* p = sim::Process::current();
+  assert(p != nullptr && "connect_request outside a process");
+  assert(nic_.profile().supports_client_server &&
+         "device does not implement the client/server model");
+  if (vi.state() != ViState::kIdle) return Status::kInvalidState;
+  Nic::charge_host(nic_.profile().conn_os_cost);
+  vi.state_ = ViState::kConnectPending;
+  cs_clients_[vi.id()] = CsClient{&vi, std::nullopt, p};
+
+  const IncomingRequest req{nic_.node(), vi.id(), disc};
+  send_control(remote_node, [req](Nic& remote) {
+    remote.connections().on_cs_request(req);
+  });
+
+  CsClient& client = cs_clients_[vi.id()];
+  while (!client.result.has_value()) {
+    p->block();
+  }
+  const Status result = *client.result;
+  cs_clients_.erase(vi.id());
+  return result;
+}
+
+void ConnectionService::on_cs_request(const IncomingRequest& request) {
+  cs_pending_.push_back(request);
+  nic_.stats().add("conn.cs_request_queued");
+  for (const CsWaiter& w : cs_waiters_) {
+    if (w.disc == request.discriminator) {
+      w.process->wakeup();
+      break;
+    }
+  }
+  nic_.notify_host();
+}
+
+void ConnectionService::on_cs_response(ViId local_vi, bool accepted,
+                                       NodeId remote_node, ViId remote_vi) {
+  auto it = cs_clients_.find(local_vi);
+  if (it == cs_clients_.end()) return;
+  CsClient& client = it->second;
+  if (accepted) {
+    establish(*client.vi, remote_node, remote_vi);
+    client.result = Status::kSuccess;
+  } else {
+    client.vi->state_ = ViState::kIdle;
+    client.result = Status::kRejected;
+    nic_.stats().add("conn.rejected");
+  }
+  client.process->wakeup();
+}
+
+// --- Disconnect ---------------------------------------------------------
+
+void ConnectionService::disconnect(Vi& vi) {
+  if (vi.state() != ViState::kConnected) return;
+  const NodeId remote_node = vi.remote_node();
+  const ViId remote_vi = vi.remote_vi();
+  vi.state_ = ViState::kDisconnected;
+  send_control(remote_node, [remote_vi](Nic& remote) {
+    remote.connections().on_disconnect(remote_vi);
+  });
+  nic_.stats().add("conn.disconnected");
+}
+
+void ConnectionService::on_disconnect(ViId local_vi) {
+  Vi* vi = nic_.find_vi(local_vi);
+  if (vi == nullptr || vi->state() != ViState::kConnected) return;
+  vi->state_ = ViState::kDisconnected;
+  nic_.notify_host();
+}
+
+}  // namespace odmpi::via

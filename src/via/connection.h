@@ -1,0 +1,121 @@
+// VIA connection management: both models from the spec.
+//
+//  * Peer-to-peer (VIA >= 1.0, the only model Berkeley VIA offers): both
+//    sides call connect_peer with the same discriminator; whichever
+//    request arrives second completes the match. Symmetric — the property
+//    the paper exploits for on-demand management (section 3.2).
+//  * Client/server (VIA 0.95): the server parks in connect_wait, the
+//    client issues connect_request; the server accepts or rejects.
+//
+// Incoming peer requests that found no local match are queued and exposed
+// through poll_incoming(), which is exactly the hook MVICH's modified
+// MPID_DeviceCheck() polls to accept on-demand connections without a
+// server thread.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/sim/process.h"
+#include "src/via/types.h"
+
+namespace odmpi::via {
+
+class Nic;
+class Vi;
+
+/// An incoming connection request visible to the host.
+struct IncomingRequest {
+  NodeId src_node = -1;
+  ViId src_vi = -1;
+  Discriminator discriminator = 0;
+};
+
+class ConnectionService {
+ public:
+  explicit ConnectionService(Nic& nic) : nic_(nic) {}
+
+  ConnectionService(const ConnectionService&) = delete;
+  ConnectionService& operator=(const ConnectionService&) = delete;
+
+  // --- Peer-to-peer model -------------------------------------------------
+
+  /// Nonblocking VipConnectPeerRequest: moves `vi` to kConnectPending and
+  /// either matches an already-arrived remote request or sends ours.
+  /// Completion is observable via vi.state() == kConnected.
+  Status connect_peer(Vi& vi, NodeId remote_node, Discriminator disc);
+
+  /// Unmatched incoming peer requests (charges one poll cost). Entries
+  /// remain queued until a local connect_peer with the same discriminator
+  /// claims them.
+  std::vector<IncomingRequest> poll_incoming();
+
+  /// True if any unmatched incoming request is queued (no cost; cheap
+  /// host-memory check used by progress loops).
+  [[nodiscard]] bool has_incoming() const { return !unmatched_.empty(); }
+
+  // --- Client/server model ------------------------------------------------
+
+  /// Blocking VipConnectWait: parks the calling process until a client
+  /// request with `disc` arrives; returns it.
+  IncomingRequest connect_wait(Discriminator disc);
+
+  /// Accepts a previously returned request, connecting `vi` to it.
+  Status connect_accept(const IncomingRequest& request, Vi& vi);
+
+  /// Rejects a previously returned request.
+  void connect_reject(const IncomingRequest& request);
+
+  /// Blocking VipConnectRequest (client side): returns once the server
+  /// accepted (kSuccess) or rejected (kRejected).
+  Status connect_request(Vi& vi, NodeId remote_node, Discriminator disc);
+
+  // --- Disconnect ---------------------------------------------------------
+
+  void disconnect(Vi& vi);
+
+  // --- Fabric-facing handlers (invoked by delivery events) ----------------
+
+  void on_peer_request(const IncomingRequest& request);
+  void on_peer_ack(ViId local_vi, NodeId remote_node, ViId remote_vi);
+  void on_cs_request(const IncomingRequest& request);
+  void on_cs_response(ViId local_vi, bool accepted, NodeId remote_node,
+                      ViId remote_vi);
+  void on_disconnect(ViId local_vi);
+
+  [[nodiscard]] std::uint64_t connections_established() const {
+    return connections_established_;
+  }
+
+ private:
+  struct PendingPeer {
+    Vi* vi;
+    NodeId remote_node;
+  };
+  struct CsWaiter {
+    Discriminator disc;
+    sim::Process* process;
+  };
+  struct CsClient {
+    Vi* vi;
+    std::optional<Status> result;
+    sim::Process* process;
+  };
+
+  void send_control(NodeId dst, std::function<void(Nic&)> handler);
+  void establish(Vi& vi, NodeId remote_node, ViId remote_vi);
+
+  Nic& nic_;
+  std::map<Discriminator, PendingPeer> pending_peer_;
+  std::deque<IncomingRequest> unmatched_;        // peer reqs with no match
+  std::deque<IncomingRequest> cs_pending_;       // client reqs awaiting wait
+  std::vector<CsWaiter> cs_waiters_;
+  std::map<ViId, CsClient> cs_clients_;
+  std::uint64_t connections_established_ = 0;
+};
+
+}  // namespace odmpi::via

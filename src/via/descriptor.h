@@ -1,0 +1,49 @@
+// VIA descriptors: the work requests a process posts to a VI's send or
+// receive queue. As in real VIA, descriptors are owned by the application
+// (here the MPI device layer keeps pools of them) and are revisited for
+// status once the NIC completes them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/via/types.h"
+
+namespace odmpi::via {
+
+enum class DescOp : std::uint8_t {
+  kSend,
+  kReceive,
+  kRdmaWrite,
+};
+
+struct Descriptor {
+  DescOp op = DescOp::kSend;
+
+  // Local data segment. Must lie in memory registered under `mem_handle`.
+  std::byte* addr = nullptr;
+  std::size_t length = 0;
+  MemoryHandle mem_handle = kInvalidMemoryHandle;
+
+  // RDMA-write target (ignored for send/receive).
+  std::byte* remote_addr = nullptr;
+  MemoryHandle remote_mem_handle = kInvalidMemoryHandle;
+
+  // Filled in on completion.
+  Status status = Status::kInProgress;
+  std::size_t bytes_transferred = 0;
+  bool done = false;
+
+  // Opaque cookie for the layer above (MVICH stores its request pointer
+  // in the descriptor the same way).
+  void* user_context = nullptr;
+
+  /// Resets completion state so pooled descriptors can be reposted.
+  void reset_for_repost() {
+    status = Status::kInProgress;
+    bytes_transferred = 0;
+    done = false;
+  }
+};
+
+}  // namespace odmpi::via

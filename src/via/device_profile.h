@@ -1,0 +1,99 @@
+// Device cost profiles: the calibration layer that stands in for the real
+// GigaNet cLAN and Berkeley VIA / Myrinet hardware of the paper's testbed.
+//
+// Every constant is virtual time (ns) or a rate; see DESIGN.md section 5
+// for how the values were picked to land in the paper's measured regime.
+#pragma once
+
+#include <string>
+
+#include "src/sim/time.h"
+#include "src/via/types.h"
+
+namespace odmpi::via {
+
+struct DeviceProfile {
+  std::string name;
+
+  // --- Host-side costs (charged to the calling process's clock). ---
+  sim::SimTime send_post_overhead;    // build descriptor + doorbell ring
+  sim::SimTime recv_post_overhead;    // post a receive descriptor
+  sim::SimTime cq_poll_cost;          // one VipCQDone-style poll
+  sim::SimTime recv_handling_overhead;  // per-arrival host-side handling
+  // Penalty when a blocking wait actually goes to sleep (kernel transition
+  // + interrupt + reschedule). Zero when wait_is_poll.
+  sim::SimTime blocking_wait_wakeup;
+  // Berkeley VIA implements VipCQWait as an infinite poll loop, so wait
+  // and poll are indistinguishable there (paper section 5.3).
+  bool wait_is_poll;
+
+  // --- NIC / wire costs (become event delays, not host time). ---
+  sim::SimTime nic_base_cost;    // fixed NIC processing per message
+  // Berkeley VIA's LANai firmware round-robins the doorbells of every
+  // open VI, so per-message NIC cost grows with the number of open VIs on
+  // that node (paper Figure 1). Zero for cLAN.
+  sim::SimTime nic_per_vi_cost;
+  double per_byte_ns;            // inverse wire bandwidth
+  sim::SimTime wire_latency;     // cable + switch traversal
+
+  // --- Connection management costs. ---
+  sim::SimTime vi_create_cost;        // VipCreateVi (driver call)
+  sim::SimTime conn_os_cost;          // kernel involvement per endpoint
+  sim::SimTime conn_handshake_bytes;  // handshake packet size (bytes)
+  bool supports_client_server;        // cLAN: both models; BVIA: P2P only
+
+  // --- Memory registration. ---
+  sim::SimTime mem_reg_cost_per_page;  // pin one 4 kB page
+  static constexpr std::size_t kPageBytes = 4096;
+
+  /// GigaNet cLAN 1000 + cLAN5300 switch (paper's first testbed).
+  /// Targets: ~14 us small-message MPI latency, ~110 MB/s peak bandwidth,
+  /// expensive kernel wake-up (~40 us), VI-count-independent latency.
+  static DeviceProfile clan() {
+    DeviceProfile p;
+    p.name = "clan";
+    p.send_post_overhead = sim::nanoseconds(900);
+    p.recv_post_overhead = sim::nanoseconds(400);
+    p.cq_poll_cost = sim::nanoseconds(120);
+    p.recv_handling_overhead = sim::nanoseconds(1400);
+    p.blocking_wait_wakeup = sim::microseconds(40);
+    p.wait_is_poll = false;
+    p.nic_base_cost = sim::nanoseconds(2600);
+    p.nic_per_vi_cost = sim::nanoseconds(0);
+    p.per_byte_ns = 8.9;  // ~112 MB/s
+    p.wire_latency = sim::nanoseconds(8600);
+    p.vi_create_cost = sim::microseconds(35);
+    p.conn_os_cost = sim::microseconds(180);
+    p.conn_handshake_bytes = 64;
+    p.supports_client_server = true;
+    p.mem_reg_cost_per_page = sim::nanoseconds(80);
+    return p;
+  }
+
+  /// Berkeley VIA 2.0 on Myrinet LANai 7 (paper's second testbed).
+  /// Targets: ~35 us small-message MPI latency at 2 open VIs, growing
+  /// roughly half a microsecond per additional open VI per NIC traversal
+  /// (Figure 1), ~60 MB/s bandwidth, wait == poll.
+  static DeviceProfile bvia() {
+    DeviceProfile p;
+    p.name = "bvia";
+    p.send_post_overhead = sim::nanoseconds(1800);
+    p.recv_post_overhead = sim::nanoseconds(700);
+    p.cq_poll_cost = sim::nanoseconds(200);
+    p.recv_handling_overhead = sim::nanoseconds(2600);
+    p.blocking_wait_wakeup = sim::nanoseconds(0);
+    p.wait_is_poll = true;
+    p.nic_base_cost = sim::nanoseconds(6200);
+    p.nic_per_vi_cost = sim::nanoseconds(520);
+    p.per_byte_ns = 15.2;  // ~66 MB/s
+    p.wire_latency = sim::nanoseconds(20500);
+    p.vi_create_cost = sim::microseconds(60);
+    p.conn_os_cost = sim::microseconds(420);
+    p.conn_handshake_bytes = 64;
+    p.supports_client_server = false;
+    p.mem_reg_cost_per_page = sim::nanoseconds(150);
+    return p;
+  }
+};
+
+}  // namespace odmpi::via

@@ -1,0 +1,33 @@
+#include "src/via/fabric.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace odmpi::via {
+
+void Fabric::deliver(NodeId src, NodeId dst, std::size_t bytes,
+                     sim::SimTime depart_time, sim::SimTime src_nic_delay,
+                     sim::SimTime dst_nic_delay,
+                     std::function<void()> on_tx_done,
+                     std::function<void()> on_arrival) {
+  assert(src >= 0 && src < static_cast<int>(egress_free_.size()));
+  assert(dst >= 0 && dst < static_cast<int>(egress_free_.size()));
+
+  const sim::SimTime ready = depart_time + src_nic_delay;
+  const sim::SimTime tx_start = std::max(ready, egress_free_[src]);
+  const auto tx_time = static_cast<sim::SimTime>(
+      static_cast<double>(bytes) * profile_.per_byte_ns);
+  const sim::SimTime tx_done = tx_start + tx_time;
+  egress_free_[src] = tx_done;
+
+  const sim::SimTime arrival = tx_done + profile_.wire_latency + dst_nic_delay;
+
+  if (on_tx_done) {
+    engine_.schedule_at(tx_done, std::move(on_tx_done));
+  }
+  ++packets_delivered_;
+  bytes_delivered_ += bytes;
+  engine_.schedule_at(arrival, std::move(on_arrival));
+}
+
+}  // namespace odmpi::via

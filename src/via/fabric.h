@@ -1,0 +1,57 @@
+// The cluster interconnect: cables and switches between NICs.
+//
+// Delivery cost = sender NIC processing + serialized egress transmission
+// (per-byte) + wire/switch latency + receiver NIC processing. Egress
+// serialization per node gives honest bandwidth saturation when a node
+// streams to many peers (alltoall in IS).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/sim/time.h"
+#include "src/via/device_profile.h"
+#include "src/via/types.h"
+
+namespace odmpi::via {
+
+class Fabric {
+ public:
+  Fabric(sim::Engine& engine, int num_nodes, const DeviceProfile& profile)
+      : engine_(engine), profile_(profile), egress_free_(num_nodes, 0) {}
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Ships `bytes` from `src` to `dst`.
+  ///  * `depart_time`  — sender-side timestamp of the doorbell (the
+  ///    sending process's local clock).
+  ///  * `src_nic_delay` — NIC processing before the wire (includes the
+  ///    per-VI doorbell-scan cost on Berkeley VIA).
+  ///  * `dst_nic_delay` — NIC processing after the wire.
+  ///  * `on_tx_done`   — fired when the sender's NIC is finished with the
+  ///    message (send-descriptor completion time); may be empty.
+  ///  * `on_arrival`   — fired at the destination NIC.
+  void deliver(NodeId src, NodeId dst, std::size_t bytes,
+               sim::SimTime depart_time, sim::SimTime src_nic_delay,
+               sim::SimTime dst_nic_delay, std::function<void()> on_tx_done,
+               std::function<void()> on_arrival);
+
+  [[nodiscard]] std::uint64_t packets_delivered() const {
+    return packets_delivered_;
+  }
+  [[nodiscard]] std::uint64_t bytes_delivered() const {
+    return bytes_delivered_;
+  }
+
+ private:
+  sim::Engine& engine_;
+  const DeviceProfile& profile_;
+  std::vector<sim::SimTime> egress_free_;
+  std::uint64_t packets_delivered_ = 0;
+  std::uint64_t bytes_delivered_ = 0;
+};
+
+}  // namespace odmpi::via

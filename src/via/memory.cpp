@@ -1,0 +1,32 @@
+#include "src/via/memory.h"
+
+#include <algorithm>
+
+namespace odmpi::via {
+
+MemoryHandle MemoryRegistry::register_region(const std::byte* base,
+                                             std::size_t length) {
+  const MemoryHandle handle = next_handle_++;
+  regions_.emplace(handle, Region{base, length});
+  pinned_bytes_ += static_cast<std::int64_t>(length);
+  peak_pinned_bytes_ = std::max(peak_pinned_bytes_, pinned_bytes_);
+  return handle;
+}
+
+bool MemoryRegistry::deregister(MemoryHandle handle) {
+  auto it = regions_.find(handle);
+  if (it == regions_.end()) return false;
+  pinned_bytes_ -= static_cast<std::int64_t>(it->second.length);
+  regions_.erase(it);
+  return true;
+}
+
+bool MemoryRegistry::covers(MemoryHandle handle, const std::byte* addr,
+                            std::size_t length) const {
+  auto it = regions_.find(handle);
+  if (it == regions_.end()) return false;
+  const Region& r = it->second;
+  return addr >= r.base && addr + length <= r.base + r.length;
+}
+
+}  // namespace odmpi::via

@@ -1,0 +1,200 @@
+#include "src/via/nic.h"
+
+#include <cassert>
+#include <cstring>
+#include <utility>
+
+#include "src/via/provider.h"
+
+namespace odmpi::via {
+
+namespace {
+// Wire framing per message (VIA header + CRC), added to payload bytes for
+// transmission-time purposes.
+constexpr std::size_t kWireHeaderBytes = 32;
+}  // namespace
+
+Nic::Nic(Cluster& cluster, NodeId node)
+    : cluster_(cluster), node_(node), connections_(*this) {}
+
+Nic::~Nic() = default;
+
+const DeviceProfile& Nic::profile() const { return cluster_.profile(); }
+
+Vi* Nic::create_vi(CompletionQueue* send_cq, CompletionQueue* recv_cq) {
+  charge_host(profile().vi_create_cost);
+  const ViId id = static_cast<ViId>(vis_.size());
+  vis_.push_back(std::make_unique<Vi>(*this, id, send_cq, recv_cq));
+  ++open_vi_count_;
+  ++vis_ever_created_;
+  stats_.add("vi.created");
+  stats_.set_max("vi.open_peak", open_vi_count_);
+  return vis_.back().get();
+}
+
+void Nic::destroy_vi(Vi* vi) {
+  assert(vi != nullptr);
+  assert(vi->sends_in_flight_ == 0 && "destroy_vi with sends in flight");
+  // Preposted receive descriptors that never matched a message are flushed
+  // with kDisconnected status (VIA flushes work queues on destroy).
+  while (!vi->recv_queue_.empty()) {
+    Descriptor* desc = vi->recv_queue_.front();
+    vi->recv_queue_.pop_front();
+    desc->status = Status::kDisconnected;
+    desc->done = true;
+  }
+  const ViId id = vi->id();
+  assert(id >= 0 && id < static_cast<ViId>(vis_.size()) &&
+         vis_[id].get() == vi);
+  vis_[id].reset();  // keep ids of other VIs stable
+  --open_vi_count_;
+}
+
+CompletionQueue* Nic::create_cq() {
+  cqs_.push_back(std::make_unique<CompletionQueue>(profile()));
+  return cqs_.back().get();
+}
+
+MemoryHandle Nic::register_memory(const std::byte* base, std::size_t length) {
+  const auto pages =
+      (length + DeviceProfile::kPageBytes - 1) / DeviceProfile::kPageBytes;
+  charge_host(static_cast<sim::SimTime>(pages) *
+              profile().mem_reg_cost_per_page);
+  const MemoryHandle h = memory_.register_region(base, length);
+  stats_.set_max("mem.pinned_peak_bytes", memory_.peak_pinned_bytes());
+  return h;
+}
+
+bool Nic::deregister_memory(MemoryHandle handle) {
+  return memory_.deregister(handle);
+}
+
+void Nic::notify_host() {
+  if (host_waiter_ != nullptr) host_waiter_->wakeup();
+}
+
+Vi* Nic::find_vi(ViId id) {
+  if (id < 0 || id >= static_cast<ViId>(vis_.size())) return nullptr;
+  return vis_[id].get();
+}
+
+sim::SimTime Nic::send_nic_delay() const {
+  // Berkeley VIA's firmware scans the doorbell of every open VI per
+  // message (nic_per_vi_cost > 0); cLAN's hardware dispatch is flat.
+  return profile().nic_base_cost +
+         profile().nic_per_vi_cost * open_vi_count_;
+}
+
+void Nic::complete(Vi& vi, Descriptor* desc, Status status, std::size_t bytes,
+                   bool is_receive) {
+  desc->status = status;
+  desc->bytes_transferred = bytes;
+  desc->done = true;
+  CompletionQueue* cq = is_receive ? vi.recv_cq() : vi.send_cq();
+  if (cq != nullptr) cq->push(Completion{&vi, desc, is_receive});
+  notify_host();
+}
+
+Status Nic::start_send(Vi& vi, Descriptor* desc) {
+  assert(vi.state() == ViState::kConnected);
+  std::vector<std::byte> payload(desc->addr, desc->addr + desc->length);
+  const NodeId dst = vi.remote_node();
+  const ViId dst_vi = vi.remote_vi();
+  ++vi.sends_in_flight_;
+  ++hot_.msg_sent;
+  hot_.msg_sent_bytes += static_cast<std::int64_t>(desc->length);
+
+  Nic& remote = cluster_.nic(dst);
+  Vi* vi_ptr = &vi;
+  cluster_.fabric().deliver(
+      node_, dst, desc->length + kWireHeaderBytes,
+      sim::Process::current_time(cluster_.engine()), send_nic_delay(),
+      /*dst_nic_delay=*/0,
+      /*on_tx_done=*/
+      [this, vi_ptr, desc] {
+        --vi_ptr->sends_in_flight_;
+        complete(*vi_ptr, desc, Status::kSuccess, desc->length,
+                 /*is_receive=*/false);
+      },
+      /*on_arrival=*/
+      [&remote, dst_vi, payload = std::move(payload)] {
+        remote.on_message(dst_vi, payload);
+      });
+  return Status::kSuccess;
+}
+
+void Nic::on_message(ViId target_vi, const std::vector<std::byte>& payload) {
+  Vi* vi = find_vi(target_vi);
+  if (vi == nullptr || vi->state() != ViState::kConnected) {
+    stats_.add("msg.dropped_no_vi");
+    return;
+  }
+  if (vi->recv_queue_.empty()) {
+    // VIA semantics: no preposted receive descriptor => the message is
+    // dropped. The MPI credit scheme makes this unreachable from MPI.
+    ++vi->drops_;
+    stats_.add("msg.dropped_no_desc");
+    return;
+  }
+  Descriptor* desc = vi->recv_queue_.front();
+  vi->recv_queue_.pop_front();
+  if (payload.size() > desc->length) {
+    complete(*vi, desc, Status::kLengthError, 0, /*is_receive=*/true);
+    stats_.add("msg.length_error");
+    return;
+  }
+  if (!payload.empty()) {
+    std::memcpy(desc->addr, payload.data(), payload.size());
+  }
+  ++hot_.msg_received;
+  complete(*vi, desc, Status::kSuccess, payload.size(), /*is_receive=*/true);
+}
+
+Status Nic::start_rdma_write(Vi& vi, Descriptor* desc) {
+  assert(vi.state() == ViState::kConnected);
+  const NodeId dst = vi.remote_node();
+  Nic& remote = cluster_.nic(dst);
+  // Simulation shortcut: the protection check that real hardware performs
+  // at the target happens eagerly here; it is deterministic either way.
+  if (!remote.memory().covers(desc->remote_mem_handle, desc->remote_addr,
+                              desc->length)) {
+    complete(vi, desc, Status::kProtectionError, 0, /*is_receive=*/false);
+    stats_.add("rdma.protection_error");
+    return Status::kProtectionError;
+  }
+  std::vector<std::byte> payload(desc->addr, desc->addr + desc->length);
+  std::byte* remote_addr = desc->remote_addr;
+  ++vi.sends_in_flight_;
+  ++hot_.rdma_write;
+  hot_.rdma_write_bytes += static_cast<std::int64_t>(desc->length);
+
+  Vi* vi_ptr = &vi;
+  cluster_.fabric().deliver(
+      node_, dst, desc->length + kWireHeaderBytes,
+      sim::Process::current_time(cluster_.engine()), send_nic_delay(),
+      /*dst_nic_delay=*/0,
+      /*on_tx_done=*/
+      [this, vi_ptr, desc] {
+        --vi_ptr->sends_in_flight_;
+        complete(*vi_ptr, desc, Status::kSuccess, desc->length,
+                 /*is_receive=*/false);
+      },
+      /*on_arrival=*/
+      [&remote, remote_addr, payload = std::move(payload)] {
+        remote.on_rdma_write(remote_addr, kInvalidMemoryHandle, payload);
+      });
+  return Status::kSuccess;
+}
+
+void Nic::on_rdma_write(std::byte* remote_addr, MemoryHandle /*handle*/,
+                        const std::vector<std::byte>& payload) {
+  // The write lands silently: no receive descriptor is consumed and no
+  // completion is generated at the target (plain RDMA write, no
+  // immediate data) — the rendezvous FIN message provides notification.
+  if (!payload.empty()) {
+    std::memcpy(remote_addr, payload.data(), payload.size());
+  }
+  ++hot_.rdma_write_received;
+}
+
+}  // namespace odmpi::via

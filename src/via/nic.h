@@ -1,0 +1,124 @@
+// The per-node NIC: owns the node's VIs, completion queues, registered
+// memory and connection service, and moves messages through the fabric.
+//
+// Cost-model split: host-side overheads (posting, polling) are charged to
+// the calling process's virtual clock; NIC and wire costs become event
+// delays. Berkeley VIA's signature behaviour — per-message cost growing
+// with the number of open VIs on the node (Figure 1) — lives in
+// send_nic_delay().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/sim/process.h"
+#include "src/sim/stats.h"
+#include "src/via/completion.h"
+#include "src/via/connection.h"
+#include "src/via/descriptor.h"
+#include "src/via/device_profile.h"
+#include "src/via/memory.h"
+#include "src/via/types.h"
+#include "src/via/vi.h"
+
+namespace odmpi::via {
+
+class Cluster;
+
+class Nic {
+ public:
+  Nic(Cluster& cluster, NodeId node);
+  ~Nic();
+
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  // --- Resource creation --------------------------------------------------
+
+  /// VipCreateVi: charges the driver-call cost and returns a new endpoint.
+  Vi* create_vi(CompletionQueue* send_cq, CompletionQueue* recv_cq);
+
+  /// VipDestroyVi. The VI must have no queued work.
+  void destroy_vi(Vi* vi);
+
+  /// VipCreateCQ.
+  CompletionQueue* create_cq();
+
+  /// VipRegisterMem: pins the pages and charges the per-page cost.
+  MemoryHandle register_memory(const std::byte* base, std::size_t length);
+  bool deregister_memory(MemoryHandle handle);
+
+  // --- Introspection ------------------------------------------------------
+
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] int open_vi_count() const { return open_vi_count_; }
+  [[nodiscard]] int vis_ever_created() const { return vis_ever_created_; }
+  [[nodiscard]] MemoryRegistry& memory() { return memory_; }
+  [[nodiscard]] ConnectionService& connections() { return connections_; }
+  [[nodiscard]] Cluster& cluster() { return cluster_; }
+  [[nodiscard]] const DeviceProfile& profile() const;
+  /// Statistics registry; hot-path counters are folded in on access.
+  [[nodiscard]] sim::Stats& stats() {
+    stats_.set("msg.sent", hot_.msg_sent);
+    stats_.set("msg.sent_bytes", hot_.msg_sent_bytes);
+    stats_.set("msg.received", hot_.msg_received);
+    stats_.set("rdma.write", hot_.rdma_write);
+    stats_.set("rdma.write_bytes", hot_.rdma_write_bytes);
+    stats_.set("rdma.write_received", hot_.rdma_write_received);
+    return stats_;
+  }
+
+  // --- Host notification --------------------------------------------------
+  // A process that blocks waiting for "anything from this NIC" (the MPI
+  // device's spinwait fallback) registers here; completions *and*
+  // connection events wake it — without this, a process asleep in a
+  // kernel wait could never see an on-demand connection request.
+
+  void set_host_waiter(sim::Process* process) { host_waiter_ = process; }
+  void notify_host();
+
+  // --- Internal (Vi / ConnectionService entry points) ---------------------
+
+  Status start_send(Vi& vi, Descriptor* desc);
+  Status start_rdma_write(Vi& vi, Descriptor* desc);
+  void on_message(ViId target_vi, const std::vector<std::byte>& payload);
+  void on_rdma_write(std::byte* remote_addr, MemoryHandle remote_handle,
+                     const std::vector<std::byte>& payload);
+  [[nodiscard]] Vi* find_vi(ViId id);
+
+  /// Charges host-side time to the currently running process (no-op when
+  /// called from plain engine context, e.g. a delivery event).
+  static void charge_host(sim::SimTime cost) {
+    if (auto* p = sim::Process::current()) p->advance(cost);
+  }
+
+  /// Sender-side NIC processing delay for one message, including the
+  /// per-open-VI doorbell scan on Berkeley VIA.
+  [[nodiscard]] sim::SimTime send_nic_delay() const;
+
+ private:
+  void complete(Vi& vi, Descriptor* desc, Status status, std::size_t bytes,
+                bool is_receive);
+
+  Cluster& cluster_;
+  NodeId node_;
+  MemoryRegistry memory_;
+  ConnectionService connections_;
+  std::vector<std::unique_ptr<Vi>> vis_;
+  std::vector<std::unique_ptr<CompletionQueue>> cqs_;
+  int open_vi_count_ = 0;
+  int vis_ever_created_ = 0;
+  sim::Process* host_waiter_ = nullptr;
+  // Data-path counters as plain integers (see stats()).
+  struct HotCounters {
+    std::int64_t msg_sent = 0, msg_sent_bytes = 0, msg_received = 0;
+    std::int64_t rdma_write = 0, rdma_write_bytes = 0,
+                 rdma_write_received = 0;
+  };
+  HotCounters hot_;
+  sim::Stats stats_;
+};
+
+}  // namespace odmpi::via

@@ -1,0 +1,28 @@
+#include "src/via/provider.h"
+
+namespace odmpi::via {
+
+Cluster::Cluster(sim::Engine& engine, int num_nodes, DeviceProfile profile)
+    : engine_(engine),
+      profile_(std::move(profile)),
+      fabric_(engine, num_nodes, profile_) {
+  nics_.reserve(static_cast<std::size_t>(num_nodes));
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    nics_.push_back(std::make_unique<Nic>(*this, n));
+  }
+}
+
+sim::Stats Cluster::aggregate_stats() {
+  sim::Stats total;
+  for (const auto& nic : nics_) {
+    total.merge(nic->stats());
+    total.add("mem.pinned_bytes", nic->memory().pinned_bytes());
+  }
+  total.set("fabric.packets",
+            static_cast<std::int64_t>(fabric_.packets_delivered()));
+  total.set("fabric.bytes",
+            static_cast<std::int64_t>(fabric_.bytes_delivered()));
+  return total;
+}
+
+}  // namespace odmpi::via

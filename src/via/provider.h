@@ -1,0 +1,41 @@
+// The Cluster: top-level VIA provider object tying the engine, the device
+// profile, the fabric and one NIC per node together. The MPI runtime
+// builds one Cluster per simulated job.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/sim/stats.h"
+#include "src/via/device_profile.h"
+#include "src/via/fabric.h"
+#include "src/via/nic.h"
+#include "src/via/types.h"
+
+namespace odmpi::via {
+
+class Cluster {
+ public:
+  Cluster(sim::Engine& engine, int num_nodes, DeviceProfile profile);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] const DeviceProfile& profile() const { return profile_; }
+  [[nodiscard]] Fabric& fabric() { return fabric_; }
+  [[nodiscard]] int size() const { return static_cast<int>(nics_.size()); }
+  [[nodiscard]] Nic& nic(NodeId node) { return *nics_.at(node); }
+
+  /// Aggregated statistics across every NIC (plus fabric totals).
+  [[nodiscard]] sim::Stats aggregate_stats();
+
+ private:
+  sim::Engine& engine_;
+  DeviceProfile profile_;
+  Fabric fabric_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+};
+
+}  // namespace odmpi::via

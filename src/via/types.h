@@ -1,0 +1,77 @@
+// Common types for the Virtual Interface Architecture emulation.
+//
+// Naming follows the VIA 1.0 specification's concepts (VI, descriptor,
+// completion queue, connection discriminator) with C++ types instead of
+// the C VIPL calling convention.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace odmpi::via {
+
+/// A node in the simulated cluster (one NIC per node).
+using NodeId = int;
+
+/// Identifies a VI endpoint within its NIC.
+using ViId = int;
+
+/// Opaque handle to a registered (pinned) memory region.
+using MemoryHandle = std::uint32_t;
+inline constexpr MemoryHandle kInvalidMemoryHandle = 0;
+
+/// VIA connection discriminator: the rendezvous token that matches two
+/// connection requests. MPI uses one discriminator per process pair.
+using Discriminator = std::uint64_t;
+
+/// Completion / operation status, modelled on VIP_STATUS.
+enum class Status {
+  kSuccess,
+  kInProgress,
+  kNotConnected,       // send posted on an unconnected VI: discarded
+  kInvalidState,       // operation illegal in the VI's current state
+  kNoDescriptor,       // message arrived with an empty receive queue
+  kNotRegistered,      // buffer not covered by a registered region
+  kRejected,           // connection request rejected by the remote side
+  kDisconnected,       // peer disconnected with work still queued
+  kLengthError,        // arriving message longer than the posted buffer
+  kProtectionError,    // RDMA target outside the remote registered region
+};
+
+[[nodiscard]] inline const char* to_string(Status s) {
+  switch (s) {
+    case Status::kSuccess: return "success";
+    case Status::kInProgress: return "in-progress";
+    case Status::kNotConnected: return "not-connected";
+    case Status::kInvalidState: return "invalid-state";
+    case Status::kNoDescriptor: return "no-descriptor";
+    case Status::kNotRegistered: return "not-registered";
+    case Status::kRejected: return "rejected";
+    case Status::kDisconnected: return "disconnected";
+    case Status::kLengthError: return "length-error";
+    case Status::kProtectionError: return "protection-error";
+  }
+  return "unknown";
+}
+
+/// VI endpoint state machine, VIA spec section 2.4.
+enum class ViState {
+  kIdle,            // created, not yet connected
+  kConnectPending,  // peer-to-peer or client request issued, waiting
+  kConnected,
+  kDisconnected,
+  kError,
+};
+
+[[nodiscard]] inline const char* to_string(ViState s) {
+  switch (s) {
+    case ViState::kIdle: return "idle";
+    case ViState::kConnectPending: return "connect-pending";
+    case ViState::kConnected: return "connected";
+    case ViState::kDisconnected: return "disconnected";
+    case ViState::kError: return "error";
+  }
+  return "unknown";
+}
+
+}  // namespace odmpi::via

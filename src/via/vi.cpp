@@ -1,0 +1,49 @@
+#include "src/via/vi.h"
+
+#include "src/via/nic.h"
+
+namespace odmpi::via {
+
+Status Vi::post_send(Descriptor* desc) {
+  Nic::charge_host(nic_.profile().send_post_overhead);
+  if (state_ != ViState::kConnected) {
+    // VIA discards work posted to an unconnected send queue. The MPI layer
+    // must never hit this path (it parks sends in the pre-posted FIFO);
+    // raw-VIA users observe the error through the descriptor status.
+    desc->status = Status::kNotConnected;
+    desc->done = true;
+    nic_.stats().add("via.send_discarded_unconnected");
+    return Status::kNotConnected;
+  }
+  if (!nic_.memory().covers(desc->mem_handle, desc->addr, desc->length)) {
+    desc->status = Status::kNotRegistered;
+    desc->done = true;
+    return Status::kNotRegistered;
+  }
+  if (desc->op == DescOp::kRdmaWrite) {
+    return nic_.start_rdma_write(*this, desc);
+  }
+  return nic_.start_send(*this, desc);
+}
+
+Status Vi::post_recv(Descriptor* desc) {
+  Nic::charge_host(nic_.profile().recv_post_overhead);
+  if (state_ == ViState::kError) {
+    desc->status = Status::kInvalidState;
+    desc->done = true;
+    return Status::kInvalidState;
+  }
+  if (!nic_.memory().covers(desc->mem_handle, desc->addr, desc->length)) {
+    desc->status = Status::kNotRegistered;
+    desc->done = true;
+    return Status::kNotRegistered;
+  }
+  desc->reset_for_repost();
+  desc->op = DescOp::kReceive;
+  recv_queue_.push_back(desc);
+  return Status::kSuccess;
+}
+
+void Vi::disconnect() { nic_.connections().disconnect(*this); }
+
+}  // namespace odmpi::via

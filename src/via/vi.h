@@ -1,0 +1,80 @@
+// The Virtual Interface endpoint: a send queue and a receive queue plus a
+// connection state machine. Key VIA semantics preserved here:
+//  * a send posted on an unconnected VI is discarded with an error
+//    completion (this is what forces the paper's pre-posted-send FIFO);
+//  * a message arriving at a VI with an empty receive queue is dropped;
+//  * receive descriptors may legally be preposted before connection.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "src/via/completion.h"
+#include "src/via/descriptor.h"
+#include "src/via/types.h"
+
+namespace odmpi::via {
+
+class Nic;
+
+class Vi {
+ public:
+  Vi(Nic& nic, ViId id, CompletionQueue* send_cq, CompletionQueue* recv_cq)
+      : nic_(nic), id_(id), send_cq_(send_cq), recv_cq_(recv_cq) {}
+
+  Vi(const Vi&) = delete;
+  Vi& operator=(const Vi&) = delete;
+
+  /// Posts a send or RDMA-write descriptor. On an unconnected VI the
+  /// descriptor completes immediately with kNotConnected and nothing is
+  /// transmitted (VIA spec behaviour the paper quotes in section 3.4).
+  Status post_send(Descriptor* desc);
+
+  /// Posts a receive descriptor. Legal in any non-error state, including
+  /// before the connection is established.
+  Status post_recv(Descriptor* desc);
+
+  /// Initiates an orderly disconnect (VipDisconnect).
+  void disconnect();
+
+  [[nodiscard]] ViState state() const { return state_; }
+  [[nodiscard]] ViId id() const { return id_; }
+  [[nodiscard]] Nic& nic() { return nic_; }
+  [[nodiscard]] NodeId remote_node() const { return remote_node_; }
+  [[nodiscard]] ViId remote_vi() const { return remote_vi_; }
+  [[nodiscard]] CompletionQueue* send_cq() { return send_cq_; }
+  [[nodiscard]] CompletionQueue* recv_cq() { return recv_cq_; }
+  [[nodiscard]] std::size_t recv_queue_depth() const {
+    return recv_queue_.size();
+  }
+  [[nodiscard]] std::size_t sends_in_flight() const {
+    return sends_in_flight_;
+  }
+
+  /// Messages that arrived and were dropped because no receive descriptor
+  /// was posted (a hard application error under VIA).
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+
+ private:
+  friend class Nic;
+  friend class ConnectionService;
+
+  void set_connected(NodeId remote_node, ViId remote_vi) {
+    state_ = ViState::kConnected;
+    remote_node_ = remote_node;
+    remote_vi_ = remote_vi;
+  }
+
+  Nic& nic_;
+  ViId id_;
+  ViState state_ = ViState::kIdle;
+  NodeId remote_node_ = -1;
+  ViId remote_vi_ = -1;
+  CompletionQueue* send_cq_;
+  CompletionQueue* recv_cq_;
+  std::deque<Descriptor*> recv_queue_;
+  std::size_t sends_in_flight_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace odmpi::via

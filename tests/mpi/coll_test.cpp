@@ -1,0 +1,236 @@
+// Collective correctness across rank counts (including non-powers of two)
+// and the full device/connection-model matrix, checked against serial
+// references.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "tests/mpi/mpi_test_util.h"
+
+namespace odmpi::mpi {
+namespace {
+
+using testing::ConfigParam;
+using testing::full_matrix;
+using testing::make_options;
+using testing::run_or_die;
+
+class CollectiveSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveSizes, BarrierSynchronizes) {
+  const int n = GetParam();
+  run_or_die(n, make_options(), [](Comm& c) {
+    // Rank 0 sleeps; after the barrier everyone's clock must be past it.
+    if (c.rank() == 0) sim::Process::current()->sleep(sim::milliseconds(3));
+    c.barrier();
+    EXPECT_GE(c.wtime(), 3e-3);
+  });
+}
+
+TEST_P(CollectiveSizes, BcastFromEveryRoot) {
+  const int n = GetParam();
+  run_or_die(n, make_options(), [n](Comm& c) {
+    for (int root = 0; root < n; ++root) {
+      std::vector<std::int32_t> buf(32);
+      if (c.rank() == root) {
+        std::iota(buf.begin(), buf.end(), root * 1000);
+      }
+      c.bcast(buf.data(), 32, kInt32, root);
+      EXPECT_EQ(buf[0], root * 1000);
+      EXPECT_EQ(buf[31], root * 1000 + 31);
+    }
+  });
+}
+
+TEST_P(CollectiveSizes, ReduceSumMatchesSerial) {
+  const int n = GetParam();
+  run_or_die(n, make_options(), [n](Comm& c) {
+    std::vector<double> in(8), out(8, -1);
+    for (int i = 0; i < 8; ++i) in[static_cast<std::size_t>(i)] = c.rank() + i;
+    c.reduce(in.data(), out.data(), 8, kDouble, Op::kSum, /*root=*/0);
+    if (c.rank() == 0) {
+      for (int i = 0; i < 8; ++i) {
+        const double expect = n * (n - 1) / 2.0 + n * i;
+        EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)], expect);
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveSizes, AllreduceEveryOp) {
+  const int n = GetParam();
+  run_or_die(n, make_options(), [n](Comm& c) {
+    const std::int64_t me = c.rank() + 1;
+    EXPECT_EQ(c.allreduce_one(me, Op::kSum),
+              static_cast<std::int64_t>(n) * (n + 1) / 2);
+    EXPECT_EQ(c.allreduce_one(me, Op::kMax), n);
+    EXPECT_EQ(c.allreduce_one(me, Op::kMin), 1);
+    double p = 1;
+    for (int i = 1; i <= n; ++i) p *= i;
+    EXPECT_DOUBLE_EQ(c.allreduce_one(static_cast<double>(me), Op::kProd), p);
+  });
+}
+
+TEST_P(CollectiveSizes, GatherCollectsInRankOrder) {
+  const int n = GetParam();
+  run_or_die(n, make_options(), [n](Comm& c) {
+    const int root = n - 1;
+    std::int32_t mine[2] = {c.rank() * 2, c.rank() * 2 + 1};
+    std::vector<std::int32_t> all(static_cast<std::size_t>(2 * n), -1);
+    c.gather(mine, 2, all.data(), kInt32, root);
+    if (c.rank() == root) {
+      for (int i = 0; i < 2 * n; ++i)
+        EXPECT_EQ(all[static_cast<std::size_t>(i)], i);
+    }
+  });
+}
+
+TEST_P(CollectiveSizes, ScatterDistributesBlocks) {
+  const int n = GetParam();
+  run_or_die(n, make_options(), [n](Comm& c) {
+    std::vector<std::int32_t> src;
+    if (c.rank() == 0) {
+      src.resize(static_cast<std::size_t>(3 * n));
+      std::iota(src.begin(), src.end(), 0);
+    }
+    std::int32_t mine[3] = {-1, -1, -1};
+    c.scatter(src.data(), 3, mine, kInt32, 0);
+    for (int i = 0; i < 3; ++i) EXPECT_EQ(mine[i], c.rank() * 3 + i);
+  });
+}
+
+TEST_P(CollectiveSizes, AllgatherGivesEveryoneEverything) {
+  const int n = GetParam();
+  run_or_die(n, make_options(), [n](Comm& c) {
+    std::int32_t mine = c.rank() * 7;
+    std::vector<std::int32_t> all(static_cast<std::size_t>(n), -1);
+    c.allgather(&mine, 1, all.data(), kInt32);
+    for (int r = 0; r < n; ++r)
+      EXPECT_EQ(all[static_cast<std::size_t>(r)], r * 7);
+  });
+}
+
+TEST_P(CollectiveSizes, AlltoallTransposes) {
+  const int n = GetParam();
+  run_or_die(n, make_options(), [n](Comm& c) {
+    std::vector<std::int32_t> out(static_cast<std::size_t>(n));
+    std::vector<std::int32_t> in(static_cast<std::size_t>(n), -1);
+    for (int r = 0; r < n; ++r)
+      out[static_cast<std::size_t>(r)] = c.rank() * 100 + r;
+    c.alltoall(out.data(), 1, in.data(), kInt32);
+    for (int r = 0; r < n; ++r)
+      EXPECT_EQ(in[static_cast<std::size_t>(r)], r * 100 + c.rank());
+  });
+}
+
+TEST_P(CollectiveSizes, AlltoallvVariableBlocks) {
+  const int n = GetParam();
+  run_or_die(n, make_options(), [n](Comm& c) {
+    // Rank r sends r+1 copies of its rank to everyone.
+    const int me = c.rank();
+    std::vector<int> scounts(static_cast<std::size_t>(n), me + 1);
+    std::vector<int> sdispls(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r)
+      sdispls[static_cast<std::size_t>(r)] = r * (me + 1);
+    std::vector<std::int32_t> sbuf(static_cast<std::size_t>(n * (me + 1)), me);
+
+    std::vector<int> rcounts(static_cast<std::size_t>(n));
+    std::vector<int> rdispls(static_cast<std::size_t>(n));
+    int off = 0;
+    for (int r = 0; r < n; ++r) {
+      rcounts[static_cast<std::size_t>(r)] = r + 1;
+      rdispls[static_cast<std::size_t>(r)] = off;
+      off += r + 1;
+    }
+    std::vector<std::int32_t> rbuf(static_cast<std::size_t>(off), -1);
+    c.alltoallv(sbuf.data(), scounts.data(), sdispls.data(), rbuf.data(),
+                rcounts.data(), rdispls.data(), kInt32);
+    for (int r = 0; r < n; ++r) {
+      for (int k = 0; k < r + 1; ++k) {
+        EXPECT_EQ(rbuf[static_cast<std::size_t>(
+                      rdispls[static_cast<std::size_t>(r)] + k)],
+                  r);
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveSizes, ReduceScatterSegments) {
+  const int n = GetParam();
+  run_or_die(n, make_options(), [n](Comm& c) {
+    std::vector<int> counts(static_cast<std::size_t>(n), 2);
+    std::vector<std::int32_t> in(static_cast<std::size_t>(2 * n));
+    for (int i = 0; i < 2 * n; ++i)
+      in[static_cast<std::size_t>(i)] = c.rank() + i;
+    std::int32_t out[2] = {-1, -1};
+    c.reduce_scatter(in.data(), out, counts.data(), kInt32, Op::kSum);
+    // Sum over ranks of (rank + i) = n(n-1)/2 + n*i for i = my segment.
+    const int base = n * (n - 1) / 2;
+    EXPECT_EQ(out[0], base + n * (2 * c.rank()));
+    EXPECT_EQ(out[1], base + n * (2 * c.rank() + 1));
+  });
+}
+
+TEST_P(CollectiveSizes, ScanPrefixSums) {
+  const int n = GetParam();
+  run_or_die(n, make_options(), [](Comm& c) {
+    std::int32_t mine = c.rank() + 1, out = -1;
+    c.scan(&mine, &out, 1, kInt32, Op::kSum);
+    EXPECT_EQ(out, (c.rank() + 1) * (c.rank() + 2) / 2);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectiveSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "np" + std::to_string(info.param);
+                         });
+
+class CollectiveMatrix : public ::testing::TestWithParam<ConfigParam> {};
+
+TEST_P(CollectiveMatrix, AllreduceAndBarrierUnderEveryConfig) {
+  run_or_die(8, GetParam().options(), [](Comm& c) {
+    for (int iter = 0; iter < 3; ++iter) {
+      const double v = c.rank() + iter;
+      const double sum = c.allreduce_one(v, Op::kSum);
+      EXPECT_DOUBLE_EQ(sum, 28.0 + 8.0 * iter);
+      c.barrier();
+    }
+  });
+}
+
+TEST_P(CollectiveMatrix, LargePayloadBcastUsesRendezvous) {
+  run_or_die(4, GetParam().options(), [](Comm& c) {
+    std::vector<double> buf(4096);  // 32 kB > eager threshold
+    if (c.rank() == 2) {
+      for (std::size_t i = 0; i < buf.size(); ++i)
+        buf[i] = static_cast<double>(i) * 0.5;
+    }
+    c.bcast(buf.data(), 4096, kDouble, 2);
+    EXPECT_DOUBLE_EQ(buf[4095], 4095 * 0.5);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, CollectiveMatrix,
+                         ::testing::ValuesIn(full_matrix()),
+                         testing::param_name);
+
+TEST(CollectivePartners, BarrierTouchesLog2Peers) {
+  // Table 2's Barrier row: recursive doubling at np=16 -> 4 VIs per rank.
+  World w(16, make_options(ConnectionModel::kOnDemand));
+  ASSERT_TRUE(w.run([](Comm& c) { c.barrier(); }));
+  for (int r = 0; r < 16; ++r) EXPECT_EQ(w.report(r).vis_created, 4);
+}
+
+TEST(CollectivePartners, AlltoallTouchesAllPeers) {
+  World w(8, make_options(ConnectionModel::kOnDemand));
+  ASSERT_TRUE(w.run([](Comm& c) {
+    std::vector<std::int32_t> a(8, c.rank()), b(8);
+    c.alltoall(a.data(), 1, b.data(), kInt32);
+  }));
+  for (int r = 0; r < 8; ++r) EXPECT_EQ(w.report(r).vis_created, 7);
+}
+
+}  // namespace
+}  // namespace odmpi::mpi

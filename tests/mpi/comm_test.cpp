@@ -1,0 +1,131 @@
+// Communicator management: dup, split, context isolation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tests/mpi/mpi_test_util.h"
+
+namespace odmpi::mpi {
+namespace {
+
+using testing::make_options;
+using testing::run_or_die;
+
+TEST(CommMgmt, DupIsolatesTraffic) {
+  run_or_die(2, make_options(), [](Comm& c) {
+    Comm d = c.dup();
+    EXPECT_NE(d.context(), c.context());
+    EXPECT_EQ(d.rank(), c.rank());
+    EXPECT_EQ(d.size(), c.size());
+    // A message on `c` must not match a receive on `d`.
+    if (c.rank() == 0) {
+      std::int32_t a = 1, b = 2;
+      c.send(&a, 1, kInt32, 1, 5);
+      d.send(&b, 1, kInt32, 1, 5);
+    } else {
+      std::int32_t v = -1;
+      d.recv(&v, 1, kInt32, 0, 5);
+      EXPECT_EQ(v, 2) << "receive on dup matched the original comm's send";
+      c.recv(&v, 1, kInt32, 0, 5);
+      EXPECT_EQ(v, 1);
+    }
+  });
+}
+
+TEST(CommMgmt, SplitEvenOdd) {
+  run_or_die(8, make_options(), [](Comm& c) {
+    Comm half = c.split(c.rank() % 2, c.rank());
+    ASSERT_TRUE(half.valid());
+    EXPECT_EQ(half.size(), 4);
+    EXPECT_EQ(half.rank(), c.rank() / 2);
+    // Collective inside the sub-communicator.
+    const std::int64_t sum = half.allreduce_one<std::int64_t>(c.rank(),
+                                                              Op::kSum);
+    const std::int64_t expect = (c.rank() % 2 == 0) ? 0 + 2 + 4 + 6
+                                                    : 1 + 3 + 5 + 7;
+    EXPECT_EQ(sum, expect);
+  });
+}
+
+TEST(CommMgmt, SplitKeyOrdersRanks) {
+  run_or_die(4, make_options(), [](Comm& c) {
+    // Reverse order by key.
+    Comm rev = c.split(0, -c.rank());
+    ASSERT_TRUE(rev.valid());
+    EXPECT_EQ(rev.rank(), c.size() - 1 - c.rank());
+  });
+}
+
+TEST(CommMgmt, SplitNegativeColorYieldsInvalid) {
+  run_or_die(4, make_options(), [](Comm& c) {
+    const int color = (c.rank() == 3) ? -1 : 0;
+    Comm sub = c.split(color, 0);
+    if (c.rank() == 3) {
+      EXPECT_FALSE(sub.valid());
+    } else {
+      ASSERT_TRUE(sub.valid());
+      EXPECT_EQ(sub.size(), 3);
+      sub.barrier();
+    }
+  });
+}
+
+TEST(CommMgmt, RanksTranslateThroughSubComm) {
+  run_or_die(6, make_options(), [](Comm& c) {
+    // Group {4, 5} via split; inside it, rank 0 is world rank 4.
+    Comm sub = c.split(c.rank() >= 4 ? 1 : -1, c.rank());
+    if (c.rank() < 4) return;
+    ASSERT_TRUE(sub.valid());
+    if (sub.rank() == 0) {
+      std::int32_t v = 99;
+      sub.send(&v, 1, kInt32, 1, 1);
+    } else {
+      std::int32_t v = -1;
+      MsgStatus st = sub.recv(&v, 1, kInt32, kAnySource, 1);
+      EXPECT_EQ(st.source, 0);  // sub-communicator-relative source
+      EXPECT_EQ(v, 99);
+    }
+  });
+}
+
+TEST(CommMgmt, AnySourceInSubCommOnlyConnectsGroup) {
+  // The on-demand wildcard rule is scoped to the communicator (paper
+  // section 3.5: "all other processes in the specified communicator").
+  World w(8, make_options(ConnectionModel::kOnDemand));
+  ASSERT_TRUE(w.run([](Comm& c) {
+    Comm sub = c.split(c.rank() < 4 ? 0 : 1, c.rank());
+    ASSERT_TRUE(sub.valid());
+    sub.barrier();  // establish some membership traffic
+    if (c.rank() == 0) {
+      std::int32_t v = -1;
+      sub.recv(&v, 1, kInt32, kAnySource, 9);
+      EXPECT_EQ(v, 42);
+    } else if (c.rank() == 1) {
+      std::int32_t v = 42;
+      sub.send(&v, 1, kInt32, 0, 9);
+    }
+    c.barrier();
+  }));
+  // Rank 0's wildcard receive may connect to its sub-communicator (ranks
+  // 1-3) plus whatever the split/barriers needed — but never to 5, 6, 7
+  // (rank 4 is 0's barrier partner in the world comm: 0 XOR 4).
+  EXPECT_LE(w.report(0).vis_created, 5);
+}
+
+TEST(CommMgmt, NestedSplitsCompose) {
+  run_or_die(8, make_options(), [](Comm& c) {
+    Comm half = c.split(c.rank() / 4, c.rank());
+    ASSERT_TRUE(half.valid());
+    Comm quarter = half.split(half.rank() / 2, half.rank());
+    ASSERT_TRUE(quarter.valid());
+    EXPECT_EQ(quarter.size(), 2);
+    const std::int64_t sum =
+        quarter.allreduce_one<std::int64_t>(c.rank(), Op::kSum);
+    // Partner is the world-rank neighbour within the pair.
+    const int base = (c.rank() / 2) * 2;
+    EXPECT_EQ(sum, base + base + 1);
+  });
+}
+
+}  // namespace
+}  // namespace odmpi::mpi

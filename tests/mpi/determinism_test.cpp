@@ -1,0 +1,185 @@
+// Simulation-level properties: bit-identical reruns, virtual-time sanity,
+// and calibration checks that anchor the paper reproduction.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tests/mpi/mpi_test_util.h"
+
+namespace odmpi::mpi {
+namespace {
+
+using testing::make_options;
+
+struct RunDigest {
+  std::vector<sim::SimTime> finish_times;
+  std::vector<int> vis;
+  std::int64_t packets;
+
+  bool operator==(const RunDigest&) const = default;
+};
+
+RunDigest run_mixed_workload(ConnectionModel model, bool bvia) {
+  JobOptions opt = make_options(
+      model, bvia ? via::DeviceProfile::bvia() : via::DeviceProfile::clan());
+  World w(6, opt);
+  EXPECT_TRUE(w.run([](Comm& c) {
+    sim::Rng rng(99, static_cast<std::uint64_t>(c.rank()));
+    std::vector<std::int32_t> buf(512);
+    for (int iter = 0; iter < 5; ++iter) {
+      const int right = (c.rank() + 1) % c.size();
+      const int left = (c.rank() - 1 + c.size()) % c.size();
+      c.sendrecv(buf.data(), 256, kInt32, right, iter, buf.data(), 256,
+                 kInt32, left, iter);
+      double v = c.rank() + rng.next_double();
+      double sum = 0;
+      c.allreduce(&v, &sum, 1, kDouble, Op::kSum);
+      if (iter % 2 == 0) c.barrier();
+    }
+  }));
+  RunDigest d;
+  for (int r = 0; r < 6; ++r) {
+    d.finish_times.push_back(w.report(r).total_time);
+    d.vis.push_back(w.report(r).vis_created);
+  }
+  d.packets = w.aggregate_stats().get("mpi.packets_sent");
+  return d;
+}
+
+TEST(Determinism, IdenticalRunsProduceIdenticalTimesAndStats) {
+  for (ConnectionModel m : {ConnectionModel::kOnDemand,
+                            ConnectionModel::kStaticPeerToPeer}) {
+    const RunDigest a = run_mixed_workload(m, false);
+    const RunDigest b = run_mixed_workload(m, false);
+    EXPECT_EQ(a, b) << "simulation is nondeterministic for "
+                    << to_string(m);
+  }
+}
+
+TEST(Determinism, DeviceProfilesProduceDifferentButStableTimes) {
+  const RunDigest clan = run_mixed_workload(ConnectionModel::kOnDemand, false);
+  const RunDigest bvia = run_mixed_workload(ConnectionModel::kOnDemand, true);
+  EXPECT_NE(clan.finish_times, bvia.finish_times);
+  // BVIA is the slower network: every rank finishes later.
+  for (std::size_t r = 0; r < clan.finish_times.size(); ++r) {
+    EXPECT_GT(bvia.finish_times[r], clan.finish_times[r]);
+  }
+}
+
+TEST(Calibration, PingPongLatencyMatchesPaperRegime) {
+  // MVICH small-message one-way latency: ~14 us on cLAN, ~35 us on BVIA
+  // (Figure 2 of the paper). Keep the simulator anchored to those.
+  const auto measure = [](via::DeviceProfile profile) {
+    JobOptions opt = make_options(ConnectionModel::kStaticPeerToPeer,
+                                  std::move(profile),
+                                  WaitPolicy::polling());
+    double result_us = 0;
+    World w(2, opt);
+    EXPECT_TRUE(w.run([&result_us](Comm& c) {
+      std::int32_t buf = 0;
+      constexpr int kIters = 200;
+      // Warmup.
+      for (int i = 0; i < 10; ++i) {
+        if (c.rank() == 0) {
+          c.send(&buf, 1, kInt32, 1, 0);
+          c.recv(&buf, 1, kInt32, 1, 0);
+        } else {
+          c.recv(&buf, 1, kInt32, 0, 0);
+          c.send(&buf, 1, kInt32, 0, 0);
+        }
+      }
+      const double t0 = c.wtime();
+      for (int i = 0; i < kIters; ++i) {
+        if (c.rank() == 0) {
+          c.send(&buf, 1, kInt32, 1, 0);
+          c.recv(&buf, 1, kInt32, 1, 0);
+        } else {
+          c.recv(&buf, 1, kInt32, 0, 0);
+          c.send(&buf, 1, kInt32, 0, 0);
+        }
+      }
+      if (c.rank() == 0) {
+        result_us = (c.wtime() - t0) * 1e6 / (2.0 * kIters);
+      }
+    }));
+    return result_us;
+  };
+  const double clan_us = measure(via::DeviceProfile::clan());
+  const double bvia_us = measure(via::DeviceProfile::bvia());
+  EXPECT_GT(clan_us, 10.0);
+  EXPECT_LT(clan_us, 20.0);
+  EXPECT_GT(bvia_us, 28.0);
+  EXPECT_LT(bvia_us, 45.0);
+}
+
+TEST(Calibration, BandwidthApproachesProfilePeak) {
+  JobOptions opt = make_options(ConnectionModel::kStaticPeerToPeer,
+                                via::DeviceProfile::clan(),
+                                WaitPolicy::polling());
+  double mbps = 0;
+  World w(2, opt);
+  ASSERT_TRUE(w.run([&mbps](Comm& c) {
+    constexpr std::size_t kBytes = 256 * 1024;
+    constexpr int kIters = 20;
+    std::vector<std::byte> buf(kBytes);
+    if (c.rank() == 0) {
+      const double t0 = c.wtime();
+      for (int i = 0; i < kIters; ++i)
+        c.send(buf.data(), kBytes, kByte, 1, 0);
+      std::int32_t ack;
+      c.recv(&ack, 1, kInt32, 1, 1);
+      mbps = kIters * kBytes / (c.wtime() - t0) / 1e6;
+    } else {
+      for (int i = 0; i < kIters; ++i)
+        c.recv(buf.data(), kBytes, kByte, 0, 0);
+      std::int32_t ack = 1;
+      c.send(&ack, 1, kInt32, 0, 1);
+    }
+  }));
+  EXPECT_GT(mbps, 85.0);   // cLAN peak ~112 MB/s minus protocol overhead
+  EXPECT_LT(mbps, 115.0);
+}
+
+TEST(Calibration, SpinwaitPenaltyCompoundsAlongDependencyChains) {
+  // The paper's spinwait effect (Figures 4-6): when each receive's
+  // arrival depends on the *other* side's previous wake-up — as in
+  // barrier rounds — every kernel wake-up delays the next send, and the
+  // ~40 us penalties compound. A one-way stream does not compound (the
+  // sender's cadence dominates); a compute+ping-pong loop does.
+  const auto measure = [](WaitPolicy policy) {
+    JobOptions opt = make_options(ConnectionModel::kStaticPeerToPeer,
+                                  via::DeviceProfile::clan(), policy);
+    double us = 0;
+    World w(2, opt);
+    EXPECT_TRUE(w.run([&us](Comm& c) {
+      // Token passing: while one rank computes for 100 us (far beyond the
+      // ~30 us spin window), the other waits idle — so under spinwait the
+      // waiter really sleeps and pays the kernel wake-up, which delays
+      // its own compute phase and compounds around the ring.
+      constexpr int kRounds = 10;
+      std::int32_t token = 0;
+      const int other = 1 - c.rank();
+      const double t0 = c.wtime();
+      for (int i = 0; i < kRounds; ++i) {
+        if (c.rank() == 0) {
+          sim::Process::current()->sleep(sim::microseconds(100));
+          c.send(&token, 1, kInt32, other, 0);
+          c.recv(&token, 1, kInt32, other, 0);
+        } else {
+          c.recv(&token, 1, kInt32, other, 0);
+          sim::Process::current()->sleep(sim::microseconds(100));
+          c.send(&token, 1, kInt32, other, 0);
+        }
+      }
+      if (c.rank() == 0) us = (c.wtime() - t0) * 1e6;
+    }));
+    return us;
+  };
+  const double spinwait_us = measure(WaitPolicy::spinwait(100));
+  const double polling_us = measure(WaitPolicy::polling());
+  // Two ~40 us wake-ups per round compound along the dependency chain.
+  EXPECT_GT(spinwait_us, polling_us + 10 * 60.0);
+}
+
+}  // namespace
+}  // namespace odmpi::mpi

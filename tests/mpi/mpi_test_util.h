@@ -1,0 +1,78 @@
+// Helpers for MPI-layer tests: job options for each (device, connection
+// model, wait policy) corner and a run wrapper that asserts completion.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "src/odmpi.h"
+
+namespace odmpi::mpi::testing {
+
+inline JobOptions make_options(
+    ConnectionModel model = ConnectionModel::kOnDemand,
+    via::DeviceProfile profile = via::DeviceProfile::clan(),
+    WaitPolicy policy = WaitPolicy::spinwait(100)) {
+  JobOptions opt;
+  opt.profile = std::move(profile);
+  opt.device.connection_model = model;
+  opt.device.wait_policy = policy;
+  opt.deadline = sim::seconds(600);  // generous virtual deadlock guard
+  return opt;
+}
+
+/// Runs `fn` and fails the test on deadlock/timeout.
+inline void run_or_die(int nranks, const JobOptions& opt,
+                       const std::function<void(Comm&)>& fn) {
+  World world(nranks, opt);
+  ASSERT_TRUE(world.run(fn)) << "job deadlocked or timed out ("
+                             << to_string(opt.device.connection_model)
+                             << " on " << opt.profile.name << ")";
+}
+
+/// The full experimental matrix of the paper (used by TEST_P suites).
+struct ConfigParam {
+  ConnectionModel model;
+  bool bvia;
+  bool polling;
+
+  [[nodiscard]] JobOptions options() const {
+    return make_options(model,
+                        bvia ? via::DeviceProfile::bvia()
+                             : via::DeviceProfile::clan(),
+                        polling ? WaitPolicy::polling()
+                                : WaitPolicy::spinwait(100));
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const ConfigParam& p) {
+    return os << to_string(p.model) << (p.bvia ? "_bvia" : "_clan")
+              << (p.polling ? "_polling" : "_spinwait");
+  }
+};
+
+inline std::string param_name(
+    const ::testing::TestParamInfo<ConfigParam>& info) {
+  std::string s = to_string(info.param.model);
+  for (auto& c : s)
+    if (c == '-') c = '_';
+  s += info.param.bvia ? "_bvia" : "_clan";
+  s += info.param.polling ? "_polling" : "_spinwait";
+  return s;
+}
+
+inline std::vector<ConfigParam> full_matrix() {
+  std::vector<ConfigParam> v;
+  for (ConnectionModel m :
+       {ConnectionModel::kOnDemand, ConnectionModel::kStaticPeerToPeer,
+        ConnectionModel::kStaticClientServer}) {
+    for (bool bvia : {false, true}) {
+      if (bvia && m == ConnectionModel::kStaticClientServer) continue;
+      for (bool polling : {false, true}) v.push_back({m, bvia, polling});
+    }
+  }
+  return v;
+}
+
+}  // namespace odmpi::mpi::testing

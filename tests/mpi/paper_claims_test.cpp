@@ -1,0 +1,162 @@
+// Executable versions of the paper's headline claims, so regressions in
+// the cost model or the protocol stack that would silently break the
+// reproduction fail loudly here.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tests/mpi/mpi_test_util.h"
+
+namespace odmpi::mpi {
+namespace {
+
+using testing::make_options;
+
+double barrier_us(ConnectionModel model, WaitPolicy policy, bool bvia,
+                  int nprocs) {
+  JobOptions opt = make_options(
+      model, bvia ? via::DeviceProfile::bvia() : via::DeviceProfile::clan(),
+      policy);
+  double result = -1;
+  World w(nprocs, opt);
+  EXPECT_TRUE(w.run([&](Comm& c) {
+    for (int i = 0; i < 5; ++i) c.barrier();
+    const double t0 = c.wtime();
+    for (int i = 0; i < 200; ++i) c.barrier();
+    double mine = (c.wtime() - t0) * 1e6 / 200;
+    double sum = 0;
+    c.allreduce(&mine, &sum, 1, kDouble, Op::kSum);
+    if (c.rank() == 0) result = sum / c.size();
+  }));
+  return result;
+}
+
+double pingpong_us(std::size_t bytes, WaitPolicy policy) {
+  JobOptions opt = make_options(ConnectionModel::kStaticPeerToPeer,
+                                via::DeviceProfile::clan(), policy);
+  double result = -1;
+  World w(2, opt);
+  EXPECT_TRUE(w.run([&](Comm& c) {
+    std::vector<std::byte> buf(bytes);
+    const auto round = [&] {
+      if (c.rank() == 0) {
+        c.send(buf.data(), bytes, kByte, 1, 0);
+        c.recv(buf.data(), bytes, kByte, 1, 0);
+      } else {
+        c.recv(buf.data(), bytes, kByte, 0, 0);
+        c.send(buf.data(), bytes, kByte, 0, 0);
+      }
+    };
+    for (int i = 0; i < 5; ++i) round();
+    const double t0 = c.wtime();
+    for (int i = 0; i < 50; ++i) round();
+    if (c.rank() == 0) result = (c.wtime() - t0) * 1e6 / 100;
+  }));
+  return result;
+}
+
+TEST(PaperClaims, OnDemandMatchesStaticPollingBarrierOnClan) {
+  // Section 5.4: "the on-demand mechanism can achieve same results as the
+  // static mechanism using polling" (Figure 4a).
+  const double od = barrier_us(ConnectionModel::kOnDemand,
+                               WaitPolicy::polling(), false, 8);
+  const double st = barrier_us(ConnectionModel::kStaticPeerToPeer,
+                               WaitPolicy::polling(), false, 8);
+  EXPECT_NEAR(od, st, 0.02 * st);
+}
+
+TEST(PaperClaims, SpinwaitIsNoGoodForBarrier) {
+  // Section 5.4: non-power-of-two sizes leave processes past the spin
+  // budget, and the kernel wake-ups compound (Figure 4a).
+  const double spin = barrier_us(ConnectionModel::kStaticPeerToPeer,
+                                 WaitPolicy::spinwait(100), false, 5);
+  const double poll = barrier_us(ConnectionModel::kStaticPeerToPeer,
+                                 WaitPolicy::polling(), false, 5);
+  EXPECT_GT(spin, 1.5 * poll);
+}
+
+TEST(PaperClaims, OnDemandBeatsStaticBarrierOnBerkeleyVia) {
+  // Section 5.4 / Figure 4b: 161 vs 196 us at 8 nodes in the paper —
+  // fewer open VIs means a faster NIC.
+  const double od = barrier_us(ConnectionModel::kOnDemand,
+                               WaitPolicy::polling(), true, 8);
+  const double st = barrier_us(ConnectionModel::kStaticPeerToPeer,
+                               WaitPolicy::polling(), true, 8);
+  EXPECT_LT(od, st);
+}
+
+TEST(PaperClaims, EagerToRendezvousJumpAtThreshold) {
+  // Section 5.3: "a jump happens around 5000 bytes".
+  const double below = pingpong_us(4999, WaitPolicy::polling());
+  const double above = pingpong_us(5001, WaitPolicy::polling());
+  EXPECT_GT(above, below + 15.0) << "no protocol switch visible at 5000 B";
+}
+
+TEST(PaperClaims, NonPowerOfTwoFluctuation) {
+  // Section 5.4: "If the number of processes is not a power 2 number,
+  // fluctuation occurs since extra steps are needed".
+  const double np4 = barrier_us(ConnectionModel::kStaticPeerToPeer,
+                                WaitPolicy::polling(), false, 4);
+  const double np5 = barrier_us(ConnectionModel::kStaticPeerToPeer,
+                                WaitPolicy::polling(), false, 5);
+  const double np8 = barrier_us(ConnectionModel::kStaticPeerToPeer,
+                                WaitPolicy::polling(), false, 8);
+  EXPECT_GT(np5, np4);  // extra fold/unfold step
+  EXPECT_GT(np5, 0.9 * np8);  // np=5 costs nearly as much as np=8
+}
+
+TEST(PaperClaims, OnDemandResourceUsageScalesWithApplicationNotSystem) {
+  // The abstract's core sentence: "resource usage scales only as demanded
+  // by the application itself, not the underlying system". Same ring
+  // application at three system sizes: on-demand VI count is constant.
+  for (int np : {8, 16, 32}) {
+    World w(np, make_options(ConnectionModel::kOnDemand));
+    ASSERT_TRUE(w.run([](Comm& c) {
+      const int right = (c.rank() + 1) % c.size();
+      const int left = (c.rank() - 1 + c.size()) % c.size();
+      std::int32_t t = 0;
+      c.sendrecv(&t, 1, kInt32, right, 1, &t, 1, kInt32, left, 1);
+    }));
+    EXPECT_DOUBLE_EQ(w.mean_vis_per_process(), 2.0)
+        << "ring VI count must not depend on the system size (np=" << np
+        << ")";
+  }
+}
+
+TEST(PaperClaims, ConnectionTimeAmortizesWithTraffic) {
+  // Section 5.5: "This connection overhead can be amortized by all
+  // communication operations on that connection." The per-message cost
+  // gap between on-demand and static shrinks as the message count grows.
+  const auto run_msgs = [](ConnectionModel m, int msgs) {
+    JobOptions opt = make_options(m, via::DeviceProfile::clan(),
+                                  WaitPolicy::polling());
+    double secs = -1;
+    World w(2, opt);
+    EXPECT_TRUE(w.run([&](Comm& c) {
+      std::int32_t v = 0;
+      const double t0 = c.wtime();
+      for (int i = 0; i < msgs; ++i) {
+        if (c.rank() == 0) {
+          c.send(&v, 1, kInt32, 1, 0);
+          c.recv(&v, 1, kInt32, 1, 0);
+        } else {
+          c.recv(&v, 1, kInt32, 0, 0);
+          c.send(&v, 1, kInt32, 0, 0);
+        }
+      }
+      if (c.rank() == 0) secs = c.wtime() - t0;
+    }));
+    return secs;
+  };
+  const double few_ratio =
+      run_msgs(ConnectionModel::kOnDemand, 5) /
+      run_msgs(ConnectionModel::kStaticPeerToPeer, 5);
+  const double many_ratio =
+      run_msgs(ConnectionModel::kOnDemand, 500) /
+      run_msgs(ConnectionModel::kStaticPeerToPeer, 500);
+  EXPECT_GT(few_ratio, 1.5) << "5 messages cannot hide a connection setup";
+  EXPECT_LT(many_ratio, 1.02) << "500 messages must amortize it";
+}
+
+}  // namespace
+}  // namespace odmpi::mpi

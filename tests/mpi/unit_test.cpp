@@ -1,0 +1,208 @@
+// Unit tests for the smaller MPI-layer pieces: packet headers, datatype
+// tables, reduction ops, groups, wait policies, and the matching engine
+// in isolation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/mpi/datatype.h"
+#include "src/mpi/group.h"
+#include "src/mpi/matching.h"
+#include "src/mpi/op.h"
+#include "src/mpi/packet.h"
+#include "src/mpi/types.h"
+
+namespace odmpi::mpi {
+namespace {
+
+TEST(PacketHeader, RoundTripsThroughBuffer) {
+  PacketHeader h;
+  h.type = PacketType::kCts;
+  h.credits = 17;
+  h.src_rank = 42;
+  h.tag = -3;
+  h.context = 9;
+  h.total_bytes = 123456789ULL;
+  h.cookie = 0xDEADBEEFCAFEULL;
+  h.recv_cookie = 77;
+  h.remote_addr = 0x7fff12345678ULL;
+  h.remote_handle = 5;
+  std::byte buf[kHeaderBytes];
+  write_header(buf, h);
+  const PacketHeader r = read_header(buf);
+  EXPECT_EQ(r.type, PacketType::kCts);
+  EXPECT_EQ(r.credits, 17);
+  EXPECT_EQ(r.src_rank, 42);
+  EXPECT_EQ(r.tag, -3);
+  EXPECT_EQ(r.context, 9);
+  EXPECT_EQ(r.total_bytes, 123456789ULL);
+  EXPECT_EQ(r.cookie, 0xDEADBEEFCAFEULL);
+  EXPECT_EQ(r.recv_cookie, 77ULL);
+  EXPECT_EQ(r.remote_addr, 0x7fff12345678ULL);
+  EXPECT_EQ(r.remote_handle, 5u);
+}
+
+TEST(DatatypeTable, SizesMatchCxxTypes) {
+  EXPECT_EQ(kByte.size(), sizeof(char));
+  EXPECT_EQ(kInt32.size(), sizeof(std::int32_t));
+  EXPECT_EQ(kInt64.size(), sizeof(std::int64_t));
+  EXPECT_EQ(kFloat.size(), sizeof(float));
+  EXPECT_EQ(kDouble.size(), sizeof(double));
+  EXPECT_EQ(datatype_of<double>(), kDouble);
+  EXPECT_EQ(datatype_of<std::int32_t>(), kInt32);
+}
+
+TEST(Ops, ArithmeticOnDoubles) {
+  double a[3] = {1, 5, -2}, b[3] = {4, 2, -7};
+  apply_op(Op::kSum, kDouble, a, b, 3);
+  EXPECT_DOUBLE_EQ(a[0], 5);
+  apply_op(Op::kMax, kDouble, a, b, 3);
+  EXPECT_DOUBLE_EQ(a[2], -7 > -9 ? -7.0 : -9.0);
+  double c[2] = {3, 4}, d[2] = {2, 0.5};
+  apply_op(Op::kProd, kDouble, c, d, 2);
+  EXPECT_DOUBLE_EQ(c[0], 6);
+  EXPECT_DOUBLE_EQ(c[1], 2);
+  apply_op(Op::kMin, kDouble, c, d, 2);
+  EXPECT_DOUBLE_EQ(c[0], 2);
+}
+
+TEST(Ops, LogicalAndBitwiseOnIntegers) {
+  std::int32_t a[4] = {0, 1, 5, 0}, b[4] = {0, 2, 0, 0};
+  std::int32_t l[4] = {0, 1, 5, 0};
+  apply_op(Op::kLand, kInt32, l, b, 4);
+  EXPECT_EQ(l[0], 0);
+  EXPECT_EQ(l[1], 1);
+  EXPECT_EQ(l[2], 0);
+  std::int32_t o[4] = {0, 1, 5, 0};
+  apply_op(Op::kLor, kInt32, o, b, 4);
+  EXPECT_EQ(o[0], 0);
+  EXPECT_EQ(o[1], 1);
+  EXPECT_EQ(o[2], 1);
+  std::int32_t x[2] = {0b1100, 0b1010};
+  std::int32_t y[2] = {0b1010, 0b0110};
+  apply_op(Op::kBand, kInt32, x, y, 2);
+  EXPECT_EQ(x[0], 0b1000);
+  apply_op(Op::kBor, kInt32, x, y, 2);
+  EXPECT_EQ(x[1], (0b1010 & 0b0110) | 0b0110);
+  (void)a;
+}
+
+TEST(GroupUnit, WorldAndTranslation) {
+  Group g = Group::world(5);
+  EXPECT_EQ(g.size(), 5);
+  EXPECT_EQ(g.world_rank(3), 3);
+  EXPECT_EQ(g.rank_of_world(4), 4);
+  EXPECT_TRUE(g.contains(0));
+  EXPECT_FALSE(g.contains(5));
+}
+
+TEST(GroupUnit, SubsetTranslation) {
+  Group g(std::vector<Rank>{7, 2, 9});
+  EXPECT_EQ(g.size(), 3);
+  EXPECT_EQ(g.world_rank(0), 7);
+  EXPECT_EQ(g.world_rank(2), 9);
+  EXPECT_EQ(g.rank_of_world(2), 1);
+  EXPECT_EQ(g.rank_of_world(3), -1);
+}
+
+TEST(WaitPolicyUnit, PollingAndSpinwait) {
+  EXPECT_TRUE(WaitPolicy::polling().is_polling());
+  EXPECT_FALSE(WaitPolicy::spinwait(100).is_polling());
+  EXPECT_EQ(WaitPolicy::spinwait(250).spin_count, 250);
+  EXPECT_STREQ(to_string(WaitPolicy::polling()), "polling");
+  EXPECT_STREQ(to_string(WaitPolicy::spinwait()), "spinwait");
+}
+
+// --- MatchingEngine in isolation -------------------------------------------
+
+RequestPtr make_recv(ContextId ctx, Rank src, Tag tag) {
+  auto r = std::make_shared<RequestState>();
+  r->kind = ReqKind::kRecv;
+  r->context = ctx;
+  r->src = src;
+  r->tag = tag;
+  return r;
+}
+
+std::unique_ptr<UnexpectedMsg> make_msg(ContextId ctx, Rank src, Tag tag) {
+  auto m = std::make_unique<UnexpectedMsg>();
+  m->context = ctx;
+  m->src = src;
+  m->tag = tag;
+  m->total_bytes = 0;
+  return m;
+}
+
+TEST(Matching, ArrivalMatchesOldestPostedFirst) {
+  MatchingEngine me;
+  auto r1 = make_recv(0, 3, 5);
+  auto r2 = make_recv(0, 3, 5);
+  me.add_posted(r1);
+  me.add_posted(r2);
+  EXPECT_EQ(me.match_arrival(0, 3, 5), r1);
+  EXPECT_EQ(me.match_arrival(0, 3, 5), r2);
+  EXPECT_EQ(me.match_arrival(0, 3, 5), nullptr);
+}
+
+TEST(Matching, WildcardsMatchAnything) {
+  MatchingEngine me;
+  me.add_posted(make_recv(0, kAnySource, kAnyTag));
+  EXPECT_NE(me.match_arrival(0, 7, 123), nullptr);
+  // But context never wildcards.
+  me.add_posted(make_recv(1, kAnySource, kAnyTag));
+  EXPECT_EQ(me.match_arrival(0, 7, 123), nullptr);
+}
+
+TEST(Matching, PostedSkipsWrongEnvelope) {
+  MatchingEngine me;
+  me.add_posted(make_recv(0, 2, 9));
+  EXPECT_EQ(me.match_arrival(0, 2, 8), nullptr);   // wrong tag
+  EXPECT_EQ(me.match_arrival(0, 3, 9), nullptr);   // wrong src
+  EXPECT_NE(me.match_arrival(0, 2, 9), nullptr);
+}
+
+TEST(Matching, UnexpectedClaimedEntriesAreSkipped) {
+  MatchingEngine me;
+  UnexpectedMsg* m1 = me.add_unexpected(make_msg(0, 1, 4));
+  UnexpectedMsg* m2 = me.add_unexpected(make_msg(0, 1, 4));
+  auto recv = make_recv(0, 1, 4);
+  EXPECT_EQ(me.match_posted(recv), m1);
+  m1->claimed = recv;
+  auto recv2 = make_recv(0, 1, 4);
+  EXPECT_EQ(me.match_posted(recv2), m2);
+}
+
+TEST(Matching, RemoveUnexpectedKeepsOrderOfOthers) {
+  MatchingEngine me;
+  UnexpectedMsg* m1 = me.add_unexpected(make_msg(0, 1, 1));
+  UnexpectedMsg* m2 = me.add_unexpected(make_msg(0, 1, 1));
+  UnexpectedMsg* m3 = me.add_unexpected(make_msg(0, 1, 1));
+  me.remove_unexpected(m2);
+  auto recv = make_recv(0, 1, 1);
+  EXPECT_EQ(me.match_posted(recv), m1);
+  me.remove_unexpected(m1);
+  EXPECT_EQ(me.match_posted(recv), m3);
+}
+
+TEST(Matching, CancelPostedRemovesExactlyThatRequest) {
+  MatchingEngine me;
+  auto r1 = make_recv(0, kAnySource, 1);
+  auto r2 = make_recv(0, kAnySource, 1);
+  me.add_posted(r1);
+  me.add_posted(r2);
+  EXPECT_TRUE(me.cancel_posted(r1));
+  EXPECT_FALSE(me.cancel_posted(r1));
+  EXPECT_EQ(me.match_arrival(0, 0, 1), r2);
+}
+
+TEST(Matching, PeekDoesNotConsume) {
+  MatchingEngine me;
+  me.add_unexpected(make_msg(0, 5, 2));
+  EXPECT_NE(me.peek_unexpected(0, kAnySource, kAnyTag), nullptr);
+  EXPECT_NE(me.peek_unexpected(0, 5, 2), nullptr);
+  EXPECT_EQ(me.peek_unexpected(0, 6, 2), nullptr);
+  EXPECT_EQ(me.unexpected_count(), 1u);
+}
+
+}  // namespace
+}  // namespace odmpi::mpi

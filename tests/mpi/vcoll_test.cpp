@@ -1,0 +1,158 @@
+// Tests for the variable-count collectives and the remaining request
+// operations (wait_some / test_all / test_any).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "tests/mpi/mpi_test_util.h"
+
+namespace odmpi::mpi {
+namespace {
+
+using testing::make_options;
+using testing::run_or_die;
+
+TEST(VColl, GathervVariableBlocks) {
+  run_or_die(5, make_options(), [](Comm& c) {
+    const int n = c.size();
+    // Rank r contributes r+1 ints valued r.
+    std::vector<std::int32_t> mine(static_cast<std::size_t>(c.rank() + 1),
+                                   c.rank());
+    std::vector<int> counts(static_cast<std::size_t>(n));
+    std::vector<int> displs(static_cast<std::size_t>(n));
+    int off = 0;
+    for (int r = 0; r < n; ++r) {
+      counts[static_cast<std::size_t>(r)] = r + 1;
+      displs[static_cast<std::size_t>(r)] = off;
+      off += r + 1;
+    }
+    std::vector<std::int32_t> all(static_cast<std::size_t>(off), -1);
+    c.gatherv(mine.data(), c.rank() + 1, all.data(), counts.data(),
+              displs.data(), kInt32, /*root=*/2);
+    if (c.rank() == 2) {
+      for (int r = 0; r < n; ++r) {
+        for (int k = 0; k < r + 1; ++k) {
+          EXPECT_EQ(all[static_cast<std::size_t>(
+                        displs[static_cast<std::size_t>(r)] + k)],
+                    r);
+        }
+      }
+    }
+  });
+}
+
+TEST(VColl, ScattervInverseOfGatherv) {
+  run_or_die(4, make_options(), [](Comm& c) {
+    const int n = c.size();
+    std::vector<int> counts(static_cast<std::size_t>(n));
+    std::vector<int> displs(static_cast<std::size_t>(n));
+    int off = 0;
+    for (int r = 0; r < n; ++r) {
+      counts[static_cast<std::size_t>(r)] = 2 * r + 1;
+      displs[static_cast<std::size_t>(r)] = off;
+      off += 2 * r + 1;
+    }
+    std::vector<std::int32_t> src;
+    if (c.rank() == 0) {
+      src.resize(static_cast<std::size_t>(off));
+      std::iota(src.begin(), src.end(), 0);
+    }
+    std::vector<std::int32_t> mine(
+        static_cast<std::size_t>(2 * c.rank() + 1), -1);
+    c.scatterv(src.data(), counts.data(), displs.data(), mine.data(),
+               2 * c.rank() + 1, kInt32, 0);
+    for (int k = 0; k < 2 * c.rank() + 1; ++k) {
+      EXPECT_EQ(mine[static_cast<std::size_t>(k)],
+                displs[static_cast<std::size_t>(c.rank())] + k);
+    }
+  });
+}
+
+TEST(VColl, AllgathervEveryoneSeesAll) {
+  run_or_die(6, make_options(), [](Comm& c) {
+    const int n = c.size();
+    std::vector<int> counts(static_cast<std::size_t>(n));
+    std::vector<int> displs(static_cast<std::size_t>(n));
+    int off = 0;
+    for (int r = 0; r < n; ++r) {
+      counts[static_cast<std::size_t>(r)] = (r % 3) + 1;
+      displs[static_cast<std::size_t>(r)] = off;
+      off += counts[static_cast<std::size_t>(r)];
+    }
+    std::vector<std::int32_t> mine(
+        static_cast<std::size_t>(counts[static_cast<std::size_t>(c.rank())]),
+        c.rank() * 11);
+    std::vector<std::int32_t> all(static_cast<std::size_t>(off), -1);
+    c.allgatherv(mine.data(), static_cast<int>(mine.size()), all.data(),
+                 counts.data(), displs.data(), kInt32);
+    for (int r = 0; r < n; ++r) {
+      for (int k = 0; k < counts[static_cast<std::size_t>(r)]; ++k) {
+        EXPECT_EQ(all[static_cast<std::size_t>(
+                      displs[static_cast<std::size_t>(r)] + k)],
+                  r * 11);
+      }
+    }
+  });
+}
+
+TEST(RequestOps, WaitSomeReturnsCompletedSubset) {
+  run_or_die(3, make_options(), [](Comm& c) {
+    if (c.rank() == 0) {
+      std::int32_t a = 0, b = 0;
+      std::vector<Request> reqs;
+      reqs.push_back(c.irecv(&a, 1, kInt32, 1, 1));
+      reqs.push_back(c.irecv(&b, 1, kInt32, 2, 2));
+      const auto done = wait_some(reqs);
+      ASSERT_GE(done.size(), 1u);
+      EXPECT_EQ(done.front(), 1u);  // rank 2 sends immediately
+      wait_all(reqs);
+      EXPECT_EQ(a, 10);
+      EXPECT_EQ(b, 20);
+    } else if (c.rank() == 1) {
+      sim::Process::current()->sleep(sim::milliseconds(5));
+      std::int32_t v = 10;
+      c.send(&v, 1, kInt32, 0, 1);
+    } else {
+      std::int32_t v = 20;
+      c.send(&v, 1, kInt32, 0, 2);
+    }
+  });
+}
+
+TEST(RequestOps, TestAllAndTestAny) {
+  run_or_die(2, make_options(), [](Comm& c) {
+    if (c.rank() == 0) {
+      std::int32_t a = 0;
+      std::vector<Request> reqs;
+      reqs.push_back(c.irecv(&a, 1, kInt32, 1, 1));
+      EXPECT_FALSE(test_all(reqs));
+      EXPECT_EQ(test_any(reqs), kNoRequest);
+      // Spin the progress engine until the message lands.
+      c.device().wait_until([&] { return reqs[0].done(); });
+      EXPECT_TRUE(test_all(reqs));
+      EXPECT_EQ(test_any(reqs), 0u);
+      EXPECT_EQ(a, 5);
+    } else {
+      sim::Process::current()->sleep(sim::milliseconds(2));
+      std::int32_t v = 5;
+      c.send(&v, 1, kInt32, 0, 1);
+    }
+  });
+}
+
+TEST(Pt2PtExtra, SendrecvReplaceRotatesRing) {
+  run_or_die(5, make_options(), [](Comm& c) {
+    const int right = (c.rank() + 1) % c.size();
+    const int left = (c.rank() - 1 + c.size()) % c.size();
+    std::int32_t v = c.rank();
+    for (int step = 0; step < 3; ++step) {
+      c.sendrecv_replace(&v, 1, kInt32, right, 0, left, 0);
+    }
+    // After 3 rotations, I hold the value from 3 ranks to my left.
+    EXPECT_EQ(v, (c.rank() - 3 + c.size()) % c.size());
+  });
+}
+
+}  // namespace
+}  // namespace odmpi::mpi

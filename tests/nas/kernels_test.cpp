@@ -1,0 +1,124 @@
+// NAS kernel tests: numerics verify, results are identical across
+// connection-management strategies (the change must be transparent), and
+// the per-process VI counts under on-demand management reproduce the
+// shape of the paper's Table 2.
+#include <gtest/gtest.h>
+
+#include "src/nas/common.h"
+#include "tests/mpi/mpi_test_util.h"
+
+namespace odmpi::nas {
+namespace {
+
+using mpi::ConnectionModel;
+using mpi::testing::make_options;
+
+struct KernelCase {
+  const char* kernel;
+  int nprocs;
+};
+
+KernelResult run_kernel(const char* kernel, int nprocs,
+                        ConnectionModel model, double* vis_avg = nullptr,
+                        bool bvia = false) {
+  mpi::JobOptions opt = make_options(
+      model,
+      bvia ? via::DeviceProfile::bvia() : via::DeviceProfile::clan());
+  mpi::World world(nprocs, opt);
+  KernelResult result;
+  EXPECT_TRUE(world.run([&](mpi::Comm& comm) {
+    KernelResult r = kernel_by_name(kernel)(comm, Class::S);
+    if (comm.rank() == 0) result = r;
+  })) << kernel << " deadlocked";
+  if (vis_avg != nullptr) *vis_avg = world.mean_vis_per_process();
+  return result;
+}
+
+class KernelMatrix : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(KernelMatrix, VerifiesUnderOnDemand) {
+  const auto& p = GetParam();
+  KernelResult r = run_kernel(p.kernel, p.nprocs, ConnectionModel::kOnDemand);
+  EXPECT_TRUE(r.verified) << p.kernel << " failed verification";
+  EXPECT_GT(r.time_sec, 0.0);
+}
+
+TEST_P(KernelMatrix, ChecksumIdenticalAcrossConnectionModels) {
+  const auto& p = GetParam();
+  const KernelResult od =
+      run_kernel(p.kernel, p.nprocs, ConnectionModel::kOnDemand);
+  const KernelResult st =
+      run_kernel(p.kernel, p.nprocs, ConnectionModel::kStaticPeerToPeer);
+  // Connection management must not perturb the computation at all.
+  EXPECT_EQ(od.checksum, st.checksum) << p.kernel;
+  EXPECT_EQ(od.verified, st.verified);
+}
+
+TEST_P(KernelMatrix, VerifiesOnBerkeleyVia) {
+  const auto& p = GetParam();
+  if (p.nprocs > 8) GTEST_SKIP() << "paper caps BVIA at 8 processes";
+  KernelResult r = run_kernel(p.kernel, p.nprocs, ConnectionModel::kOnDemand,
+                              nullptr, /*bvia=*/true);
+  EXPECT_TRUE(r.verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, KernelMatrix,
+    ::testing::Values(KernelCase{"CG", 4}, KernelCase{"CG", 8},
+                      KernelCase{"CG", 16}, KernelCase{"MG", 8},
+                      KernelCase{"MG", 16}, KernelCase{"IS", 4},
+                      KernelCase{"IS", 8}, KernelCase{"IS", 16},
+                      KernelCase{"EP", 8}, KernelCase{"EP", 16},
+                      KernelCase{"FT", 4}, KernelCase{"FT", 8},
+                      KernelCase{"SP", 4}, KernelCase{"SP", 9},
+                      KernelCase{"SP", 16}, KernelCase{"BT", 4},
+                      KernelCase{"BT", 16}, KernelCase{"LU", 4},
+                      KernelCase{"LU", 8}, KernelCase{"LU", 16}),
+    [](const ::testing::TestParamInfo<KernelCase>& info) {
+      return std::string(info.param.kernel) + "_np" +
+             std::to_string(info.param.nprocs);
+    });
+
+TEST(Table2Shape, OnDemandViCountsMatchPaper) {
+  // Table 2's on-demand column (16 processes): EP ~ log2(N) = 4,
+  // CG ~ 4.75, IS = 15 (full mesh), SP/BT ~ 8.
+  double vis = 0;
+  run_kernel("EP", 16, ConnectionModel::kOnDemand, &vis);
+  EXPECT_DOUBLE_EQ(vis, 4.0);
+
+  run_kernel("CG", 16, ConnectionModel::kOnDemand, &vis);
+  EXPECT_NEAR(vis, 4.75, 0.26);
+
+  run_kernel("IS", 16, ConnectionModel::kOnDemand, &vis);
+  EXPECT_DOUBLE_EQ(vis, 15.0);
+
+  run_kernel("SP", 16, ConnectionModel::kOnDemand, &vis);
+  EXPECT_NEAR(vis, 8.0, 1.5);
+}
+
+TEST(Table2Shape, StaticAlwaysCreatesFullMesh) {
+  double vis = 0;
+  run_kernel("EP", 16, ConnectionModel::kStaticPeerToPeer, &vis);
+  EXPECT_DOUBLE_EQ(vis, 15.0);
+  run_kernel("CG", 8, ConnectionModel::kStaticPeerToPeer, &vis);
+  EXPECT_DOUBLE_EQ(vis, 7.0);
+}
+
+TEST(KernelBudgets, ComputeBudgetsGrowWithClass) {
+  for (const char* k : {"CG", "MG", "IS", "EP", "FT", "SP", "BT", "LU"}) {
+    EXPECT_LT(compute_budget(k, Class::S), compute_budget(k, Class::A)) << k;
+    EXPECT_LT(compute_budget(k, Class::A), compute_budget(k, Class::B)) << k;
+    EXPECT_LT(compute_budget(k, Class::B), compute_budget(k, Class::C)) << k;
+  }
+}
+
+TEST(KernelBudgets, IterationTablesArePositive) {
+  for (const char* k : {"CG", "MG", "IS", "EP", "FT", "SP", "BT", "LU"}) {
+    for (Class c : {Class::S, Class::A, Class::B, Class::C}) {
+      EXPECT_GT(iterations(k, c), 0) << k << " " << to_string(c);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace odmpi::nas

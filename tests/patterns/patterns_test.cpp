@@ -1,0 +1,89 @@
+// Table 1 pattern-generator tests: structural properties and closeness to
+// the published averages.
+#include "src/patterns/patterns.h"
+
+#include <gtest/gtest.h>
+
+namespace odmpi::patterns {
+namespace {
+
+TEST(Patterns, SphotMatchesPaperExactly) {
+  // 0.98 at 64 processes: 63 workers send to the master, which sends to
+  // nobody — the paper's metric counts send destinations.
+  EXPECT_NEAR(average_destinations(sphot(64)), 0.98, 0.005);
+  EXPECT_LE(average_destinations(sphot(1024)), 1.0);
+}
+
+TEST(Patterns, Sweep3dMatchesPaperExactly) {
+  EXPECT_DOUBLE_EQ(average_destinations(sweep3d(64)), 3.5);
+  const double at1024 = average_destinations(sweep3d(1024));
+  EXPECT_LT(at1024, 4.0);
+  EXPECT_GT(at1024, 3.5);
+}
+
+TEST(Patterns, SppmIsNearestNeighbour) {
+  const auto d = sppm(64);
+  // 4x4x4 grid: every destination is a face neighbour, none self.
+  for (int r = 0; r < 64; ++r) {
+    EXPECT_LE(d[static_cast<std::size_t>(r)].size(), 6u);
+    EXPECT_FALSE(d[static_cast<std::size_t>(r)].contains(r));
+  }
+  EXPECT_LT(average_destinations(d), 6.0);
+  EXPECT_LT(average_destinations(sppm(1024)), 6.0);  // paper: < 6
+}
+
+TEST(Patterns, SmgHasLargePartnerSets) {
+  const double at64 = average_destinations(smg2000(64));
+  // Paper: 41.88 — an order of magnitude above the stencil apps.
+  EXPECT_GT(at64, 25.0);
+  EXPECT_LT(at64, 63.0);
+  EXPECT_LT(average_destinations(smg2000(1024)), 1023.0);
+}
+
+TEST(Patterns, SamraiNearPaper) {
+  EXPECT_NEAR(average_destinations(samrai(64)), 4.94, 0.35);
+  EXPECT_LT(average_destinations(samrai(1024)), 10.0);
+}
+
+TEST(Patterns, CgNearPaperAndBounded) {
+  EXPECT_NEAR(average_destinations(cg(64)), 6.36, 0.75);
+  EXPECT_LT(average_destinations(cg(1024)), 11.0);  // paper: < 11
+}
+
+TEST(Patterns, DestinationsAreValidRanks) {
+  for (auto fn : {&sppm, &smg2000, &sphot, &sweep3d, &samrai, &cg}) {
+    const auto d = fn(64);
+    ASSERT_EQ(d.size(), 64u);
+    for (const auto& s : d) {
+      for (int t : s) {
+        EXPECT_GE(t, 0);
+        EXPECT_LT(t, 64);
+      }
+    }
+  }
+}
+
+TEST(Patterns, SymmetryWhereExpected) {
+  // Halo-exchange apps have symmetric partner relations.
+  for (auto fn : {&sppm, &sweep3d}) {
+    const auto d = fn(64);
+    for (int r = 0; r < 64; ++r) {
+      for (int t : d[static_cast<std::size_t>(r)]) {
+        EXPECT_TRUE(d[static_cast<std::size_t>(t)].contains(r))
+            << r << " -> " << t << " not symmetric";
+      }
+    }
+  }
+}
+
+TEST(Patterns, Table1HasAllRows) {
+  const auto rows = table1();
+  ASSERT_EQ(rows.size(), 12u);  // 6 apps x 2 sizes
+  for (const auto& row : rows) {
+    EXPECT_GT(row.average, 0.0) << row.name;
+    EXPECT_GT(row.paper, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace odmpi::patterns

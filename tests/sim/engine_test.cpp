@@ -1,0 +1,92 @@
+#include "src/sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace odmpi::sim {
+namespace {
+
+TEST(Engine, ProcessesEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(microseconds(30), [&] { order.push_back(3); });
+  e.schedule_at(microseconds(10), [&] { order.push_back(1); });
+  e.schedule_at(microseconds(20), [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), microseconds(30));
+}
+
+TEST(Engine, TiesBreakByScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(microseconds(5), [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, EventsMayScheduleMoreEvents) {
+  Engine e;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) e.schedule_after(microseconds(1), chain);
+  };
+  e.schedule_at(0, chain);
+  e.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(e.now(), microseconds(4));
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine e;
+  e.schedule_at(microseconds(10), [&] {
+    EXPECT_THROW(e.schedule_at(microseconds(5), [] {}), std::logic_error);
+  });
+  e.run();
+}
+
+TEST(Engine, CancelPreventsFiring) {
+  Engine e;
+  bool fired = false;
+  EventId id = e.schedule_at(microseconds(10), [&] { fired = true; });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelUnknownIdReturnsFalse) {
+  Engine e;
+  EXPECT_FALSE(e.cancel(0));
+  EXPECT_FALSE(e.cancel(12345));
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(microseconds(10), [&] { order.push_back(1); });
+  e.schedule_at(microseconds(30), [&] { order.push_back(2); });
+  e.run_until(microseconds(20));
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Engine, RunUntilOnEmptyQueueAdvancesClock) {
+  Engine e;
+  e.run_until(microseconds(100));
+  EXPECT_EQ(e.now(), microseconds(100));
+}
+
+TEST(Engine, CountsProcessedEvents) {
+  Engine e;
+  for (int i = 0; i < 7; ++i) e.schedule_after(i, [] {});
+  e.run();
+  EXPECT_EQ(e.events_processed(), 7u);
+}
+
+}  // namespace
+}  // namespace odmpi::sim

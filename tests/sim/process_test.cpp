@@ -1,0 +1,207 @@
+#include "src/sim/process.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace odmpi::sim {
+namespace {
+
+TEST(Process, AdvanceChargesLocalClock) {
+  Engine e;
+  SimTime observed = -1;
+  Process p(e, 0, [&] {
+    Process::current()->advance(microseconds(5));
+    Process::current()->advance(microseconds(7));
+    observed = Process::current()->now();
+  });
+  p.start();
+  e.run();
+  EXPECT_EQ(observed, microseconds(12));
+  EXPECT_TRUE(p.finished());
+}
+
+TEST(Process, StartDelayOffsetsClock) {
+  Engine e;
+  SimTime observed = -1;
+  Process p(e, 0, [&] { observed = Process::current()->now(); });
+  p.start(microseconds(42));
+  e.run();
+  EXPECT_EQ(observed, microseconds(42));
+}
+
+TEST(Process, YieldLetsEarlierEventsRunFirst) {
+  Engine e;
+  std::vector<int> order;
+  Process p(e, 0, [&] {
+    auto* self = Process::current();
+    self->advance(microseconds(100));
+    order.push_back(1);
+    self->yield();  // the event at t=50 must fire during this yield
+    order.push_back(3);
+  });
+  p.start();
+  e.schedule_at(microseconds(50), [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Process, SleepAdvancesAndInterleaves) {
+  Engine e;
+  std::vector<std::pair<int, SimTime>> trace;
+  Process a(e, 0, [&] {
+    for (int i = 0; i < 3; ++i) {
+      Process::current()->sleep(microseconds(10));
+      trace.emplace_back(0, Process::current()->now());
+    }
+  });
+  Process b(e, 1, [&] {
+    for (int i = 0; i < 2; ++i) {
+      Process::current()->sleep(microseconds(15));
+      trace.emplace_back(1, Process::current()->now());
+    }
+  });
+  a.start();
+  b.start();
+  e.run();
+  ASSERT_EQ(trace.size(), 5u);
+  // Interleaving strictly by virtual time: 10a 15b 20a 30a/30b.
+  EXPECT_EQ(trace[0], std::make_pair(0, microseconds(10)));
+  EXPECT_EQ(trace[1], std::make_pair(1, microseconds(15)));
+  EXPECT_EQ(trace[2], std::make_pair(0, microseconds(20)));
+}
+
+TEST(Process, BlockWaitsForWakeup) {
+  Engine e;
+  SimTime woke_at = -1;
+  SimTime blocked_for = -1;
+  Process p(e, 0, [&] {
+    auto* self = Process::current();
+    self->advance(microseconds(10));
+    blocked_for = self->block();
+    woke_at = self->now();
+  });
+  p.start();
+  e.schedule_at(microseconds(70), [&] { p.wakeup(); });
+  e.run();
+  EXPECT_EQ(woke_at, microseconds(70));
+  EXPECT_EQ(blocked_for, microseconds(60));
+  EXPECT_TRUE(p.finished());
+}
+
+TEST(Process, LatchedWakeupMakesBlockImmediate) {
+  Engine e;
+  SimTime blocked_for = -1;
+  Process p(e, 0, [&] {
+    auto* self = Process::current();
+    self->wakeup();  // signal self while running: latched
+    blocked_for = self->block();
+  });
+  p.start();
+  e.run();
+  EXPECT_EQ(blocked_for, 0);
+  EXPECT_TRUE(p.finished());
+}
+
+TEST(Process, WakeupBeforeLocalTimeDoesNotRewindClock) {
+  Engine e;
+  SimTime woke_at = -1;
+  Process p(e, 0, [&] {
+    auto* self = Process::current();
+    self->advance(microseconds(100));  // local clock ahead of global
+    self->block();
+    woke_at = self->now();
+  });
+  p.start();
+  // Fires at global t=5 while the process's local clock reads 100.
+  e.schedule_at(microseconds(5), [&] { p.wakeup(); });
+  e.run();
+  EXPECT_EQ(woke_at, microseconds(100));
+}
+
+TEST(Process, DeadlockLeavesProcessBlockedAndEngineQuiescent) {
+  Engine e;
+  Process p(e, 0, [&] { Process::current()->block(); });
+  p.start();
+  e.run();
+  EXPECT_EQ(p.state(), Process::State::Blocked);
+  EXPECT_FALSE(p.finished());
+}
+
+TEST(Process, ManyProcessesDeterministicCompletion) {
+  Engine e;
+  constexpr int kN = 64;
+  std::vector<std::unique_ptr<Process>> procs;
+  std::vector<int> finish_order;
+  for (int i = 0; i < kN; ++i) {
+    procs.push_back(std::make_unique<Process>(e, i, [&, i] {
+      // Rank i sleeps i+1 us twice; finish order == rank order.
+      Process::current()->sleep(microseconds(i + 1));
+      Process::current()->sleep(microseconds(i + 1));
+      finish_order.push_back(i);
+    }));
+    procs.back()->start();
+  }
+  e.run();
+  ASSERT_EQ(finish_order.size(), static_cast<size_t>(kN));
+  for (int i = 0; i < kN; ++i)
+    EXPECT_EQ(finish_order[static_cast<size_t>(i)], i);
+}
+
+
+TEST(Process, SpuriousWakeupPatternRequiresConditionLoops) {
+  // A latched wakeup makes the next block() return immediately — the
+  // semantics condition-style users must re-check against (this is what
+  // the runtime's sense-reversing barrier does).
+  Engine e;
+  int wakes = 0;
+  Process p(e, 0, [&] {
+    auto* self = Process::current();
+    self->wakeup();            // latch a stale signal
+    bool condition = false;
+    e.schedule_at(microseconds(50), [&] {
+      condition = true;
+      p.wakeup();
+    });
+    while (!condition) {
+      self->block();
+      ++wakes;
+    }
+    EXPECT_EQ(self->now(), microseconds(50));
+  });
+  p.start();
+  e.run();
+  EXPECT_TRUE(p.finished());
+  EXPECT_EQ(wakes, 2);  // one spurious (latched), one real
+}
+
+TEST(Process, WakeupFromAnotherProcessUsesSenderLocalTime) {
+  Engine e;
+  SimTime woke_at = -1;
+  Process sleeper(e, 0, [&] {
+    Process::current()->block();
+    woke_at = Process::current()->now();
+  });
+  Process waker(e, 1, [&] {
+    auto* self = Process::current();
+    self->advance(microseconds(80));  // local clock ahead of global
+    sleeper.wakeup();
+  });
+  sleeper.start();
+  waker.start();
+  e.run();
+  // The wakeup is stamped with the waker's local time.
+  EXPECT_EQ(woke_at, microseconds(80));
+}
+
+TEST(Process, CurrentTimeFallsBackToEngineClock) {
+  Engine e;
+  e.schedule_at(microseconds(33), [&] {
+    EXPECT_EQ(Process::current(), nullptr);
+    EXPECT_EQ(Process::current_time(e), microseconds(33));
+  });
+  e.run();
+}
+
+}  // namespace
+}  // namespace odmpi::sim

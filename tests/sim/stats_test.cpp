@@ -1,0 +1,50 @@
+#include "src/sim/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace odmpi::sim {
+namespace {
+
+TEST(Stats, AddAndGet) {
+  Stats s;
+  EXPECT_EQ(s.get("x"), 0);
+  s.add("x");
+  s.add("x", 4);
+  EXPECT_EQ(s.get("x"), 5);
+}
+
+TEST(Stats, SetOverwrites) {
+  Stats s;
+  s.add("g", 10);
+  s.set("g", 3);
+  EXPECT_EQ(s.get("g"), 3);
+}
+
+TEST(Stats, SetMaxKeepsHighWater) {
+  Stats s;
+  s.set_max("peak", 5);
+  s.set_max("peak", 2);
+  EXPECT_EQ(s.get("peak"), 5);
+  s.set_max("peak", 9);
+  EXPECT_EQ(s.get("peak"), 9);
+}
+
+TEST(Stats, MergeSums) {
+  Stats a, b;
+  a.add("n", 2);
+  b.add("n", 3);
+  b.add("m", 1);
+  a.merge(b);
+  EXPECT_EQ(a.get("n"), 5);
+  EXPECT_EQ(a.get("m"), 1);
+}
+
+TEST(Stats, ClearEmpties) {
+  Stats s;
+  s.add("x");
+  s.clear();
+  EXPECT_TRUE(s.all().empty());
+}
+
+}  // namespace
+}  // namespace odmpi::sim

@@ -1,0 +1,250 @@
+// Connection-model tests: peer-to-peer matching (including crossing
+// requests), client/server accept and reject, and the unmatched-request
+// queue the on-demand manager polls.
+#include "src/via/connection.h"
+
+#include <gtest/gtest.h>
+
+#include "src/via/nic.h"
+#include "src/via/provider.h"
+#include "src/via/vi.h"
+#include "tests/via/via_test_util.h"
+
+namespace odmpi::via {
+namespace {
+
+using testing::MiniCluster;
+
+// Polls until the VI leaves kConnectPending, yielding virtual time.
+void await_connected(Vi* vi) {
+  auto* p = sim::Process::current();
+  while (vi->state() == ViState::kConnectPending) {
+    p->advance(sim::nanoseconds(100));
+    p->yield();
+  }
+}
+
+TEST(PeerConnect, BothSidesConnectRegardlessOfOrder) {
+  for (int first : {0, 1}) {
+    MiniCluster mc(2);
+    Vi* vis[2] = {nullptr, nullptr};
+    for (int n : {0, 1}) {
+      const int me = n, other = 1 - n;
+      mc.spawn(n, [&, me, other, first] {
+        // The "second" caller waits a while before connecting.
+        if (me != first) sim::Process::current()->sleep(sim::microseconds(500));
+        vis[me] = mc.nic(me).create_vi(nullptr, nullptr);
+        mc.nic(me).connections().connect_peer(*vis[me], other, /*disc=*/7);
+        await_connected(vis[me]);
+      });
+    }
+    ASSERT_TRUE(mc.run());
+    EXPECT_EQ(vis[0]->state(), ViState::kConnected);
+    EXPECT_EQ(vis[1]->state(), ViState::kConnected);
+    EXPECT_EQ(vis[0]->remote_node(), 1);
+    EXPECT_EQ(vis[1]->remote_node(), 0);
+    EXPECT_EQ(vis[0]->remote_vi(), vis[1]->id());
+    EXPECT_EQ(vis[1]->remote_vi(), vis[0]->id());
+  }
+}
+
+TEST(PeerConnect, SimultaneousCrossingRequestsStillMatchOnce) {
+  MiniCluster mc(2);
+  Vi* vis[2] = {nullptr, nullptr};
+  for (int n : {0, 1}) {
+    const int me = n, other = 1 - n;
+    mc.spawn(n, [&, me, other] {
+      vis[me] = mc.nic(me).create_vi(nullptr, nullptr);
+      mc.nic(me).connections().connect_peer(*vis[me], other, 42);
+      await_connected(vis[me]);
+    });
+  }
+  ASSERT_TRUE(mc.run());
+  EXPECT_EQ(vis[0]->state(), ViState::kConnected);
+  EXPECT_EQ(vis[1]->state(), ViState::kConnected);
+  // Exactly one logical connection: each side established one.
+  EXPECT_EQ(mc.nic(0).connections().connections_established(), 1u);
+  EXPECT_EQ(mc.nic(1).connections().connections_established(), 1u);
+}
+
+TEST(PeerConnect, DistinctDiscriminatorsDoNotCrossMatch) {
+  MiniCluster mc(3);
+  // Node 0 connects to 1 (disc 1) and to 2 (disc 2) simultaneously.
+  Vi* v01 = nullptr;
+  Vi* v02 = nullptr;
+  Vi* v10 = nullptr;
+  Vi* v20 = nullptr;
+  mc.spawn(0, [&] {
+    v01 = mc.nic(0).create_vi(nullptr, nullptr);
+    v02 = mc.nic(0).create_vi(nullptr, nullptr);
+    mc.nic(0).connections().connect_peer(*v01, 1, 1);
+    mc.nic(0).connections().connect_peer(*v02, 2, 2);
+    await_connected(v01);
+    await_connected(v02);
+  });
+  mc.spawn(1, [&] {
+    v10 = mc.nic(1).create_vi(nullptr, nullptr);
+    mc.nic(1).connections().connect_peer(*v10, 0, 1);
+    await_connected(v10);
+  });
+  mc.spawn(2, [&] {
+    v20 = mc.nic(2).create_vi(nullptr, nullptr);
+    mc.nic(2).connections().connect_peer(*v20, 0, 2);
+    await_connected(v20);
+  });
+  ASSERT_TRUE(mc.run());
+  EXPECT_EQ(v01->remote_node(), 1);
+  EXPECT_EQ(v02->remote_node(), 2);
+  EXPECT_EQ(v10->remote_vi(), v01->id());
+  EXPECT_EQ(v20->remote_vi(), v02->id());
+}
+
+TEST(PeerConnect, UnmatchedRequestVisibleThroughPoll) {
+  MiniCluster mc(2);
+  bool saw_request = false;
+  mc.spawn(0, [&] {
+    Vi* vi = mc.nic(0).create_vi(nullptr, nullptr);
+    mc.nic(0).connections().connect_peer(*vi, 1, 99);
+    await_connected(vi);
+  });
+  mc.spawn(1, [&] {
+    auto* p = sim::Process::current();
+    // Poll until node 0's request shows up, then accept it by issuing the
+    // matching connect_peer — the on-demand manager's exact flow.
+    std::vector<IncomingRequest> reqs;
+    while (reqs.empty()) {
+      reqs = mc.nic(1).connections().poll_incoming();
+      p->advance(sim::nanoseconds(200));
+      p->yield();
+    }
+    saw_request = true;
+    EXPECT_EQ(reqs[0].src_node, 0);
+    EXPECT_EQ(reqs[0].discriminator, 99u);
+    Vi* vi = mc.nic(1).create_vi(nullptr, nullptr);
+    mc.nic(1).connections().connect_peer(*vi, reqs[0].src_node, 99);
+    EXPECT_EQ(vi->state(), ViState::kConnected);
+  });
+  ASSERT_TRUE(mc.run());
+  EXPECT_TRUE(saw_request);
+}
+
+TEST(PeerConnect, ConnectOnNonIdleViFails) {
+  MiniCluster mc(2);
+  mc.spawn(0, [&] {
+    Vi* vi = mc.nic(0).create_vi(nullptr, nullptr);
+    EXPECT_EQ(mc.nic(0).connections().connect_peer(*vi, 1, 5),
+              Status::kSuccess);
+    // Second connect on the same (pending) VI is rejected locally.
+    EXPECT_EQ(mc.nic(0).connections().connect_peer(*vi, 1, 6),
+              Status::kInvalidState);
+  });
+  mc.spawn(1, [&] {
+    Vi* vi = mc.nic(1).create_vi(nullptr, nullptr);
+    mc.nic(1).connections().connect_peer(*vi, 0, 5);
+    await_connected(vi);
+  });
+  ASSERT_TRUE(mc.run());
+}
+
+TEST(ClientServer, AcceptConnectsBothSides) {
+  MiniCluster mc(2);
+  Vi* server_vi = nullptr;
+  Vi* client_vi = nullptr;
+  mc.spawn(0, [&] {  // server
+    IncomingRequest req = mc.nic(0).connections().connect_wait(77);
+    EXPECT_EQ(req.src_node, 1);
+    server_vi = mc.nic(0).create_vi(nullptr, nullptr);
+    EXPECT_EQ(mc.nic(0).connections().connect_accept(req, *server_vi),
+              Status::kSuccess);
+  });
+  mc.spawn(1, [&] {  // client
+    sim::Process::current()->sleep(sim::microseconds(100));
+    client_vi = mc.nic(1).create_vi(nullptr, nullptr);
+    EXPECT_EQ(mc.nic(1).connections().connect_request(*client_vi, 0, 77),
+              Status::kSuccess);
+  });
+  ASSERT_TRUE(mc.run());
+  EXPECT_EQ(server_vi->state(), ViState::kConnected);
+  EXPECT_EQ(client_vi->state(), ViState::kConnected);
+  EXPECT_EQ(client_vi->remote_vi(), server_vi->id());
+}
+
+TEST(ClientServer, RequestBeforeWaitIsQueued) {
+  MiniCluster mc(2);
+  mc.spawn(0, [&] {  // server arrives late
+    sim::Process::current()->sleep(sim::milliseconds(2));
+    IncomingRequest req = mc.nic(0).connections().connect_wait(5);
+    Vi* vi = mc.nic(0).create_vi(nullptr, nullptr);
+    mc.nic(0).connections().connect_accept(req, *vi);
+  });
+  mc.spawn(1, [&] {
+    Vi* vi = mc.nic(1).create_vi(nullptr, nullptr);
+    EXPECT_EQ(mc.nic(1).connections().connect_request(*vi, 0, 5),
+              Status::kSuccess);
+  });
+  ASSERT_TRUE(mc.run());
+}
+
+TEST(ClientServer, RejectReturnsRejectedAndViReusable) {
+  MiniCluster mc(2);
+  mc.spawn(0, [&] {
+    IncomingRequest req = mc.nic(0).connections().connect_wait(8);
+    mc.nic(0).connections().connect_reject(req);
+  });
+  mc.spawn(1, [&] {
+    sim::Process::current()->sleep(sim::microseconds(50));
+    Vi* vi = mc.nic(1).create_vi(nullptr, nullptr);
+    EXPECT_EQ(mc.nic(1).connections().connect_request(*vi, 0, 8),
+              Status::kRejected);
+    EXPECT_EQ(vi->state(), ViState::kIdle);  // reusable after reject
+  });
+  ASSERT_TRUE(mc.run());
+}
+
+TEST(Disconnect, PropagatesToPeer) {
+  MiniCluster mc(2);
+  Vi* vis[2] = {nullptr, nullptr};
+  mc.spawn(0, [&] {
+    vis[0] = mc.nic(0).create_vi(nullptr, nullptr);
+    mc.nic(0).connections().connect_peer(*vis[0], 1, 3);
+    await_connected(vis[0]);
+    vis[0]->disconnect();
+  });
+  mc.spawn(1, [&] {
+    vis[1] = mc.nic(1).create_vi(nullptr, nullptr);
+    mc.nic(1).connections().connect_peer(*vis[1], 0, 3);
+    await_connected(vis[1]);
+    auto* p = sim::Process::current();
+    while (vis[1]->state() == ViState::kConnected) {
+      p->advance(sim::nanoseconds(200));
+      p->yield();
+    }
+    EXPECT_EQ(vis[1]->state(), ViState::kDisconnected);
+  });
+  ASSERT_TRUE(mc.run());
+  EXPECT_EQ(vis[0]->state(), ViState::kDisconnected);
+}
+
+TEST(ConnectCost, ChargesOsInvolvement) {
+  MiniCluster mc(2);
+  sim::SimTime spent = 0;
+  mc.spawn(0, [&] {
+    auto* p = sim::Process::current();
+    const sim::SimTime before = p->now();
+    Vi* vi = mc.nic(0).create_vi(nullptr, nullptr);
+    mc.nic(0).connections().connect_peer(*vi, 1, 2);
+    spent = p->now() - before;
+    await_connected(vi);
+  });
+  mc.spawn(1, [&] {
+    Vi* vi = mc.nic(1).create_vi(nullptr, nullptr);
+    mc.nic(1).connections().connect_peer(*vi, 0, 2);
+    await_connected(vi);
+  });
+  ASSERT_TRUE(mc.run());
+  const DeviceProfile p = DeviceProfile::clan();
+  EXPECT_GE(spent, p.vi_create_cost + p.conn_os_cost);
+}
+
+}  // namespace
+}  // namespace odmpi::via

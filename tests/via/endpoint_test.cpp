@@ -1,0 +1,320 @@
+// VI endpoint data-path tests: send/receive matching, the unconnected-send
+// discard, drops on missing receive descriptors, length errors, completion
+// queues, and RDMA writes.
+#include "src/via/vi.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/via/nic.h"
+#include "src/via/provider.h"
+#include "tests/via/via_test_util.h"
+
+namespace odmpi::via {
+namespace {
+
+using testing::MiniCluster;
+using testing::PinnedBuffer;
+
+// Establishes a connected VI pair between node 0 and node 1 inside the
+// test body (run from a process on either node before data-path work).
+struct ConnectedPair {
+  Vi* vi0 = nullptr;
+  Vi* vi1 = nullptr;
+};
+
+void connect_pair(MiniCluster& mc, ConnectedPair& pair,
+                  CompletionQueue* scq0 = nullptr,
+                  CompletionQueue* rcq0 = nullptr,
+                  CompletionQueue* scq1 = nullptr,
+                  CompletionQueue* rcq1 = nullptr) {
+  pair.vi0 = mc.nic(0).create_vi(scq0, rcq0);
+  pair.vi1 = mc.nic(1).create_vi(scq1, rcq1);
+  mc.nic(0).connections().connect_peer(*pair.vi0, 1, 1);
+  mc.nic(1).connections().connect_peer(*pair.vi1, 0, 1);
+  auto* p = sim::Process::current();
+  while (pair.vi0->state() != ViState::kConnected ||
+         pair.vi1->state() != ViState::kConnected) {
+    p->advance(sim::nanoseconds(100));
+    p->yield();
+  }
+}
+
+void spin_until(const bool& flag) {
+  auto* p = sim::Process::current();
+  while (!flag) {
+    p->advance(sim::nanoseconds(100));
+    p->yield();
+  }
+}
+
+TEST(Endpoint, SendArrivesInPostedReceive) {
+  MiniCluster mc(2);
+  mc.spawn(0, [&] {
+    ConnectedPair pair;
+    connect_pair(mc, pair);
+    PinnedBuffer src(mc.nic(0), 64), dst(mc.nic(1), 64);
+    src.fill(0xAB);
+    dst.fill(0x00);
+
+    Descriptor recv;
+    recv.addr = dst.data();
+    recv.length = 64;
+    recv.mem_handle = dst.handle;
+    ASSERT_EQ(pair.vi1->post_recv(&recv), Status::kSuccess);
+
+    Descriptor send;
+    send.op = DescOp::kSend;
+    send.addr = src.data();
+    send.length = 64;
+    send.mem_handle = src.handle;
+    ASSERT_EQ(pair.vi0->post_send(&send), Status::kSuccess);
+
+    spin_until(recv.done);
+    EXPECT_EQ(recv.status, Status::kSuccess);
+    EXPECT_EQ(recv.bytes_transferred, 64u);
+    EXPECT_EQ(std::memcmp(src.data(), dst.data(), 64), 0);
+    spin_until(send.done);
+    EXPECT_EQ(send.status, Status::kSuccess);
+  });
+  ASSERT_TRUE(mc.run());
+}
+
+TEST(Endpoint, SendOnUnconnectedViIsDiscarded) {
+  MiniCluster mc(2);
+  mc.spawn(0, [&] {
+    Vi* vi = mc.nic(0).create_vi(nullptr, nullptr);
+    PinnedBuffer buf(mc.nic(0), 32);
+    Descriptor send;
+    send.addr = buf.data();
+    send.length = 32;
+    send.mem_handle = buf.handle;
+    EXPECT_EQ(vi->post_send(&send), Status::kNotConnected);
+    EXPECT_TRUE(send.done);
+    EXPECT_EQ(send.status, Status::kNotConnected);
+    EXPECT_EQ(mc.nic(0).stats().get("via.send_discarded_unconnected"), 1);
+  });
+  ASSERT_TRUE(mc.run());
+}
+
+TEST(Endpoint, ArrivalWithoutReceiveDescriptorIsDropped) {
+  MiniCluster mc(2);
+  mc.spawn(0, [&] {
+    ConnectedPair pair;
+    connect_pair(mc, pair);
+    PinnedBuffer src(mc.nic(0), 16);
+    Descriptor send;
+    send.addr = src.data();
+    send.length = 16;
+    send.mem_handle = src.handle;
+    ASSERT_EQ(pair.vi0->post_send(&send), Status::kSuccess);
+    spin_until(send.done);
+    // Give the message time to arrive and be dropped.
+    sim::Process::current()->sleep(sim::milliseconds(1));
+    EXPECT_EQ(pair.vi1->drops(), 1u);
+    EXPECT_EQ(mc.nic(1).stats().get("msg.dropped_no_desc"), 1);
+  });
+  ASSERT_TRUE(mc.run());
+}
+
+TEST(Endpoint, UnregisteredBufferRejected) {
+  MiniCluster mc(2);
+  mc.spawn(0, [&] {
+    ConnectedPair pair;
+    connect_pair(mc, pair);
+    std::vector<std::byte> unregistered(32);
+    Descriptor d;
+    d.addr = unregistered.data();
+    d.length = 32;
+    d.mem_handle = kInvalidMemoryHandle;
+    EXPECT_EQ(pair.vi0->post_send(&d), Status::kNotRegistered);
+    Descriptor r;
+    r.addr = unregistered.data();
+    r.length = 32;
+    r.mem_handle = kInvalidMemoryHandle;
+    EXPECT_EQ(pair.vi1->post_recv(&r), Status::kNotRegistered);
+  });
+  ASSERT_TRUE(mc.run());
+}
+
+TEST(Endpoint, OversizedMessageCompletesWithLengthError) {
+  MiniCluster mc(2);
+  mc.spawn(0, [&] {
+    ConnectedPair pair;
+    connect_pair(mc, pair);
+    PinnedBuffer src(mc.nic(0), 128), dst(mc.nic(1), 64);
+    Descriptor recv;
+    recv.addr = dst.data();
+    recv.length = 64;
+    recv.mem_handle = dst.handle;
+    ASSERT_EQ(pair.vi1->post_recv(&recv), Status::kSuccess);
+    Descriptor send;
+    send.addr = src.data();
+    send.length = 128;  // larger than the posted 64-byte buffer
+    send.mem_handle = src.handle;
+    ASSERT_EQ(pair.vi0->post_send(&send), Status::kSuccess);
+    spin_until(recv.done);
+    EXPECT_EQ(recv.status, Status::kLengthError);
+  });
+  ASSERT_TRUE(mc.run());
+}
+
+TEST(Endpoint, ReceivesMatchInFifoOrder) {
+  MiniCluster mc(2);
+  mc.spawn(0, [&] {
+    ConnectedPair pair;
+    connect_pair(mc, pair);
+    PinnedBuffer src(mc.nic(0), 8), dst(mc.nic(1), 64);
+    Descriptor recvs[4];
+    for (int i = 0; i < 4; ++i) {
+      recvs[i].addr = dst.data() + i * 8;
+      recvs[i].length = 8;
+      recvs[i].mem_handle = dst.handle;
+      ASSERT_EQ(pair.vi1->post_recv(&recvs[i]), Status::kSuccess);
+    }
+    Descriptor sends[4];
+    for (int i = 0; i < 4; ++i) {
+      src.fill(static_cast<unsigned char>(i + 1));
+      sends[i].op = DescOp::kSend;
+      sends[i].addr = src.data();
+      sends[i].length = 8;
+      sends[i].mem_handle = src.handle;
+      ASSERT_EQ(pair.vi0->post_send(&sends[i]), Status::kSuccess);
+      spin_until(sends[i].done);  // keep payload buffer reuse safe
+    }
+    spin_until(recvs[3].done);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(recvs[i].status, Status::kSuccess);
+      EXPECT_EQ(static_cast<int>(dst.bytes[static_cast<size_t>(i) * 8]),
+                i + 1);
+    }
+  });
+  ASSERT_TRUE(mc.run());
+}
+
+TEST(Endpoint, CompletionQueueCollectsBothSides) {
+  MiniCluster mc(2);
+  mc.spawn(0, [&] {
+    CompletionQueue* scq = mc.nic(0).create_cq();
+    CompletionQueue* rcq = mc.nic(1).create_cq();
+    ConnectedPair pair;
+    connect_pair(mc, pair, scq, nullptr, nullptr, rcq);
+    PinnedBuffer src(mc.nic(0), 16), dst(mc.nic(1), 16);
+    Descriptor recv;
+    recv.addr = dst.data();
+    recv.length = 16;
+    recv.mem_handle = dst.handle;
+    pair.vi1->post_recv(&recv);
+    Descriptor send;
+    send.addr = src.data();
+    send.length = 16;
+    send.mem_handle = src.handle;
+    pair.vi0->post_send(&send);
+
+    // Blocking waits retrieve completions in arrival order.
+    Completion sc = scq->wait();
+    EXPECT_EQ(sc.descriptor, &send);
+    EXPECT_FALSE(sc.is_receive);
+    Completion rc = rcq->wait();
+    EXPECT_EQ(rc.descriptor, &recv);
+    EXPECT_TRUE(rc.is_receive);
+    EXPECT_EQ(rc.vi, pair.vi1);
+  });
+  ASSERT_TRUE(mc.run());
+}
+
+TEST(Endpoint, RdmaWriteLandsSilently) {
+  MiniCluster mc(2);
+  mc.spawn(0, [&] {
+    ConnectedPair pair;
+    connect_pair(mc, pair);
+    PinnedBuffer src(mc.nic(0), 256), dst(mc.nic(1), 256);
+    src.fill(0x5C);
+    dst.fill(0);
+    Descriptor w;
+    w.op = DescOp::kRdmaWrite;
+    w.addr = src.data();
+    w.length = 256;
+    w.mem_handle = src.handle;
+    w.remote_addr = dst.data();
+    w.remote_mem_handle = dst.handle;
+    ASSERT_EQ(pair.vi0->post_send(&w), Status::kSuccess);
+    spin_until(w.done);
+    EXPECT_EQ(w.status, Status::kSuccess);
+    sim::Process::current()->sleep(sim::milliseconds(1));
+    EXPECT_EQ(std::memcmp(src.data(), dst.data(), 256), 0);
+    // No receive descriptor was consumed and no drop recorded.
+    EXPECT_EQ(pair.vi1->drops(), 0u);
+  });
+  ASSERT_TRUE(mc.run());
+}
+
+TEST(Endpoint, RdmaWriteOutsideRegionIsProtectionError) {
+  MiniCluster mc(2);
+  mc.spawn(0, [&] {
+    ConnectedPair pair;
+    connect_pair(mc, pair);
+    PinnedBuffer src(mc.nic(0), 64), dst(mc.nic(1), 64);
+    Descriptor w;
+    w.op = DescOp::kRdmaWrite;
+    w.addr = src.data();
+    w.length = 64;
+    w.mem_handle = src.handle;
+    w.remote_addr = dst.data() + 32;  // runs 32 bytes past the region
+    w.remote_mem_handle = dst.handle;
+    EXPECT_EQ(pair.vi0->post_send(&w), Status::kProtectionError);
+    EXPECT_EQ(w.status, Status::kProtectionError);
+  });
+  ASSERT_TRUE(mc.run());
+}
+
+TEST(Endpoint, PrepostedReceiveBeforeConnectIsLegal) {
+  MiniCluster mc(2);
+  mc.spawn(0, [&] {
+    Vi* vi1 = mc.nic(1).create_vi(nullptr, nullptr);
+    PinnedBuffer dst(mc.nic(1), 32);
+    Descriptor recv;
+    recv.addr = dst.data();
+    recv.length = 32;
+    recv.mem_handle = dst.handle;
+    EXPECT_EQ(vi1->post_recv(&recv), Status::kSuccess);  // before connect
+
+    Vi* vi0 = mc.nic(0).create_vi(nullptr, nullptr);
+    mc.nic(0).connections().connect_peer(*vi0, 1, 4);
+    mc.nic(1).connections().connect_peer(*vi1, 0, 4);
+    auto* p = sim::Process::current();
+    while (vi0->state() != ViState::kConnected) {
+      p->advance(sim::nanoseconds(100));
+      p->yield();
+    }
+    PinnedBuffer src(mc.nic(0), 32);
+    Descriptor send;
+    send.addr = src.data();
+    send.length = 32;
+    send.mem_handle = src.handle;
+    ASSERT_EQ(vi0->post_send(&send), Status::kSuccess);
+    spin_until(recv.done);
+    EXPECT_EQ(recv.status, Status::kSuccess);
+  });
+  ASSERT_TRUE(mc.run());
+}
+
+TEST(Endpoint, ViCountersTrackLifecycle) {
+  MiniCluster mc(1);
+  mc.spawn(0, [&] {
+    Vi* a = mc.nic(0).create_vi(nullptr, nullptr);
+    Vi* b = mc.nic(0).create_vi(nullptr, nullptr);
+    EXPECT_EQ(mc.nic(0).open_vi_count(), 2);
+    EXPECT_EQ(mc.nic(0).vis_ever_created(), 2);
+    mc.nic(0).destroy_vi(a);
+    EXPECT_EQ(mc.nic(0).open_vi_count(), 1);
+    EXPECT_EQ(mc.nic(0).vis_ever_created(), 2);
+    // Remaining VI still findable by id after the other was destroyed.
+    EXPECT_EQ(mc.nic(0).find_vi(b->id()), b);
+  });
+  ASSERT_TRUE(mc.run());
+}
+
+}  // namespace
+}  // namespace odmpi::via

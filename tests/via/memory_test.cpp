@@ -1,0 +1,70 @@
+#include "src/via/memory.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace odmpi::via {
+namespace {
+
+TEST(MemoryRegistry, RegisterTracksPinnedBytes) {
+  MemoryRegistry reg;
+  std::vector<std::byte> buf(4096);
+  auto h = reg.register_region(buf.data(), buf.size());
+  EXPECT_NE(h, kInvalidMemoryHandle);
+  EXPECT_EQ(reg.pinned_bytes(), 4096);
+  EXPECT_EQ(reg.region_count(), 1u);
+}
+
+TEST(MemoryRegistry, DeregisterReleasesBytes) {
+  MemoryRegistry reg;
+  std::vector<std::byte> buf(1000);
+  auto h = reg.register_region(buf.data(), buf.size());
+  EXPECT_TRUE(reg.deregister(h));
+  EXPECT_EQ(reg.pinned_bytes(), 0);
+  EXPECT_FALSE(reg.deregister(h));  // double-free rejected
+}
+
+TEST(MemoryRegistry, PeakHighWaterMark) {
+  MemoryRegistry reg;
+  std::vector<std::byte> a(100), b(200);
+  auto ha = reg.register_region(a.data(), a.size());
+  auto hb = reg.register_region(b.data(), b.size());
+  EXPECT_EQ(reg.peak_pinned_bytes(), 300);
+  reg.deregister(ha);
+  reg.deregister(hb);
+  EXPECT_EQ(reg.peak_pinned_bytes(), 300);
+  EXPECT_EQ(reg.pinned_bytes(), 0);
+}
+
+TEST(MemoryRegistry, CoversExactRegion) {
+  MemoryRegistry reg;
+  std::vector<std::byte> buf(128);
+  auto h = reg.register_region(buf.data(), buf.size());
+  EXPECT_TRUE(reg.covers(h, buf.data(), 128));
+  EXPECT_TRUE(reg.covers(h, buf.data() + 64, 64));
+  EXPECT_FALSE(reg.covers(h, buf.data() + 64, 65));   // runs past end
+  EXPECT_FALSE(reg.covers(h, buf.data() - 1, 4));     // before start
+  EXPECT_FALSE(reg.covers(kInvalidMemoryHandle, buf.data(), 1));
+}
+
+TEST(MemoryRegistry, CoversWrongHandleFails) {
+  MemoryRegistry reg;
+  std::vector<std::byte> a(64), b(64);
+  auto ha = reg.register_region(a.data(), a.size());
+  auto hb = reg.register_region(b.data(), b.size());
+  EXPECT_FALSE(reg.covers(ha, b.data(), 8));
+  EXPECT_TRUE(reg.covers(hb, b.data(), 8));
+}
+
+TEST(MemoryRegistry, HandlesAreUnique) {
+  MemoryRegistry reg;
+  std::vector<std::byte> buf(16);
+  auto h1 = reg.register_region(buf.data(), buf.size());
+  reg.deregister(h1);
+  auto h2 = reg.register_region(buf.data(), buf.size());
+  EXPECT_NE(h1, h2);
+}
+
+}  // namespace
+}  // namespace odmpi::via

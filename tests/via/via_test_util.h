@@ -1,0 +1,64 @@
+// Shared helpers for VIA-layer tests: a two-node (or N-node) cluster with
+// a process per node running a test body, plus registered scratch buffers.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/sim/process.h"
+#include "src/via/provider.h"
+
+namespace odmpi::via::testing {
+
+class MiniCluster {
+ public:
+  explicit MiniCluster(int nodes,
+                       DeviceProfile profile = DeviceProfile::clan())
+      : cluster_(engine_, nodes, std::move(profile)) {}
+
+  sim::Engine& engine() { return engine_; }
+  Cluster& cluster() { return cluster_; }
+  Nic& nic(NodeId n) { return cluster_.nic(n); }
+
+  /// Adds a process bound to node `n` running `body`.
+  void spawn(int n, std::function<void()> body) {
+    procs_.push_back(
+        std::make_unique<sim::Process>(engine_, n, std::move(body)));
+    procs_.back()->start();
+  }
+
+  /// Runs the simulation to quiescence and returns true if every spawned
+  /// process finished (false indicates a deadlock in the test scenario).
+  bool run() {
+    engine_.run();
+    for (const auto& p : procs_) {
+      if (!p->finished()) return false;
+    }
+    return true;
+  }
+
+  sim::Process& process(std::size_t i) { return *procs_.at(i); }
+
+ private:
+  sim::Engine engine_;
+  Cluster cluster_;
+  std::vector<std::unique_ptr<sim::Process>> procs_;
+};
+
+/// A registered scratch buffer on a node.
+struct PinnedBuffer {
+  PinnedBuffer(Nic& nic, std::size_t size) : bytes(size) {
+    handle = nic.register_memory(bytes.data(), bytes.size());
+  }
+  std::vector<std::byte> bytes;
+  MemoryHandle handle;
+
+  std::byte* data() { return bytes.data(); }
+  void fill(unsigned char v) {
+    for (auto& b : bytes) b = std::byte{v};
+  }
+};
+
+}  // namespace odmpi::via::testing
