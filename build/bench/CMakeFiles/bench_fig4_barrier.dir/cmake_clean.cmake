@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_barrier.dir/bench_fig4_barrier.cpp.o"
+  "CMakeFiles/bench_fig4_barrier.dir/bench_fig4_barrier.cpp.o.d"
+  "bench_fig4_barrier"
+  "bench_fig4_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

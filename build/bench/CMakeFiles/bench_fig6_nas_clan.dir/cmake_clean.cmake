@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_nas_clan.dir/bench_fig6_nas_clan.cpp.o"
+  "CMakeFiles/bench_fig6_nas_clan.dir/bench_fig6_nas_clan.cpp.o.d"
+  "bench_fig6_nas_clan"
+  "bench_fig6_nas_clan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_nas_clan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

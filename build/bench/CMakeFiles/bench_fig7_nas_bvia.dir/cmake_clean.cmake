@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_nas_bvia.dir/bench_fig7_nas_bvia.cpp.o"
+  "CMakeFiles/bench_fig7_nas_bvia.dir/bench_fig7_nas_bvia.cpp.o.d"
+  "bench_fig7_nas_bvia"
+  "bench_fig7_nas_bvia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_nas_bvia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_demo.dir/nas_demo.cpp.o"
+  "CMakeFiles/nas_demo.dir/nas_demo.cpp.o.d"
+  "nas_demo"
+  "nas_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/coll/allgather.cpp" "src/CMakeFiles/odmpi.dir/mpi/coll/allgather.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/mpi/coll/allgather.cpp.o.d"
+  "/root/repo/src/mpi/coll/allreduce.cpp" "src/CMakeFiles/odmpi.dir/mpi/coll/allreduce.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/mpi/coll/allreduce.cpp.o.d"
+  "/root/repo/src/mpi/coll/alltoall.cpp" "src/CMakeFiles/odmpi.dir/mpi/coll/alltoall.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/mpi/coll/alltoall.cpp.o.d"
+  "/root/repo/src/mpi/coll/barrier.cpp" "src/CMakeFiles/odmpi.dir/mpi/coll/barrier.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/mpi/coll/barrier.cpp.o.d"
+  "/root/repo/src/mpi/coll/bcast.cpp" "src/CMakeFiles/odmpi.dir/mpi/coll/bcast.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/mpi/coll/bcast.cpp.o.d"
+  "/root/repo/src/mpi/coll/gather.cpp" "src/CMakeFiles/odmpi.dir/mpi/coll/gather.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/mpi/coll/gather.cpp.o.d"
+  "/root/repo/src/mpi/coll/reduce.cpp" "src/CMakeFiles/odmpi.dir/mpi/coll/reduce.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/mpi/coll/reduce.cpp.o.d"
+  "/root/repo/src/mpi/coll/reduce_scatter.cpp" "src/CMakeFiles/odmpi.dir/mpi/coll/reduce_scatter.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/mpi/coll/reduce_scatter.cpp.o.d"
+  "/root/repo/src/mpi/coll/scan.cpp" "src/CMakeFiles/odmpi.dir/mpi/coll/scan.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/mpi/coll/scan.cpp.o.d"
+  "/root/repo/src/mpi/coll/scatter.cpp" "src/CMakeFiles/odmpi.dir/mpi/coll/scatter.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/mpi/coll/scatter.cpp.o.d"
+  "/root/repo/src/mpi/coll/vcolls.cpp" "src/CMakeFiles/odmpi.dir/mpi/coll/vcolls.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/mpi/coll/vcolls.cpp.o.d"
+  "/root/repo/src/mpi/comm.cpp" "src/CMakeFiles/odmpi.dir/mpi/comm.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/mpi/comm.cpp.o.d"
+  "/root/repo/src/mpi/conn/ondemand_cm.cpp" "src/CMakeFiles/odmpi.dir/mpi/conn/ondemand_cm.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/mpi/conn/ondemand_cm.cpp.o.d"
+  "/root/repo/src/mpi/conn/static_cm.cpp" "src/CMakeFiles/odmpi.dir/mpi/conn/static_cm.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/mpi/conn/static_cm.cpp.o.d"
+  "/root/repo/src/mpi/datatype.cpp" "src/CMakeFiles/odmpi.dir/mpi/datatype.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/mpi/datatype.cpp.o.d"
+  "/root/repo/src/mpi/device.cpp" "src/CMakeFiles/odmpi.dir/mpi/device.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/mpi/device.cpp.o.d"
+  "/root/repo/src/mpi/group.cpp" "src/CMakeFiles/odmpi.dir/mpi/group.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/mpi/group.cpp.o.d"
+  "/root/repo/src/mpi/matching.cpp" "src/CMakeFiles/odmpi.dir/mpi/matching.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/mpi/matching.cpp.o.d"
+  "/root/repo/src/mpi/op.cpp" "src/CMakeFiles/odmpi.dir/mpi/op.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/mpi/op.cpp.o.d"
+  "/root/repo/src/mpi/runtime.cpp" "src/CMakeFiles/odmpi.dir/mpi/runtime.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/mpi/runtime.cpp.o.d"
+  "/root/repo/src/nas/adi.cpp" "src/CMakeFiles/odmpi.dir/nas/adi.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/nas/adi.cpp.o.d"
+  "/root/repo/src/nas/bt.cpp" "src/CMakeFiles/odmpi.dir/nas/bt.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/nas/bt.cpp.o.d"
+  "/root/repo/src/nas/cg.cpp" "src/CMakeFiles/odmpi.dir/nas/cg.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/nas/cg.cpp.o.d"
+  "/root/repo/src/nas/common.cpp" "src/CMakeFiles/odmpi.dir/nas/common.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/nas/common.cpp.o.d"
+  "/root/repo/src/nas/ep.cpp" "src/CMakeFiles/odmpi.dir/nas/ep.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/nas/ep.cpp.o.d"
+  "/root/repo/src/nas/ft.cpp" "src/CMakeFiles/odmpi.dir/nas/ft.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/nas/ft.cpp.o.d"
+  "/root/repo/src/nas/is.cpp" "src/CMakeFiles/odmpi.dir/nas/is.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/nas/is.cpp.o.d"
+  "/root/repo/src/nas/lu.cpp" "src/CMakeFiles/odmpi.dir/nas/lu.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/nas/lu.cpp.o.d"
+  "/root/repo/src/nas/mg.cpp" "src/CMakeFiles/odmpi.dir/nas/mg.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/nas/mg.cpp.o.d"
+  "/root/repo/src/nas/sp.cpp" "src/CMakeFiles/odmpi.dir/nas/sp.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/nas/sp.cpp.o.d"
+  "/root/repo/src/patterns/patterns.cpp" "src/CMakeFiles/odmpi.dir/patterns/patterns.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/patterns/patterns.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/odmpi.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/fiber.cpp" "src/CMakeFiles/odmpi.dir/sim/fiber.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/sim/fiber.cpp.o.d"
+  "/root/repo/src/sim/process.cpp" "src/CMakeFiles/odmpi.dir/sim/process.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/sim/process.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/odmpi.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/odmpi.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/via/completion.cpp" "src/CMakeFiles/odmpi.dir/via/completion.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/via/completion.cpp.o.d"
+  "/root/repo/src/via/connection.cpp" "src/CMakeFiles/odmpi.dir/via/connection.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/via/connection.cpp.o.d"
+  "/root/repo/src/via/fabric.cpp" "src/CMakeFiles/odmpi.dir/via/fabric.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/via/fabric.cpp.o.d"
+  "/root/repo/src/via/memory.cpp" "src/CMakeFiles/odmpi.dir/via/memory.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/via/memory.cpp.o.d"
+  "/root/repo/src/via/nic.cpp" "src/CMakeFiles/odmpi.dir/via/nic.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/via/nic.cpp.o.d"
+  "/root/repo/src/via/provider.cpp" "src/CMakeFiles/odmpi.dir/via/provider.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/via/provider.cpp.o.d"
+  "/root/repo/src/via/vi.cpp" "src/CMakeFiles/odmpi.dir/via/vi.cpp.o" "gcc" "src/CMakeFiles/odmpi.dir/via/vi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

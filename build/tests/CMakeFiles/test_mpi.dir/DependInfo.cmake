@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mpi/coll_test.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/coll_test.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/coll_test.cpp.o.d"
+  "/root/repo/tests/mpi/comm_test.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/comm_test.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/comm_test.cpp.o.d"
+  "/root/repo/tests/mpi/conn_test.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/conn_test.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/conn_test.cpp.o.d"
+  "/root/repo/tests/mpi/determinism_test.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/determinism_test.cpp.o.d"
+  "/root/repo/tests/mpi/paper_claims_test.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/paper_claims_test.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/paper_claims_test.cpp.o.d"
+  "/root/repo/tests/mpi/property_test.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/property_test.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/property_test.cpp.o.d"
+  "/root/repo/tests/mpi/pt2pt_test.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/pt2pt_test.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/pt2pt_test.cpp.o.d"
+  "/root/repo/tests/mpi/unit_test.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/unit_test.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/unit_test.cpp.o.d"
+  "/root/repo/tests/mpi/vcoll_test.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/vcoll_test.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/vcoll_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/odmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

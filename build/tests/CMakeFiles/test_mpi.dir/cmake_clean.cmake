@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpi.dir/mpi/coll_test.cpp.o"
+  "CMakeFiles/test_mpi.dir/mpi/coll_test.cpp.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/comm_test.cpp.o"
+  "CMakeFiles/test_mpi.dir/mpi/comm_test.cpp.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/conn_test.cpp.o"
+  "CMakeFiles/test_mpi.dir/mpi/conn_test.cpp.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/determinism_test.cpp.o"
+  "CMakeFiles/test_mpi.dir/mpi/determinism_test.cpp.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/paper_claims_test.cpp.o"
+  "CMakeFiles/test_mpi.dir/mpi/paper_claims_test.cpp.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/property_test.cpp.o"
+  "CMakeFiles/test_mpi.dir/mpi/property_test.cpp.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/pt2pt_test.cpp.o"
+  "CMakeFiles/test_mpi.dir/mpi/pt2pt_test.cpp.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/unit_test.cpp.o"
+  "CMakeFiles/test_mpi.dir/mpi/unit_test.cpp.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/vcoll_test.cpp.o"
+  "CMakeFiles/test_mpi.dir/mpi/vcoll_test.cpp.o.d"
+  "test_mpi"
+  "test_mpi.pdb"
+  "test_mpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

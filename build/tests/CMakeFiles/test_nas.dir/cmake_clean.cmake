@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nas.dir/nas/kernels_test.cpp.o"
+  "CMakeFiles/test_nas.dir/nas/kernels_test.cpp.o.d"
+  "test_nas"
+  "test_nas.pdb"
+  "test_nas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/via/connection_test.cpp" "tests/CMakeFiles/test_via.dir/via/connection_test.cpp.o" "gcc" "tests/CMakeFiles/test_via.dir/via/connection_test.cpp.o.d"
+  "/root/repo/tests/via/device_test.cpp" "tests/CMakeFiles/test_via.dir/via/device_test.cpp.o" "gcc" "tests/CMakeFiles/test_via.dir/via/device_test.cpp.o.d"
+  "/root/repo/tests/via/endpoint_test.cpp" "tests/CMakeFiles/test_via.dir/via/endpoint_test.cpp.o" "gcc" "tests/CMakeFiles/test_via.dir/via/endpoint_test.cpp.o.d"
+  "/root/repo/tests/via/fabric_test.cpp" "tests/CMakeFiles/test_via.dir/via/fabric_test.cpp.o" "gcc" "tests/CMakeFiles/test_via.dir/via/fabric_test.cpp.o.d"
+  "/root/repo/tests/via/memory_test.cpp" "tests/CMakeFiles/test_via.dir/via/memory_test.cpp.o" "gcc" "tests/CMakeFiles/test_via.dir/via/memory_test.cpp.o.d"
+  "/root/repo/tests/via/stress_test.cpp" "tests/CMakeFiles/test_via.dir/via/stress_test.cpp.o" "gcc" "tests/CMakeFiles/test_via.dir/via/stress_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/odmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

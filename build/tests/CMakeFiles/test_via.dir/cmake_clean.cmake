@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_via.dir/via/connection_test.cpp.o"
+  "CMakeFiles/test_via.dir/via/connection_test.cpp.o.d"
+  "CMakeFiles/test_via.dir/via/device_test.cpp.o"
+  "CMakeFiles/test_via.dir/via/device_test.cpp.o.d"
+  "CMakeFiles/test_via.dir/via/endpoint_test.cpp.o"
+  "CMakeFiles/test_via.dir/via/endpoint_test.cpp.o.d"
+  "CMakeFiles/test_via.dir/via/fabric_test.cpp.o"
+  "CMakeFiles/test_via.dir/via/fabric_test.cpp.o.d"
+  "CMakeFiles/test_via.dir/via/memory_test.cpp.o"
+  "CMakeFiles/test_via.dir/via/memory_test.cpp.o.d"
+  "CMakeFiles/test_via.dir/via/stress_test.cpp.o"
+  "CMakeFiles/test_via.dir/via/stress_test.cpp.o.d"
+  "test_via"
+  "test_via.pdb"
+  "test_via[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_via.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
