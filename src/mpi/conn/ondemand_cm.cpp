@@ -66,7 +66,33 @@ bool OnDemandConnectionManager::progress() {
       Channel& ch = device_.channel(*it);
       if (ch.vi->state() == via::ViState::kConnected) {
         device_.channel_connected(ch);
+        attempts_.erase(*it);
         it = connecting_.erase(it);
+        progressed = true;
+      } else if (ch.vi->state() == via::ViState::kError) {
+        // The VIA handshake exhausted its retry budget. Attempt a fresh
+        // handshake on the same VI, or give up and fail the channel so
+        // pending requests surface a clean timeout instead of hanging.
+        const Rank peer = *it;
+        int& tries = attempts_[peer];
+        ++tries;
+        if (tries < device_.config().max_connect_attempts) {
+          device_.stats().add("mpi.connect_reattempts");
+          device_.nic().connections().connect_peer(
+              *ch.vi, peer, device_.pair_discriminator(peer));
+          if (ch.vi->state() == via::ViState::kConnected) {
+            device_.channel_connected(ch);
+            attempts_.erase(peer);
+            it = connecting_.erase(it);
+          } else {
+            ++it;
+          }
+        } else {
+          device_.stats().add("mpi.connect_failures");
+          attempts_.erase(peer);
+          device_.fail_channel(ch, via::Status::kTimeout);
+          it = connecting_.erase(it);
+        }
         progressed = true;
       } else {
         ++it;

@@ -11,6 +11,7 @@
 // to every process in the communicator (section 3.5).
 #pragma once
 
+#include <map>
 #include <vector>
 
 #include "src/mpi/device.h"
@@ -35,6 +36,10 @@ class OnDemandConnectionManager final : public ConnectionManager {
 
  private:
   std::vector<Rank> connecting_;  // channels with a pending peer request
+  // Handshake attempts per peer (fault injection only): when a VIA-level
+  // connect times out, the handshake restarts on the same VI up to
+  // DeviceConfig::max_connect_attempts times before the channel fails.
+  std::map<Rank, int> attempts_;
 };
 
 }  // namespace odmpi::mpi

@@ -25,14 +25,29 @@ void StaticConnectionManager::init_peer_to_peer() {
     d.nic().connections().connect_peer(*ch.vi, peer,
                                        d.pair_discriminator(peer));
   }
+  std::vector<int> attempts(static_cast<std::size_t>(d.size()), 0);
   d.wait_until([&] {
     bool all = true;
     for (Rank peer = 0; peer < d.size(); ++peer) {
       if (peer == d.rank()) continue;
       Channel& ch = d.channel(peer);
-      if (ch.connected()) continue;
+      if (ch.connected() || ch.state == Channel::State::kFailed) continue;
       if (ch.vi->state() == via::ViState::kConnected) {
         d.channel_connected(ch);
+      } else if (ch.vi->state() == via::ViState::kError) {
+        // VIA handshake timed out (fault injection): restart it on the
+        // same VI or, once the budget is spent, fail the channel so the
+        // job sees clean request errors instead of a hang.
+        if (++attempts[static_cast<std::size_t>(peer)] <
+            d.config().max_connect_attempts) {
+          d.stats().add("mpi.connect_reattempts");
+          d.nic().connections().connect_peer(*ch.vi, peer,
+                                             d.pair_discriminator(peer));
+          all = false;
+        } else {
+          d.stats().add("mpi.connect_failures");
+          d.fail_channel(ch, via::Status::kTimeout);
+        }
       } else {
         all = false;
       }
@@ -62,16 +77,27 @@ void StaticConnectionManager::init_client_server() {
   for (Rank j = d.rank() - 1; j >= 0; --j) {
     Channel& ch = d.channel(j);
     d.prepare_channel(ch);
-    [[maybe_unused]] via::Status st =
-        svc.connect_request(*ch.vi, j, d.pair_discriminator(j));
-    assert(st == via::Status::kSuccess);
-    d.channel_connected(ch);
+    via::Status st = via::Status::kTimeout;
+    for (int attempt = 0; attempt < d.config().max_connect_attempts;
+         ++attempt) {
+      if (attempt > 0) d.stats().add("mpi.connect_reattempts");
+      st = svc.connect_request(*ch.vi, j, d.pair_discriminator(j));
+      if (st != via::Status::kTimeout) break;
+    }
+    if (st == via::Status::kSuccess) {
+      d.channel_connected(ch);
+    } else {
+      d.stats().add("mpi.connect_failures");
+      d.fail_channel(ch, via::Status::kTimeout);
+    }
   }
 }
 
 void StaticConnectionManager::ensure_connection(Rank peer) {
-  // Fully connected after init by construction.
-  assert(device_.channel(peer).connected() &&
+  // Fully connected after init by construction (a channel may instead be
+  // terminally failed when init ran under fault injection).
+  [[maybe_unused]] Channel& ch = device_.channel(peer);
+  assert((ch.connected() || ch.state == Channel::State::kFailed) &&
          "static connection management lost a connection");
   (void)peer;
 }

@@ -83,6 +83,11 @@ void Device::prepare_channel(Channel& ch) {
   if (ch.vi != nullptr) return;
   assert(ch.peer != rank_);
   ch.vi = nic_.create_vi(send_cq_, recv_cq_);
+  // MVICH requires Reliable Delivery from the VI provider; the level is
+  // only observable (acks + retransmission) under fault injection.
+  if (cluster_.fault_active()) {
+    ch.vi->set_reliability(via::ReliabilityLevel::kReliableDelivery);
+  }
   vi_to_channel_[ch.vi] = &ch;
 
   const int window = config_.dynamic_credits
@@ -127,6 +132,60 @@ void Device::channel_connected(Channel& ch) {
   }
 }
 
+void Device::fail_channel(Channel& ch, via::Status error) {
+  if (ch.state == Channel::State::kFailed) return;
+  ch.state = Channel::State::kFailed;
+  stats_.add("mpi.channel_failures");
+
+  auto fail_req = [error](const RequestPtr& req) {
+    if (req == nullptr || req->done) return;
+    req->error = error;
+    req->done = true;
+  };
+
+  // Sends parked waiting for the connection that will never come.
+  while (!ch.park_fifo.empty()) {
+    fail_req(ch.park_fifo.front());
+    ch.park_fifo.pop_front();
+  }
+  // Wire packets queued behind credits / send buffers.
+  while (!ch.outq.empty()) {
+    fail_req(ch.outq.front().req);
+    ch.outq.pop_front();
+  }
+  // A partially reassembled incoming eager message can never finish.
+  if (ch.in_req != nullptr) {
+    fail_req(ch.in_req);
+    ch.in_req.reset();
+  }
+  ch.in_unexp = nullptr;
+  ch.in_offset = 0;
+  ch.in_total = 0;
+  // Rendezvous transfers touching this peer (either direction).
+  for (auto it = rndv_senders_.begin(); it != rndv_senders_.end();) {
+    if (it->second->dst == ch.peer) {
+      fail_req(it->second);
+      it = rndv_senders_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = rndv_receivers_.begin(); it != rndv_receivers_.end();) {
+    if (it->second->src == ch.peer ||
+        it->second->status.source == ch.peer) {
+      fail_req(it->second);
+      it = rndv_receivers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Posted receives naming this peer can never match.
+  for (const RequestPtr& r : matching_.take_posted_from(ch.peer)) {
+    fail_req(r);
+  }
+  nic_.notify_host();  // wake a blocked waiter so it observes the failure
+}
+
 // --- Send path ---------------------------------------------------------------
 
 RequestPtr Device::post_send(const void* buf, std::size_t bytes,
@@ -160,8 +219,20 @@ RequestPtr Device::post_send(const void* buf, std::size_t bytes,
   }
 
   Channel& ch = channel(dst_world);
+  if (ch.state == Channel::State::kFailed) {
+    // Terminal: the peer was declared unreachable. Fail fast instead of
+    // parking the send forever.
+    req->error = via::Status::kTimeout;
+    req->done = true;
+    return req;
+  }
   if (!ch.connected()) {
     cm_->ensure_connection(dst_world);
+  }
+  if (ch.state == Channel::State::kFailed) {
+    req->error = via::Status::kTimeout;
+    req->done = true;
+    return req;
   }
   if (!ch.connected()) {
     // Paper section 3.4: sends posted before the connection completes are
@@ -270,8 +341,19 @@ bool Device::drain_outq(Channel& ch) {
     buf->desc.mem_handle = buf->handle;
     buf->desc.user_context = buf;
     buf->desc.reset_for_repost();
-    [[maybe_unused]] via::Status st = ch.vi->post_send(&buf->desc);
-    assert(st == via::Status::kSuccess);
+    via::Status st = ch.vi->post_send(&buf->desc);
+    if (st != via::Status::kSuccess) {
+      // The VI failed underneath us (reliable-send retries exhausted): the
+      // descriptor was discarded synchronously without a CQ entry, so the
+      // buffer is still ours to reclaim. Fail the channel terminally.
+      release_send_buf(buf);
+      if (out.req != nullptr && !out.req->done) {
+        out.req->error = via::Status::kTimeout;
+        out.req->done = true;
+      }
+      fail_channel(ch, via::Status::kTimeout);
+      return true;
+    }
     --ch.credits;
     ++hot_.packets_sent;
     progressed = true;
@@ -354,7 +436,17 @@ RequestPtr Device::post_recv(void* buf, std::size_t capacity, Rank src_world,
       cm_->on_any_source(all);
     }
   } else if (src_world != rank_) {
+    if (channel(src_world).state == Channel::State::kFailed) {
+      req->error = via::Status::kTimeout;
+      req->done = true;
+      return req;
+    }
     cm_->ensure_connection(src_world);
+    if (channel(src_world).state == Channel::State::kFailed) {
+      req->error = via::Status::kTimeout;
+      req->done = true;
+      return req;
+    }
   }
 
   UnexpectedMsg* m = matching_.match_posted(req);
@@ -422,8 +514,11 @@ bool Device::poll_recv_cq() {
 
     // Repost the descriptor and account a credit to return.
     buf->desc.reset_for_repost();
-    [[maybe_unused]] via::Status st = ch.vi->post_recv(&buf->desc);
-    assert(st == via::Status::kSuccess);
+    via::Status st = ch.vi->post_recv(&buf->desc);
+    if (st != via::Status::kSuccess) {
+      // VI in error state (terminal transport failure): stop recycling.
+      continue;
+    }
     ++ch.unreturned;
     ++ch.msgs_received;
     ++hot_.packets_received;
@@ -685,12 +780,22 @@ bool Device::poll_send_cq() {
   while (auto c = send_cq_->poll()) {
     progressed = true;
     via::Descriptor* desc = c->descriptor;
+    // A terminal error completion (reliable-delivery retries exhausted)
+    // fails the whole channel; resources are still reclaimed below.
+    const bool send_failed = desc->status != via::Status::kSuccess &&
+                             !finalized_ && cluster_.fault_active();
     if (desc->op == via::DescOp::kRdmaWrite) {
       auto it = std::find_if(
           rdma_in_flight_.begin(), rdma_in_flight_.end(),
           [desc](const auto& d) { return d.get() == desc; });
       assert(it != rdma_in_flight_.end());
       rdma_in_flight_.erase(it);
+      if (send_failed) {
+        auto ch_it = vi_to_channel_.find(c->vi);
+        if (ch_it != vi_to_channel_.end()) {
+          fail_channel(*ch_it->second, via::Status::kTimeout);
+        }
+      }
       continue;
     }
     auto* buf = static_cast<EagerBuf*>(desc->user_context);
@@ -701,6 +806,12 @@ bool Device::poll_send_cq() {
       if (it != vi_to_channel_.end()) it->second->credit_msg_queued = false;
     }
     release_send_buf(buf);
+    if (send_failed) {
+      auto ch_it = vi_to_channel_.find(c->vi);
+      if (ch_it != vi_to_channel_.end()) {
+        fail_channel(*ch_it->second, via::Status::kTimeout);
+      }
+    }
   }
   return progressed;
 }

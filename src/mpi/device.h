@@ -48,6 +48,11 @@ struct DeviceConfig {
   // traffic instead of a fixed allocation (start small, double on use).
   bool dynamic_credits = false;
   int initial_dynamic_credits = 4;
+  // How many full VIA handshakes (each with its own internal retry +
+  // backoff budget) a connection manager attempts before declaring the
+  // peer unreachable and failing the channel. Only reachable under fault
+  // injection — a loss-free fabric always connects on the first try.
+  int max_connect_attempts = 3;
 
   [[nodiscard]] std::size_t eager_payload() const {
     return eager_buf_bytes - kHeaderBytes;
@@ -70,9 +75,16 @@ struct OutPacket {
   bool last_segment = false;
 };
 
-/// Per-peer virtual channel.
+/// Per-peer virtual channel. kFailed is terminal: the peer could not be
+/// reached (or a reliable send exhausted its retries) and every pending
+/// and future operation on the channel completes with a kTimeout error.
 struct Channel {
-  enum class State : std::uint8_t { kUnconnected, kConnecting, kConnected };
+  enum class State : std::uint8_t {
+    kUnconnected,
+    kConnecting,
+    kConnected,
+    kFailed,
+  };
 
   Rank peer = -1;
   State state = State::kUnconnected;
@@ -180,6 +192,11 @@ class Device {
 
   /// Marks the channel connected and drains its park FIFO in order.
   void channel_connected(Channel& ch);
+
+  /// Terminal connection/transport failure on `ch`: fails every queued,
+  /// parked and in-progress request touching the peer with `error`
+  /// (normally via::Status::kTimeout) instead of leaving them to hang.
+  void fail_channel(Channel& ch, via::Status error);
 
   /// Pair-unique VIA discriminator for (rank, peer).
   [[nodiscard]] via::Discriminator pair_discriminator(Rank peer) const;

@@ -59,4 +59,17 @@ bool MatchingEngine::cancel_posted(const RequestPtr& recv) {
   return true;
 }
 
+std::vector<RequestPtr> MatchingEngine::take_posted_from(Rank src) {
+  std::vector<RequestPtr> taken;
+  for (auto it = posted_.begin(); it != posted_.end();) {
+    if ((*it)->src == src) {
+      taken.push_back(std::move(*it));
+      it = posted_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return taken;
+}
+
 }  // namespace odmpi::mpi

@@ -67,6 +67,11 @@ class MatchingEngine {
   /// Cancels a posted receive (used by tests); true if it was queued.
   bool cancel_posted(const RequestPtr& recv);
 
+  /// Removes and returns every posted receive naming `src` as its source
+  /// (wildcard receives stay queued — another peer may still match them).
+  /// Used to fail receives cleanly when a peer becomes unreachable.
+  std::vector<RequestPtr> take_posted_from(Rank src);
+
   [[nodiscard]] std::size_t posted_count() const { return posted_.size(); }
   [[nodiscard]] std::size_t unexpected_count() const {
     return unexpected_.size();

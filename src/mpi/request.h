@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/mpi/types.h"
+#include "src/via/types.h"
 
 namespace odmpi::mpi {
 
@@ -19,6 +20,11 @@ enum class ReqKind : std::uint8_t { kSend, kRecv };
 struct RequestState {
   ReqKind kind = ReqKind::kSend;
   bool done = false;
+
+  /// Transport-level failure. kSuccess for a normal completion; kTimeout
+  /// when the peer channel failed terminally (connection or reliable-send
+  /// retries exhausted under fault injection). A failed request is done.
+  via::Status error = via::Status::kSuccess;
 
   // Envelope (ranks are world ranks inside the device layer).
   ContextId context = 0;
@@ -70,6 +76,13 @@ class Request {
   [[nodiscard]] bool valid() const { return state_ != nullptr; }
   [[nodiscard]] bool done() const {
     return state_ == nullptr || state_->done;
+  }
+  /// Transport error recorded at completion (kSuccess if none).
+  [[nodiscard]] via::Status error() const {
+    return state_ == nullptr ? via::Status::kSuccess : state_->error;
+  }
+  [[nodiscard]] bool failed() const {
+    return state_ != nullptr && state_->error != via::Status::kSuccess;
   }
   [[nodiscard]] const RequestPtr& state() const { return state_; }
   [[nodiscard]] Device* device() const { return device_; }

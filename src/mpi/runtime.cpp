@@ -9,7 +9,7 @@ namespace odmpi::mpi {
 World::World(int nranks, JobOptions options)
     : nranks_(nranks),
       options_(std::move(options)),
-      cluster_(engine_, nranks, options_.profile),
+      cluster_(engine_, nranks, options_.profile, options_.fault),
       reports_(static_cast<std::size_t>(nranks)) {
   assert(nranks >= 1);
   contexts_.resize(static_cast<std::size_t>(nranks));

@@ -34,6 +34,12 @@ struct JobOptions {
 
   std::size_t stack_bytes = 1 << 20;
   std::uint64_t seed = 0x0D0C2002;  // reproducible workloads
+
+  /// Fault injection (off by default). When fault.enabled, the fabric
+  /// drops/duplicates/delays packets per the seeded plan, VIs run under
+  /// Reliable Delivery semantics, and connection handshakes retry with
+  /// timeout + exponential backoff. Same config + seed => identical run.
+  sim::FaultConfig fault;
 };
 
 struct RankReport {

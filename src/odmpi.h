@@ -30,6 +30,7 @@
 #include "src/mpi/runtime.h"
 #include "src/mpi/types.h"
 #include "src/sim/engine.h"
+#include "src/sim/fault.h"
 #include "src/sim/process.h"
 #include "src/sim/rng.h"
 #include "src/sim/stats.h"

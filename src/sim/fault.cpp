@@ -1,0 +1,51 @@
+#include "src/sim/fault.h"
+
+#include <algorithm>
+
+namespace odmpi::sim {
+
+FaultDecision FaultPlan::decide(int src, int dst, FaultClass cls,
+                                SimTime when) {
+  FaultDecision d;
+
+  // NIC brownouts: either endpoint off the wire loses the packet outright
+  // (no Rng draw — windows are part of the schedule, not the noise).
+  for (const BrownoutWindow& w : config_.brownouts) {
+    if ((w.node == src || w.node == dst) && when >= w.start && when < w.end) {
+      d.drop = true;
+      stats_.add("fault.brownout_drops");
+      return d;
+    }
+  }
+
+  double drop_rate = cls == FaultClass::kData ? config_.data_drop_rate
+                                              : config_.control_drop_rate;
+  for (const LinkFault& lf : config_.link_faults) {
+    if (lf.src == src && lf.dst == dst) {
+      drop_rate = std::max(drop_rate, lf.drop_rate);
+    }
+  }
+
+  // Fixed draw order (drop, duplicate, delay) keeps the stream alignment
+  // identical across replays regardless of which faults actually fire.
+  if (drop_rate > 0.0 && rng_.next_bool(drop_rate)) {
+    d.drop = true;
+    stats_.add(cls == FaultClass::kData ? "fault.dropped_data"
+                                        : "fault.dropped_control");
+    return d;
+  }
+  if (config_.duplicate_rate > 0.0 && rng_.next_bool(config_.duplicate_rate)) {
+    d.duplicate = true;
+    d.duplicate_lag = config_.duplicate_lag;
+    stats_.add("fault.duplicated");
+  }
+  if (config_.delay_rate > 0.0 && rng_.next_bool(config_.delay_rate)) {
+    d.extra_delay = 1 + static_cast<SimTime>(
+                            rng_.next_below(static_cast<std::uint64_t>(
+                                std::max<SimTime>(1, config_.delay_jitter_max))));
+    stats_.add("fault.delayed");
+  }
+  return d;
+}
+
+}  // namespace odmpi::sim

@@ -1,0 +1,105 @@
+// Seeded, deterministic fault injection for the simulated interconnect.
+//
+// A FaultPlan decides, per packet, whether the wire drops, duplicates or
+// delay-jitters it, driven entirely by one Rng stream derived from the
+// plan's seed. Because the discrete-event engine delivers events in a
+// deterministic order, the sequence of decide() calls — and therefore the
+// whole fault schedule — replays bit-for-bit for a given seed. Disabled
+// plans make no Rng draws and charge no cost, so fault-free runs are
+// byte-identical to a build without the subsystem.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/rng.h"
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace odmpi::sim {
+
+/// Wire-level packet taxonomy for fault targeting: payload-bearing data
+/// descriptors versus connection-management / ack control traffic.
+enum class FaultClass : std::uint8_t { kData, kControl };
+
+/// A window during which one node's NIC is effectively off the wire:
+/// every packet to or from it is dropped ("brownout").
+struct BrownoutWindow {
+  int node = -1;
+  SimTime start = 0;
+  SimTime end = 0;  // exclusive
+};
+
+/// Directional per-link drop-rate override (e.g. 1.0 = unreachable).
+/// Overrides win over the class-wide rates when they are larger.
+struct LinkFault {
+  int src = -1;
+  int dst = -1;
+  double drop_rate = 0.0;
+};
+
+struct FaultConfig {
+  bool enabled = false;
+  std::uint64_t seed = 0xFA417;
+
+  // Independent loss probabilities per packet class.
+  double data_drop_rate = 0.0;
+  double control_drop_rate = 0.0;
+
+  // Probability that a surviving packet is duplicated by the switch; the
+  // copy arrives `duplicate_lag` after the original.
+  double duplicate_rate = 0.0;
+  SimTime duplicate_lag = microseconds(5);
+
+  // Probability that a surviving packet picks up extra switch-queueing
+  // delay, uniform in (0, delay_jitter_max]. Large jitter relative to the
+  // inter-packet gap reorders packets.
+  double delay_rate = 0.0;
+  SimTime delay_jitter_max = microseconds(50);
+
+  std::vector<BrownoutWindow> brownouts;
+  std::vector<LinkFault> link_faults;
+
+  /// Marks the directed links a->b and b->a as 100% lossy (unreachable
+  /// peer): the scenario behind the paper-motivated timeout tests.
+  void block_pair(int a, int b) {
+    link_faults.push_back(LinkFault{a, b, 1.0});
+    link_faults.push_back(LinkFault{b, a, 1.0});
+  }
+};
+
+/// The verdict for one packet.
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  SimTime extra_delay = 0;    // added to the arrival time
+  SimTime duplicate_lag = 0;  // copy's extra lag past the original
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(const FaultConfig& config)
+      : config_(config), rng_(config.seed, /*stream=*/0x0DF417ULL) {}
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  [[nodiscard]] bool enabled() const { return config_.enabled; }
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+
+  /// Rules on one packet about to hit the wire at `when`. Must only be
+  /// called on an enabled plan (callers gate on enabled() so the disabled
+  /// path costs one branch and zero Rng draws).
+  FaultDecision decide(int src, int dst, FaultClass cls, SimTime when);
+
+  /// Fault-model counters ("fault.*"), for aggregation into cluster stats.
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  FaultConfig config_;
+  Rng rng_;
+  Stats stats_;
+};
+
+}  // namespace odmpi::sim

@@ -16,6 +16,7 @@ void ConnectionService::send_control(NodeId dst,
   cluster.fabric().deliver(
       nic_.node(), dst,
       static_cast<std::size_t>(nic_.profile().conn_handshake_bytes),
+      sim::FaultClass::kControl,
       sim::Process::current_time(cluster.engine()),
       nic_.profile().nic_base_cost, /*dst_nic_delay=*/0,
       /*on_tx_done=*/{},
@@ -29,11 +30,37 @@ void ConnectionService::establish(Vi& vi, NodeId remote_node, ViId remote_vi) {
   nic_.notify_host();
 }
 
+bool ConnectionService::fault_active() const {
+  return nic_.cluster().fault_active();
+}
+
+sim::SimTime ConnectionService::retry_wait(int attempts) const {
+  // Exponential backoff: conn_timeout for the first wait, then the base
+  // backoff doubling per retry on top of it.
+  const auto& p = nic_.profile();
+  const int shift = attempts < 16 ? attempts : 16;
+  return p.conn_timeout + p.conn_retry_backoff_base * ((1LL << shift) - 1);
+}
+
+sim::SimTime ConnectionService::congestion_allowance(NodeId remote) const {
+  // Both egress queues the handshake round trip must drain behind; keeps
+  // a handshake racing a data burst from timing out spuriously.
+  Cluster& cluster = nic_.cluster();
+  const sim::SimTime now = sim::Process::current_time(cluster.engine());
+  return cluster.fabric().egress_backlog(nic_.node(), now) +
+         cluster.fabric().egress_backlog(remote, now);
+}
+
 // --- Peer-to-peer model -----------------------------------------------------
 
 Status ConnectionService::connect_peer(Vi& vi, NodeId remote_node,
                                        Discriminator disc) {
-  if (vi.state() != ViState::kIdle) return Status::kInvalidState;
+  // kError is accepted so a caller can retry a timed-out handshake on the
+  // same endpoint (the VI is reset as part of the new attempt).
+  if (vi.state() != ViState::kIdle && vi.state() != ViState::kError) {
+    return Status::kInvalidState;
+  }
+  vi.state_ = ViState::kIdle;
   Nic::charge_host(nic_.profile().conn_os_cost);
   nic_.stats().add("conn.peer_initiated");
 
@@ -46,8 +73,13 @@ Status ConnectionService::connect_peer(Vi& vi, NodeId remote_node,
                          });
   if (it != unmatched_.end()) {
     const IncomingRequest req = *it;
-    unmatched_.erase(it);
+    // Retransmitted copies of the same request may be queued behind it;
+    // claim them all.
+    std::erase_if(unmatched_, [&](const IncomingRequest& r) {
+      return r.discriminator == disc && r.src_node == remote_node;
+    });
     establish(vi, req.src_node, req.src_vi);
+    if (fault_active()) established_peer_[disc] = vi.id();
     const NodeId me = nic_.node();
     const ViId my_vi = vi.id();
     const ViId their_vi = req.src_vi;
@@ -58,12 +90,53 @@ Status ConnectionService::connect_peer(Vi& vi, NodeId remote_node,
   }
 
   vi.state_ = ViState::kConnectPending;
-  pending_peer_[disc] = PendingPeer{&vi, remote_node};
+  pending_peer_[disc] = PendingPeer{&vi, remote_node, disc};
   const IncomingRequest req{nic_.node(), vi.id(), disc};
   send_control(remote_node, [req](Nic& remote) {
     remote.connections().on_peer_request(req);
   });
+  if (fault_active()) arm_peer_timer(disc);
   return Status::kSuccess;
+}
+
+void ConnectionService::resend_peer_request(const PendingPeer& pending) {
+  const IncomingRequest req{nic_.node(), pending.vi->id(), pending.disc};
+  send_control(pending.remote_node, [req](Nic& remote) {
+    remote.connections().on_peer_request(req);
+  });
+}
+
+void ConnectionService::arm_peer_timer(Discriminator disc) {
+  auto it = pending_peer_.find(disc);
+  if (it == pending_peer_.end()) return;
+  PendingPeer& pending = it->second;
+  const std::uint64_t gen = ++next_timer_generation_;
+  pending.timer_generation = gen;
+  Cluster& cluster = nic_.cluster();
+  cluster.engine().schedule_at(
+      sim::Process::current_time(cluster.engine()) +
+          retry_wait(pending.attempts) +
+          congestion_allowance(pending.remote_node),
+      [this, disc, gen] { on_peer_timer(disc, gen); });
+}
+
+void ConnectionService::on_peer_timer(Discriminator disc, std::uint64_t gen) {
+  auto it = pending_peer_.find(disc);
+  if (it == pending_peer_.end()) return;  // matched or abandoned meanwhile
+  PendingPeer& pending = it->second;
+  if (pending.timer_generation != gen) return;  // superseded
+  if (pending.attempts >= nic_.profile().max_conn_retries) {
+    Vi* vi = pending.vi;
+    pending_peer_.erase(it);
+    vi->state_ = ViState::kError;
+    nic_.stats().add("conn.timeouts");
+    nic_.notify_host();
+    return;
+  }
+  ++pending.attempts;
+  nic_.stats().add("conn.retries");
+  resend_peer_request(pending);
+  arm_peer_timer(disc);
 }
 
 void ConnectionService::on_peer_request(const IncomingRequest& request) {
@@ -75,6 +148,7 @@ void ConnectionService::on_peer_request(const IncomingRequest& request) {
     Vi* vi = it->second.vi;
     pending_peer_.erase(it);
     establish(*vi, request.src_node, request.src_vi);
+    if (fault_active()) established_peer_[request.discriminator] = vi->id();
     const NodeId me = nic_.node();
     const ViId my_vi = vi->id();
     const ViId their_vi = request.src_vi;
@@ -82,6 +156,35 @@ void ConnectionService::on_peer_request(const IncomingRequest& request) {
       remote.connections().on_peer_ack(their_vi, me, my_vi);
     });
     return;
+  }
+  if (fault_active()) {
+    // Retransmission of a handshake this node already completed (our ack
+    // was lost): answer it again rather than queueing a ghost request.
+    auto est = established_peer_.find(request.discriminator);
+    if (est != established_peer_.end()) {
+      Vi* vi = nic_.find_vi(est->second);
+      if (vi != nullptr && vi->state() == ViState::kConnected &&
+          vi->remote_node() == request.src_node) {
+        nic_.stats().add("conn.dup_request_reacked");
+        const NodeId me = nic_.node();
+        const ViId my_vi = vi->id();
+        const ViId their_vi = request.src_vi;
+        send_control(request.src_node, [their_vi, me, my_vi](Nic& remote) {
+          remote.connections().on_peer_ack(their_vi, me, my_vi);
+        });
+        return;
+      }
+    }
+    // Retransmission of a request already sitting unmatched: keep one copy.
+    const bool dup = std::any_of(
+        unmatched_.begin(), unmatched_.end(), [&](const IncomingRequest& r) {
+          return r.discriminator == request.discriminator &&
+                 r.src_node == request.src_node && r.src_vi == request.src_vi;
+        });
+    if (dup) {
+      nic_.stats().add("conn.dup_request_suppressed");
+      return;
+    }
   }
   // No local request yet: queue it for the host's progress loop (the
   // on-demand connection manager polls these in device_check).
@@ -98,6 +201,7 @@ void ConnectionService::on_peer_ack(ViId local_vi, NodeId remote_node,
     // Remove the pending entry that carried this VI.
     for (auto it = pending_peer_.begin(); it != pending_peer_.end(); ++it) {
       if (it->second.vi == vi) {
+        if (fault_active()) established_peer_[it->first] = local_vi;
         pending_peer_.erase(it);
         break;
       }
@@ -137,12 +241,19 @@ IncomingRequest ConnectionService::connect_wait(Discriminator disc) {
 
 Status ConnectionService::connect_accept(const IncomingRequest& request,
                                          Vi& vi) {
-  if (vi.state() != ViState::kIdle) return Status::kInvalidState;
+  if (vi.state() != ViState::kIdle && vi.state() != ViState::kError) {
+    return Status::kInvalidState;
+  }
+  vi.state_ = ViState::kIdle;
   Nic::charge_host(nic_.profile().conn_os_cost);
   establish(vi, request.src_node, request.src_vi);
   const NodeId me = nic_.node();
   const ViId my_vi = vi.id();
   const ViId their_vi = request.src_vi;
+  if (fault_active()) {
+    cs_responded_[{request.src_node, request.src_vi}] =
+        CsResponse{true, my_vi};
+  }
   send_control(request.src_node, [their_vi, me, my_vi](Nic& remote) {
     remote.connections().on_cs_response(their_vi, true, me, my_vi);
   });
@@ -151,6 +262,10 @@ Status ConnectionService::connect_accept(const IncomingRequest& request,
 
 void ConnectionService::connect_reject(const IncomingRequest& request) {
   const ViId their_vi = request.src_vi;
+  if (fault_active()) {
+    cs_responded_[{request.src_node, request.src_vi}] =
+        CsResponse{false, -1};
+  }
   send_control(request.src_node, [their_vi](Nic& remote) {
     remote.connections().on_cs_response(their_vi, false, -1, -1);
   });
@@ -162,15 +277,18 @@ Status ConnectionService::connect_request(Vi& vi, NodeId remote_node,
   assert(p != nullptr && "connect_request outside a process");
   assert(nic_.profile().supports_client_server &&
          "device does not implement the client/server model");
-  if (vi.state() != ViState::kIdle) return Status::kInvalidState;
-  Nic::charge_host(nic_.profile().conn_os_cost);
+  if (vi.state() != ViState::kIdle && vi.state() != ViState::kError) {
+    return Status::kInvalidState;
+  }
   vi.state_ = ViState::kConnectPending;
-  cs_clients_[vi.id()] = CsClient{&vi, std::nullopt, p};
+  Nic::charge_host(nic_.profile().conn_os_cost);
+  cs_clients_[vi.id()] = CsClient{&vi, std::nullopt, p, remote_node, disc};
 
   const IncomingRequest req{nic_.node(), vi.id(), disc};
   send_control(remote_node, [req](Nic& remote) {
     remote.connections().on_cs_request(req);
   });
+  if (fault_active()) arm_cs_timer(vi.id());
 
   CsClient& client = cs_clients_[vi.id()];
   while (!client.result.has_value()) {
@@ -181,7 +299,67 @@ Status ConnectionService::connect_request(Vi& vi, NodeId remote_node,
   return result;
 }
 
+void ConnectionService::arm_cs_timer(ViId vi_id) {
+  auto it = cs_clients_.find(vi_id);
+  if (it == cs_clients_.end()) return;
+  CsClient& client = it->second;
+  const std::uint64_t gen = ++next_timer_generation_;
+  client.timer_generation = gen;
+  Cluster& cluster = nic_.cluster();
+  cluster.engine().schedule_at(
+      sim::Process::current_time(cluster.engine()) +
+          retry_wait(client.attempts) +
+          congestion_allowance(client.remote_node),
+      [this, vi_id, gen] { on_cs_timer(vi_id, gen); });
+}
+
+void ConnectionService::on_cs_timer(ViId vi_id, std::uint64_t gen) {
+  auto it = cs_clients_.find(vi_id);
+  if (it == cs_clients_.end()) return;
+  CsClient& client = it->second;
+  if (client.timer_generation != gen) return;
+  if (client.result.has_value()) return;  // response arrived meanwhile
+  if (client.attempts >= nic_.profile().max_conn_retries) {
+    client.vi->state_ = ViState::kError;
+    client.result = Status::kTimeout;
+    nic_.stats().add("conn.timeouts");
+    client.process->wakeup();
+    return;
+  }
+  ++client.attempts;
+  nic_.stats().add("conn.retries");
+  const IncomingRequest req{nic_.node(), vi_id, client.disc};
+  send_control(client.remote_node, [req](Nic& remote) {
+    remote.connections().on_cs_request(req);
+  });
+  arm_cs_timer(vi_id);
+}
+
 void ConnectionService::on_cs_request(const IncomingRequest& request) {
+  if (fault_active()) {
+    // Already answered (our response was lost): repeat the same answer.
+    auto ans = cs_responded_.find({request.src_node, request.src_vi});
+    if (ans != cs_responded_.end()) {
+      nic_.stats().add("conn.dup_request_reacked");
+      const NodeId me = nic_.node();
+      const CsResponse resp = ans->second;
+      const ViId their_vi = request.src_vi;
+      send_control(request.src_node, [their_vi, resp, me](Nic& remote) {
+        remote.connections().on_cs_response(their_vi, resp.accepted, me,
+                                            resp.my_vi);
+      });
+      return;
+    }
+    // Already queued awaiting connect_wait: keep one copy.
+    const bool dup = std::any_of(
+        cs_pending_.begin(), cs_pending_.end(), [&](const IncomingRequest& r) {
+          return r.src_node == request.src_node && r.src_vi == request.src_vi;
+        });
+    if (dup) {
+      nic_.stats().add("conn.dup_request_suppressed");
+      return;
+    }
+  }
   cs_pending_.push_back(request);
   nic_.stats().add("conn.cs_request_queued");
   for (const CsWaiter& w : cs_waiters_) {
@@ -198,6 +376,7 @@ void ConnectionService::on_cs_response(ViId local_vi, bool accepted,
   auto it = cs_clients_.find(local_vi);
   if (it == cs_clients_.end()) return;
   CsClient& client = it->second;
+  if (client.result.has_value()) return;  // duplicate response
   if (accepted) {
     establish(*client.vi, remote_node, remote_vi);
     client.result = Status::kSuccess;

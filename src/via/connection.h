@@ -18,6 +18,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "src/sim/process.h"
@@ -95,6 +96,9 @@ class ConnectionService {
   struct PendingPeer {
     Vi* vi;
     NodeId remote_node;
+    Discriminator disc = 0;
+    int attempts = 0;
+    std::uint64_t timer_generation = 0;  // invalidates stale timers
   };
   struct CsWaiter {
     Discriminator disc;
@@ -104,10 +108,32 @@ class ConnectionService {
     Vi* vi;
     std::optional<Status> result;
     sim::Process* process;
+    NodeId remote_node = -1;
+    Discriminator disc = 0;
+    int attempts = 0;
+    std::uint64_t timer_generation = 0;
+  };
+  /// A client/server response already sent, retained so a retransmitted
+  /// request (our response was lost) gets the same answer again.
+  struct CsResponse {
+    bool accepted = false;
+    ViId my_vi = -1;
   };
 
   void send_control(NodeId dst, std::function<void(Nic&)> handler);
   void establish(Vi& vi, NodeId remote_node, ViId remote_vi);
+
+  // Handshake retransmission (armed only under an active FaultPlan; see
+  // Cluster::fault_active). Each arm bumps the generation so a timer that
+  // outlived its request is a no-op.
+  [[nodiscard]] bool fault_active() const;
+  [[nodiscard]] sim::SimTime retry_wait(int attempts) const;
+  [[nodiscard]] sim::SimTime congestion_allowance(NodeId remote) const;
+  void arm_peer_timer(Discriminator disc);
+  void on_peer_timer(Discriminator disc, std::uint64_t gen);
+  void resend_peer_request(const PendingPeer& pending);
+  void arm_cs_timer(ViId vi_id);
+  void on_cs_timer(ViId vi_id, std::uint64_t gen);
 
   Nic& nic_;
   std::map<Discriminator, PendingPeer> pending_peer_;
@@ -115,6 +141,13 @@ class ConnectionService {
   std::deque<IncomingRequest> cs_pending_;       // client reqs awaiting wait
   std::vector<CsWaiter> cs_waiters_;
   std::map<ViId, CsClient> cs_clients_;
+  // Fault-mode bookkeeping for idempotent handshakes: which discriminators
+  // this node already matched (so a retransmitted peer request is re-acked
+  // instead of queued as new), and which client/server requests it already
+  // answered. Both stay empty in fault-free runs.
+  std::map<Discriminator, ViId> established_peer_;
+  std::map<std::pair<NodeId, ViId>, CsResponse> cs_responded_;
+  std::uint64_t next_timer_generation_ = 0;
   std::uint64_t connections_established_ = 0;
 };
 

@@ -42,6 +42,30 @@ struct DeviceProfile {
   sim::SimTime conn_handshake_bytes;  // handshake packet size (bytes)
   bool supports_client_server;        // cLAN: both models; BVIA: P2P only
 
+  // --- Reliability / retry calibration (only exercised under an active
+  // FaultPlan; the loss-free wire never arms a timer). ---
+  // VipConnectPeerRequest / VipConnectRequest timeout before the
+  // handshake packet is retransmitted; retry k waits
+  //   conn_timeout + conn_retry_backoff_base * (2^k - 1).
+  sim::SimTime conn_timeout;
+  sim::SimTime conn_retry_backoff_base;
+  int max_conn_retries;               // retransmits before kTimeout
+  // Reliable-delivery data path: base retransmission timeout (doubles per
+  // retry) and the retry cap before the VI enters the error state.
+  sim::SimTime retransmit_timeout;
+  int max_retransmits;
+
+  /// Worst-case virtual time a single connect attempt can spend in
+  /// retries before surfacing kTimeout.
+  [[nodiscard]] sim::SimTime conn_retry_budget() const {
+    sim::SimTime total = 0;
+    for (int k = 0; k <= max_conn_retries; ++k) {
+      total += conn_timeout +
+               conn_retry_backoff_base * ((sim::SimTime{1} << k) - 1);
+    }
+    return total;
+  }
+
   // --- Memory registration. ---
   sim::SimTime mem_reg_cost_per_page;  // pin one 4 kB page
   static constexpr std::size_t kPageBytes = 4096;
@@ -66,6 +90,14 @@ struct DeviceProfile {
     p.conn_os_cost = sim::microseconds(180);
     p.conn_handshake_bytes = 64;
     p.supports_client_server = true;
+    // ~12 us one-way handshake latency: time out at ~12x that, back off
+    // in 100 us steps (cLAN's kernel-mediated connects are expensive, so
+    // retries are spaced generously).
+    p.conn_timeout = sim::microseconds(150);
+    p.conn_retry_backoff_base = sim::microseconds(100);
+    p.max_conn_retries = 6;
+    p.retransmit_timeout = sim::microseconds(120);
+    p.max_retransmits = 8;
     p.mem_reg_cost_per_page = sim::nanoseconds(80);
     return p;
   }
@@ -91,6 +123,13 @@ struct DeviceProfile {
     p.conn_os_cost = sim::microseconds(420);
     p.conn_handshake_bytes = 64;
     p.supports_client_server = false;
+    // ~29 us one-way handshake latency and a 420 us kernel connect cost:
+    // both the base timeout and the backoff are scaled up accordingly.
+    p.conn_timeout = sim::microseconds(400);
+    p.conn_retry_backoff_base = sim::microseconds(250);
+    p.max_conn_retries = 6;
+    p.retransmit_timeout = sim::microseconds(300);
+    p.max_retransmits = 8;
     p.mem_reg_cost_per_page = sim::nanoseconds(150);
     return p;
   }

@@ -5,9 +5,9 @@
 
 namespace odmpi::via {
 
-void Fabric::deliver(NodeId src, NodeId dst, std::size_t bytes,
-                     sim::SimTime depart_time, sim::SimTime src_nic_delay,
-                     sim::SimTime dst_nic_delay,
+bool Fabric::deliver(NodeId src, NodeId dst, std::size_t bytes,
+                     sim::FaultClass cls, sim::SimTime depart_time,
+                     sim::SimTime src_nic_delay, sim::SimTime dst_nic_delay,
                      std::function<void()> on_tx_done,
                      std::function<void()> on_arrival) {
   assert(src >= 0 && src < static_cast<int>(egress_free_.size()));
@@ -20,14 +20,29 @@ void Fabric::deliver(NodeId src, NodeId dst, std::size_t bytes,
   const sim::SimTime tx_done = tx_start + tx_time;
   egress_free_[src] = tx_done;
 
-  const sim::SimTime arrival = tx_done + profile_.wire_latency + dst_nic_delay;
+  sim::SimTime arrival = tx_done + profile_.wire_latency + dst_nic_delay;
 
   if (on_tx_done) {
     engine_.schedule_at(tx_done, std::move(on_tx_done));
   }
+
+  if (fault_plan_ != nullptr && fault_plan_->enabled()) {
+    const sim::FaultDecision d = fault_plan_->decide(src, dst, cls, tx_start);
+    if (d.drop) {
+      ++packets_dropped_;
+      return false;
+    }
+    arrival += d.extra_delay;
+    if (d.duplicate) {
+      ++packets_duplicated_;
+      engine_.schedule_at(arrival + d.duplicate_lag, on_arrival);
+    }
+  }
+
   ++packets_delivered_;
   bytes_delivered_ += bytes;
   engine_.schedule_at(arrival, std::move(on_arrival));
+  return true;
 }
 
 }  // namespace odmpi::via

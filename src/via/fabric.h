@@ -4,6 +4,13 @@
 // (per-byte) + wire/switch latency + receiver NIC processing. Egress
 // serialization per node gives honest bandwidth saturation when a node
 // streams to many peers (alltoall in IS).
+//
+// When a FaultPlan is attached and enabled, each packet consults it once
+// as it hits the wire: the plan may drop it (arrival never fires — the
+// sender's NIC-side tx completion still does, as on real hardware), emit
+// a duplicate arrival, or add switch-queueing jitter to the arrival time.
+// With the plan disabled the delivery path is byte-for-byte the seed
+// behavior: one branch, no Rng draws, identical event schedule.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +18,7 @@
 #include <vector>
 
 #include "src/sim/engine.h"
+#include "src/sim/fault.h"
 #include "src/sim/time.h"
 #include "src/via/device_profile.h"
 #include "src/via/types.h"
@@ -25,18 +33,26 @@ class Fabric {
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
-  /// Ships `bytes` from `src` to `dst`.
+  /// Attaches (or detaches, with nullptr) the fault-injection plan.
+  void set_fault_plan(sim::FaultPlan* plan) { fault_plan_ = plan; }
+
+  /// Ships `bytes` from `src` to `dst`. Returns false if the fault plan
+  /// dropped the packet (the arrival callback will never fire).
+  ///  * `cls`          — data vs control, for fault-injection targeting.
   ///  * `depart_time`  — sender-side timestamp of the doorbell (the
   ///    sending process's local clock).
   ///  * `src_nic_delay` — NIC processing before the wire (includes the
   ///    per-VI doorbell-scan cost on Berkeley VIA).
   ///  * `dst_nic_delay` — NIC processing after the wire.
   ///  * `on_tx_done`   — fired when the sender's NIC is finished with the
-  ///    message (send-descriptor completion time); may be empty.
-  ///  * `on_arrival`   — fired at the destination NIC.
-  void deliver(NodeId src, NodeId dst, std::size_t bytes,
-               sim::SimTime depart_time, sim::SimTime src_nic_delay,
-               sim::SimTime dst_nic_delay, std::function<void()> on_tx_done,
+  ///    message (send-descriptor completion time); may be empty. Fires
+  ///    even for dropped packets: the sender's NIC cannot see the loss.
+  ///  * `on_arrival`   — fired at the destination NIC (twice when the
+  ///    plan duplicates the packet).
+  bool deliver(NodeId src, NodeId dst, std::size_t bytes,
+               sim::FaultClass cls, sim::SimTime depart_time,
+               sim::SimTime src_nic_delay, sim::SimTime dst_nic_delay,
+               std::function<void()> on_tx_done,
                std::function<void()> on_arrival);
 
   [[nodiscard]] std::uint64_t packets_delivered() const {
@@ -45,13 +61,31 @@ class Fabric {
   [[nodiscard]] std::uint64_t bytes_delivered() const {
     return bytes_delivered_;
   }
+  /// Virtual time until `node`'s egress link drains everything already
+  /// queued (0 when idle). Retransmission timers consult this so that a
+  /// congested-but-healthy link is not mistaken for a dead one.
+  [[nodiscard]] sim::SimTime egress_backlog(NodeId node,
+                                            sim::SimTime now) const {
+    const sim::SimTime free = egress_free_[static_cast<std::size_t>(node)];
+    return free > now ? free - now : 0;
+  }
+
+  [[nodiscard]] std::uint64_t packets_dropped() const {
+    return packets_dropped_;
+  }
+  [[nodiscard]] std::uint64_t packets_duplicated() const {
+    return packets_duplicated_;
+  }
 
  private:
   sim::Engine& engine_;
   const DeviceProfile& profile_;
   std::vector<sim::SimTime> egress_free_;
+  sim::FaultPlan* fault_plan_ = nullptr;
   std::uint64_t packets_delivered_ = 0;
   std::uint64_t bytes_delivered_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+  std::uint64_t packets_duplicated_ = 0;
 };
 
 }  // namespace odmpi::via

@@ -12,6 +12,8 @@ namespace {
 // Wire framing per message (VIA header + CRC), added to payload bytes for
 // transmission-time purposes.
 constexpr std::size_t kWireHeaderBytes = 32;
+// Acknowledgement packet size (reliable delivery, faulted runs only).
+constexpr std::size_t kAckWireBytes = 16;
 }  // namespace
 
 Nic::Nic(Cluster& cluster, NodeId node)
@@ -97,17 +99,21 @@ void Nic::complete(Vi& vi, Descriptor* desc, Status status, std::size_t bytes,
 
 Status Nic::start_send(Vi& vi, Descriptor* desc) {
   assert(vi.state() == ViState::kConnected);
+  ++hot_.msg_sent;
+  hot_.msg_sent_bytes += static_cast<std::int64_t>(desc->length);
+  if (cluster_.fault_active()) {
+    return vi.reliable() ? start_reliable(vi, desc, /*is_rdma=*/false)
+                         : start_unreliable_lossy(vi, desc, /*is_rdma=*/false);
+  }
   std::vector<std::byte> payload(desc->addr, desc->addr + desc->length);
   const NodeId dst = vi.remote_node();
   const ViId dst_vi = vi.remote_vi();
   ++vi.sends_in_flight_;
-  ++hot_.msg_sent;
-  hot_.msg_sent_bytes += static_cast<std::int64_t>(desc->length);
 
   Nic& remote = cluster_.nic(dst);
   Vi* vi_ptr = &vi;
   cluster_.fabric().deliver(
-      node_, dst, desc->length + kWireHeaderBytes,
+      node_, dst, desc->length + kWireHeaderBytes, sim::FaultClass::kData,
       sim::Process::current_time(cluster_.engine()), send_nic_delay(),
       /*dst_nic_delay=*/0,
       /*on_tx_done=*/
@@ -162,15 +168,19 @@ Status Nic::start_rdma_write(Vi& vi, Descriptor* desc) {
     stats_.add("rdma.protection_error");
     return Status::kProtectionError;
   }
+  ++hot_.rdma_write;
+  hot_.rdma_write_bytes += static_cast<std::int64_t>(desc->length);
+  if (cluster_.fault_active()) {
+    return vi.reliable() ? start_reliable(vi, desc, /*is_rdma=*/true)
+                         : start_unreliable_lossy(vi, desc, /*is_rdma=*/true);
+  }
   std::vector<std::byte> payload(desc->addr, desc->addr + desc->length);
   std::byte* remote_addr = desc->remote_addr;
   ++vi.sends_in_flight_;
-  ++hot_.rdma_write;
-  hot_.rdma_write_bytes += static_cast<std::int64_t>(desc->length);
 
   Vi* vi_ptr = &vi;
   cluster_.fabric().deliver(
-      node_, dst, desc->length + kWireHeaderBytes,
+      node_, dst, desc->length + kWireHeaderBytes, sim::FaultClass::kData,
       sim::Process::current_time(cluster_.engine()), send_nic_delay(),
       /*dst_nic_delay=*/0,
       /*on_tx_done=*/
@@ -195,6 +205,244 @@ void Nic::on_rdma_write(std::byte* remote_addr, MemoryHandle /*handle*/,
     std::memcpy(remote_addr, payload.data(), payload.size());
   }
   ++hot_.rdma_write_received;
+}
+
+// --- Unreliable delivery under faults ---------------------------------------
+// The packet takes one trip through the (lossy) fabric; if it is dropped
+// the sender's descriptor completes with kTransportError — VIA's
+// Unreliable Delivery level reports transport errors but never recovers
+// from them (spec §2.8).
+
+Status Nic::start_unreliable_lossy(Vi& vi, Descriptor* desc, bool is_rdma) {
+  std::vector<std::byte> payload(desc->addr, desc->addr + desc->length);
+  const NodeId dst = vi.remote_node();
+  const ViId dst_vi = vi.remote_vi();
+  std::byte* remote_addr = desc->remote_addr;
+  ++vi.sends_in_flight_;
+
+  Nic& remote = cluster_.nic(dst);
+  Vi* vi_ptr = &vi;
+  // deliver() tells us synchronously whether the packet was dropped, but
+  // the tx-done lambda is built first — route the verdict through a
+  // shared flag (tx-done always fires strictly after deliver() returns).
+  auto dropped = std::make_shared<bool>(false);
+  std::function<void()> on_arrival;
+  if (is_rdma) {
+    on_arrival = [&remote, remote_addr, payload = std::move(payload)] {
+      remote.on_rdma_write(remote_addr, kInvalidMemoryHandle, payload);
+    };
+  } else {
+    on_arrival = [&remote, dst_vi, payload = std::move(payload)] {
+      remote.on_message(dst_vi, payload);
+    };
+  }
+  const bool ok = cluster_.fabric().deliver(
+      node_, dst, desc->length + kWireHeaderBytes, sim::FaultClass::kData,
+      sim::Process::current_time(cluster_.engine()), send_nic_delay(),
+      /*dst_nic_delay=*/0,
+      /*on_tx_done=*/
+      [this, vi_ptr, desc, dropped] {
+        --vi_ptr->sends_in_flight_;
+        if (*dropped) {
+          stats_.add("via.ud_transport_errors");
+          complete(*vi_ptr, desc, Status::kTransportError, 0,
+                   /*is_receive=*/false);
+        } else {
+          complete(*vi_ptr, desc, Status::kSuccess, desc->length,
+                   /*is_receive=*/false);
+        }
+      },
+      std::move(on_arrival));
+  *dropped = !ok;
+  return Status::kSuccess;
+}
+
+// --- Reliable delivery ------------------------------------------------------
+
+Status Nic::start_reliable(Vi& vi, Descriptor* desc, bool is_rdma) {
+  auto rs = std::make_unique<Vi::ReliableSend>();
+  rs->desc = desc;
+  rs->seq = vi.next_send_seq_++;
+  rs->payload.assign(desc->addr, desc->addr + desc->length);
+  rs->wire_bytes = desc->length + kWireHeaderBytes;
+  rs->remote_addr = desc->remote_addr;
+  rs->is_rdma = is_rdma;
+  ++vi.sends_in_flight_;
+  Vi::ReliableSend& ref = *rs;
+  vi.unacked_.emplace(ref.seq, std::move(rs));
+  transmit_reliable(vi, ref);
+  return Status::kSuccess;
+}
+
+void Nic::transmit_reliable(Vi& vi, Vi::ReliableSend& rs) {
+  const NodeId dst = vi.remote_node();
+  const ViId dst_vi = vi.remote_vi();
+  Nic& remote = cluster_.nic(dst);
+  std::function<void()> on_arrival;
+  if (rs.is_rdma) {
+    on_arrival = [&remote, dst_vi, seq = rs.seq, addr = rs.remote_addr,
+                  payload = rs.payload] {
+      remote.on_reliable_rdma(dst_vi, seq, addr, payload);
+    };
+  } else {
+    on_arrival = [&remote, dst_vi, seq = rs.seq, payload = rs.payload] {
+      remote.on_reliable_message(dst_vi, seq, payload);
+    };
+  }
+  const sim::SimTime now = sim::Process::current_time(cluster_.engine());
+  if (rs.retries == 0 && rs.first_tx_time == 0) rs.first_tx_time = now;
+  cluster_.fabric().deliver(
+      node_, dst, rs.wire_bytes, sim::FaultClass::kData, now,
+      send_nic_delay(),
+      /*dst_nic_delay=*/0,
+      /*on_tx_done=*/[] {},  // completion waits for the cumulative ack
+      std::move(on_arrival));
+
+  // Arm (or re-arm) the retransmission timer. Bumping the generation
+  // invalidates any timer already in flight for this packet. The wait is
+  // congestion-aware: both egress queues (ours, sampled after deliver so
+  // it includes this packet, and the peer's, which the returning ack must
+  // drain behind) are added to the exponential base timeout so a bursty
+  // but healthy link does not trigger spurious retransmission.
+  const std::uint64_t gen = ++rs.timer_generation;
+  const int shift = rs.retries < 6 ? rs.retries : 6;
+  Fabric& fabric = cluster_.fabric();
+  const sim::SimTime rto =
+      (profile().retransmit_timeout << shift) +
+      fabric.egress_backlog(node_, now) + fabric.egress_backlog(dst, now) +
+      2 * profile().wire_latency;
+  const ViId vi_id = vi.id();
+  const std::uint64_t seq = rs.seq;
+  cluster_.engine().schedule_at(
+      now + rto,
+      [this, vi_id, seq, gen] { on_retransmit_timer(vi_id, seq, gen); });
+}
+
+void Nic::on_retransmit_timer(ViId vi_id, std::uint64_t seq,
+                              std::uint64_t gen) {
+  Vi* vi = find_vi(vi_id);
+  if (vi == nullptr || vi->state() != ViState::kConnected) return;
+  auto it = vi->unacked_.find(seq);
+  if (it == vi->unacked_.end()) return;          // acked meanwhile
+  Vi::ReliableSend& rs = *it->second;
+  if (rs.timer_generation != gen) return;        // superseded timer
+  if (rs.retries >= profile().max_retransmits) {
+    // Exhausted budget — but an ack heard since this packet first went
+    // out means the peer is alive and merely congested (or we are inside
+    // a go-back-N recovery). Extend the budget instead of declaring the
+    // link dead; a genuinely dead link produces no acks at all.
+    if (vi->last_ack_time_ >= rs.first_tx_time) {
+      rs.retries = 0;
+      rs.first_tx_time = sim::Process::current_time(cluster_.engine());
+      stats_.add("via.retransmit_budget_extended");
+    } else {
+      fail_reliable_sends(*vi);
+      return;
+    }
+  }
+  ++rs.retries;
+  stats_.add("via.retransmits");
+  transmit_reliable(*vi, rs);
+}
+
+void Nic::fail_reliable_sends(Vi& vi) {
+  stats_.add("via.send_timeouts");
+  vi.state_ = ViState::kError;
+  // Complete every outstanding packet in sequence order with kTimeout;
+  // std::map iterates in ascending seq order already.
+  while (!vi.unacked_.empty()) {
+    auto it = vi.unacked_.begin();
+    Descriptor* desc = it->second->desc;
+    vi.unacked_.erase(it);
+    --vi.sends_in_flight_;
+    complete(vi, desc, Status::kTimeout, 0, /*is_receive=*/false);
+  }
+}
+
+void Nic::send_ack(Vi& vi) {
+  const NodeId dst = vi.remote_node();
+  const ViId dst_vi = vi.remote_vi();
+  Nic& remote = cluster_.nic(dst);
+  cluster_.fabric().deliver(
+      node_, dst, kAckWireBytes, sim::FaultClass::kControl,
+      sim::Process::current_time(cluster_.engine()), send_nic_delay(),
+      /*dst_nic_delay=*/0,
+      /*on_tx_done=*/[] {},
+      /*on_arrival=*/
+      [&remote, dst_vi, acked = vi.next_recv_seq_] {
+        remote.on_ack(dst_vi, acked);
+      });
+}
+
+void Nic::on_ack(ViId target_vi, std::uint64_t acked) {
+  Vi* vi = find_vi(target_vi);
+  if (vi == nullptr || vi->state() != ViState::kConnected) return;
+  vi->last_ack_time_ = sim::Process::current_time(cluster_.engine());
+  // Cumulative: everything below `acked` has been delivered in order.
+  bool advanced = false;
+  while (!vi->unacked_.empty() && vi->unacked_.begin()->first < acked) {
+    auto it = vi->unacked_.begin();
+    Descriptor* desc = it->second->desc;
+    const std::size_t bytes = it->second->payload.size();
+    vi->unacked_.erase(it);
+    --vi->sends_in_flight_;
+    advanced = true;
+    complete(*vi, desc, Status::kSuccess, bytes, /*is_receive=*/false);
+  }
+  if (advanced) {
+    // Forward progress: packets queued behind the (go-back-N) gap were
+    // burning retries while undeliverable. Reset their budgets so only a
+    // genuinely dead link — no acks at all — exhausts max_retransmits.
+    for (auto& [seq, rs] : vi->unacked_) rs->retries = 0;
+  }
+}
+
+void Nic::on_reliable_message(ViId target_vi, std::uint64_t seq,
+                              const std::vector<std::byte>& payload) {
+  Vi* vi = find_vi(target_vi);
+  if (vi == nullptr || vi->state() != ViState::kConnected) {
+    stats_.add("msg.dropped_no_vi");
+    return;
+  }
+  if (seq < vi->next_recv_seq_) {
+    // Duplicate (retransmit raced the ack, or fabric duplication).
+    stats_.add("via.dup_suppressed");
+    send_ack(*vi);
+    return;
+  }
+  if (seq > vi->next_recv_seq_) {
+    // Gap: an earlier packet was lost. Go-back-N — drop and re-ack so
+    // the sender's timer resends from the gap.
+    stats_.add("via.out_of_order_dropped");
+    send_ack(*vi);
+    return;
+  }
+  ++vi->next_recv_seq_;
+  on_message(target_vi, payload);
+  send_ack(*vi);
+}
+
+void Nic::on_reliable_rdma(ViId target_vi, std::uint64_t seq,
+                           std::byte* remote_addr,
+                           const std::vector<std::byte>& payload) {
+  Vi* vi = find_vi(target_vi);
+  if (vi == nullptr || vi->state() != ViState::kConnected) {
+    stats_.add("msg.dropped_no_vi");
+    return;
+  }
+  if (seq < vi->next_recv_seq_) {
+    stats_.add("via.dup_suppressed");
+    send_ack(*vi);
+    return;
+  }
+  if (seq > vi->next_recv_seq_) {
+    stats_.add("via.out_of_order_dropped");
+    send_ack(*vi);
+    return;
+  }
+  ++vi->next_recv_seq_;
+  on_rdma_write(remote_addr, kInvalidMemoryHandle, payload);
+  send_ack(*vi);
 }
 
 }  // namespace odmpi::via

@@ -88,6 +88,21 @@ class Nic {
                      const std::vector<std::byte>& payload);
   [[nodiscard]] Vi* find_vi(ViId id);
 
+  // --- Reliable delivery (active only under a FaultPlan) -------------------
+  // Per-VI sequencing with cumulative acks and seeded retransmission:
+  // every data/RDMA packet carries a sequence number, the receiver
+  // delivers strictly in order (suppressing duplicates and post-gap
+  // arrivals) and acks cumulatively; the sender retransmits on timeout
+  // with exponential backoff and fails the VI into the error state once
+  // the profile's retry budget is exhausted.
+
+  void on_reliable_message(ViId target_vi, std::uint64_t seq,
+                           const std::vector<std::byte>& payload);
+  void on_reliable_rdma(ViId target_vi, std::uint64_t seq,
+                        std::byte* remote_addr,
+                        const std::vector<std::byte>& payload);
+  void on_ack(ViId target_vi, std::uint64_t acked);
+
   /// Charges host-side time to the currently running process (no-op when
   /// called from plain engine context, e.g. a delivery event).
   static void charge_host(sim::SimTime cost) {
@@ -101,6 +116,15 @@ class Nic {
  private:
   void complete(Vi& vi, Descriptor* desc, Status status, std::size_t bytes,
                 bool is_receive);
+
+  // Reliable-delivery internals.
+  Status start_reliable(Vi& vi, Descriptor* desc, bool is_rdma);
+  void transmit_reliable(Vi& vi, Vi::ReliableSend& rs);
+  void on_retransmit_timer(ViId vi_id, std::uint64_t seq, std::uint64_t gen);
+  void fail_reliable_sends(Vi& vi);
+  void send_ack(Vi& vi);
+  // Unreliable delivery under faults: loss surfaces as kTransportError.
+  Status start_unreliable_lossy(Vi& vi, Descriptor* desc, bool is_rdma);
 
   Cluster& cluster_;
   NodeId node_;

@@ -2,10 +2,13 @@
 
 namespace odmpi::via {
 
-Cluster::Cluster(sim::Engine& engine, int num_nodes, DeviceProfile profile)
+Cluster::Cluster(sim::Engine& engine, int num_nodes, DeviceProfile profile,
+                 sim::FaultConfig fault)
     : engine_(engine),
       profile_(std::move(profile)),
+      fault_plan_(fault),
       fabric_(engine, num_nodes, profile_) {
+  if (fault_plan_.enabled()) fabric_.set_fault_plan(&fault_plan_);
   nics_.reserve(static_cast<std::size_t>(num_nodes));
   for (NodeId n = 0; n < num_nodes; ++n) {
     nics_.push_back(std::make_unique<Nic>(*this, n));
@@ -22,6 +25,13 @@ sim::Stats Cluster::aggregate_stats() {
             static_cast<std::int64_t>(fabric_.packets_delivered()));
   total.set("fabric.bytes",
             static_cast<std::int64_t>(fabric_.bytes_delivered()));
+  if (fault_plan_.enabled()) {
+    total.set("fabric.dropped",
+              static_cast<std::int64_t>(fabric_.packets_dropped()));
+    total.set("fabric.duplicated",
+              static_cast<std::int64_t>(fabric_.packets_duplicated()));
+    total.merge(fault_plan_.stats());
+  }
   return total;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/sim/engine.h"
+#include "src/sim/fault.h"
 #include "src/sim/stats.h"
 #include "src/via/device_profile.h"
 #include "src/via/fabric.h"
@@ -17,7 +18,8 @@ namespace odmpi::via {
 
 class Cluster {
  public:
-  Cluster(sim::Engine& engine, int num_nodes, DeviceProfile profile);
+  Cluster(sim::Engine& engine, int num_nodes, DeviceProfile profile,
+          sim::FaultConfig fault = {});
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
@@ -28,12 +30,19 @@ class Cluster {
   [[nodiscard]] int size() const { return static_cast<int>(nics_.size()); }
   [[nodiscard]] Nic& nic(NodeId node) { return *nics_.at(node); }
 
+  /// True when fault injection is live: the reliability machinery (acks,
+  /// retransmission, connect timers) only engages then, keeping the
+  /// fault-free event schedule identical to a plan-less build.
+  [[nodiscard]] bool fault_active() const { return fault_plan_.enabled(); }
+  [[nodiscard]] sim::FaultPlan& fault_plan() { return fault_plan_; }
+
   /// Aggregated statistics across every NIC (plus fabric totals).
   [[nodiscard]] sim::Stats aggregate_stats();
 
  private:
   sim::Engine& engine_;
   DeviceProfile profile_;
+  sim::FaultPlan fault_plan_;
   Fabric fabric_;
   std::vector<std::unique_ptr<Nic>> nics_;
 };

@@ -36,6 +36,8 @@ enum class Status {
   kDisconnected,       // peer disconnected with work still queued
   kLengthError,        // arriving message longer than the posted buffer
   kProtectionError,    // RDMA target outside the remote registered region
+  kTimeout,            // connect / reliable send exhausted its retries
+  kTransportError,     // packet lost on the wire (unreliable delivery)
 };
 
 [[nodiscard]] inline const char* to_string(Status s) {
@@ -50,6 +52,34 @@ enum class Status {
     case Status::kDisconnected: return "disconnected";
     case Status::kLengthError: return "length-error";
     case Status::kProtectionError: return "protection-error";
+    case Status::kTimeout: return "timeout";
+    case Status::kTransportError: return "transport-error";
+  }
+  return "unknown";
+}
+
+/// VIA reliability levels (spec section 2.8). The simulation's fabric is
+/// loss-free unless fault injection is enabled, so the levels only change
+/// behavior under an active FaultPlan:
+///  * kUnreliableDelivery — losses are surfaced as kTransportError send
+///    completions, duplicates and reordering reach the receiver;
+///  * kReliableDelivery — per-VI sequencing, cumulative acks and seeded
+///    retransmission with exponential backoff; exhausted retries complete
+///    the descriptor with kTimeout and move the VI to the error state;
+///  * kReliableReception — modelled identically to kReliableDelivery (the
+///    distinction — completion on remote *memory* arrival vs NIC arrival
+///    — collapses in the simulator's single-event arrival model).
+enum class ReliabilityLevel : std::uint8_t {
+  kUnreliableDelivery,
+  kReliableDelivery,
+  kReliableReception,
+};
+
+[[nodiscard]] inline const char* to_string(ReliabilityLevel r) {
+  switch (r) {
+    case ReliabilityLevel::kUnreliableDelivery: return "unreliable-delivery";
+    case ReliabilityLevel::kReliableDelivery: return "reliable-delivery";
+    case ReliabilityLevel::kReliableReception: return "reliable-reception";
   }
   return "unknown";
 }

@@ -8,7 +8,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
+#include <memory>
+#include <vector>
 
+#include "src/sim/time.h"
 #include "src/via/completion.h"
 #include "src/via/descriptor.h"
 #include "src/via/types.h"
@@ -39,6 +43,18 @@ class Vi {
 
   [[nodiscard]] ViState state() const { return state_; }
   [[nodiscard]] ViId id() const { return id_; }
+
+  /// VIA reliability level requested at VI creation time. Only observable
+  /// under an active FaultPlan — the loss-free wire satisfies all three
+  /// levels for free (see types.h).
+  [[nodiscard]] ReliabilityLevel reliability() const { return reliability_; }
+  void set_reliability(ReliabilityLevel level) { reliability_ = level; }
+
+  /// True when the reliable-delivery machinery should run for this VI.
+  [[nodiscard]] bool reliable() const {
+    return reliability_ != ReliabilityLevel::kUnreliableDelivery;
+  }
+
   [[nodiscard]] Nic& nic() { return nic_; }
   [[nodiscard]] NodeId remote_node() const { return remote_node_; }
   [[nodiscard]] ViId remote_vi() const { return remote_vi_; }
@@ -65,9 +81,24 @@ class Vi {
     remote_vi_ = remote_vi;
   }
 
+  /// One unacknowledged reliable-delivery packet (send or RDMA write)
+  /// retained for retransmission.
+  struct ReliableSend {
+    Descriptor* desc = nullptr;
+    std::uint64_t seq = 0;
+    std::vector<std::byte> payload;   // wire copy, survives retransmits
+    std::size_t wire_bytes = 0;
+    std::byte* remote_addr = nullptr; // RDMA writes only
+    bool is_rdma = false;
+    int retries = 0;
+    std::uint64_t timer_generation = 0;
+    sim::SimTime first_tx_time = 0;   // when this packet first hit the wire
+  };
+
   Nic& nic_;
   ViId id_;
   ViState state_ = ViState::kIdle;
+  ReliabilityLevel reliability_ = ReliabilityLevel::kUnreliableDelivery;
   NodeId remote_node_ = -1;
   ViId remote_vi_ = -1;
   CompletionQueue* send_cq_;
@@ -75,6 +106,15 @@ class Vi {
   std::deque<Descriptor*> recv_queue_;
   std::size_t sends_in_flight_ = 0;
   std::uint64_t drops_ = 0;
+
+  // Reliable-delivery state (touched only under an active FaultPlan).
+  std::uint64_t next_send_seq_ = 0;     // next sequence number to assign
+  std::uint64_t next_recv_seq_ = 0;     // next in-order seq expected
+  std::map<std::uint64_t, std::unique_ptr<ReliableSend>> unacked_;
+  // Liveness evidence: a VI only fails on retransmit exhaustion if the
+  // peer has been silent since the packet's first transmission. Any ack
+  // (including a duplicate re-ack) proves the link is congested, not dead.
+  sim::SimTime last_ack_time_ = -1;
 };
 
 }  // namespace odmpi::via

@@ -1,0 +1,223 @@
+// MPI-layer fault-injection tests: NAS kernels still verify when the
+// connection handshake packets are lossy (on-demand management retries),
+// eager data loss is recovered by reliable delivery, a totally
+// unreachable peer surfaces kTimeout on the affected requests instead of
+// hanging the job, and a faulted run replays bit-for-bit from its seed.
+//
+// The CI fault matrix re-runs these under several seeds via the
+// ODMPI_FAULT_SEED environment variable.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "src/nas/common.h"
+#include "tests/mpi/mpi_test_util.h"
+
+namespace odmpi::mpi {
+namespace {
+
+using nas::KernelResult;
+using testing::make_options;
+
+/// Seed for this run: ODMPI_FAULT_SEED if set (the CI matrix), else fixed.
+std::uint64_t fault_seed() {
+  if (const char* env = std::getenv("ODMPI_FAULT_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return 0xFA417;
+}
+
+JobOptions faulty_options(double control_drop, double data_drop = 0.0,
+                          ConnectionModel model = ConnectionModel::kOnDemand) {
+  JobOptions opt = make_options(model);
+  opt.fault.enabled = true;
+  opt.fault.seed = fault_seed();
+  opt.fault.control_drop_rate = control_drop;
+  opt.fault.data_drop_rate = data_drop;
+  return opt;
+}
+
+KernelResult run_kernel_with_faults(const char* kernel, int nprocs,
+                                    const JobOptions& opt) {
+  World world(nprocs, opt);
+  KernelResult result;
+  EXPECT_TRUE(world.run([&](Comm& comm) {
+    KernelResult r = nas::kernel_by_name(kernel)(comm, nas::Class::S);
+    if (comm.rank() == 0) result = r;
+  })) << kernel << " deadlocked under faults";
+  return result;
+}
+
+struct LossyKernelCase {
+  const char* kernel;
+  int nprocs;
+  double control_drop;
+};
+
+class LossyHandshake : public ::testing::TestWithParam<LossyKernelCase> {};
+
+// ISSUE acceptance: CG and MG at 8 ranks verify under 1% and 5% loss of
+// connection-handshake control packets with on-demand management. The
+// retries show up in the stats; the numerics must be untouched.
+TEST_P(LossyHandshake, NasKernelVerifiesUnderControlLoss) {
+  const auto& p = GetParam();
+  JobOptions opt = faulty_options(p.control_drop);
+  World world(p.nprocs, opt);
+  KernelResult result;
+  ASSERT_TRUE(world.run([&](Comm& comm) {
+    KernelResult r = nas::kernel_by_name(p.kernel)(comm, nas::Class::S);
+    if (comm.rank() == 0) result = r;
+  })) << p.kernel << " deadlocked under " << p.control_drop
+      << " control-packet loss";
+  EXPECT_TRUE(result.verified)
+      << p.kernel << " mis-verified under handshake loss";
+  auto stats = world.aggregate_stats();
+  EXPECT_EQ(stats.get("mpi.channel_failures"), 0)
+      << "recoverable loss rate must not kill channels";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, LossyHandshake,
+    ::testing::Values(LossyKernelCase{"CG", 8, 0.01},
+                      LossyKernelCase{"CG", 8, 0.05},
+                      LossyKernelCase{"MG", 8, 0.01},
+                      LossyKernelCase{"MG", 8, 0.05}),
+    [](const ::testing::TestParamInfo<LossyKernelCase>& ti) {
+      std::string s = ti.param.kernel;
+      s += "_drop";
+      s += std::to_string(static_cast<int>(ti.param.control_drop * 100));
+      return s;
+    });
+
+// Static peer-to-peer management also retries its MPI_Init handshake storm.
+TEST(FaultConn, StaticPeerToPeerSurvivesControlLoss) {
+  JobOptions opt =
+      faulty_options(0.05, 0.0, ConnectionModel::kStaticPeerToPeer);
+  KernelResult r = run_kernel_with_faults("CG", 8, opt);
+  EXPECT_TRUE(r.verified);
+}
+
+// Eager data packets lost on the wire are retransmitted transparently:
+// a ping-pong chain delivers every payload intact.
+TEST(FaultConn, EagerDataLossIsRecoveredByReliableDelivery) {
+  JobOptions opt = faulty_options(0.0, /*data_drop=*/0.03);
+  World world(2, opt);
+  constexpr int kRounds = 100;
+  constexpr int kCount = 256;
+  ASSERT_TRUE(world.run([&](Comm& comm) {
+    std::vector<double> buf(kCount);
+    for (int r = 0; r < kRounds; ++r) {
+      if (comm.rank() == 0) {
+        for (int i = 0; i < kCount; ++i) buf[i] = r * 1000 + i;
+        comm.send(buf.data(), kCount, kDouble, 1, r);
+      } else {
+        std::fill(buf.begin(), buf.end(), -1.0);
+        MsgStatus st = comm.recv(buf.data(), kCount, kDouble, 0, r);
+        ASSERT_EQ(st.count_bytes, kCount * sizeof(double));
+        for (int i = 0; i < kCount; ++i) {
+          ASSERT_EQ(buf[i], r * 1000 + i) << "payload corrupted at " << i;
+        }
+      }
+    }
+  }));
+  auto stats = world.aggregate_stats();
+  // Every payload arrived intact, so any packet the plan dropped must
+  // have been recovered by a retransmission. (Whether drops occur at all
+  // depends on the seed; the consistency must hold for every seed.)
+  if (stats.get("fault.dropped_data") > 0) {
+    EXPECT_GT(stats.get("via.retransmits"), 0)
+        << "data was dropped but never retransmitted";
+  }
+  EXPECT_EQ(stats.get("mpi.channel_failures"), 0);
+}
+
+// A peer whose link is completely dead: the job completes (no hang), the
+// requests touching that peer fail with kTimeout, everything else works.
+TEST(FaultConn, UnreachablePeerFailsRequestsInsteadOfHanging) {
+  JobOptions opt = make_options(ConnectionModel::kOnDemand);
+  opt.fault.enabled = true;
+  opt.fault.seed = fault_seed();
+  opt.fault.block_pair(0, 1);
+  World world(2, opt);
+  ASSERT_TRUE(world.run([&](Comm& comm) {
+    double x = comm.rank();
+    if (comm.rank() == 0) {
+      Request req = comm.isend(&x, 1, kDouble, 1, 7);
+      req.wait();
+      EXPECT_TRUE(req.failed()) << "send to unreachable peer must fail";
+      EXPECT_EQ(req.error(), via::Status::kTimeout);
+      // Subsequent traffic to the dead peer fails fast.
+      Request again = comm.isend(&x, 1, kDouble, 1, 8);
+      again.wait();
+      EXPECT_TRUE(again.failed());
+    } else {
+      Request req = comm.irecv(&x, 1, kDouble, 0, 7);
+      req.wait();
+      EXPECT_TRUE(req.failed()) << "recv from unreachable peer must fail";
+      EXPECT_EQ(req.error(), via::Status::kTimeout);
+    }
+  })) << "dead link must surface errors, not deadlock";
+  auto stats = world.aggregate_stats();
+  EXPECT_GE(stats.get("mpi.channel_failures"), 2);
+  EXPECT_GE(stats.get("conn.timeouts"), 1);
+}
+
+// 100% control loss (handshakes can never complete, data path nominally
+// fine): same contract — clean kTimeout, not a hang.
+TEST(FaultConn, TotalHandshakeLossTimesOutCleanly) {
+  JobOptions opt = faulty_options(/*control_drop=*/1.0);
+  World world(2, opt);
+  ASSERT_TRUE(world.run([&](Comm& comm) {
+    double x = 42.0;
+    if (comm.rank() == 0) {
+      Request req = comm.isend(&x, 1, kDouble, 1, 1);
+      req.wait();
+      EXPECT_TRUE(req.failed());
+      EXPECT_EQ(req.error(), via::Status::kTimeout);
+    } else {
+      Request req = comm.irecv(&x, 1, kDouble, 0, 1);
+      req.wait();
+      EXPECT_TRUE(req.failed());
+    }
+  }));
+  auto stats = world.aggregate_stats();
+  // Both on-demand attempts burned the full VIA retry budget repeatedly.
+  EXPECT_GE(stats.get("mpi.connect_reattempts"), 1);
+  EXPECT_GE(stats.get("mpi.connect_failures"), 1);
+}
+
+// Same seed, same config => bit-identical fault schedule, stats and
+// virtual completion time. This is the property the CI seed matrix and
+// any bisection of a fault-triggered bug rely on.
+TEST(FaultConn, FaultedRunReplaysBitForBit) {
+  auto run_once = [](std::uint64_t seed, sim::SimTime* when) {
+    JobOptions opt = make_options(ConnectionModel::kOnDemand);
+    opt.fault.enabled = true;
+    opt.fault.seed = seed;
+    opt.fault.control_drop_rate = 0.05;
+    opt.fault.data_drop_rate = 0.02;
+    opt.fault.duplicate_rate = 0.02;
+    opt.fault.delay_rate = 0.1;
+    World world(4, opt);
+    KernelResult result;
+    EXPECT_TRUE(world.run([&](Comm& comm) {
+      KernelResult r = nas::kernel_by_name("CG")(comm, nas::Class::S);
+      if (comm.rank() == 0) result = r;
+    }));
+    EXPECT_TRUE(result.verified);
+    *when = world.completion_time();
+    return world.aggregate_stats().all();
+  };
+
+  const std::uint64_t seed = fault_seed();
+  sim::SimTime t1 = 0, t2 = 0;
+  const auto s1 = run_once(seed, &t1);
+  const auto s2 = run_once(seed, &t2);
+  EXPECT_EQ(s1, s2) << "fault replay diverged: stats differ";
+  EXPECT_EQ(t1, t2) << "fault replay diverged: completion time differs";
+}
+
+}  // namespace
+}  // namespace odmpi::mpi

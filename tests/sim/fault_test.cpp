@@ -1,0 +1,161 @@
+// FaultPlan unit tests: determinism (same seed => bit-identical verdict
+// stream), rate calibration, class separation, link overrides and the
+// draw-free brownout path.
+#include "src/sim/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+namespace odmpi::sim {
+namespace {
+
+using Verdict = std::tuple<bool, bool, SimTime, SimTime>;
+
+Verdict key(const FaultDecision& d) {
+  return {d.drop, d.duplicate, d.extra_delay, d.duplicate_lag};
+}
+
+FaultConfig noisy_config(std::uint64_t seed) {
+  FaultConfig f;
+  f.enabled = true;
+  f.seed = seed;
+  f.data_drop_rate = 0.2;
+  f.control_drop_rate = 0.1;
+  f.duplicate_rate = 0.15;
+  f.delay_rate = 0.25;
+  return f;
+}
+
+TEST(FaultPlan, DisabledByDefault) {
+  FaultConfig f;
+  EXPECT_FALSE(f.enabled);
+  FaultPlan plan(f);
+  EXPECT_FALSE(plan.enabled());
+}
+
+TEST(FaultPlan, SameSeedReplaysBitForBit) {
+  FaultPlan a(noisy_config(42));
+  FaultPlan b(noisy_config(42));
+  std::vector<Verdict> va, vb;
+  for (int i = 0; i < 2000; ++i) {
+    const int src = i % 7;
+    const int dst = (i + 3) % 7;
+    const FaultClass cls = i % 3 == 0 ? FaultClass::kControl
+                                      : FaultClass::kData;
+    const SimTime when = microseconds(i);
+    va.push_back(key(a.decide(src, dst, cls, when)));
+    vb.push_back(key(b.decide(src, dst, cls, when)));
+  }
+  EXPECT_EQ(va, vb);
+  EXPECT_EQ(a.stats().all(), b.stats().all());
+}
+
+TEST(FaultPlan, DifferentSeedsProduceDifferentSchedules) {
+  FaultPlan a(noisy_config(1));
+  FaultPlan b(noisy_config(2));
+  int differing = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (key(a.decide(0, 1, FaultClass::kData, microseconds(i))) !=
+        key(b.decide(0, 1, FaultClass::kData, microseconds(i)))) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultPlan, DropRateIsRoughlyHonoured) {
+  FaultConfig f;
+  f.enabled = true;
+  f.seed = 7;
+  f.data_drop_rate = 0.3;
+  FaultPlan plan(f);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    (void)plan.decide(0, 1, FaultClass::kData, microseconds(i));
+  }
+  const double observed =
+      static_cast<double>(plan.stats().get("fault.dropped_data")) / n;
+  EXPECT_NEAR(observed, 0.3, 0.02);
+}
+
+TEST(FaultPlan, ClassRatesAreIndependent) {
+  FaultConfig f;
+  f.enabled = true;
+  f.data_drop_rate = 1.0;
+  f.control_drop_rate = 0.0;
+  FaultPlan plan(f);
+  EXPECT_TRUE(plan.decide(0, 1, FaultClass::kData, 0).drop);
+  EXPECT_FALSE(plan.decide(0, 1, FaultClass::kControl, 0).drop);
+  EXPECT_EQ(plan.stats().get("fault.dropped_data"), 1);
+  EXPECT_EQ(plan.stats().get("fault.dropped_control"), 0);
+}
+
+TEST(FaultPlan, BlockedPairIsUnreachableBothWays) {
+  FaultConfig f;
+  f.enabled = true;
+  f.block_pair(2, 5);
+  FaultPlan plan(f);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(plan.decide(2, 5, FaultClass::kData, microseconds(i)).drop);
+    EXPECT_TRUE(plan.decide(5, 2, FaultClass::kControl, microseconds(i)).drop);
+    EXPECT_FALSE(plan.decide(2, 3, FaultClass::kData, microseconds(i)).drop);
+  }
+}
+
+TEST(FaultPlan, BrownoutDropsEverythingInWindowOnly) {
+  FaultConfig f;
+  f.enabled = true;
+  f.brownouts.push_back(BrownoutWindow{3, microseconds(10), microseconds(20)});
+  FaultPlan plan(f);
+  // Inside the window, packets touching node 3 in either direction drop.
+  EXPECT_TRUE(plan.decide(3, 0, FaultClass::kData, microseconds(15)).drop);
+  EXPECT_TRUE(plan.decide(0, 3, FaultClass::kControl, microseconds(10)).drop);
+  // End is exclusive; before/after and other nodes are clean.
+  EXPECT_FALSE(plan.decide(3, 0, FaultClass::kData, microseconds(20)).drop);
+  EXPECT_FALSE(plan.decide(3, 0, FaultClass::kData, microseconds(9)).drop);
+  EXPECT_FALSE(plan.decide(1, 2, FaultClass::kData, microseconds(15)).drop);
+  EXPECT_EQ(plan.stats().get("fault.brownout_drops"), 2);
+}
+
+TEST(FaultPlan, BrownoutConsumesNoRandomness) {
+  // Plan A sees brownout drops interleaved with normal packets; plan B sees
+  // only the normal packets. If brownout verdicts made Rng draws, the
+  // shared tail would diverge.
+  FaultConfig base = noisy_config(99);
+  FaultConfig with_brownout = base;
+  with_brownout.brownouts.push_back(
+      BrownoutWindow{9, 0, microseconds(1000000)});
+  FaultPlan a(with_brownout);
+  FaultPlan b(base);
+  for (int i = 0; i < 500; ++i) {
+    (void)a.decide(9, 1, FaultClass::kData, microseconds(i));  // brownout
+    const auto va = a.decide(0, 1, FaultClass::kData, microseconds(i));
+    const auto vb = b.decide(0, 1, FaultClass::kData, microseconds(i));
+    ASSERT_EQ(key(va), key(vb)) << "diverged at packet " << i;
+  }
+}
+
+TEST(FaultPlan, DuplicateAndDelayVerdicts) {
+  FaultConfig f;
+  f.enabled = true;
+  f.duplicate_rate = 1.0;
+  f.delay_rate = 1.0;
+  f.duplicate_lag = microseconds(5);
+  f.delay_jitter_max = microseconds(50);
+  FaultPlan plan(f);
+  for (int i = 0; i < 100; ++i) {
+    const FaultDecision d = plan.decide(0, 1, FaultClass::kData, 0);
+    EXPECT_FALSE(d.drop);
+    EXPECT_TRUE(d.duplicate);
+    EXPECT_EQ(d.duplicate_lag, microseconds(5));
+    EXPECT_GT(d.extra_delay, 0);
+    EXPECT_LE(d.extra_delay, microseconds(50));
+  }
+  EXPECT_EQ(plan.stats().get("fault.duplicated"), 100);
+  EXPECT_EQ(plan.stats().get("fault.delayed"), 100);
+}
+
+}  // namespace
+}  // namespace odmpi::sim

@@ -21,7 +21,7 @@ TEST(Fabric, DeliveryTimeIsNicPlusTxPlusWire) {
   DeviceProfile p = flat_profile();
   Fabric f(e, 2, p);
   sim::SimTime arrived = -1;
-  f.deliver(0, 1, /*bytes=*/100, /*depart=*/0, /*src_nic=*/sim::microseconds(2),
+  f.deliver(0, 1, /*bytes=*/100, sim::FaultClass::kData, /*depart=*/0, /*src_nic=*/sim::microseconds(2),
             /*dst_nic=*/0, {}, [&] { arrived = e.now(); });
   e.run();
   // 2us NIC + 100B*10ns + 5us wire = 8us.
@@ -33,7 +33,7 @@ TEST(Fabric, TxDoneFiresBeforeArrival) {
   DeviceProfile p = flat_profile();
   Fabric f(e, 2, p);
   std::vector<int> order;
-  f.deliver(0, 1, 100, 0, 0, 0, [&] { order.push_back(1); },
+  f.deliver(0, 1, 100, sim::FaultClass::kData, 0, 0, 0, [&] { order.push_back(1); },
             [&] { order.push_back(2); });
   e.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
@@ -46,8 +46,8 @@ TEST(Fabric, EgressSerializesBackToBackSends) {
   std::vector<sim::SimTime> arrivals;
   // Two 1000-byte messages posted at t=0 from node 0: the second waits for
   // the first to finish transmitting (10us each).
-  f.deliver(0, 1, 1000, 0, 0, 0, {}, [&] { arrivals.push_back(e.now()); });
-  f.deliver(0, 2, 1000, 0, 0, 0, {}, [&] { arrivals.push_back(e.now()); });
+  f.deliver(0, 1, 1000, sim::FaultClass::kData, 0, 0, 0, {}, [&] { arrivals.push_back(e.now()); });
+  f.deliver(0, 2, 1000, sim::FaultClass::kData, 0, 0, 0, {}, [&] { arrivals.push_back(e.now()); });
   e.run();
   ASSERT_EQ(arrivals.size(), 2u);
   EXPECT_EQ(arrivals[0], sim::microseconds(10 + 5));
@@ -59,8 +59,8 @@ TEST(Fabric, DistinctSourcesDoNotSerialize) {
   DeviceProfile p = flat_profile();
   Fabric f(e, 3, p);
   std::vector<sim::SimTime> arrivals;
-  f.deliver(0, 2, 1000, 0, 0, 0, {}, [&] { arrivals.push_back(e.now()); });
-  f.deliver(1, 2, 1000, 0, 0, 0, {}, [&] { arrivals.push_back(e.now()); });
+  f.deliver(0, 2, 1000, sim::FaultClass::kData, 0, 0, 0, {}, [&] { arrivals.push_back(e.now()); });
+  f.deliver(1, 2, 1000, sim::FaultClass::kData, 0, 0, 0, {}, [&] { arrivals.push_back(e.now()); });
   e.run();
   ASSERT_EQ(arrivals.size(), 2u);
   EXPECT_EQ(arrivals[0], arrivals[1]);  // parallel links
@@ -72,7 +72,7 @@ TEST(Fabric, SameSourceSameDestinationStaysOrdered) {
   Fabric f(e, 2, p);
   std::vector<int> order;
   for (int i = 0; i < 8; ++i) {
-    f.deliver(0, 1, 64, 0, 0, 0, {}, [&order, i] { order.push_back(i); });
+    f.deliver(0, 1, 64, sim::FaultClass::kData, 0, 0, 0, {}, [&order, i] { order.push_back(i); });
   }
   e.run();
   for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
@@ -82,8 +82,8 @@ TEST(Fabric, CountsTraffic) {
   sim::Engine e;
   DeviceProfile p = flat_profile();
   Fabric f(e, 2, p);
-  f.deliver(0, 1, 100, 0, 0, 0, {}, [] {});
-  f.deliver(1, 0, 200, 0, 0, 0, {}, [] {});
+  f.deliver(0, 1, 100, sim::FaultClass::kData, 0, 0, 0, {}, [] {});
+  f.deliver(1, 0, 200, sim::FaultClass::kData, 0, 0, 0, {}, [] {});
   e.run();
   EXPECT_EQ(f.packets_delivered(), 2u);
   EXPECT_EQ(f.bytes_delivered(), 300u);
@@ -94,7 +94,7 @@ TEST(Fabric, DstNicDelayAddsToArrival) {
   DeviceProfile p = flat_profile();
   Fabric f(e, 2, p);
   sim::SimTime arrived = -1;
-  f.deliver(0, 1, 0, 0, 0, sim::microseconds(3), {},
+  f.deliver(0, 1, 0, sim::FaultClass::kData, 0, 0, sim::microseconds(3), {},
             [&] { arrived = e.now(); });
   e.run();
   EXPECT_EQ(arrived, sim::microseconds(5 + 3));

@@ -15,8 +15,9 @@ namespace odmpi::via::testing {
 class MiniCluster {
  public:
   explicit MiniCluster(int nodes,
-                       DeviceProfile profile = DeviceProfile::clan())
-      : cluster_(engine_, nodes, std::move(profile)) {}
+                       DeviceProfile profile = DeviceProfile::clan(),
+                       sim::FaultConfig fault = {})
+      : cluster_(engine_, nodes, std::move(profile), fault) {}
 
   sim::Engine& engine() { return engine_; }
   Cluster& cluster() { return cluster_; }
