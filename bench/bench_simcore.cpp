@@ -1,9 +1,17 @@
 // Raw simulator performance (google-benchmark, wall-clock): event loop
-// throughput, fiber context switches, and end-to-end simulated messages
-// per second — the numbers that bound how large a virtual cluster the
-// reproduction can handle.
+// throughput, fiber context switches, message matching, progress-pass
+// scaling, and end-to-end simulated messages per second — the numbers
+// that bound how large a virtual cluster the reproduction can handle.
+//
+// CI runs this with --benchmark_format=json and checks the results
+// against the coarse floors committed in BENCH_simcore.json (see the
+// perf-smoke job and scripts/check_bench_floor.py).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <memory>
+
+#include "src/mpi/matching.h"
 #include "src/odmpi.h"
 
 using namespace odmpi;
@@ -25,6 +33,28 @@ void BM_EngineEventThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineEventThroughput)->Arg(1000)->Arg(100000);
 
+// Timer-heavy workloads (reliable-delivery retransmit timers) schedule
+// many events that are almost always cancelled before firing.
+void BM_EngineScheduleCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    const int n = static_cast<int>(state.range(0));
+    std::vector<sim::EventId> ids;
+    ids.reserve(static_cast<std::size_t>(n));
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      ids.push_back(engine.schedule_at(i, [&fired] { ++fired; }));
+    }
+    for (int i = 0; i < n; i += 2) {
+      engine.cancel(ids[static_cast<std::size_t>(i)]);
+    }
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineScheduleCancel)->Arg(100000);
+
 void BM_FiberSwitch(benchmark::State& state) {
   sim::Fiber fiber([] {
     for (;;) sim::Fiber::yield_to_scheduler();
@@ -35,6 +65,132 @@ void BM_FiberSwitch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2);  // two switches per resume
 }
 BENCHMARK(BM_FiberSwitch);
+
+mpi::RequestPtr make_recv(mpi::ContextId ctx, mpi::Rank src, mpi::Tag tag) {
+  auto req = std::make_shared<mpi::RequestState>();
+  req->kind = mpi::ReqKind::kRecv;
+  req->context = ctx;
+  req->src = src;
+  req->tag = tag;
+  return req;
+}
+
+// Exact-match arrival against a posted queue populated by `depth` other
+// sources: the common shape of a many-peer server rank. The linear
+// engine paid O(depth) per match; the bucketed engine is O(1).
+void BM_MatchPostedExact(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  mpi::MatchingEngine eng;
+  for (int s = 0; s < depth; ++s) {
+    eng.add_posted(make_recv(7, s, s));
+  }
+  // Always match the source whose receive sits behind depth-1 others:
+  // the linear scan pays O(depth), a bucketed lookup O(1).
+  const mpi::Rank hot = depth - 1;
+  for (auto _ : state) {
+    mpi::RequestPtr r = eng.match_arrival(7, hot, hot);
+    benchmark::DoNotOptimize(r);
+    eng.add_posted(std::move(r));  // steady state: refill the same recv
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MatchPostedExact)->Arg(4)->Arg(64);
+
+// Probe for one source against an unexpected queue filled by `depth`
+// other sources (the paper's unexpected-message pile-up shape).
+void BM_MatchUnexpectedProbe(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  mpi::MatchingEngine eng;
+  for (int s = 0; s < depth; ++s) {
+    auto msg = std::make_unique<mpi::UnexpectedMsg>();
+    msg->src = s;
+    msg->tag = s;
+    msg->context = 7;
+    msg->total_bytes = 8;
+    msg->arrived_bytes = 8;
+    eng.add_unexpected(std::move(msg));
+  }
+  const mpi::Rank hot = depth - 1;
+  for (auto _ : state) {
+    mpi::UnexpectedMsg* m = eng.peek_unexpected(7, hot, hot);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MatchUnexpectedProbe)->Arg(4)->Arg(64);
+
+// Progress-pass cost with N-1 open but idle channels (full static mesh,
+// nothing in flight). The software analogue of the paper's Figure 1
+// question: per-pass cost must not grow with the number of idle VIs.
+// Manual timing: only rank 0's progress loop is measured; world setup
+// and the static-mesh bootstrap are excluded.
+void BM_ProgressPassIdleChannels(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  constexpr int kPasses = 100000;
+  for (auto _ : state) {
+    mpi::JobOptions opt;
+    opt.device.connection_model = mpi::ConnectionModel::kStaticPeerToPeer;
+    mpi::World world(nranks, opt);
+    double secs = 0;
+    world.run([&](mpi::Comm& c) {
+      if (c.rank() != 0) return;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < kPasses; ++i) c.device().progress();
+      secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+                 .count();
+    });
+    state.SetIterationTime(secs);
+  }
+  state.SetItemsProcessed(state.iterations() * kPasses);
+}
+// Fixed iteration counts: the measured region is tiny next to world
+// setup, so adaptive iteration search would re-build the 64-rank mesh
+// thousands of times chasing its min_time target.
+BENCHMARK(BM_ProgressPassIdleChannels)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Iterations(3)
+    ->UseManualTime();
+
+// Two neighbors exchanging messages while the other N-2 ranks hold open
+// idle connections: simulated-message throughput must stay flat in N.
+void BM_ProgressScalingActivePair(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  constexpr int kRounds = 2000;
+  for (auto _ : state) {
+    mpi::JobOptions opt;
+    opt.device.connection_model = mpi::ConnectionModel::kStaticPeerToPeer;
+    mpi::World world(nranks, opt);
+    double secs = 0;
+    world.run([&](mpi::Comm& c) {
+      std::int32_t v = 0;
+      if (c.rank() == 0) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < kRounds; ++i) {
+          c.send(&v, 1, mpi::kInt32, 1, 0);
+          c.recv(&v, 1, mpi::kInt32, 1, 0);
+        }
+        secs = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+      } else if (c.rank() == 1) {
+        for (int i = 0; i < kRounds; ++i) {
+          c.recv(&v, 1, mpi::kInt32, 0, 0);
+          c.send(&v, 1, mpi::kInt32, 0, 0);
+        }
+      }
+    });
+    state.SetIterationTime(secs);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * kRounds);
+}
+BENCHMARK(BM_ProgressScalingActivePair)
+    ->Arg(2)
+    ->Arg(64)
+    ->Iterations(3)
+    ->UseManualTime();
 
 void BM_SimulatedPingPong(benchmark::State& state) {
   for (auto _ : state) {

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Coarse perf-regression gate for bench_simcore.
+
+Compares a fresh ``bench_simcore --benchmark_format=json`` run against the
+floors recorded in BENCH_simcore.json at the repo root. The floors are set
+to 1/5 of the numbers measured when the record was committed, so only a
+>5x throughput regression fails — CI runners are too noisy for anything
+tighter, and the point of the gate is catching algorithmic regressions
+(an accidental O(n) scan back on the hot path), not 20% wobble.
+
+Usage:
+    check_bench_floor.py <fresh_benchmark.json> [<BENCH_simcore.json>]
+
+Exits non-zero listing every benchmark below its floor.
+"""
+
+import json
+import pathlib
+import sys
+
+
+def items_per_second(results: dict) -> dict:
+    out = {}
+    for bench in results.get("benchmarks", []):
+        ips = bench.get("items_per_second")
+        if ips is not None:
+            out[bench["name"]] = ips
+    return out
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    fresh_path = pathlib.Path(argv[1])
+    record_path = (
+        pathlib.Path(argv[2])
+        if len(argv) > 2
+        else pathlib.Path(__file__).resolve().parent.parent
+        / "BENCH_simcore.json"
+    )
+
+    fresh = items_per_second(json.loads(fresh_path.read_text()))
+    floors = json.loads(record_path.read_text())["floors"]
+
+    failures = []
+    missing = []
+    for name, floor in sorted(floors.items()):
+        got = fresh.get(name)
+        if got is None:
+            missing.append(name)
+            continue
+        status = "ok" if got >= floor else "FAIL"
+        print(f"{status:4s} {name:60s} {got:14.1f} >= floor {floor:14.1f}")
+        if got < floor:
+            failures.append((name, got, floor))
+
+    for name in missing:
+        print(f"MISS {name}: not present in fresh run", file=sys.stderr)
+
+    if failures or missing:
+        print(
+            f"\n{len(failures)} benchmark(s) below floor, "
+            f"{len(missing)} missing — >5x regression or renamed bench; "
+            "if intentional, re-record BENCH_simcore.json.",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nall {len(floors)} benchmarks at or above their floors")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,27 @@
+# Runs a figure benchmark and byte-compares its stdout against a golden
+# transcript. Invoked by ctest (see bench/CMakeLists.txt):
+#
+#   cmake -DBIN=<benchmark binary> -DGOLDEN=<golden file> \
+#         -DACTUAL=<scratch output path> -P diff_golden.cmake
+#
+# The simulator is deterministic by contract — same inputs, same virtual
+# timeline, same bytes out — so any diff here means an engine or protocol
+# change altered event ordering, not just performance.
+unset(ENV{ODMPI_QUICK})
+execute_process(
+  COMMAND ${BIN}
+  OUTPUT_VARIABLE out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BIN} exited with status ${rc}")
+endif()
+file(WRITE ${ACTUAL} "${out}")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${GOLDEN} ${ACTUAL}
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+    "output of ${BIN} differs from golden ${GOLDEN}; actual saved to "
+    "${ACTUAL}. A diff means event ordering changed — if intentional, "
+    "re-capture the golden and say why in the commit message.")
+endif()

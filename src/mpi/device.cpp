@@ -80,6 +80,7 @@ int Device::distinct_peers_contacted() const {
 }
 
 void Device::prepare_channel(Channel& ch) {
+  touch_channel(ch);  // connection traffic is about to start
   if (ch.vi != nullptr) return;
   assert(ch.peer != rank_);
   ch.vi = nic_.create_vi(send_cq_, recv_cq_);
@@ -270,6 +271,7 @@ void Device::start_protocol(const RequestPtr& req) {
 }
 
 void Device::enqueue_eager(Channel& ch, const RequestPtr& req) {
+  touch_channel(ch);
   const std::size_t seg = config_.eager_payload();
   std::size_t off = 0;
   bool first = true;
@@ -293,6 +295,7 @@ void Device::enqueue_eager(Channel& ch, const RequestPtr& req) {
 }
 
 void Device::enqueue_control(Channel& ch, PacketHeader header) {
+  touch_channel(ch);
   OutPacket pkt;
   pkt.header = header;
   ch.outq.push_back(std::move(pkt));
@@ -714,6 +717,7 @@ void Device::handle_cts(const PacketHeader& h) {
   pkt.header = fin;
   pkt.req = req;
   pkt.last_segment = true;
+  touch_channel(ch);  // the RDMA write above also rides this channel's VI
   ch.outq.push_back(std::move(pkt));
   drain_outq(ch);
 }
@@ -735,6 +739,7 @@ void Device::maybe_return_credits(Channel& ch) {
   ch.credit_msg_queued = true;
   OutPacket pkt;
   pkt.header = h;
+  touch_channel(ch);
   ch.outq.push_back(std::move(pkt));
   drain_outq(ch);
 }
@@ -858,7 +863,9 @@ void Device::wait_until(const std::function<bool()>& pred) {
     if (blocked > 0 && !polling && has_kernel_wait &&
         blocked > spin_window) {
       proc->advance(nic_.profile().blocking_wait_wakeup);
-      stats_.add("mpi.kernel_wakeups");
+      static const sim::Stats::Counter kKernelWakeups =
+          sim::Stats::counter("mpi.kernel_wakeups");
+      stats_.add(kKernelWakeups);
     }
   }
 }
@@ -885,13 +892,17 @@ bool Device::iprobe(Rank src_world, Tag tag, ContextId ctx,
 
 void Device::finalize_quiesce() {
   // Quiesce: every queued packet out, every rendezvous finished, every
-  // send descriptor completed.
+  // send descriptor completed. Only channels on the active list can hold
+  // such work (see touch_channel); quiet ones are retired as we sweep, so
+  // each poll costs O(active) instead of O(N).
   wait_until([&] {
     if (!rdma_in_flight_.empty()) return false;
     if (!rndv_senders_.empty()) return false;
-    for (const auto& ch : channels_) {
-      if (!ch->outq.empty()) return false;
-      if (ch->vi != nullptr && ch->vi->sends_in_flight() > 0) return false;
+    while (!active_channels_.empty()) {
+      Channel& ch = *active_channels_.back();
+      if (!channel_quiet(ch)) return false;
+      ch.on_active_list = false;
+      active_channels_.pop_back();
     }
     return true;
   });

@@ -104,6 +104,10 @@ struct Channel {
   std::size_t in_offset = 0;
   std::size_t in_total = 0;
 
+  // True while the channel sits on the device's active list (queued or
+  // in-flight work, or connection progress). Maintained by the device.
+  bool on_active_list = false;
+
   [[nodiscard]] bool connected() const { return state == State::kConnected; }
 };
 
@@ -229,6 +233,24 @@ class Device {
   void maybe_return_credits(Channel& ch);
   void take_credits(Channel& ch, PacketHeader& header);
 
+  /// Puts `ch` on the active list (idempotent). Called wherever a channel
+  /// might acquire queued packets, in-flight VI sends, or connection
+  /// traffic; quiescent channels are lazily retired during sweeps, so
+  /// scans over in-flight work touch O(active) channels, not all N-1.
+  void touch_channel(Channel& ch) {
+    if (!ch.on_active_list) {
+      ch.on_active_list = true;
+      active_channels_.push_back(&ch);
+    }
+  }
+
+  /// True when the channel holds no queued or in-flight work that the
+  /// finalize quiesce phase must wait for.
+  static bool channel_quiet(const Channel& ch) {
+    return ch.outq.empty() && ch.state != Channel::State::kConnecting &&
+           (ch.vi == nullptr || ch.vi->sends_in_flight() == 0);
+  }
+
   // Buffers / registration.
   EagerBuf* acquire_send_buf();
   void release_send_buf(EagerBuf* buf);
@@ -245,6 +267,7 @@ class Device {
   via::CompletionQueue* recv_cq_ = nullptr;
 
   std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<Channel*> active_channels_;  // see touch_channel()
   std::unordered_map<via::Vi*, Channel*> vi_to_channel_;
   MatchingEngine matching_;
 

@@ -5,71 +5,141 @@
 
 namespace odmpi::mpi {
 
-RequestPtr MatchingEngine::match_arrival(ContextId ctx, Rank src, Tag tag) {
-  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
-    RequestPtr& req = *it;
-    if (matches(req->context, req->src, req->tag, ctx, src, tag)) {
-      RequestPtr found = std::move(req);
-      posted_.erase(it);
-      return found;
-    }
-  }
-  return nullptr;
+void MatchingEngine::add_posted(RequestPtr recv) {
+  const std::uint64_t key = key_of(recv->context, recv->src);
+  posted_[key].push_back(PostedEntry{next_seq_++, std::move(recv)});
+  ++posted_count_;
 }
 
-UnexpectedMsg* MatchingEngine::match_posted(const RequestPtr& recv) {
-  for (auto& msg : unexpected_) {
-    if (msg->claimed != nullptr) continue;
-    if (matches(recv->context, recv->src, recv->tag, msg->context, msg->src,
-                msg->tag)) {
-      return msg.get();
+RequestPtr MatchingEngine::match_arrival(ContextId ctx, Rank src, Tag tag) {
+  // Candidates come from at most two buckets: receives naming this source
+  // and wildcard-source receives in the same context. The older of the
+  // two first-matches (by global sequence) is what a linear scan of one
+  // combined queue would have found.
+  PostedBucket* buckets[2] = {nullptr, nullptr};
+  if (auto it = posted_.find(key_of(ctx, src)); it != posted_.end()) {
+    buckets[0] = &it->second;
+  }
+  if (auto it = posted_.find(key_of(ctx, kAnySource)); it != posted_.end()) {
+    buckets[1] = &it->second;
+  }
+
+  PostedBucket* best_bucket = nullptr;
+  PostedBucket::iterator best;
+  for (PostedBucket* bucket : buckets) {
+    if (bucket == nullptr) continue;
+    for (auto it = bucket->begin(); it != bucket->end(); ++it) {
+      const RequestPtr& req = it->req;
+      if (req->tag != kAnyTag && req->tag != tag) continue;
+      if (best_bucket == nullptr || it->seq < best->seq) {
+        best_bucket = bucket;
+        best = it;
+      }
+      break;  // bucket is in post order: the first tag match is oldest
     }
   }
-  return nullptr;
+  if (best_bucket == nullptr) return nullptr;
+  RequestPtr found = std::move(best->req);
+  best_bucket->erase(best);
+  --posted_count_;
+  if (best_bucket->empty()) {
+    posted_.erase(key_of(found->context, found->src));
+  }
+  return found;
 }
 
 UnexpectedMsg* MatchingEngine::peek_unexpected(ContextId ctx, Rank src,
                                                Tag tag) {
-  for (auto& msg : unexpected_) {
-    if (msg->claimed != nullptr) continue;
-    if (matches(ctx, src, tag, msg->context, msg->src, msg->tag)) {
-      return msg.get();
+  if (src != kAnySource) {
+    auto it = unexpected_.find(key_of(ctx, src));
+    if (it == unexpected_.end()) return nullptr;
+    for (const auto& msg : it->second) {
+      if (msg->claimed != nullptr) continue;
+      if (tag == kAnyTag || tag == msg->tag) return msg.get();
+    }
+    return nullptr;
+  }
+  // Wildcard source: merge the per-bucket first matches by sequence.
+  // Contexts share the map, so skip foreign-context buckets; bucket
+  // counts stay small (one per communicating peer per context).
+  UnexpectedMsg* best = nullptr;
+  for (auto& [key, bucket] : unexpected_) {
+    if (ctx_of_key(key) != ctx) continue;
+    for (const auto& msg : bucket) {
+      if (msg->claimed != nullptr) continue;
+      if (tag != kAnyTag && tag != msg->tag) continue;
+      if (best == nullptr || msg->match_seq < best->match_seq) {
+        best = msg.get();
+      }
+      break;  // first unclaimed tag match is this bucket's oldest
     }
   }
-  return nullptr;
+  return best;
+}
+
+UnexpectedMsg* MatchingEngine::match_posted(const RequestPtr& recv) {
+  return peek_unexpected(recv->context, recv->src, recv->tag);
 }
 
 UnexpectedMsg* MatchingEngine::add_unexpected(
     std::unique_ptr<UnexpectedMsg> msg) {
-  unexpected_.push_back(std::move(msg));
-  return unexpected_.back().get();
+  msg->match_seq = next_seq_++;
+  auto& bucket = unexpected_[key_of(msg->context, msg->src)];
+  bucket.push_back(std::move(msg));
+  ++unexpected_count_;
+  return bucket.back().get();
 }
 
 void MatchingEngine::remove_unexpected(UnexpectedMsg* msg) {
-  auto it = std::find_if(unexpected_.begin(), unexpected_.end(),
+  auto bucket_it = unexpected_.find(key_of(msg->context, msg->src));
+  assert(bucket_it != unexpected_.end());
+  auto& bucket = bucket_it->second;
+  auto it = std::find_if(bucket.begin(), bucket.end(),
                          [msg](const auto& m) { return m.get() == msg; });
-  assert(it != unexpected_.end());
-  unexpected_.erase(it);
+  assert(it != bucket.end());
+  bucket.erase(it);
+  --unexpected_count_;
+  if (bucket.empty()) unexpected_.erase(bucket_it);
 }
 
 bool MatchingEngine::cancel_posted(const RequestPtr& recv) {
-  auto it = std::find(posted_.begin(), posted_.end(), recv);
-  if (it == posted_.end()) return false;
-  posted_.erase(it);
+  auto bucket_it = posted_.find(key_of(recv->context, recv->src));
+  if (bucket_it == posted_.end()) return false;
+  auto& bucket = bucket_it->second;
+  auto it =
+      std::find_if(bucket.begin(), bucket.end(),
+                   [&recv](const PostedEntry& e) { return e.req == recv; });
+  if (it == bucket.end()) return false;
+  bucket.erase(it);
+  --posted_count_;
+  if (bucket.empty()) posted_.erase(bucket_it);
   return true;
 }
 
 std::vector<RequestPtr> MatchingEngine::take_posted_from(Rank src) {
-  std::vector<RequestPtr> taken;
+  // Collect across every context bucket naming `src`, then restore post
+  // order by sequence (callers fail these receives in a deterministic
+  // order).
+  std::vector<PostedEntry> taken;
   for (auto it = posted_.begin(); it != posted_.end();) {
-    if ((*it)->src == src) {
-      taken.push_back(std::move(*it));
-      it = posted_.erase(it);
-    } else {
+    if (rank_of_key(it->first) != src) {
       ++it;
+      continue;
     }
+    for (PostedEntry& e : it->second) {
+      taken.push_back(std::move(e));
+      --posted_count_;
+    }
+    it = posted_.erase(it);
   }
-  return taken;
+  std::sort(taken.begin(), taken.end(),
+            [](const PostedEntry& a, const PostedEntry& b) {
+              return a.seq < b.seq;
+            });
+  std::vector<RequestPtr> out;
+  out.reserve(taken.size());
+  for (PostedEntry& e : taken) out.push_back(std::move(e.req));
+  return out;
 }
 
 }  // namespace odmpi::mpi

@@ -2,16 +2,22 @@
 // queue, with (context, source, tag) matching including MPI_ANY_SOURCE /
 // MPI_ANY_TAG wildcards.
 //
-// Non-overtaking (MPI 1.2 section 3.5) falls out of scanning both queues
-// strictly in arrival/post order. An unexpected entry may be *claimed* by a
-// receive before all of its eager segments have arrived; the remaining
-// segments then land directly in the user buffer.
+// Queues are bucketed by (context, source) with a global monotonic
+// sequence number stamped at insertion (see DESIGN.md section 9). An
+// exact-source lookup touches one bucket (two for arrivals, which must
+// also consult the MPI_ANY_SOURCE bucket); candidates from different
+// buckets are ordered by sequence, which is exactly the insertion order a
+// linear scan of one global queue would observe — so non-overtaking
+// (MPI 1.2 section 3.5) is preserved by construction while the common
+// exact match drops from O(queue) to O(1) amortized. An unexpected entry
+// may be *claimed* by a receive before all of its eager segments have
+// arrived; the remaining segments then land directly in the user buffer.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <optional>
+#include <unordered_map>
 
 #include "src/mpi/request.h"
 #include "src/mpi/types.h"
@@ -31,6 +37,7 @@ struct UnexpectedMsg {
   std::vector<std::byte> payload;      // accumulated eager data
   RequestPtr claimed;                  // receive bound to this entry
   RequestState* self_send = nullptr;   // pending self-ssend to complete
+  std::uint64_t match_seq = 0;         // arrival order (set by the engine)
 
   [[nodiscard]] bool complete() const {
     return is_rendezvous || arrived_bytes >= total_bytes;
@@ -57,10 +64,11 @@ class MatchingEngine {
   /// the device disposes of it with remove_unexpected().
   UnexpectedMsg* match_posted(const RequestPtr& recv);
 
-  /// Probe: oldest unclaimed unexpected entry matching (ctx, src, tag).
+  /// Probe: oldest unclaimed unexpected entry matching (ctx, src, tag);
+  /// `src`/`tag` may be wildcards.
   UnexpectedMsg* peek_unexpected(ContextId ctx, Rank src, Tag tag);
 
-  void add_posted(RequestPtr recv) { posted_.push_back(std::move(recv)); }
+  void add_posted(RequestPtr recv);
   UnexpectedMsg* add_unexpected(std::unique_ptr<UnexpectedMsg> msg);
   void remove_unexpected(UnexpectedMsg* msg);
 
@@ -68,18 +76,46 @@ class MatchingEngine {
   bool cancel_posted(const RequestPtr& recv);
 
   /// Removes and returns every posted receive naming `src` as its source
-  /// (wildcard receives stay queued — another peer may still match them).
-  /// Used to fail receives cleanly when a peer becomes unreachable.
+  /// (wildcard receives stay queued — another peer may still match them),
+  /// in post order. Used to fail receives cleanly when a peer becomes
+  /// unreachable.
   std::vector<RequestPtr> take_posted_from(Rank src);
 
-  [[nodiscard]] std::size_t posted_count() const { return posted_.size(); }
+  [[nodiscard]] std::size_t posted_count() const { return posted_count_; }
   [[nodiscard]] std::size_t unexpected_count() const {
-    return unexpected_.size();
+    return unexpected_count_;
   }
 
  private:
-  std::deque<RequestPtr> posted_;
-  std::deque<std::unique_ptr<UnexpectedMsg>> unexpected_;
+  // Bucket key: (context, source). Wildcard-source receives live in the
+  // (context, kAnySource) bucket; unexpected messages always carry a
+  // concrete source.
+  static std::uint64_t key_of(ContextId ctx, Rank src) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ctx))
+            << 32) |
+           static_cast<std::uint32_t>(src);
+  }
+  static ContextId ctx_of_key(std::uint64_t key) {
+    return static_cast<ContextId>(key >> 32);
+  }
+  static Rank rank_of_key(std::uint64_t key) {
+    return static_cast<Rank>(static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(key & 0xFFFFFFFFu)));
+  }
+
+  struct PostedEntry {
+    std::uint64_t seq;
+    RequestPtr req;
+  };
+
+  using PostedBucket = std::deque<PostedEntry>;
+  using UnexpectedBucket = std::deque<std::unique_ptr<UnexpectedMsg>>;
+
+  std::unordered_map<std::uint64_t, PostedBucket> posted_;
+  std::unordered_map<std::uint64_t, UnexpectedBucket> unexpected_;
+  std::uint64_t next_seq_ = 1;  // shared by both queues: one arrival order
+  std::size_t posted_count_ = 0;
+  std::size_t unexpected_count_ = 0;
 };
 
 }  // namespace odmpi::mpi

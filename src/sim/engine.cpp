@@ -6,45 +6,173 @@
 
 namespace odmpi::sim {
 
-EventId Engine::schedule_at(SimTime t, std::function<void()> action) {
+namespace {
+
+constexpr std::uint32_t slot_of(EventId id) {
+  return static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+}
+constexpr std::uint32_t gen_of(EventId id) {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+constexpr EventId make_id(std::uint32_t gen, std::uint32_t slot) {
+  return (static_cast<EventId>(gen) << 32) | slot;
+}
+
+}  // namespace
+
+std::uint32_t Engine::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t idx = free_slots_.back();
+    free_slots_.pop_back();
+    return idx;
+  }
+  const auto idx = static_cast<std::uint32_t>(meta_.size());
+  if (idx > kSlotMask) {
+    throw std::length_error("Engine: too many pending events");
+  }
+  if ((idx & (kChunkSlots - 1)) == 0) {
+    chunks_.push_back(std::make_unique<Chunk>());
+  }
+  meta_.push_back(SlotMeta{1, kNotQueued});
+  return idx;
+}
+
+void Engine::release_slot(std::uint32_t idx) {
+  fn_of(idx).reset();
+  if (++meta_[idx].gen == 0) meta_[idx].gen = 1;  // keep ids != EventId 0
+  free_slots_.push_back(idx);
+}
+
+EventId Engine::schedule_at(SimTime t, SmallFn action) {
   if (t < now_) {
     throw std::logic_error("Engine::schedule_at: time in the past");
   }
-  EventId id = next_id_++;
-  queue_.push(Event{t, id, std::move(action)});
-  return id;
+  if (next_seq_ > kMaxSeq) renumber_seqs();
+  const std::uint32_t idx = acquire_slot();
+  fn_of(idx) = std::move(action);
+  push_entry(t, idx);
+  return make_id(meta_[idx].gen, idx);
 }
 
-EventId Engine::schedule_after(SimTime delay, std::function<void()> action) {
+EventId Engine::schedule_after(SimTime delay, SmallFn action) {
   assert(delay >= 0);
   return schedule_at(now_ + delay, std::move(action));
 }
 
+void Engine::push_entry(SimTime t, std::uint32_t slot) {
+  const std::uint64_t key = (next_seq_++ << kSlotBits) | slot;
+  const auto pos = static_cast<std::uint32_t>(heap_.size());
+  // A sorted run stays sorted for nondecreasing times (keys are already
+  // monotonic); an out-of-order insert switches to sift-based
+  // maintenance over the same array, which is a valid heap as-is.
+  if (sorted_ && pos != base_ && t < heap_.back().time) sorted_ = false;
+  heap_.push_back(HeapEntry{t, key});
+  meta_[slot].pos = pos;
+  if (!sorted_) sift_up(pos);
+}
+
 bool Engine::cancel(EventId id) {
-  // Lazy cancellation: remember the id and drop the event when popped.
-  // The cancelled list stays tiny in practice (timeouts that fired early),
-  // so a linear scan at pop time is fine and keeps the queue simple.
-  if (id == 0 || id >= next_id_) return false;
-  cancelled_.push_back(id);
+  const std::uint32_t idx = slot_of(id);
+  if (idx >= meta_.size()) return false;
+  if (meta_[idx].gen != gen_of(id) || meta_[idx].pos == kNotQueued) {
+    return false;
+  }
+  sorted_ = false;  // a sorted window is a valid heap; remove by sifting
+  heap_remove(meta_[idx].pos);
+  release_slot(idx);
   return true;
 }
 
-bool Engine::pop_and_fire() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), ev.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    assert(ev.time >= now_);
-    now_ = ev.time;
-    ++events_processed_;
-    ev.action();
-    return true;
+void Engine::sift_up(std::uint32_t pos) {
+  const HeapEntry e = heap_[pos];
+  while (pos > base_) {
+    const std::uint32_t parent = base_ + (pos - base_ - 1) / 4;
+    if (!entry_before(e, heap_[parent])) break;
+    heap_set(pos, heap_[parent]);
+    pos = parent;
   }
-  return false;
+  heap_set(pos, e);
+}
+
+void Engine::sift_down(std::uint32_t pos) {
+  const HeapEntry e = heap_[pos];
+  const auto n = static_cast<std::uint32_t>(heap_.size());
+  for (;;) {
+    const std::uint32_t first = base_ + 4 * (pos - base_) + 1;
+    if (first >= n) break;
+    std::uint32_t best = first;
+    const std::uint32_t last = std::min(first + 4, n);
+    for (std::uint32_t c = first + 1; c < last; ++c) {
+      if (entry_before(heap_[c], heap_[best])) best = c;
+    }
+    if (!entry_before(heap_[best], e)) break;
+    heap_set(pos, heap_[best]);
+    pos = best;
+  }
+  heap_set(pos, e);
+}
+
+void Engine::heap_remove(std::uint32_t pos) {
+  const auto last = static_cast<std::uint32_t>(heap_.size() - 1);
+  meta_[heap_[pos].key & kSlotMask].pos = kNotQueued;
+  if (pos != last) {
+    heap_set(pos, heap_[last]);
+    heap_.pop_back();
+    const auto moved = static_cast<std::uint32_t>(heap_[pos].key & kSlotMask);
+    sift_up(pos);
+    if (meta_[moved].pos == pos) sift_down(pos);
+  } else {
+    heap_.pop_back();
+  }
+  if (base_ == heap_.size()) {
+    heap_.clear();
+    base_ = 0;
+    sorted_ = true;
+  }
+}
+
+// Sequence numbers have 40 bits; on the (theoretical) wraparound, compact
+// the live window back to seq 1.. in the current strict order.
+void Engine::renumber_seqs() {
+  std::vector<HeapEntry> live(heap_.begin() + base_, heap_.end());
+  std::sort(live.begin(), live.end(), entry_before);
+  heap_.clear();
+  base_ = 0;
+  sorted_ = true;
+  next_seq_ = 1;
+  for (const HeapEntry& e : live) {
+    const auto slot = static_cast<std::uint32_t>(e.key & kSlotMask);
+    heap_.push_back(HeapEntry{e.time, (next_seq_++ << kSlotBits) | slot});
+    meta_[slot].pos = static_cast<std::uint32_t>(heap_.size() - 1);
+  }
+}
+
+bool Engine::pop_and_fire() {
+  if (heap_.empty()) return false;
+  const HeapEntry top = heap_[base_];
+  const auto s = static_cast<std::uint32_t>(top.key & kSlotMask);
+  assert(top.time >= now_);
+  now_ = top.time;
+  ++events_processed_;
+  if (sorted_) {
+    meta_[s].pos = kNotQueued;
+    if (++base_ == heap_.size()) {
+      heap_.clear();
+      base_ = 0;
+    }
+  } else {
+    heap_remove(base_);
+  }
+  // Retire the id before invoking: the action may cancel its own id
+  // (which must now report false) or schedule new events (which must not
+  // reuse this slot while its callable is still running — it stays off
+  // the free list until after the call).
+  if (++meta_[s].gen == 0) meta_[s].gen = 1;
+  SmallFn& fn = fn_of(s);
+  fn();  // invoked in place; chunk addresses are stable across growth
+  fn.reset();
+  free_slots_.push_back(s);
+  return true;
 }
 
 SimTime Engine::run() {
@@ -54,10 +182,10 @@ SimTime Engine::run() {
 }
 
 SimTime Engine::run_until(SimTime deadline) {
-  while (!queue_.empty() && queue_.top().time <= deadline) {
+  while (!heap_.empty() && heap_[base_].time <= deadline) {
     if (!pop_and_fire()) break;
   }
-  if (now_ < deadline && queue_.empty()) {
+  if (now_ < deadline && heap_.empty()) {
     // Quiescent before the deadline: advance the clock to the deadline so
     // callers can rely on now() == deadline after a bounded run.
     now_ = deadline;

@@ -4,18 +4,38 @@
 // strictly nondecreasing (time, sequence) order. Determinism: ties in time
 // are broken by insertion sequence, and nothing in the simulation consults
 // wall-clock time or unseeded randomness.
+//
+// Hot-path layout (see DESIGN.md section 9): callables live in a chunked
+// slab of reusable slots (SmallFn in-place, no allocation for small
+// captures, stable addresses so events fire without being moved); a 4-ary
+// indexed min-heap of 16-byte (time, seq|slot) entries orders them. A
+// dense slot -> position index gives O(log n) true cancellation —
+// no tombstones, and nothing to scan at pop time. EventIds carry a
+// per-slot generation, so a stale id (fired, cancelled, or slot since
+// reused) is detected exactly.
+//
+// Sorted-run fast path: while events are scheduled in nondecreasing time
+// order (the common discrete-event pattern), the entry array is simply
+// kept sorted — which is itself a valid heap — and pop is an O(1) head
+// advance. The first out-of-order insert or cancellation switches to
+// ordinary sift-based heap maintenance rooted at the current head, with
+// no data movement; sorted mode resumes when the queue drains. The pop
+// order is the strict (time, seq) order in both modes.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
+#include "src/sim/pool_alloc.h"
+#include "src/sim/small_fn.h"
 #include "src/sim/time.h"
 
 namespace odmpi::sim {
 
-/// Opaque id that can be used to cancel a scheduled event.
+/// Opaque id that can be used to cancel a scheduled event. Encodes the
+/// event's slab slot and a generation validating that the slot still
+/// holds this event.
 using EventId = std::uint64_t;
 
 class Engine {
@@ -29,13 +49,14 @@ class Engine {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedules `action` at absolute virtual time `t` (>= now()).
-  EventId schedule_at(SimTime t, std::function<void()> action);
+  EventId schedule_at(SimTime t, SmallFn action);
 
   /// Schedules `action` `delay` after the current global time.
-  EventId schedule_after(SimTime delay, std::function<void()> action);
+  EventId schedule_after(SimTime delay, SmallFn action);
 
   /// Cancels a previously scheduled event. Returns false if the event has
-  /// already fired or was already cancelled.
+  /// already fired or was already cancelled (stale ids are rejected by
+  /// the generation check, never silently accepted).
   bool cancel(EventId id);
 
   /// Runs until the event queue is empty. Returns the final virtual time.
@@ -50,28 +71,86 @@ class Engine {
     return events_processed_;
   }
 
-  /// Number of events currently queued (including cancelled tombstones).
-  [[nodiscard]] std::size_t events_pending() const { return queue_.size(); }
+  /// Number of live events currently queued. Cancelled events leave the
+  /// queue immediately and are not counted.
+  [[nodiscard]] std::size_t events_pending() const {
+    return heap_.size() - base_;
+  }
 
  private:
-  struct Event {
-    SimTime time;
-    EventId id;  // also the tie-break sequence number
-    std::function<void()> action;
+  // Entry keys pack (sequence << 24) | slot so the sift loops compare one
+  // word: sequences are unique, so the slot bits never decide an order.
+  static constexpr std::uint32_t kSlotBits = 24;
+  static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
+  static constexpr std::uint64_t kMaxSeq =
+      (std::uint64_t{1} << (64 - kSlotBits)) - 1;
+  static constexpr std::uint32_t kNotQueued = 0xFFFFFFFFu;
 
-    // std::priority_queue is a max-heap; invert for earliest-first.
-    bool operator<(const Event& other) const {
-      if (time != other.time) return time > other.time;
-      return id > other.id;
+  // Slab chunk: stable addresses, so growth never moves a callable and
+  // events are invoked in place. 1024 slots * 64 B = 64 KiB per chunk,
+  // sized to come from the thread-local block pool (warm pages, no
+  // per-engine fault churn).
+  static constexpr std::uint32_t kChunkShift = 10;
+  static constexpr std::uint32_t kChunkSlots = 1u << kChunkShift;
+  struct Chunk {
+    SmallFn fns[kChunkSlots];
+
+    static void* operator new(std::size_t bytes) {
+      return detail::pool_alloc(bytes);
+    }
+    static void operator delete(void* p, std::size_t bytes) noexcept {
+      detail::pool_free(p, bytes);
     }
   };
 
+  struct HeapEntry {
+    SimTime time;
+    std::uint64_t key;  // (seq << kSlotBits) | slot
+  };
+  static_assert(sizeof(HeapEntry) == 16);
+
+  /// Strict event order: (time, insertion sequence).
+  static bool entry_before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.key < b.key;
+  }
+
+  SmallFn& fn_of(std::uint32_t slot) {
+    return chunks_[slot >> kChunkShift]->fns[slot & (kChunkSlots - 1)];
+  }
+
+  // Per-slot bookkeeping, one cache-line-friendly record: the generation
+  // validating EventIds and the slot's current heap position.
+  struct SlotMeta {
+    std::uint32_t gen;
+    std::uint32_t pos;
+  };
+
+  void heap_set(std::uint32_t pos, const HeapEntry& e) {
+    heap_[pos] = e;
+    meta_[e.key & kSlotMask].pos = pos;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t idx);
+  void push_entry(SimTime t, std::uint32_t slot);
+  void sift_up(std::uint32_t pos);
+  void sift_down(std::uint32_t pos);
+  void heap_remove(std::uint32_t pos);
+  void renumber_seqs();
   bool pop_and_fire();
 
-  std::priority_queue<Event> queue_;
-  std::vector<EventId> cancelled_;  // sorted insertion not needed; see .cpp
+  template <typename T>
+  using PoolVec = std::vector<T, detail::PoolAllocator<T>>;
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;  // slab; slots are reused
+  PoolVec<SlotMeta> meta_;  // per-slot generation + heap position
+  PoolVec<std::uint32_t> free_slots_;
+  PoolVec<HeapEntry> heap_;  // entries [base_, size): sorted run or 4-ary heap
+  std::uint32_t base_ = 0;   // head of the live window / heap root position
+  bool sorted_ = true;       // true while the live window is fully sorted
   SimTime now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t events_processed_ = 0;
 };
 

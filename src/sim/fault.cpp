@@ -4,6 +4,17 @@
 
 namespace odmpi::sim {
 
+namespace {
+
+// Interned once: decide() runs per simulated packet.
+const Stats::Counter kBrownoutDrops = Stats::counter("fault.brownout_drops");
+const Stats::Counter kDroppedData = Stats::counter("fault.dropped_data");
+const Stats::Counter kDroppedControl = Stats::counter("fault.dropped_control");
+const Stats::Counter kDuplicated = Stats::counter("fault.duplicated");
+const Stats::Counter kDelayed = Stats::counter("fault.delayed");
+
+}  // namespace
+
 FaultDecision FaultPlan::decide(int src, int dst, FaultClass cls,
                                 SimTime when) {
   FaultDecision d;
@@ -13,7 +24,7 @@ FaultDecision FaultPlan::decide(int src, int dst, FaultClass cls,
   for (const BrownoutWindow& w : config_.brownouts) {
     if ((w.node == src || w.node == dst) && when >= w.start && when < w.end) {
       d.drop = true;
-      stats_.add("fault.brownout_drops");
+      stats_.add(kBrownoutDrops);
       return d;
     }
   }
@@ -30,20 +41,19 @@ FaultDecision FaultPlan::decide(int src, int dst, FaultClass cls,
   // identical across replays regardless of which faults actually fire.
   if (drop_rate > 0.0 && rng_.next_bool(drop_rate)) {
     d.drop = true;
-    stats_.add(cls == FaultClass::kData ? "fault.dropped_data"
-                                        : "fault.dropped_control");
+    stats_.add(cls == FaultClass::kData ? kDroppedData : kDroppedControl);
     return d;
   }
   if (config_.duplicate_rate > 0.0 && rng_.next_bool(config_.duplicate_rate)) {
     d.duplicate = true;
     d.duplicate_lag = config_.duplicate_lag;
-    stats_.add("fault.duplicated");
+    stats_.add(kDuplicated);
   }
   if (config_.delay_rate > 0.0 && rng_.next_bool(config_.delay_rate)) {
     d.extra_delay = 1 + static_cast<SimTime>(
                             rng_.next_below(static_cast<std::uint64_t>(
                                 std::max<SimTime>(1, config_.delay_jitter_max))));
-    stats_.add("fault.delayed");
+    stats_.add(kDelayed);
   }
   return d;
 }

@@ -1,0 +1,67 @@
+#include "src/sim/pool_alloc.h"
+
+#include <array>
+#include <bit>
+#include <new>
+#include <vector>
+
+namespace odmpi::sim::detail {
+
+namespace {
+
+// Blocks >= 64 KiB are cached; smaller requests go straight to malloc,
+// which recycles them from its own bins without page churn.
+constexpr std::size_t kMinPooledBytes = std::size_t{1} << 16;
+constexpr std::size_t kMinPooledShift = 16;
+constexpr std::size_t kBuckets = 14;      // 64 KiB .. 512 MiB
+constexpr std::size_t kMaxPerBucket = 4;  // cache depth per size class
+
+struct BlockPool {
+  std::array<std::vector<void*>, kBuckets> buckets;
+};
+
+// Leaked intentionally: engines living in thread-local or static storage
+// may deallocate during thread teardown, after a destructed pool would
+// already be gone.
+BlockPool& pool() {
+  static thread_local BlockPool* p = new BlockPool;
+  return *p;
+}
+
+// Bucket index for a request, rounding the size up to a power of two.
+std::size_t bucket_of(std::size_t bytes) {
+  const auto width = static_cast<std::size_t>(std::bit_width(bytes - 1));
+  return (width > kMinPooledShift) ? width - kMinPooledShift : 0;
+}
+
+}  // namespace
+
+void* pool_alloc(std::size_t bytes) {
+  if (bytes < kMinPooledBytes) return ::operator new(bytes);
+  const std::size_t b = bucket_of(bytes);
+  if (b >= kBuckets) return ::operator new(bytes);
+  auto& bucket = pool().buckets[b];
+  if (!bucket.empty()) {
+    void* p = bucket.back();
+    bucket.pop_back();
+    return p;
+  }
+  return ::operator new(kMinPooledBytes << b);
+}
+
+void pool_free(void* p, std::size_t bytes) noexcept {
+  if (p == nullptr) return;
+  if (bytes >= kMinPooledBytes) {
+    const std::size_t b = bucket_of(bytes);
+    if (b < kBuckets) {
+      auto& bucket = pool().buckets[b];
+      if (bucket.size() < kMaxPerBucket) {
+        bucket.push_back(p);
+        return;
+      }
+    }
+  }
+  ::operator delete(p);
+}
+
+}  // namespace odmpi::sim::detail

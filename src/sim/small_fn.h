@@ -1,0 +1,134 @@
+// A move-only callable with inline storage: the event engine's
+// replacement for std::function<void()> on the schedule/fire fast path.
+//
+// Callables up to kInlineBytes that are suitably aligned and
+// nothrow-move-constructible live inside the object — scheduling one
+// performs no heap allocation. Larger or throwing-move callables fall
+// back to a single heap allocation (rare: the simulator's events capture
+// a `this` pointer and a couple of ids).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace odmpi::sim {
+
+class SmallFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  /// True when a callable of type F is stored in the inline buffer (no
+  /// allocation). Exposed so tests can static_assert that the simulator's
+  /// own event lambdas stay on the allocation-free path.
+  template <typename F>
+  static constexpr bool stores_inline =
+      sizeof(std::decay_t<F>) <= kInlineBytes &&
+      alignof(std::decay_t<F>) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<std::decay_t<F>>;
+
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                    // std::function at every schedule_at call site.
+    using Fn = std::decay_t<F>;
+    if constexpr (stores_inline<F>) {
+      ::new (storage()) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      *static_cast<Fn**>(storage()) = new Fn(std::forward<F>(f));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) ops_->relocate(other.storage(), storage());
+    other.ops_ = nullptr;
+  }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) ops_->relocate(other.storage(), storage());
+      other.ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage());
+      ops_ = nullptr;
+    }
+  }
+
+  void operator()() { ops_->invoke(storage()); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// True when the held callable lives in the inline buffer.
+  [[nodiscard]] bool is_inline() const {
+    return ops_ != nullptr && ops_->inline_stored;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* src, void* dst);  // move into dst, destroy src
+    void (*destroy)(void*);
+    bool inline_stored;
+  };
+
+  template <typename Fn>
+  static void invoke_inline(void* p) {
+    (*std::launder(static_cast<Fn*>(p)))();
+  }
+  template <typename Fn>
+  static void relocate_inline(void* src, void* dst) {
+    Fn* f = std::launder(static_cast<Fn*>(src));
+    ::new (dst) Fn(std::move(*f));
+    f->~Fn();
+  }
+  template <typename Fn>
+  static void destroy_inline(void* p) {
+    std::launder(static_cast<Fn*>(p))->~Fn();
+  }
+
+  template <typename Fn>
+  static void invoke_heap(void* p) {
+    (**static_cast<Fn**>(p))();
+  }
+  template <typename Fn>
+  static void relocate_heap(void* src, void* dst) {
+    *static_cast<Fn**>(dst) = *static_cast<Fn**>(src);
+  }
+  template <typename Fn>
+  static void destroy_heap(void* p) {
+    delete *static_cast<Fn**>(p);
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps{&invoke_inline<Fn>, &relocate_inline<Fn>,
+                                  &destroy_inline<Fn>, true};
+  template <typename Fn>
+  static constexpr Ops kHeapOps{&invoke_heap<Fn>, &relocate_heap<Fn>,
+                                &destroy_heap<Fn>, false};
+
+  void* storage() { return static_cast<void*>(storage_); }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace odmpi::sim

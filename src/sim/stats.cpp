@@ -1,4 +1,57 @@
 #include "src/sim/stats.h"
 
-// Header-only today; the translation unit anchors the target and leaves
-// room for heavier reporting (percentile timers) without touching callers.
+#include <mutex>
+#include <unordered_map>
+
+namespace odmpi::sim {
+
+namespace {
+
+// Process-wide intern table. The mutex is cold-path only: hot code holds
+// Counter handles and never comes here. Leaked intentionally so handles
+// stay valid during static/thread-local teardown.
+struct InternTable {
+  std::mutex mu;
+  std::unordered_map<std::string, std::uint32_t> ids;
+  std::vector<std::string> names;
+};
+
+InternTable& table() {
+  static InternTable* t = new InternTable;
+  return *t;
+}
+
+}  // namespace
+
+Stats::Counter Stats::counter(std::string_view name) {
+  InternTable& t = table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  auto [it, inserted] = t.ids.try_emplace(
+      std::string(name), static_cast<std::uint32_t>(t.names.size()));
+  if (inserted) t.names.push_back(it->first);
+  return Counter(it->second);
+}
+
+std::map<std::string, std::int64_t> Stats::all() const {
+  std::map<std::string, std::int64_t> out;
+  InternTable& t = table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  for (std::uint32_t id = 0; id < cells_.size(); ++id) {
+    if (cells_[id].touched) out.emplace(t.names[id], cells_[id].value);
+  }
+  return out;
+}
+
+void Stats::merge(const Stats& other) {
+  if (other.cells_.size() > cells_.size()) {
+    cells_.resize(other.cells_.size());
+  }
+  for (std::uint32_t id = 0; id < other.cells_.size(); ++id) {
+    if (other.cells_[id].touched) {
+      cells_[id].value += other.cells_[id].value;
+      cells_[id].touched = true;
+    }
+  }
+}
+
+}  // namespace odmpi::sim

@@ -4,11 +4,20 @@
 // the MPI layer counts messages, protocol events and parked sends; the
 // benchmark harnesses read these to regenerate the paper's resource tables
 // (Table 2) alongside the timing figures.
+//
+// Counter names are interned once into a process-wide table of dense ids
+// (see DESIGN.md section 9): hot paths hold a Stats::Counter handle and
+// bump a slot in a flat array — no string hashing, no map walk, no
+// allocation. The string-keyed methods remain for cold paths and resolve
+// through the intern table; `all()` materializes the familiar
+// name-ordered map for reporting, so Table 2 output is unchanged.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "src/sim/time.h"
 
@@ -16,41 +25,83 @@ namespace odmpi::sim {
 
 class Stats {
  public:
-  /// Adds `delta` to the named counter (created at 0 on first touch).
-  void add(const std::string& name, std::int64_t delta = 1) {
-    counters_[name] += delta;
+  /// Handle for an interned counter name. Cheap to copy; valid for the
+  /// whole process and usable with any Stats instance.
+  class Counter {
+   public:
+    Counter() = default;
+
+   private:
+    friend class Stats;
+    explicit Counter(std::uint32_t id) : id_(id) {}
+    std::uint32_t id_ = 0;
+  };
+
+  /// Interns `name`, returning its dense handle. First use of a name
+  /// registers it; later uses (from any Stats instance) find the same id.
+  static Counter counter(std::string_view name);
+
+  /// Adds `delta` to the counter (created at 0 on first touch).
+  void add(Counter c, std::int64_t delta = 1) {
+    Cell& cell = cell_for(c.id_);
+    cell.value += delta;
+    cell.touched = true;
   }
 
   /// Sets a gauge to an absolute value.
-  void set(const std::string& name, std::int64_t value) {
-    counters_[name] = value;
+  void set(Counter c, std::int64_t value) {
+    Cell& cell = cell_for(c.id_);
+    cell.value = value;
+    cell.touched = true;
   }
 
   /// Tracks a running maximum (e.g. peak pinned bytes).
+  void set_max(Counter c, std::int64_t value) {
+    Cell& cell = cell_for(c.id_);  // first touch registers the 0 entry
+    if (value > cell.value) cell.value = value;
+    cell.touched = true;
+  }
+
+  [[nodiscard]] std::int64_t get(Counter c) const {
+    return c.id_ < cells_.size() ? cells_[c.id_].value : 0;
+  }
+
+  // String-keyed convenience forms (cold paths, tests, reporting).
+  void add(const std::string& name, std::int64_t delta = 1) {
+    add(counter(name), delta);
+  }
+  void set(const std::string& name, std::int64_t value) {
+    set(counter(name), value);
+  }
   void set_max(const std::string& name, std::int64_t value) {
-    auto& cur = counters_[name];
-    if (value > cur) cur = value;
+    set_max(counter(name), value);
   }
-
   [[nodiscard]] std::int64_t get(const std::string& name) const {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+    return get(counter(name));
   }
 
-  [[nodiscard]] const std::map<std::string, std::int64_t>& all() const {
-    return counters_;
-  }
+  /// Materializes the touched counters as a name-ordered map — the same
+  /// shape the reporting code has always consumed.
+  [[nodiscard]] std::map<std::string, std::int64_t> all() const;
 
-  void clear() { counters_.clear(); }
+  void clear() { cells_.clear(); }
 
   /// Merges another registry into this one (summing counters); used to
   /// aggregate per-rank stats into cluster totals.
-  void merge(const Stats& other) {
-    for (const auto& [k, v] : other.counters_) counters_[k] += v;
-  }
+  void merge(const Stats& other);
 
  private:
-  std::map<std::string, std::int64_t> counters_;
+  struct Cell {
+    std::int64_t value = 0;
+    bool touched = false;  // distinguishes "never used" from a zero value
+  };
+
+  Cell& cell_for(std::uint32_t id) {
+    if (id >= cells_.size()) cells_.resize(id + 1);
+    return cells_[id];
+  }
+
+  std::vector<Cell> cells_;  // indexed by interned counter id
 };
 
 }  // namespace odmpi::sim

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <utility>
 #include <vector>
 
 namespace odmpi::sim {
@@ -62,6 +66,143 @@ TEST(Engine, CancelUnknownIdReturnsFalse) {
   Engine e;
   EXPECT_FALSE(e.cancel(0));
   EXPECT_FALSE(e.cancel(12345));
+}
+
+// Regression: cancelling an event that already fired used to report
+// success (any id below the running counter was accepted) and leak a
+// tombstone scanned by every subsequent pop.
+TEST(Engine, CancelAfterFireReturnsFalse) {
+  Engine e;
+  bool fired = false;
+  EventId id = e.schedule_at(microseconds(10), [&] { fired = true; });
+  e.run();
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(Engine, CancelTwiceReturnsFalse) {
+  Engine e;
+  EventId id = e.schedule_at(microseconds(10), [] {});
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));
+  e.run();
+}
+
+TEST(Engine, CancelOwnIdWhileFiringReturnsFalse) {
+  Engine e;
+  EventId id = 0;
+  bool self_cancel = true;
+  id = e.schedule_at(microseconds(10), [&] { self_cancel = e.cancel(id); });
+  e.run();
+  EXPECT_FALSE(self_cancel);
+}
+
+// A stale id must stay invalid even after its slab slot is reused by a
+// newer event (the generation check).
+TEST(Engine, StaleIdAfterSlotReuseReturnsFalse) {
+  Engine e;
+  bool fired = false;
+  EventId old_id = e.schedule_at(microseconds(10), [] {});
+  EXPECT_TRUE(e.cancel(old_id));
+  e.schedule_at(microseconds(20), [&] { fired = true; });  // reuses the slot
+  EXPECT_FALSE(e.cancel(old_id));
+  e.run();
+  EXPECT_TRUE(fired);
+}
+
+// Regression: events_pending() used to count cancelled tombstones.
+TEST(Engine, EventsPendingCountsLiveEventsOnly) {
+  Engine e;
+  EXPECT_EQ(e.events_pending(), 0u);
+  EventId a = e.schedule_at(microseconds(10), [] {});
+  e.schedule_at(microseconds(20), [] {});
+  e.schedule_at(microseconds(30), [] {});
+  EXPECT_EQ(e.events_pending(), 3u);
+  EXPECT_TRUE(e.cancel(a));
+  EXPECT_EQ(e.events_pending(), 2u);
+  e.run_until(microseconds(20));
+  EXPECT_EQ(e.events_pending(), 1u);
+  e.run();
+  EXPECT_EQ(e.events_pending(), 0u);
+}
+
+// Randomized differential test: seeded interleavings of schedules,
+// cancellations and partial runs must fire in exactly the strict
+// (time, insertion-sequence) order a sorted reference list predicts.
+// Mixes monotone bursts (the engine's sorted fast path) with
+// out-of-order times and mid-stream cancels (the sift-based heap path).
+TEST(Engine, RandomizedOrderingMatchesSortedReference) {
+  for (std::uint32_t seed = 1; seed <= 5; ++seed) {
+    std::mt19937 rng(seed);
+    Engine e;
+    std::vector<int> fired;
+    struct ModelEvent {
+      SimTime time;
+      int label;
+      bool cancelled = false;
+    };
+    std::vector<ModelEvent> model;           // one entry per schedule call
+    std::vector<std::pair<int, EventId>> ids;  // (label, id), uncancelled
+    std::size_t cancelled_live = 0;
+
+    const auto schedule_one = [&](SimTime t) {
+      const int label = static_cast<int>(model.size());
+      ids.emplace_back(
+          label, e.schedule_at(t, [&fired, label] { fired.push_back(label); }));
+      model.push_back(ModelEvent{t, label});
+    };
+
+    SimTime horizon = 0;
+    for (int round = 0; round < 60; ++round) {
+      const int action = static_cast<int>(rng() % 10);
+      if (action < 4) {
+        // Monotone burst (exercises the sorted fast path).
+        SimTime t = std::max<SimTime>(horizon, e.now());
+        for (int i = 0; i < 5; ++i) {
+          t += static_cast<SimTime>(rng() % 50);
+          schedule_one(t);
+        }
+        horizon = std::max(horizon, t);
+      } else if (action < 7) {
+        // Out-of-order inserts (exercises the sift-based heap path).
+        for (int i = 0; i < 5; ++i) {
+          schedule_one(e.now() + static_cast<SimTime>(rng() % 1000));
+        }
+      } else if (action < 9 && !ids.empty()) {
+        // Cancel a random id; successful cancels are mirrored in the
+        // model, refused cancels (already fired) leave it untouched.
+        const std::size_t pick = rng() % ids.size();
+        const auto [label, id] = ids[pick];
+        if (e.cancel(id)) {
+          model[static_cast<std::size_t>(label)].cancelled = true;
+          ++cancelled_live;
+        }
+        ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(pick));
+      } else {
+        // Drain a bounded slice of virtual time.
+        e.run_until(e.now() + static_cast<SimTime>(rng() % 500));
+      }
+      ASSERT_EQ(e.events_pending(),
+                model.size() - fired.size() - cancelled_live)
+          << "seed " << seed << " round " << round;
+    }
+    e.run();
+
+    // Expected order: every never-cancelled event, sorted by time with
+    // ties broken by schedule order.
+    std::vector<ModelEvent> expected_events;
+    for (const ModelEvent& ev : model) {
+      if (!ev.cancelled) expected_events.push_back(ev);
+    }
+    std::stable_sort(expected_events.begin(), expected_events.end(),
+                     [](const ModelEvent& a, const ModelEvent& b) {
+                       return a.time < b.time;
+                     });
+    std::vector<int> expected;
+    expected.reserve(expected_events.size());
+    for (const ModelEvent& ev : expected_events) expected.push_back(ev.label);
+    EXPECT_EQ(fired, expected) << "seed " << seed;
+  }
 }
 
 TEST(Engine, RunUntilStopsAtDeadline) {

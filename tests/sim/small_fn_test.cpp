@@ -1,0 +1,81 @@
+#include "src/sim/small_fn.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+namespace odmpi::sim {
+namespace {
+
+// The engine's schedule/fire fast path must never allocate for the
+// callables the simulator actually schedules: a `this` pointer plus a
+// couple of ids. Compile-time proof for representative shapes.
+struct FakeDevice {
+  int x = 0;
+};
+static_assert(SmallFn::stores_inline<decltype([] {})>);
+int g_sink = 0;
+static_assert(SmallFn::stores_inline<decltype([] { ++g_sink; })>);
+static_assert([] {
+  FakeDevice* dev = nullptr;
+  std::uint64_t cookie = 0;
+  std::int64_t when = 0;
+  auto fn = [dev, cookie, when] {
+    (void)dev;
+    (void)cookie;
+    (void)when;
+  };
+  return SmallFn::stores_inline<decltype(fn)>;
+}());
+// Captures beyond the inline buffer take the (rare) heap fallback.
+static_assert(!SmallFn::stores_inline<decltype([big = std::array<char, 64>{}] {
+  (void)big;
+})>);
+
+TEST(SmallFn, SmallCaptureIsStoredInline) {
+  int hits = 0;
+  SmallFn fn([&hits] { ++hits; });
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFn, LargeCaptureFallsBackToHeapAndStillRuns) {
+  std::array<std::uint64_t, 16> payload{};
+  payload[7] = 42;
+  std::uint64_t got = 0;
+  SmallFn fn([payload, &got] { got = payload[7]; });
+  EXPECT_FALSE(fn.is_inline());
+  fn();
+  EXPECT_EQ(got, 42u);
+}
+
+TEST(SmallFn, MoveTransfersOwnership) {
+  auto counter = std::make_shared<int>(0);
+  SmallFn a([counter] { ++*counter; });
+  EXPECT_EQ(counter.use_count(), 2);
+  SmallFn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(*counter, 1);
+  b.reset();
+  EXPECT_EQ(counter.use_count(), 1);  // destroyed exactly once
+}
+
+TEST(SmallFn, MoveAssignReleasesPreviousCallable) {
+  auto first = std::make_shared<int>(0);
+  auto second = std::make_shared<int>(0);
+  SmallFn fn([first] { ++*first; });
+  fn = SmallFn([second] { ++*second; });
+  EXPECT_EQ(first.use_count(), 1);  // old callable destroyed on assign
+  fn();
+  EXPECT_EQ(*second, 1);
+  EXPECT_EQ(*first, 0);
+}
+
+}  // namespace
+}  // namespace odmpi::sim
