@@ -123,7 +123,8 @@ double anysource_first_recv_us(bool wildcard, int nprocs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::heading("Ablation 1 — eager->rendezvous threshold sweep (cLAN)");
   std::printf("%10s", "bytes");
   const std::size_t thresholds[] = {2048, 5000, 16384, 65536};

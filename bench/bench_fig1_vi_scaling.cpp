@@ -70,7 +70,8 @@ double one_way_us(const via::DeviceProfile& profile, int extra_vis,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::heading(
       "Figure 1 — latency in Berkeley VIA as a function of active VIs");
   const std::vector<int> vi_counts =

@@ -40,7 +40,8 @@ double pingpong_us(const bench::Config& cfg, bool bvia, std::size_t bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::heading("Figure 2 — MVICH one-way latency vs message size");
   const std::vector<std::size_t> sizes =
       bench::quick_mode()

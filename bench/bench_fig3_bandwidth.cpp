@@ -44,7 +44,8 @@ double bandwidth_mbs(const bench::Config& cfg, bool bvia, std::size_t bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::heading("Figure 3 — MVICH bandwidth vs message size");
   const std::vector<std::size_t> sizes =
       bench::quick_mode()

@@ -37,7 +37,8 @@ double barrier_us(const bench::Config& cfg, bool bvia, int nprocs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::heading("Figure 4 — MPI_Barrier latency vs number of processes");
   const std::vector<int> sizes = bench::quick_mode()
                                      ? std::vector<int>{4, 8, 16}

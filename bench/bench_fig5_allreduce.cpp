@@ -42,7 +42,8 @@ double allreduce_us(const bench::Config& cfg, bool bvia, int nprocs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::heading(
       "Figure 5 — MPI_Allreduce (MPI_SUM) latency vs number of processes");
   const std::vector<int> sizes = bench::quick_mode()

@@ -43,7 +43,8 @@ double nas_seconds(const bench::Config& cfg, bool bvia, const Cell& cell) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::heading(
       "Figure 6 / Table 3 — NAS kernels on cLAN VIA "
       "(static-spinwait vs on-demand vs static-polling)");

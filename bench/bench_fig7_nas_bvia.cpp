@@ -39,7 +39,8 @@ double nas_seconds(const bench::Config& cfg, const Cell& cell) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::heading(
       "Figure 7 / Table 3 — NAS kernels on Berkeley VIA (Myrinet)");
   std::vector<Cell> cells;

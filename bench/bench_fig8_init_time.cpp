@@ -14,6 +14,7 @@ double init_ms(mpi::ConnectionModel model, bool bvia, int nprocs) {
   mpi::JobOptions opt;
   opt.profile = bvia ? via::DeviceProfile::bvia() : via::DeviceProfile::clan();
   opt.device.connection_model = model;
+  opt.trace = bench::next_trace_config();
   mpi::World world(nprocs, opt);
   if (!world.run([](mpi::Comm&) {})) return -1;
   return world.mean_init_us() / 1000.0;
@@ -21,7 +22,8 @@ double init_ms(mpi::ConnectionModel model, bool bvia, int nprocs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::heading("Figure 8 — MPI_Init time vs number of processes");
   const std::vector<int> sizes =
       bench::quick_mode() ? std::vector<int>{4, 16}

@@ -8,7 +8,8 @@
 
 using namespace odmpi;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::heading(
       "Table 1 — average number of distinct destinations per process");
   std::printf("%-10s %9s %12s %12s\n", "App", "Processes", "measured",

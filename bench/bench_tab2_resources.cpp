@@ -35,6 +35,7 @@ double vis_under(const Workload& w, int nprocs,
                  mpi::ConnectionModel model) {
   mpi::JobOptions opt;
   opt.device.connection_model = model;
+  opt.trace = bench::next_trace_config();
   mpi::World world(nprocs, opt);
   if (!world.run(w.body)) {
     std::fprintf(stderr, "%s.%d deadlocked!\n", w.name.c_str(), nprocs);
@@ -45,7 +46,8 @@ double vis_under(const Workload& w, int nprocs,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::heading(
       "Table 2 — average VIs per process and resource utilization");
 

@@ -45,11 +45,47 @@ inline std::vector<Config> bvia_configs() {
   return {on_demand(), static_polling()};
 }
 
+/// Path given by --trace=<file>; empty when the bench runs untraced.
+inline std::string& trace_path() {
+  static std::string path;
+  return path;
+}
+
+/// Parses bench command-line flags. Supported: --trace=<file> (record all
+/// trace categories on every measured job; see next_trace_config()).
+inline void parse_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_path() = arg.substr(8);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (supported: --trace=<file>)\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
+}
+
+/// Trace settings for the next measured job. When --trace was given, the
+/// first job writes <file> and later jobs in the same bench write
+/// <file>.2, <file>.3, ... so runs never clobber one another.
+inline sim::TraceConfig next_trace_config() {
+  static int runs = 0;
+  sim::TraceConfig tc;
+  if (trace_path().empty()) return tc;
+  tc.enabled = true;
+  ++runs;
+  tc.path = runs == 1 ? trace_path()
+                      : trace_path() + "." + std::to_string(runs);
+  return tc;
+}
+
 inline mpi::JobOptions job_options(const Config& cfg, bool bvia) {
   mpi::JobOptions opt;
   opt.profile = bvia ? via::DeviceProfile::bvia() : via::DeviceProfile::clan();
   opt.device.connection_model = cfg.model;
   opt.device.wait_policy = cfg.policy;
+  opt.trace = next_trace_config();
   return opt;
 }
 

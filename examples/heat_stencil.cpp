@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
   opt.device.connection_model = mpi::ConnectionModel::kOnDemand;
 
   mpi::World world(nprocs, opt);
-  const bool ok = world.run([steps](mpi::Comm& comm) {
+  const mpi::RunResult result = world.run_job([steps](mpi::Comm& comm) {
     Tile t;
     // Near-square process grid.
     t.px = static_cast<int>(std::lround(std::sqrt(comm.size())));
@@ -125,8 +125,8 @@ int main(int argc, char** argv) {
                   steps, global_heat);
     }
   });
-  if (!ok) {
-    std::fprintf(stderr, "simulation deadlocked\n");
+  if (!result.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n", result.summary().c_str());
     return 1;
   }
 

@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   opt.device.connection_model = mpi::ConnectionModel::kOnDemand;
 
   mpi::World world(nprocs, opt);
-  const bool ok = world.run([tasks](mpi::Comm& comm) {
+  const mpi::RunResult result = world.run_job([tasks](mpi::Comm& comm) {
     const int me = comm.rank();
     if (me == 0) {
       // Master: wildcard-receive requests/results, send out chunk ids.
@@ -87,8 +87,8 @@ int main(int argc, char** argv) {
       }
     }
   });
-  if (!ok) {
-    std::fprintf(stderr, "simulation deadlocked\n");
+  if (!result.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n", result.summary().c_str());
     return 1;
   }
   std::printf("\nmaster created %d VIs (wildcard receives connect to the "

@@ -35,12 +35,12 @@ int main(int argc, char** argv) {
   const nas::Class cls = nas::class_from_char(cls_char);
   nas::KernelResult result;
   mpi::World world(nprocs, opt);
-  const bool ok = world.run([&](mpi::Comm& comm) {
+  const mpi::RunResult run = world.run_job([&](mpi::Comm& comm) {
     nas::KernelResult r = nas::kernel_by_name(kernel)(comm, cls);
     if (comm.rank() == 0) result = r;
   });
-  if (!ok) {
-    std::fprintf(stderr, "simulation deadlocked\n");
+  if (!run.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n", run.summary().c_str());
     return 1;
   }
 

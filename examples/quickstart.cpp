@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
                                     : mpi::ConnectionModel::kOnDemand;
 
   mpi::World world(nprocs, opt);
-  const bool ok = world.run([](mpi::Comm& comm) {
+  const mpi::RunResult result = world.run_job([](mpi::Comm& comm) {
     const int me = comm.rank();
     const int n = comm.size();
 
@@ -47,8 +47,8 @@ int main(int argc, char** argv) {
                   n * (n - 1) / 2);
     }
   });
-  if (!ok) {
-    std::fprintf(stderr, "simulation deadlocked\n");
+  if (!result.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n", result.summary().c_str());
     return 1;
   }
 

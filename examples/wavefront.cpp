@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   opt.device.connection_model = mpi::ConnectionModel::kOnDemand;
 
   mpi::World world(nprocs, opt);
-  const bool ok = world.run([planes](mpi::Comm& comm) {
+  const mpi::RunResult result = world.run_job([planes](mpi::Comm& comm) {
     int px = static_cast<int>(std::lround(std::sqrt(comm.size())));
     while (comm.size() % px != 0) --px;
     const int py = comm.size() / px;
@@ -93,8 +93,8 @@ int main(int argc, char** argv) {
                   planes, total);
     }
   });
-  if (!ok) {
-    std::fprintf(stderr, "simulation deadlocked\n");
+  if (!result.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n", result.summary().c_str());
     return 1;
   }
   double vis = 0;

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Sanity-checks a Chrome trace-event JSON file written by sim::Tracer.
+
+Validates the invariants every odmpi trace must satisfy, so CI can gate
+on a bench run with --trace=<file>:
+
+  * the file is valid JSON with a non-empty ``traceEvents`` array;
+  * every event carries the required keys for its phase ('X' spans also
+    need ``dur``, counters carry ``args.value``);
+  * phases are limited to X/i/C/M and categories to the four tracer
+    lanes (fabric, conn, msg, coll);
+  * timestamps and durations are non-negative and no span is left open;
+  * every pid seen in a data event also has a process_name metadata
+    record (the lane naming the viewer relies on).
+
+Usage:
+    check_trace.py <trace.json> [--require-cat fabric,conn,msg]
+
+Exits non-zero listing every violation.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+KNOWN_PHASES = {"X", "i", "C", "M"}
+KNOWN_CATS = {"fabric", "conn", "msg", "coll"}
+
+
+def check(path: pathlib.Path, require_cats: set) -> list:
+    errors = []
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable or invalid JSON: {exc}"]
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return [f"{path}: no traceEvents"]
+
+    seen_cats = set()
+    data_pids = set()
+    named_pids = set()
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph not in KNOWN_PHASES:
+            errors.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        if ph == "M":
+            if e.get("name") == "process_name":
+                named_pids.add(e.get("pid"))
+            continue
+        for key in ("name", "cat", "ts", "pid", "tid"):
+            if key not in e:
+                errors.append(f"event {i}: missing {key!r}")
+        cat = e.get("cat")
+        if cat not in KNOWN_CATS:
+            errors.append(f"event {i}: unknown category {cat!r}")
+        else:
+            seen_cats.add(cat)
+        data_pids.add(e.get("pid"))
+        if float(e.get("ts", 0)) < 0:
+            errors.append(f"event {i}: negative timestamp")
+        if ph == "X":
+            if "dur" not in e:
+                errors.append(f"event {i}: span without dur")
+            elif float(e["dur"]) < 0:
+                errors.append(f"event {i}: negative duration")
+            if e.get("args", {}).get("open"):
+                errors.append(
+                    f"event {i}: span {e.get('name')!r} never closed"
+                )
+        if ph == "C" and "value" not in e.get("args", {}):
+            errors.append(f"event {i}: counter without args.value")
+
+    for pid in sorted(data_pids - named_pids):
+        errors.append(f"pid {pid}: no process_name metadata record")
+    for cat in sorted(require_cats - seen_cats):
+        errors.append(f"required category {cat!r} absent from trace")
+    return errors
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", type=pathlib.Path)
+    parser.add_argument(
+        "--require-cat",
+        default="",
+        help="comma-separated categories that must appear in the trace",
+    )
+    args = parser.parse_args(argv[1:])
+    require = {c for c in args.require_cat.split(",") if c}
+    unknown = require - KNOWN_CATS
+    if unknown:
+        print(f"unknown --require-cat value(s): {sorted(unknown)}",
+              file=sys.stderr)
+        return 2
+
+    errors = check(args.trace, require)
+    if errors:
+        for err in errors:
+            print(f"TRACE CHECK FAILED: {err}", file=sys.stderr)
+        return 1
+    doc = json.loads(args.trace.read_text())
+    n = sum(1 for e in doc["traceEvents"] if e.get("ph") != "M")
+    print(f"{args.trace}: OK ({n} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -18,11 +18,15 @@ void Comm::allreduce(const void* sendbuf, void* recvbuf, int count,
 
   // Fold extras into the power-of-two base set.
   if (me >= base) {
+    PhaseSpan span(*this, kTrAllreduceFold, me - base, 0,
+                   static_cast<std::int64_t>(bytes));
     coll_send(recvbuf, bytes, me - base, kTagAllreduce);
     coll_recv(recvbuf, bytes, me - base, kTagAllreduce);
     return;
   }
   if (me + base < n) {
+    PhaseSpan span(*this, kTrAllreduceFold, me + base, 0,
+                   static_cast<std::int64_t>(bytes));
     coll_recv(incoming.data(), bytes, me + base, kTagAllreduce);
     apply_op(op, dt, recvbuf, incoming.data(),
              static_cast<std::size_t>(count));
@@ -30,8 +34,11 @@ void Comm::allreduce(const void* sendbuf, void* recvbuf, int count,
 
   // Recursive doubling: each round exchanges the running reduction with
   // partner me XOR 2^k (log2 N distinct partners — Table 2's Allreduce).
-  for (int mask = 1; mask < base; mask <<= 1) {
+  int round = 0;
+  for (int mask = 1; mask < base; mask <<= 1, ++round) {
     const int partner = me ^ mask;
+    PhaseSpan span(*this, kTrAllreduceRound, partner, round,
+                   static_cast<std::int64_t>(bytes));
     coll_sendrecv(recvbuf, bytes, partner, incoming.data(), bytes, partner,
                   kTagAllreduce);
     apply_op(op, dt, recvbuf, incoming.data(),
@@ -39,6 +46,8 @@ void Comm::allreduce(const void* sendbuf, void* recvbuf, int count,
   }
 
   if (me + base < n) {
+    PhaseSpan span(*this, kTrAllreduceFold, me + base, 0,
+                   static_cast<std::int64_t>(bytes));
     coll_send(recvbuf, bytes, me + base, kTagAllreduce);
   }
 }

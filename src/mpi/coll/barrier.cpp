@@ -13,20 +13,25 @@ void Comm::barrier() const {
   // this is the "extra steps for nodes not in the binomial tree" that
   // causes the paper's fluctuation on non-power-of-two sizes (Fig 4).
   if (me >= base) {
+    PhaseSpan span(*this, kTrBarrierFold, me - base);
     coll_send(nullptr, 0, me - base, kTagBarrier);
     coll_recv(nullptr, 0, me - base, kTagBarrier);
     return;
   }
   if (me + base < n) {
+    PhaseSpan span(*this, kTrBarrierFold, me + base);
     coll_recv(nullptr, 0, me + base, kTagBarrier);
   }
   // Recursive doubling among the power-of-two base set: partner = me XOR
   // 2^k, so every rank meets exactly log2(base) distinct peers (Table 2).
-  for (int mask = 1; mask < base; mask <<= 1) {
+  int round = 0;
+  for (int mask = 1; mask < base; mask <<= 1, ++round) {
     const int partner = me ^ mask;
+    PhaseSpan span(*this, kTrBarrierRound, partner, round);
     coll_sendrecv(nullptr, 0, partner, nullptr, 0, partner, kTagBarrier);
   }
   if (me + base < n) {
+    PhaseSpan span(*this, kTrBarrierFold, me + base);
     coll_send(nullptr, 0, me + base, kTagBarrier);
   }
 }

@@ -15,6 +15,8 @@ void Comm::bcast(void* buf, int count, Datatype dt, int root) const {
   while (mask < n) {
     if (vr & mask) {
       const int parent = ((vr - mask) + root) % n;
+      PhaseSpan span(*this, kTrBcastStep, parent, mask,
+                     static_cast<std::int64_t>(bytes));
       coll_recv(buf, bytes, parent, kTagBcast);
       break;
     }
@@ -24,6 +26,8 @@ void Comm::bcast(void* buf, int count, Datatype dt, int root) const {
   while (mask > 0) {
     if (vr + mask < n) {
       const int child = (vr + mask + root) % n;
+      PhaseSpan span(*this, kTrBcastStep, child, mask,
+                     static_cast<std::int64_t>(bytes));
       coll_send(buf, bytes, child, kTagBcast);
     }
     mask >>= 1;

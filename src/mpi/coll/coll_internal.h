@@ -25,6 +25,44 @@ inline constexpr Tag kTagAlltoall = 8;
 inline constexpr Tag kTagReduceScatter = 9;
 inline constexpr Tag kTagScan = 10;
 
+// Interned names for collective phase spans (TraceCat::kColl).
+inline const sim::Stats::Counter kTrBarrierFold =
+    sim::Stats::counter("coll.barrier.fold");
+inline const sim::Stats::Counter kTrBarrierRound =
+    sim::Stats::counter("coll.barrier.round");
+inline const sim::Stats::Counter kTrAllreduceFold =
+    sim::Stats::counter("coll.allreduce.fold");
+inline const sim::Stats::Counter kTrAllreduceRound =
+    sim::Stats::counter("coll.allreduce.round");
+inline const sim::Stats::Counter kTrBcastStep =
+    sim::Stats::counter("coll.bcast.step");
+
+/// RAII span over one algorithm round of a collective. Under tracing,
+/// chrome://tracing then shows *which* round of a recursive-doubling
+/// exchange absorbed a first-touch connection handshake — the timeline
+/// the paper's Figures 4-7 argue about. Free when the job is not tracing.
+class PhaseSpan {
+ public:
+  PhaseSpan(const Comm& comm, sim::Stats::Counter name, int peer,
+            std::int64_t round = 0, std::int64_t bytes = 0)
+      : tracer_(comm.device().tracer()) {
+    if (tracer_ != nullptr) {
+      id_ = tracer_->begin_span(sim::TraceCat::kColl, name,
+                                comm.device().rank(), peer, round, bytes);
+    }
+  }
+  ~PhaseSpan() {
+    if (id_ != 0) tracer_->end_span(id_);
+  }
+
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+ private:
+  sim::Tracer* tracer_;
+  sim::TraceSpanId id_ = 0;
+};
+
 [[nodiscard]] inline bool is_pow2(int n) { return (n & (n - 1)) == 0; }
 
 /// Largest power of two <= n.

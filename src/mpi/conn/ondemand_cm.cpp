@@ -8,6 +8,16 @@
 namespace odmpi::mpi {
 
 namespace {
+
+const sim::Stats::Counter kOndemandConnects =
+    sim::Stats::counter("mpi.ondemand_connects");
+const sim::Stats::Counter kConnectReattempts =
+    sim::Stats::counter("mpi.connect_reattempts");
+const sim::Stats::Counter kConnectFailures =
+    sim::Stats::counter("mpi.connect_failures");
+const sim::Stats::Counter kTrReattempt =
+    sim::Stats::counter("mpi.conn.reattempt");
+
 // Inverse of Device::pair_discriminator.
 std::pair<Rank, Rank> decode_pair(via::Discriminator disc) {
   const auto hi = static_cast<Rank>(disc & 0xFFFFFF);
@@ -21,7 +31,7 @@ void OnDemandConnectionManager::ensure_connection(Rank peer) {
   if (ch.state != Channel::State::kUnconnected) return;
   device_.prepare_channel(ch);
   ch.state = Channel::State::kConnecting;
-  device_.stats().add("mpi.ondemand_connects");
+  device_.stats().add(kOndemandConnects);
   device_.nic().connections().connect_peer(*ch.vi, peer,
                                            device_.pair_discriminator(peer));
   if (ch.vi->state() == via::ViState::kConnected) {
@@ -77,7 +87,11 @@ bool OnDemandConnectionManager::progress() {
         int& tries = attempts_[peer];
         ++tries;
         if (tries < device_.config().max_connect_attempts) {
-          device_.stats().add("mpi.connect_reattempts");
+          device_.stats().add(kConnectReattempts);
+          if (sim::Tracer* tr = device_.tracer()) {
+            tr->instant(sim::TraceCat::kConn, kTrReattempt, device_.rank(),
+                        peer, tries);
+          }
           device_.nic().connections().connect_peer(
               *ch.vi, peer, device_.pair_discriminator(peer));
           if (ch.vi->state() == via::ViState::kConnected) {
@@ -88,7 +102,7 @@ bool OnDemandConnectionManager::progress() {
             ++it;
           }
         } else {
-          device_.stats().add("mpi.connect_failures");
+          device_.stats().add(kConnectFailures);
           attempts_.erase(peer);
           device_.fail_channel(ch, via::Status::kTimeout);
           it = connecting_.erase(it);

@@ -4,6 +4,15 @@
 
 namespace odmpi::mpi {
 
+namespace {
+const sim::Stats::Counter kConnectReattempts =
+    sim::Stats::counter("mpi.connect_reattempts");
+const sim::Stats::Counter kConnectFailures =
+    sim::Stats::counter("mpi.connect_failures");
+const sim::Stats::Counter kTrReattempt =
+    sim::Stats::counter("mpi.conn.reattempt");
+}  // namespace
+
 void StaticConnectionManager::init() {
   if (device_.size() == 1) return;
   if (client_server_) {
@@ -40,12 +49,16 @@ void StaticConnectionManager::init_peer_to_peer() {
         // job sees clean request errors instead of a hang.
         if (++attempts[static_cast<std::size_t>(peer)] <
             d.config().max_connect_attempts) {
-          d.stats().add("mpi.connect_reattempts");
+          d.stats().add(kConnectReattempts);
+          if (sim::Tracer* tr = d.tracer()) {
+            tr->instant(sim::TraceCat::kConn, kTrReattempt, d.rank(), peer,
+                        attempts[static_cast<std::size_t>(peer)]);
+          }
           d.nic().connections().connect_peer(*ch.vi, peer,
                                              d.pair_discriminator(peer));
           all = false;
         } else {
-          d.stats().add("mpi.connect_failures");
+          d.stats().add(kConnectFailures);
           d.fail_channel(ch, via::Status::kTimeout);
         }
       } else {
@@ -80,14 +93,19 @@ void StaticConnectionManager::init_client_server() {
     via::Status st = via::Status::kTimeout;
     for (int attempt = 0; attempt < d.config().max_connect_attempts;
          ++attempt) {
-      if (attempt > 0) d.stats().add("mpi.connect_reattempts");
+      if (attempt > 0) {
+        d.stats().add(kConnectReattempts);
+        if (sim::Tracer* tr = d.tracer()) {
+          tr->instant(sim::TraceCat::kConn, kTrReattempt, d.rank(), j, attempt);
+        }
+      }
       st = svc.connect_request(*ch.vi, j, d.pair_discriminator(j));
       if (st != via::Status::kTimeout) break;
     }
     if (st == via::Status::kSuccess) {
       d.channel_connected(ch);
     } else {
-      d.stats().add("mpi.connect_failures");
+      d.stats().add(kConnectFailures);
       d.fail_channel(ch, via::Status::kTimeout);
     }
   }

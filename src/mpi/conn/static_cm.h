@@ -20,6 +20,10 @@ class StaticConnectionManager final : public ConnectionManager {
 
   void ensure_connection(Rank peer) override;
   void on_any_source(const std::vector<Rank>& comm_world_ranks) override;
+  /// Static management finishes every handshake inside init(), so the
+  /// progress hook never has connection work to advance — returning false
+  /// unconditionally satisfies the base-class contract (see
+  /// ConnectionManager::progress).
   bool progress() override { return false; }
 
   [[nodiscard]] ConnectionModel model() const override {

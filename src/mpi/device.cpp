@@ -16,6 +16,40 @@ namespace {
 constexpr int kDataCreditFloor = 2;   // data/control packets need >= this
 constexpr int kCreditCreditFloor = 1; // kCredit packets may use the last
 
+// Interned stat handles for the device's cold-path counters (hot-path
+// totals live in HotCounters and are folded into Stats at finalize).
+const sim::Stats::Counter kInitialized = sim::Stats::counter("mpi.initialized");
+const sim::Stats::Counter kVisCreated = sim::Stats::counter("mpi.vis_created");
+const sim::Stats::Counter kPinnedRecvBytes =
+    sim::Stats::counter("mpi.pinned_recv_bytes");
+const sim::Stats::Counter kConnections = sim::Stats::counter("mpi.connections");
+const sim::Stats::Counter kChannelFailures =
+    sim::Stats::counter("mpi.channel_failures");
+const sim::Stats::Counter kParkedSends = sim::Stats::counter("mpi.parked_sends");
+const sim::Stats::Counter kCreditWindowGrown =
+    sim::Stats::counter("mpi.credit_window_grown");
+const sim::Stats::Counter kUnexpectedMsgs =
+    sim::Stats::counter("mpi.unexpected_msgs");
+const sim::Stats::Counter kUnexpectedRts =
+    sim::Stats::counter("mpi.unexpected_rts");
+const sim::Stats::Counter kRegCacheHits =
+    sim::Stats::counter("mpi.reg_cache_hits");
+const sim::Stats::Counter kRegCacheMisses =
+    sim::Stats::counter("mpi.reg_cache_misses");
+
+// Trace-event names: the message lifecycle (TraceCat::kMsg) and the
+// device-level connection handshake (TraceCat::kConn).
+const sim::Stats::Counter kTrSend = sim::Stats::counter("mpi.send");
+const sim::Stats::Counter kTrRecv = sim::Stats::counter("mpi.recv");
+const sim::Stats::Counter kTrPark = sim::Stats::counter("mpi.send.park");
+const sim::Stats::Counter kTrHandshake =
+    sim::Stats::counter("mpi.conn.handshake");
+const sim::Stats::Counter kTrConnFailed = sim::Stats::counter("mpi.conn.failed");
+const sim::Stats::Counter kTrUnexpected =
+    sim::Stats::counter("mpi.msg.unexpected");
+const sim::Stats::Counter kTrUnexpDepth =
+    sim::Stats::counter("mpi.unexpected_depth");
+
 RequestPtr make_completed_request(ReqKind kind) {
   auto req = std::make_shared<RequestState>();
   req->kind = kind;
@@ -31,6 +65,7 @@ RequestPtr make_completed_request(ReqKind kind) {
 Device::Device(via::Cluster& cluster, Rank rank, int size, DeviceConfig config)
     : cluster_(cluster),
       nic_(cluster.nic(rank)),
+      tracer_(cluster.tracer()),
       rank_(rank),
       size_(size),
       config_(config) {
@@ -62,7 +97,7 @@ Device::~Device() = default;
 
 void Device::init() {
   cm_->init();
-  stats_.set("mpi.initialized", 1);
+  stats_.set(kInitialized, 1);
 }
 
 via::Discriminator Device::pair_discriminator(Rank peer) const {
@@ -71,6 +106,34 @@ via::Discriminator Device::pair_discriminator(Rank peer) const {
   // High bit marks MPI-owned discriminators; raw-VIA users of the same
   // cluster can use the low space without collisions.
   return (std::uint64_t{1} << 63) | (lo << 24) | hi;
+}
+
+void Device::trace_msg_begin(const RequestPtr& req) {
+  if (tracer_ == nullptr || !tracer_->on(sim::TraceCat::kMsg)) return;
+  const bool send = req->kind == ReqKind::kSend;
+  req->trace_span = tracer_->begin_span(
+      sim::TraceCat::kMsg, send ? kTrSend : kTrRecv, rank_,
+      send ? req->dst : req->src,
+      static_cast<std::int64_t>(send ? req->bytes : req->capacity), req->tag);
+}
+
+void Device::trace_msg_done(RequestState& req) {
+  // Idempotent: every completion site calls this, and a request can pass
+  // through several (fail_channel sweeps, then a wait observes done).
+  if (req.trace_span != 0) {
+    tracer_->end_span(req.trace_span);
+    req.trace_span = 0;
+  }
+  if (req.park_span != 0) {
+    tracer_->end_span(req.park_span);
+    req.park_span = 0;
+  }
+}
+
+void Device::trace_unexpected_depth() {
+  if (tracer_ == nullptr || !tracer_->on(sim::TraceCat::kMsg)) return;
+  tracer_->counter(sim::TraceCat::kMsg, kTrUnexpDepth, rank_,
+                   static_cast<std::int64_t>(matching_.unexpected_count()));
 }
 
 int Device::distinct_peers_contacted() const {
@@ -114,21 +177,35 @@ void Device::prepare_channel(Channel& ch) {
     assert(st == via::Status::kSuccess);
     ch.recv_bufs.push_back(std::move(buf));
   }
-  stats_.add("mpi.vis_created");
-  stats_.add("mpi.pinned_recv_bytes",
+  stats_.add(kVisCreated);
+  stats_.add(kPinnedRecvBytes,
              static_cast<std::int64_t>(window * config_.eager_buf_bytes));
+  if (tracer_ != nullptr && ch.conn_span == 0) {
+    // Spans the whole handshake saga, fault retries included; closed in
+    // channel_connected() or fail_channel().
+    ch.conn_span = tracer_->begin_span(sim::TraceCat::kConn, kTrHandshake,
+                                       rank_, ch.peer);
+  }
 }
 
 void Device::channel_connected(Channel& ch) {
   assert(ch.vi != nullptr && ch.vi->state() == via::ViState::kConnected);
   if (ch.state == Channel::State::kConnected) return;
   ch.state = Channel::State::kConnected;
-  stats_.add("mpi.connections");
+  stats_.add(kConnections);
+  if (ch.conn_span != 0) {
+    tracer_->end_span(ch.conn_span);
+    ch.conn_span = 0;
+  }
   // Drain the paper's pre-posted send FIFO strictly in order (MPI
   // non-overtaking, section 3.4).
   while (!ch.park_fifo.empty()) {
     RequestPtr req = std::move(ch.park_fifo.front());
     ch.park_fifo.pop_front();
+    if (req->park_span != 0) {
+      tracer_->end_span(req->park_span);
+      req->park_span = 0;
+    }
     start_protocol(req);
   }
 }
@@ -136,12 +213,21 @@ void Device::channel_connected(Channel& ch) {
 void Device::fail_channel(Channel& ch, via::Status error) {
   if (ch.state == Channel::State::kFailed) return;
   ch.state = Channel::State::kFailed;
-  stats_.add("mpi.channel_failures");
+  stats_.add(kChannelFailures);
+  if (ch.conn_span != 0) {
+    tracer_->end_span(ch.conn_span);
+    ch.conn_span = 0;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->instant(sim::TraceCat::kConn, kTrConnFailed, rank_, ch.peer,
+                     static_cast<std::int64_t>(error));
+  }
 
-  auto fail_req = [error](const RequestPtr& req) {
+  auto fail_req = [this, error](const RequestPtr& req) {
     if (req == nullptr || req->done) return;
     req->error = error;
     req->done = true;
+    trace_msg_done(*req);
   };
 
   // Sends parked waiting for the connection that will never come.
@@ -213,9 +299,11 @@ RequestPtr Device::post_send(const void* buf, std::size_t bytes,
   }
   ++hot_.sends;
   hot_.send_bytes += static_cast<std::int64_t>(bytes);
+  trace_msg_begin(req);
 
   if (dst_world == rank_) {
     deliver_self(req);
+    if (req->done) trace_msg_done(*req);
     return req;
   }
 
@@ -225,6 +313,7 @@ RequestPtr Device::post_send(const void* buf, std::size_t bytes,
     // parking the send forever.
     req->error = via::Status::kTimeout;
     req->done = true;
+    trace_msg_done(*req);
     return req;
   }
   if (!ch.connected()) {
@@ -233,16 +322,23 @@ RequestPtr Device::post_send(const void* buf, std::size_t bytes,
   if (ch.state == Channel::State::kFailed) {
     req->error = via::Status::kTimeout;
     req->done = true;
+    trace_msg_done(*req);
     return req;
   }
   if (!ch.connected()) {
     // Paper section 3.4: sends posted before the connection completes are
     // parked in the per-VI FIFO and replayed in order on establishment.
     ch.park_fifo.push_back(req);
-    stats_.add("mpi.parked_sends");
+    stats_.add(kParkedSends);
+    if (tracer_ != nullptr && tracer_->on(sim::TraceCat::kMsg)) {
+      req->park_span = tracer_->begin_span(
+          sim::TraceCat::kMsg, kTrPark, rank_, req->dst,
+          static_cast<std::int64_t>(req->bytes), req->tag);
+    }
     return req;
   }
   start_protocol(req);
+  if (req->done) trace_msg_done(*req);
   return req;
 }
 
@@ -353,6 +449,7 @@ bool Device::drain_outq(Channel& ch) {
       if (out.req != nullptr && !out.req->done) {
         out.req->error = via::Status::kTimeout;
         out.req->done = true;
+        trace_msg_done(*out.req);
       }
       fail_channel(ch, via::Status::kTimeout);
       return true;
@@ -365,12 +462,14 @@ bool Device::drain_outq(Channel& ch) {
       if (out.header.type == PacketType::kFin) {
         out.req->fin_sent = true;
         out.req->done = true;
+        trace_msg_done(*out.req);
       } else {
         out.req->bytes_copied += out.payload_bytes;
         if (out.last_segment && out.req->mode != SendMode::kSynchronous) {
           // Eager standard/ready sends complete locally once the data is
           // staged in wire buffers (buffered completed even earlier).
           out.req->done = true;
+          trace_msg_done(*out.req);
         }
       }
     }
@@ -390,6 +489,7 @@ void Device::deliver_self(const RequestPtr& req) {
     recv->status = MsgStatus{rank_, req->tag, req->bytes};
     recv->done = true;
     req->done = true;
+    trace_msg_done(*recv);
     return;
   }
   auto unexp = std::make_unique<UnexpectedMsg>();
@@ -407,6 +507,11 @@ void Device::deliver_self(const RequestPtr& req) {
     req->done = true;
   }
   matching_.add_unexpected(std::move(unexp));
+  if (tracer_ != nullptr) {
+    tracer_->instant(sim::TraceCat::kMsg, kTrUnexpected, rank_, rank_,
+                     static_cast<std::int64_t>(req->bytes), req->tag);
+  }
+  trace_unexpected_depth();
 }
 
 // --- Receive path ------------------------------------------------------------
@@ -426,6 +531,7 @@ RequestPtr Device::post_recv(void* buf, std::size_t capacity, Rank src_world,
   req->recv_buf = static_cast<std::byte*>(buf);
   req->capacity = capacity;
   ++hot_.recvs;
+  trace_msg_begin(req);
 
   // Paper section 4: the receive side also drives connection setup — a
   // named-source receive connects to that source; a wildcard receive must
@@ -442,12 +548,14 @@ RequestPtr Device::post_recv(void* buf, std::size_t capacity, Rank src_world,
     if (channel(src_world).state == Channel::State::kFailed) {
       req->error = via::Status::kTimeout;
       req->done = true;
+      trace_msg_done(*req);
       return req;
     }
     cm_->ensure_connection(src_world);
     if (channel(src_world).state == Channel::State::kFailed) {
       req->error = via::Status::kTimeout;
       req->done = true;
+      trace_msg_done(*req);
       return req;
     }
   }
@@ -461,6 +569,7 @@ RequestPtr Device::post_recv(void* buf, std::size_t capacity, Rank src_world,
     req->status = MsgStatus{m->src, m->tag, m->total_bytes};
     send_cts(channel(m->src), req, m->total_bytes, m->sender_cookie);
     matching_.remove_unexpected(m);
+    trace_unexpected_depth();
     return req;
   }
   if (!m->complete()) {
@@ -474,11 +583,14 @@ RequestPtr Device::post_recv(void* buf, std::size_t capacity, Rank src_world,
   req->bytes_received = n;
   req->status = MsgStatus{m->src, m->tag, m->total_bytes};
   req->done = true;
+  trace_msg_done(*req);
   if (m->self_send != nullptr) {
     m->self_send->done = true;
+    trace_msg_done(*m->self_send);
     rndv_senders_.erase(m->sender_cookie);
   }
   matching_.remove_unexpected(m);
+  trace_unexpected_depth();
   return req;
 }
 
@@ -546,7 +658,7 @@ bool Device::poll_recv_cq() {
       }
       ch.unreturned += new_limit - ch.credit_limit;  // advertise the growth
       ch.credit_limit = new_limit;
-      stats_.add("mpi.credit_window_grown");
+      stats_.add(kCreditWindowGrown);
     }
     maybe_return_credits(ch);
   }
@@ -598,6 +710,7 @@ void Device::handle_eager_first(Channel& ch, const PacketHeader& h,
       r->truncated = h.total_bytes > r->capacity;
       r->bytes_received = std::min(h.total_bytes, r->capacity);
       r->done = true;
+      trace_msg_done(*r);
       return;
     }
     ch.in_req = std::move(r);
@@ -613,7 +726,12 @@ void Device::handle_eager_first(Channel& ch, const PacketHeader& h,
   owned->arrived_bytes = payload_bytes;
   owned->payload.assign(payload, payload + payload_bytes);
   UnexpectedMsg* m = matching_.add_unexpected(std::move(owned));
-  stats_.add("mpi.unexpected_msgs");
+  stats_.add(kUnexpectedMsgs);
+  if (tracer_ != nullptr) {
+    tracer_->instant(sim::TraceCat::kMsg, kTrUnexpected, rank_, h.src_rank,
+                     static_cast<std::int64_t>(h.total_bytes), h.tag);
+  }
+  trace_unexpected_depth();
   if (h.total_bytes > payload_bytes) {
     ch.in_unexp = m;
     ch.in_offset = payload_bytes;
@@ -646,6 +764,7 @@ void Device::finish_eager_recv(Channel& ch) {
     r.truncated = ch.in_total > r.capacity;
     r.bytes_received = std::min(ch.in_total, r.capacity);
     r.done = true;
+    trace_msg_done(r);
     ch.in_req.reset();
   } else if (ch.in_unexp != nullptr) {
     UnexpectedMsg* m = ch.in_unexp;
@@ -658,7 +777,9 @@ void Device::finish_eager_recv(Channel& ch) {
       r->bytes_received = n;
       r->status = MsgStatus{m->src, m->tag, m->total_bytes};
       r->done = true;
+      trace_msg_done(*r);
       matching_.remove_unexpected(m);
+      trace_unexpected_depth();
     }
     // Unclaimed: the entry stays queued for a future receive.
   }
@@ -681,7 +802,12 @@ void Device::handle_rts(Channel& ch, const PacketHeader& h) {
   owned->is_rendezvous = true;
   owned->sender_cookie = h.cookie;
   matching_.add_unexpected(std::move(owned));
-  stats_.add("mpi.unexpected_rts");
+  stats_.add(kUnexpectedRts);
+  if (tracer_ != nullptr) {
+    tracer_->instant(sim::TraceCat::kMsg, kTrUnexpected, rank_, h.src_rank,
+                     static_cast<std::int64_t>(h.total_bytes), h.tag);
+  }
+  trace_unexpected_depth();
 }
 
 void Device::handle_cts(const PacketHeader& h) {
@@ -728,6 +854,7 @@ void Device::handle_fin(const PacketHeader& h) {
   RequestPtr req = it->second;
   rndv_receivers_.erase(it);
   req->done = true;
+  trace_msg_done(*req);
 }
 
 void Device::maybe_return_credits(Channel& ch) {
@@ -768,13 +895,13 @@ via::MemoryHandle Device::register_cached(const std::byte* addr,
   if (it != reg_cache_.begin()) {
     --it;
     if (it->first <= addr && addr + bytes <= it->first + it->second.second) {
-      stats_.add("mpi.reg_cache_hits");
+      stats_.add(kRegCacheHits);
       return it->second.first;
     }
   }
   via::MemoryHandle h = nic_.register_memory(addr, bytes);
   reg_cache_[addr] = {h, bytes};
-  stats_.add("mpi.reg_cache_misses");
+  stats_.add(kRegCacheMisses);
   return h;
 }
 

@@ -28,6 +28,7 @@
 #include "src/mpi/request.h"
 #include "src/mpi/types.h"
 #include "src/sim/stats.h"
+#include "src/sim/trace.h"
 #include "src/via/provider.h"
 
 namespace odmpi::mpi {
@@ -108,6 +109,10 @@ struct Channel {
   // in-flight work, or connection progress). Maintained by the device.
   bool on_active_list = false;
 
+  // Open handshake span (prepare_channel -> connected/failed) when the
+  // job is tracing; 0 otherwise. Lives in the World's sim::Tracer.
+  std::uint32_t conn_span = 0;
+
   [[nodiscard]] bool connected() const { return state == State::kConnected; }
 };
 
@@ -185,6 +190,10 @@ class Device {
   [[nodiscard]] ConnectionManager& connection_manager() { return *cm_; }
   [[nodiscard]] MatchingEngine& matching() { return matching_; }
 
+  /// The job's trace sink, or nullptr when not tracing. Collectives and
+  /// connection managers route their spans through here.
+  [[nodiscard]] sim::Tracer* tracer() const { return tracer_; }
+
   /// Distinct peers this process ever communicated with (parked or sent).
   [[nodiscard]] int distinct_peers_contacted() const;
 
@@ -251,6 +260,12 @@ class Device {
            (ch.vi == nullptr || ch.vi->sends_in_flight() == 0);
   }
 
+  // Tracing helpers; no-ops when the job is not tracing (tracer_ null or
+  // the message category masked).
+  void trace_msg_begin(const RequestPtr& req);  // opens the lifecycle span
+  void trace_msg_done(RequestState& req);       // closes lifecycle + park
+  void trace_unexpected_depth();  // samples the unexpected-queue depth
+
   // Buffers / registration.
   EagerBuf* acquire_send_buf();
   void release_send_buf(EagerBuf* buf);
@@ -258,6 +273,7 @@ class Device {
 
   via::Cluster& cluster_;
   via::Nic& nic_;
+  sim::Tracer* tracer_;  // from the cluster; nullptr when not tracing
   Rank rank_;
   int size_;
   DeviceConfig config_;
@@ -315,14 +331,27 @@ class ConnectionManager {
   /// manager connects to every process in the communicator (section 3.5).
   virtual void on_any_source(const std::vector<Rank>& comm_world_ranks) = 0;
 
-  /// Folded into every MPID_DeviceCheck() pass. Returns true if any
-  /// connection state advanced.
+  /// Folded into every MPID_DeviceCheck() pass.
+  ///
+  /// Progress contract: returns true when this call advanced some
+  /// connection state — answered an incoming request, completed or
+  /// retried a handshake, or failed a channel over — meaning the caller
+  /// should poll again immediately because more work may have become
+  /// ready. Returns false when the manager is quiescent and the caller
+  /// may yield or block. A manager whose bootstrap completes entirely in
+  /// init() (the static models) has nothing to advance and always
+  /// returns false; that is a valid implementation of this contract, not
+  /// a missing feature.
   virtual bool progress() = 0;
 
   [[nodiscard]] virtual ConnectionModel model() const = 0;
 
-  static std::unique_ptr<ConnectionManager> create(Device& device,
-                                                   ConnectionModel model);
+  /// Factory for the model's manager. The returned unique_ptr is the
+  /// single owner; the Device stores it for its own lifetime and every
+  /// other reference (tests, benches) must go through
+  /// Device::connection_manager().
+  [[nodiscard]] static std::unique_ptr<ConnectionManager> create(
+      Device& device, ConnectionModel model);
 
  protected:
   Device& device_;

@@ -51,6 +51,10 @@ struct RequestState {
   bool truncated = false;  // arrived message exceeded capacity
   MsgStatus status;        // source is a world rank; Comm translates
 
+  // --- Tracing (0 = no open span; ids live in the World's sim::Tracer) ---
+  std::uint32_t trace_span = 0;  // post -> complete lifecycle span
+  std::uint32_t park_span = 0;   // park-FIFO residency span (sends)
+
   [[nodiscard]] const std::byte* payload() const {
     return mode == SendMode::kBuffered ? buffered_copy.data() : send_buf;
   }

@@ -3,15 +3,49 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <string>
 
 namespace odmpi::mpi {
+
+const char* to_string(RunStatus s) {
+  switch (s) {
+    case RunStatus::kOk:
+      return "ok";
+    case RunStatus::kDeadline:
+      return "deadline";
+    case RunStatus::kRankFailed:
+      return "rank_failed";
+  }
+  return "?";
+}
+
+std::string RunResult::summary() const {
+  std::string out;
+  switch (status) {
+    case RunStatus::kOk:
+      return "ok";
+    case RunStatus::kDeadline:
+      out = "deadline exceeded, " + std::to_string(failed_ranks.size()) +
+            " unfinished rank(s):";
+      break;
+    case RunStatus::kRankFailed:
+      out = "finished with failed channels on " +
+            std::to_string(failed_ranks.size()) + " rank(s):";
+      break;
+  }
+  for (int r : failed_ranks) out += " " + std::to_string(r);
+  return out;
+}
 
 World::World(int nranks, JobOptions options)
     : nranks_(nranks),
       options_(std::move(options)),
+      tracer_(std::make_unique<sim::Tracer>()),
       cluster_(engine_, nranks, options_.profile, options_.fault),
       reports_(static_cast<std::size_t>(nranks)) {
   assert(nranks >= 1);
+  tracer_->configure(options_.trace, &engine_);
+  cluster_.set_tracer(tracer_.get());
   contexts_.resize(static_cast<std::size_t>(nranks));
   devices_.resize(static_cast<std::size_t>(nranks));
 }
@@ -86,7 +120,7 @@ void World::rank_main(int rank, const std::function<void(Comm&)>& fn) {
   report.device_stats.merge(cluster_.nic(rank).stats());
 }
 
-bool World::run(const std::function<void(Comm&)>& fn) {
+RunResult World::run_job(const std::function<void(Comm&)>& fn) {
   assert(!ran_ && "World::run is one-shot; build a fresh World per job");
   ran_ = true;
   processes_.reserve(static_cast<std::size_t>(nranks_));
@@ -97,8 +131,35 @@ bool World::run(const std::function<void(Comm&)>& fn) {
     processes_.back()->start();
   }
   engine_.run_until(options_.deadline);
-  return std::all_of(reports_.begin(), reports_.end(),
-                     [](const RankReport& r) { return r.finished; });
+
+  RunResult result;
+  result.completion_time = completion_time();
+  for (int r = 0; r < nranks_; ++r) {
+    if (!reports_[static_cast<std::size_t>(r)].finished) {
+      result.failed_ranks.push_back(r);
+    }
+  }
+  if (!result.failed_ranks.empty()) {
+    result.status = RunStatus::kDeadline;
+  } else {
+    // Every rank finalized; surface ranks whose peers died under them.
+    static const sim::Stats::Counter kChannelFailures =
+        sim::Stats::counter("mpi.channel_failures");
+    for (int r = 0; r < nranks_; ++r) {
+      if (reports_[static_cast<std::size_t>(r)].device_stats.get(
+              kChannelFailures) > 0) {
+        result.failed_ranks.push_back(r);
+      }
+    }
+    if (!result.failed_ranks.empty()) result.status = RunStatus::kRankFailed;
+  }
+  if (tracer_->enabled()) {
+    result.trace = tracer_.get();
+    if (!options_.trace.path.empty()) {
+      tracer_->write_chrome_json_file(options_.trace.path);
+    }
+  }
+  return result;
 }
 
 sim::SimTime World::completion_time() const {
@@ -125,10 +186,17 @@ sim::Stats World::aggregate_stats() {
   return total;
 }
 
+RunResult run_world_job(int nranks, const JobOptions& options,
+                        const std::function<void(Comm&)>& fn) {
+  World world(nranks, options);
+  RunResult result = world.run_job(fn);
+  result.trace = nullptr;  // the tracer dies with the World, right here
+  return result;
+}
+
 bool run_world(int nranks, const JobOptions& options,
                const std::function<void(Comm&)>& fn) {
-  World world(nranks, options);
-  return world.run(fn);
+  return run_world_job(nranks, options, fn).status != RunStatus::kDeadline;
 }
 
 }  // namespace odmpi::mpi

@@ -13,6 +13,7 @@
 #include "src/sim/engine.h"
 #include "src/sim/process.h"
 #include "src/sim/stats.h"
+#include "src/sim/trace.h"
 #include "src/via/provider.h"
 
 namespace odmpi::mpi {
@@ -40,6 +41,13 @@ struct JobOptions {
   /// Reliable Delivery semantics, and connection handshakes retry with
   /// timeout + exponential backoff. Same config + seed => identical run.
   sim::FaultConfig fault;
+
+  /// Message-lifecycle / connection-timeline tracing (off by default).
+  /// When trace.enabled, the run records spans and instants across all
+  /// four layers into World's sim::Tracer; if trace.path is non-empty,
+  /// run_job writes Chrome trace-event JSON there on completion. Tracing
+  /// never perturbs virtual time.
+  sim::TraceConfig trace;
 };
 
 struct RankReport {
@@ -53,6 +61,41 @@ struct RankReport {
   sim::Stats device_stats;
 };
 
+/// Why a job ended the way it did.
+enum class RunStatus {
+  kOk,          // every rank finalized, no channel failures
+  kDeadline,    // some rank never finished: deadlock or virtual timeout
+  kRankFailed,  // all ranks finalized, but some saw peer channels fail
+                // over (fault injection killed connections)
+};
+
+[[nodiscard]] const char* to_string(RunStatus s);
+
+/// Structured outcome of World::run_job. Replaces the bare bool from
+/// World::run: carries the failure cause, the ranks involved, the final
+/// virtual clock, and (when tracing was enabled) the recorded trace.
+struct [[nodiscard]] RunResult {
+  RunStatus status = RunStatus::kOk;
+
+  /// kDeadline: ranks that never finished. kRankFailed: ranks whose
+  /// device reported channel failures. Empty for kOk.
+  std::vector<int> failed_ranks;
+
+  /// Virtual time when the last rank stopped (== World::completion_time).
+  sim::SimTime completion_time = 0;
+
+  /// The run's trace when JobOptions::trace.enabled, else nullptr. Owned
+  /// by the World; valid for its lifetime.
+  const sim::Tracer* trace = nullptr;
+
+  [[nodiscard]] bool ok() const { return status == RunStatus::kOk; }
+  explicit operator bool() const { return ok(); }
+
+  /// One-line human-readable outcome ("deadline exceeded, 2 unfinished
+  /// ranks: 0 3") for logs and test failure messages.
+  [[nodiscard]] std::string summary() const;
+};
+
 class World {
  public:
   explicit World(int nranks, JobOptions options = {});
@@ -61,11 +104,21 @@ class World {
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
-  /// Runs `fn(world_comm)` on every rank. Returns true when every rank
-  /// reached the end of MPI_Finalize within the virtual deadline; false
-  /// signals a deadlock or timeout (reports are still populated with
-  /// whatever completed).
-  bool run(const std::function<void(Comm&)>& fn);
+  /// Runs `fn(world_comm)` on every rank and reports the structured
+  /// outcome: status, failing ranks, completion time and — when
+  /// JobOptions::trace.enabled — the recorded trace (also written to
+  /// trace.path as Chrome JSON when the path is set). One-shot per World.
+  RunResult run_job(const std::function<void(Comm&)>& fn);
+
+  /// Legacy form of run_job; prefer run_job, which also reports *why* a
+  /// run failed. Returns true when every rank reached the end of
+  /// MPI_Finalize within the virtual deadline (i.e. status is not
+  /// kDeadline — kRankFailed still returns true, matching the historic
+  /// contract where fault-injected runs "succeed" once every rank
+  /// observes its failures and finalizes).
+  bool run(const std::function<void(Comm&)>& fn) {
+    return run_job(fn).status != RunStatus::kDeadline;
+  }
 
   [[nodiscard]] int size() const { return nranks_; }
   [[nodiscard]] const JobOptions& options() const { return options_; }
@@ -85,6 +138,10 @@ class World {
   /// Aggregate device+NIC statistics across all ranks.
   [[nodiscard]] sim::Stats aggregate_stats();
 
+  /// The job's tracer. Records nothing unless JobOptions::trace.enabled;
+  /// useful after run_job to walk events or write exports by hand.
+  [[nodiscard]] const sim::Tracer& tracer() const { return *tracer_; }
+
   /// Out-of-band barrier over the management network: used by MPI_Init /
   /// MPI_Finalize bookkeeping, never by application traffic.
   void oob_barrier();
@@ -95,6 +152,7 @@ class World {
   int nranks_;
   JobOptions options_;
   sim::Engine engine_;
+  std::unique_ptr<sim::Tracer> tracer_;  // stable address; cluster points in
   via::Cluster cluster_;
   std::vector<std::unique_ptr<sim::Process>> processes_;
   std::vector<std::unique_ptr<RankContext>> contexts_;
@@ -109,6 +167,12 @@ class World {
 };
 
 /// One-call convenience: run `fn` on `nranks` ranks with `options`.
+/// Note the World (and thus RunResult::trace) dies before this returns;
+/// build a World directly when the trace must outlive the run.
+RunResult run_world_job(int nranks, const JobOptions& options,
+                        const std::function<void(Comm&)>& fn);
+
+/// Legacy form of run_world_job; see World::run for the bool contract.
 bool run_world(int nranks, const JobOptions& options,
                const std::function<void(Comm&)>& fn);
 

@@ -32,6 +32,13 @@ Stats::Counter Stats::counter(std::string_view name) {
   return Counter(it->second);
 }
 
+std::string Stats::name_of(Counter c) {
+  InternTable& t = table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  // Returned by value: `names` may reallocate when later names intern.
+  return c.id_ < t.names.size() ? t.names[c.id_] : std::string();
+}
+
 std::map<std::string, std::int64_t> Stats::all() const {
   std::map<std::string, std::int64_t> out;
   InternTable& t = table();

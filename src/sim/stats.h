@@ -31,6 +31,8 @@ class Stats {
    public:
     Counter() = default;
 
+    friend bool operator==(Counter, Counter) = default;
+
    private:
     friend class Stats;
     explicit Counter(std::uint32_t id) : id_(id) {}
@@ -40,6 +42,10 @@ class Stats {
   /// Interns `name`, returning its dense handle. First use of a name
   /// registers it; later uses (from any Stats instance) find the same id.
   static Counter counter(std::string_view name);
+
+  /// The name a handle was interned under. Cold path: reporting and
+  /// trace export only.
+  [[nodiscard]] static std::string name_of(Counter c);
 
   /// Adds `delta` to the counter (created at 0 on first touch).
   void add(Counter c, std::int64_t delta = 1) {

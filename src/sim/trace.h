@@ -1,0 +1,217 @@
+// Deterministic structured tracing for the simulation.
+//
+// The paper's argument is about *when* connection work happens: VI
+// creation deferred out of MPI_Init, a handshake hidden behind the first
+// parked eager send. sim::Tracer records that timeline — spans, instants
+// and counter samples stamped with virtual time — so every figure and
+// table claim is inspectable in chrome://tracing / Perfetto, and the raw
+// event stream can be golden-diffed via a compact text digest.
+//
+// Design constraints (see DESIGN.md section 10):
+//  * Zero overhead when disabled: every record call is a single mask
+//    test; no allocation, no virtual dispatch, no clock read.
+//  * Non-perturbing when enabled: the tracer never charges host time and
+//    never schedules engine events, so an identically-seeded run produces
+//    identical virtual timestamps with tracing on or off.
+//  * Allocation-free steady state: events land in 1024-slot chunks whose
+//    storage comes from the thread-local block pool (sim/pool_alloc), the
+//    same recycling path the engine's event slabs use.
+//  * Interned names: event names are sim::Stats::Counter handles — 4-byte
+//    ids on the hot path, resolved to strings only at export.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/sim/pool_alloc.h"
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace odmpi::sim {
+
+class Engine;
+
+/// Event categories, one bit each in TraceConfig::categories.
+enum class TraceCat : std::uint8_t {
+  kFabric = 0,  // wire packets, NIC doorbell scans, drops, retransmits
+  kConn = 1,    // VI/connection state machine timeline (both layers)
+  kMsg = 2,     // MPI message lifecycle: post, park, drain, match, done
+  kColl = 3,    // collective phase spans (per-round steps)
+};
+
+constexpr std::uint32_t trace_bit(TraceCat c) {
+  return 1u << static_cast<unsigned>(c);
+}
+
+constexpr std::uint32_t kTraceAllCategories =
+    trace_bit(TraceCat::kFabric) | trace_bit(TraceCat::kConn) |
+    trace_bit(TraceCat::kMsg) | trace_bit(TraceCat::kColl);
+
+[[nodiscard]] const char* to_string(TraceCat c);
+
+/// Tracing knobs carried by mpi::JobOptions (mirrors how FaultConfig is
+/// threaded through). Disabled by default; enabling it never changes
+/// virtual time.
+struct TraceConfig {
+  bool enabled = false;
+  /// Bitmask of trace_bit(TraceCat) values; defaults to everything.
+  std::uint32_t categories = kTraceAllCategories;
+  /// When non-empty, World::run_job writes Chrome trace-event JSON here
+  /// after the run completes.
+  std::string path;
+};
+
+/// Identifies an open span; 0 is the null span (tracing off or category
+/// masked), accepted and ignored by end_span().
+using TraceSpanId = std::uint32_t;
+
+class Tracer {
+ public:
+  /// One recorded event. Fixed-size POD so chunks are allocation-stable;
+  /// exposed for tests and tools that walk the raw stream.
+  struct Event {
+    SimTime ts = 0;        // virtual start time (ns)
+    SimTime dur = 0;       // span duration (ns); 0 for instants/counters
+    std::int64_t a0 = 0;   // event-specific argument (bytes, depth, ...)
+    std::int64_t a1 = 0;   // second argument (tag, round, attempt, ...)
+    Stats::Counter name;   // interned event name
+    std::int32_t rank = -1;
+    std::int32_t peer = -1;
+    TraceCat cat = TraceCat::kFabric;
+    char ph = 'i';         // Chrome phase: 'X' span, 'i' instant, 'C' counter
+    bool open = false;     // span begun but not yet ended
+  };
+  static_assert(sizeof(SimTime) == 8);
+
+  Tracer() = default;
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Arms the tracer. `engine` supplies virtual timestamps (via
+  /// Process::current_time, so events carry the emitting process's local
+  /// clock). A disabled config leaves every record call a no-op.
+  void configure(const TraceConfig& config, Engine* engine);
+
+  [[nodiscard]] bool enabled() const { return mask_ != 0; }
+
+  /// The one hot-path question: is this category being recorded?
+  /// Call sites gate argument marshalling on this.
+  [[nodiscard]] bool on(TraceCat c) const { return (mask_ & trace_bit(c)) != 0; }
+
+  /// Records a point event at the current virtual time.
+  void instant(TraceCat cat, Stats::Counter name, int rank, int peer = -1,
+               std::int64_t a0 = 0, std::int64_t a1 = 0) {
+    if (!on(cat)) return;
+    record('i', cat, name, rank, peer, now(), 0, a0, a1, false);
+  }
+
+  /// Records a point event with an explicit timestamp (for layers like
+  /// the fabric that compute future arrival times up front).
+  void instant_at(TraceCat cat, Stats::Counter name, int rank, int peer,
+                  SimTime ts, std::int64_t a0 = 0, std::int64_t a1 = 0) {
+    if (!on(cat)) return;
+    record('i', cat, name, rank, peer, ts, 0, a0, a1, false);
+  }
+
+  /// Opens a span at the current virtual time. Returns 0 when the
+  /// category is off; end_span(0) is a no-op, so call sites never branch.
+  [[nodiscard]] TraceSpanId begin_span(TraceCat cat, Stats::Counter name,
+                                       int rank, int peer = -1,
+                                       std::int64_t a0 = 0,
+                                       std::int64_t a1 = 0) {
+    if (!on(cat)) return 0;
+    record('X', cat, name, rank, peer, now(), 0, a0, a1, true);
+    return static_cast<TraceSpanId>(count_);  // 1-based index of the event
+  }
+
+  /// Closes a span, stamping its duration from the current virtual time.
+  void end_span(TraceSpanId id) {
+    if (id == 0) return;
+    Event& e = at(id - 1);
+    e.dur = now() - e.ts;
+    e.open = false;
+  }
+
+  /// Records a complete span whose interval is already known.
+  void complete(TraceCat cat, Stats::Counter name, int rank, int peer,
+                SimTime ts, SimTime dur, std::int64_t a0 = 0,
+                std::int64_t a1 = 0) {
+    if (!on(cat)) return;
+    record('X', cat, name, rank, peer, ts, dur, a0, a1, false);
+  }
+
+  /// Records a counter sample (e.g. unexpected-queue depth) at the
+  /// current virtual time.
+  void counter(TraceCat cat, Stats::Counter name, int rank,
+               std::int64_t value) {
+    if (!on(cat)) return;
+    record('C', cat, name, rank, -1, now(), 0, value, 0, false);
+  }
+
+  // --- Introspection (tests, exporters) -------------------------------
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] const Event& event(std::size_t i) const {
+    return chunks_[i >> kChunkShift]->events[i & (kChunkSlots - 1)];
+  }
+  /// Number of chunk allocations performed; stays 0 while disabled.
+  [[nodiscard]] std::size_t chunk_allocations() const {
+    return chunk_allocations_;
+  }
+
+  /// One line per event, in record order, every field printed — the
+  /// golden-diffable digest. Identically-seeded runs produce identical
+  /// digests byte for byte.
+  [[nodiscard]] std::string digest() const;
+
+  /// Chrome trace-event JSON (chrome://tracing, Perfetto). pid = rank,
+  /// tid = category lane; timestamps in microseconds with the nanosecond
+  /// remainder as three fixed decimals, so output is deterministic.
+  void write_chrome_json(std::ostream& os) const;
+
+  /// Convenience wrapper; returns false if the file cannot be opened.
+  bool write_chrome_json_file(const std::string& path) const;
+
+  /// Drops all recorded events (chunk storage is returned to the pool).
+  void clear();
+
+ private:
+  static constexpr std::uint32_t kChunkShift = 10;
+  static constexpr std::uint32_t kChunkSlots = 1u << kChunkShift;
+
+  // Chunk storage comes from the thread-local block pool, like the
+  // engine's event slabs: warm pages, no per-run allocation churn.
+  struct Chunk {
+    Event events[kChunkSlots];
+
+    static void* operator new(std::size_t bytes) {
+      return detail::pool_alloc(bytes);
+    }
+    static void operator delete(void* p, std::size_t bytes) noexcept {
+      detail::pool_free(p, bytes);
+    }
+  };
+
+  [[nodiscard]] SimTime now() const;
+
+  Event& at(std::size_t i) {
+    return chunks_[i >> kChunkShift]->events[i & (kChunkSlots - 1)];
+  }
+
+  void record(char ph, TraceCat cat, Stats::Counter name, int rank, int peer,
+              SimTime ts, SimTime dur, std::int64_t a0, std::int64_t a1,
+              bool open);
+
+  std::uint32_t mask_ = 0;  // 0 while disabled: on() is one AND + compare
+  Engine* engine_ = nullptr;
+  std::vector<Chunk*> chunks_;
+  std::size_t count_ = 0;
+  std::size_t chunk_allocations_ = 0;
+};
+
+}  // namespace odmpi::sim

@@ -9,6 +9,51 @@
 
 namespace odmpi::via {
 
+namespace {
+// Interned stat handles for the handshake paths (cold, but the retry and
+// duplicate-suppression sites loop under faults).
+const sim::Stats::Counter kEstablished =
+    sim::Stats::counter("conn.established");
+const sim::Stats::Counter kPeerInitiated =
+    sim::Stats::counter("conn.peer_initiated");
+const sim::Stats::Counter kTimeouts = sim::Stats::counter("conn.timeouts");
+const sim::Stats::Counter kRetries = sim::Stats::counter("conn.retries");
+const sim::Stats::Counter kDupReacked =
+    sim::Stats::counter("conn.dup_request_reacked");
+const sim::Stats::Counter kDupSuppressed =
+    sim::Stats::counter("conn.dup_request_suppressed");
+const sim::Stats::Counter kUnmatchedQueued =
+    sim::Stats::counter("conn.peer_unmatched_queued");
+const sim::Stats::Counter kCsQueued =
+    sim::Stats::counter("conn.cs_request_queued");
+const sim::Stats::Counter kRejected = sim::Stats::counter("conn.rejected");
+const sim::Stats::Counter kDisconnected =
+    sim::Stats::counter("conn.disconnected");
+
+// Trace event names: the per-VI state machine timeline
+// (request_sent -> request_rx -> established, with retry/timeout/reject).
+const sim::Stats::Counter kTrRequestSent =
+    sim::Stats::counter("via.conn.request_sent");
+const sim::Stats::Counter kTrRequestRx =
+    sim::Stats::counter("via.conn.request_rx");
+const sim::Stats::Counter kTrEstablished =
+    sim::Stats::counter("via.conn.established");
+const sim::Stats::Counter kTrRetry = sim::Stats::counter("via.conn.retry");
+const sim::Stats::Counter kTrTimeout =
+    sim::Stats::counter("via.conn.timeout");
+const sim::Stats::Counter kTrRejected =
+    sim::Stats::counter("via.conn.rejected");
+const sim::Stats::Counter kTrDisconnect =
+    sim::Stats::counter("via.conn.disconnect");
+}  // namespace
+
+void ConnectionService::trace_conn(sim::Stats::Counter name, NodeId peer,
+                                   std::int64_t a0, std::int64_t a1) const {
+  sim::Tracer* tr = nic_.cluster().tracer();
+  if (tr == nullptr) return;
+  tr->instant(sim::TraceCat::kConn, name, nic_.node(), peer, a0, a1);
+}
+
 void ConnectionService::send_control(NodeId dst,
                                      std::function<void(Nic&)> handler) {
   Cluster& cluster = nic_.cluster();
@@ -26,7 +71,8 @@ void ConnectionService::send_control(NodeId dst,
 void ConnectionService::establish(Vi& vi, NodeId remote_node, ViId remote_vi) {
   vi.set_connected(remote_node, remote_vi);
   ++connections_established_;
-  nic_.stats().add("conn.established");
+  nic_.stats().add(kEstablished);
+  trace_conn(kTrEstablished, remote_node, vi.id(), remote_vi);
   nic_.notify_host();
 }
 
@@ -62,7 +108,7 @@ Status ConnectionService::connect_peer(Vi& vi, NodeId remote_node,
   }
   vi.state_ = ViState::kIdle;
   Nic::charge_host(nic_.profile().conn_os_cost);
-  nic_.stats().add("conn.peer_initiated");
+  nic_.stats().add(kPeerInitiated);
 
   // A matching request may already have arrived (the remote side called
   // connect_peer first): claim it and complete the connection now.
@@ -91,6 +137,7 @@ Status ConnectionService::connect_peer(Vi& vi, NodeId remote_node,
 
   vi.state_ = ViState::kConnectPending;
   pending_peer_[disc] = PendingPeer{&vi, remote_node, disc};
+  trace_conn(kTrRequestSent, remote_node, static_cast<std::int64_t>(disc));
   const IncomingRequest req{nic_.node(), vi.id(), disc};
   send_control(remote_node, [req](Nic& remote) {
     remote.connections().on_peer_request(req);
@@ -129,12 +176,16 @@ void ConnectionService::on_peer_timer(Discriminator disc, std::uint64_t gen) {
     Vi* vi = pending.vi;
     pending_peer_.erase(it);
     vi->state_ = ViState::kError;
-    nic_.stats().add("conn.timeouts");
+    nic_.stats().add(kTimeouts);
+    trace_conn(kTrTimeout, pending.remote_node,
+               static_cast<std::int64_t>(disc));
     nic_.notify_host();
     return;
   }
   ++pending.attempts;
-  nic_.stats().add("conn.retries");
+  nic_.stats().add(kRetries);
+  trace_conn(kTrRetry, pending.remote_node, static_cast<std::int64_t>(disc),
+             pending.attempts);
   resend_peer_request(pending);
   arm_peer_timer(disc);
 }
@@ -165,7 +216,7 @@ void ConnectionService::on_peer_request(const IncomingRequest& request) {
       Vi* vi = nic_.find_vi(est->second);
       if (vi != nullptr && vi->state() == ViState::kConnected &&
           vi->remote_node() == request.src_node) {
-        nic_.stats().add("conn.dup_request_reacked");
+        nic_.stats().add(kDupReacked);
         const NodeId me = nic_.node();
         const ViId my_vi = vi->id();
         const ViId their_vi = request.src_vi;
@@ -182,14 +233,16 @@ void ConnectionService::on_peer_request(const IncomingRequest& request) {
                  r.src_node == request.src_node && r.src_vi == request.src_vi;
         });
     if (dup) {
-      nic_.stats().add("conn.dup_request_suppressed");
+      nic_.stats().add(kDupSuppressed);
       return;
     }
   }
   // No local request yet: queue it for the host's progress loop (the
   // on-demand connection manager polls these in device_check).
   unmatched_.push_back(request);
-  nic_.stats().add("conn.peer_unmatched_queued");
+  nic_.stats().add(kUnmatchedQueued);
+  trace_conn(kTrRequestRx, request.src_node,
+             static_cast<std::int64_t>(request.discriminator));
   nic_.notify_host();
 }
 
@@ -283,6 +336,7 @@ Status ConnectionService::connect_request(Vi& vi, NodeId remote_node,
   vi.state_ = ViState::kConnectPending;
   Nic::charge_host(nic_.profile().conn_os_cost);
   cs_clients_[vi.id()] = CsClient{&vi, std::nullopt, p, remote_node, disc};
+  trace_conn(kTrRequestSent, remote_node, static_cast<std::int64_t>(disc));
 
   const IncomingRequest req{nic_.node(), vi.id(), disc};
   send_control(remote_node, [req](Nic& remote) {
@@ -322,12 +376,16 @@ void ConnectionService::on_cs_timer(ViId vi_id, std::uint64_t gen) {
   if (client.attempts >= nic_.profile().max_conn_retries) {
     client.vi->state_ = ViState::kError;
     client.result = Status::kTimeout;
-    nic_.stats().add("conn.timeouts");
+    nic_.stats().add(kTimeouts);
+    trace_conn(kTrTimeout, client.remote_node,
+               static_cast<std::int64_t>(client.disc));
     client.process->wakeup();
     return;
   }
   ++client.attempts;
-  nic_.stats().add("conn.retries");
+  nic_.stats().add(kRetries);
+  trace_conn(kTrRetry, client.remote_node,
+             static_cast<std::int64_t>(client.disc), client.attempts);
   const IncomingRequest req{nic_.node(), vi_id, client.disc};
   send_control(client.remote_node, [req](Nic& remote) {
     remote.connections().on_cs_request(req);
@@ -340,7 +398,7 @@ void ConnectionService::on_cs_request(const IncomingRequest& request) {
     // Already answered (our response was lost): repeat the same answer.
     auto ans = cs_responded_.find({request.src_node, request.src_vi});
     if (ans != cs_responded_.end()) {
-      nic_.stats().add("conn.dup_request_reacked");
+      nic_.stats().add(kDupReacked);
       const NodeId me = nic_.node();
       const CsResponse resp = ans->second;
       const ViId their_vi = request.src_vi;
@@ -356,12 +414,14 @@ void ConnectionService::on_cs_request(const IncomingRequest& request) {
           return r.src_node == request.src_node && r.src_vi == request.src_vi;
         });
     if (dup) {
-      nic_.stats().add("conn.dup_request_suppressed");
+      nic_.stats().add(kDupSuppressed);
       return;
     }
   }
   cs_pending_.push_back(request);
-  nic_.stats().add("conn.cs_request_queued");
+  nic_.stats().add(kCsQueued);
+  trace_conn(kTrRequestRx, request.src_node,
+             static_cast<std::int64_t>(request.discriminator));
   for (const CsWaiter& w : cs_waiters_) {
     if (w.disc == request.discriminator) {
       w.process->wakeup();
@@ -383,7 +443,8 @@ void ConnectionService::on_cs_response(ViId local_vi, bool accepted,
   } else {
     client.vi->state_ = ViState::kIdle;
     client.result = Status::kRejected;
-    nic_.stats().add("conn.rejected");
+    nic_.stats().add(kRejected);
+    trace_conn(kTrRejected, remote_node);
   }
   client.process->wakeup();
 }
@@ -398,7 +459,8 @@ void ConnectionService::disconnect(Vi& vi) {
   send_control(remote_node, [remote_vi](Nic& remote) {
     remote.connections().on_disconnect(remote_vi);
   });
-  nic_.stats().add("conn.disconnected");
+  nic_.stats().add(kDisconnected);
+  trace_conn(kTrDisconnect, remote_node);
 }
 
 void ConnectionService::on_disconnect(ViId local_vi) {

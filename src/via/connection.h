@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/sim/process.h"
+#include "src/sim/stats.h"
 #include "src/via/types.h"
 
 namespace odmpi::via {
@@ -122,6 +123,11 @@ class ConnectionService {
 
   void send_control(NodeId dst, std::function<void(Nic&)> handler);
   void establish(Vi& vi, NodeId remote_node, ViId remote_vi);
+
+  // Records one point on the connection state-machine timeline
+  // (TraceCat::kConn) when the job is tracing; no-op otherwise.
+  void trace_conn(sim::Stats::Counter name, NodeId peer, std::int64_t a0 = 0,
+                  std::int64_t a1 = 0) const;
 
   // Handshake retransmission (armed only under an active FaultPlan; see
   // Cluster::fault_active). Each arm bumps the generation so a timer that

@@ -5,6 +5,14 @@
 
 namespace odmpi::via {
 
+namespace {
+
+const sim::Stats::Counter kTrPacket = sim::Stats::counter("fabric.packet");
+const sim::Stats::Counter kTrDrop = sim::Stats::counter("fabric.drop");
+const sim::Stats::Counter kTrDup = sim::Stats::counter("fabric.dup");
+
+}  // namespace
+
 bool Fabric::deliver(NodeId src, NodeId dst, std::size_t bytes,
                      sim::FaultClass cls, sim::SimTime depart_time,
                      sim::SimTime src_nic_delay, sim::SimTime dst_nic_delay,
@@ -30,17 +38,35 @@ bool Fabric::deliver(NodeId src, NodeId dst, std::size_t bytes,
     const sim::FaultDecision d = fault_plan_->decide(src, dst, cls, tx_start);
     if (d.drop) {
       ++packets_dropped_;
+      if (tracer_ != nullptr) {
+        tracer_->instant_at(sim::TraceCat::kFabric, kTrDrop, src, dst,
+                            tx_start, static_cast<std::int64_t>(bytes),
+                            static_cast<std::int64_t>(cls));
+      }
       return false;
     }
     arrival += d.extra_delay;
     if (d.duplicate) {
       ++packets_duplicated_;
       engine_.schedule_at(arrival + d.duplicate_lag, on_arrival);
+      if (tracer_ != nullptr) {
+        tracer_->instant_at(sim::TraceCat::kFabric, kTrDup, src, dst,
+                            arrival + d.duplicate_lag,
+                            static_cast<std::int64_t>(bytes),
+                            static_cast<std::int64_t>(cls));
+      }
     }
   }
 
   ++packets_delivered_;
   bytes_delivered_ += bytes;
+  if (tracer_ != nullptr) {
+    // One span per packet covering NIC egress queueing + wire + far NIC:
+    // the interval a viewer should see the bytes "in flight".
+    tracer_->complete(sim::TraceCat::kFabric, kTrPacket, src, dst, tx_start,
+                      arrival - tx_start, static_cast<std::int64_t>(bytes),
+                      static_cast<std::int64_t>(cls));
+  }
   engine_.schedule_at(arrival, std::move(on_arrival));
   return true;
 }

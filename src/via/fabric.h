@@ -20,6 +20,7 @@
 #include "src/sim/engine.h"
 #include "src/sim/fault.h"
 #include "src/sim/time.h"
+#include "src/sim/trace.h"
 #include "src/via/device_profile.h"
 #include "src/via/types.h"
 
@@ -35,6 +36,11 @@ class Fabric {
 
   /// Attaches (or detaches, with nullptr) the fault-injection plan.
   void set_fault_plan(sim::FaultPlan* plan) { fault_plan_ = plan; }
+
+  /// Attaches (or detaches, with nullptr) the trace sink. The fabric
+  /// records wire-occupancy spans and drop/duplicate instants under
+  /// TraceCat::kFabric; recording never changes delivery times.
+  void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
 
   /// Ships `bytes` from `src` to `dst`. Returns false if the fault plan
   /// dropped the packet (the arrival callback will never fire).
@@ -82,6 +88,7 @@ class Fabric {
   const DeviceProfile& profile_;
   std::vector<sim::SimTime> egress_free_;
   sim::FaultPlan* fault_plan_ = nullptr;
+  sim::Tracer* tracer_ = nullptr;
   std::uint64_t packets_delivered_ = 0;
   std::uint64_t bytes_delivered_ = 0;
   std::uint64_t packets_dropped_ = 0;

@@ -14,6 +14,41 @@ namespace {
 constexpr std::size_t kWireHeaderBytes = 32;
 // Acknowledgement packet size (reliable delivery, faulted runs only).
 constexpr std::size_t kAckWireBytes = 16;
+
+// Interned stat handles: these sites are cold individually but several
+// sit on fault-path loops — handles keep them off the intern-table mutex.
+const sim::Stats::Counter kViCreated = sim::Stats::counter("vi.created");
+const sim::Stats::Counter kViOpenPeak = sim::Stats::counter("vi.open_peak");
+const sim::Stats::Counter kMemPinnedPeak =
+    sim::Stats::counter("mem.pinned_peak_bytes");
+const sim::Stats::Counter kDroppedNoVi =
+    sim::Stats::counter("msg.dropped_no_vi");
+const sim::Stats::Counter kDroppedNoDesc =
+    sim::Stats::counter("msg.dropped_no_desc");
+const sim::Stats::Counter kLengthError =
+    sim::Stats::counter("msg.length_error");
+const sim::Stats::Counter kProtectionError =
+    sim::Stats::counter("rdma.protection_error");
+const sim::Stats::Counter kUdTransportErrors =
+    sim::Stats::counter("via.ud_transport_errors");
+const sim::Stats::Counter kBudgetExtended =
+    sim::Stats::counter("via.retransmit_budget_extended");
+const sim::Stats::Counter kRetransmits =
+    sim::Stats::counter("via.retransmits");
+const sim::Stats::Counter kSendTimeouts =
+    sim::Stats::counter("via.send_timeouts");
+const sim::Stats::Counter kDupSuppressed =
+    sim::Stats::counter("via.dup_suppressed");
+const sim::Stats::Counter kOutOfOrderDropped =
+    sim::Stats::counter("via.out_of_order_dropped");
+
+// Trace event names.
+const sim::Stats::Counter kTrDoorbell =
+    sim::Stats::counter("nic.doorbell_scan");
+const sim::Stats::Counter kTrRetransmit =
+    sim::Stats::counter("via.retransmit");
+const sim::Stats::Counter kTrSendTimeout =
+    sim::Stats::counter("via.send_timeout");
 }  // namespace
 
 Nic::Nic(Cluster& cluster, NodeId node)
@@ -29,8 +64,8 @@ Vi* Nic::create_vi(CompletionQueue* send_cq, CompletionQueue* recv_cq) {
   vis_.push_back(std::make_unique<Vi>(*this, id, send_cq, recv_cq));
   ++open_vi_count_;
   ++vis_ever_created_;
-  stats_.add("vi.created");
-  stats_.set_max("vi.open_peak", open_vi_count_);
+  stats_.add(kViCreated);
+  stats_.set_max(kViOpenPeak, open_vi_count_);
   return vis_.back().get();
 }
 
@@ -63,7 +98,7 @@ MemoryHandle Nic::register_memory(const std::byte* base, std::size_t length) {
   charge_host(static_cast<sim::SimTime>(pages) *
               profile().mem_reg_cost_per_page);
   const MemoryHandle h = memory_.register_region(base, length);
-  stats_.set_max("mem.pinned_peak_bytes", memory_.peak_pinned_bytes());
+  stats_.set_max(kMemPinnedPeak, memory_.peak_pinned_bytes());
   return h;
 }
 
@@ -87,6 +122,13 @@ sim::SimTime Nic::send_nic_delay() const {
          profile().nic_per_vi_cost * open_vi_count_;
 }
 
+void Nic::trace_doorbell(const Vi& vi) const {
+  sim::Tracer* tr = cluster_.tracer();
+  if (tr == nullptr || !tr->on(sim::TraceCat::kFabric)) return;
+  tr->instant(sim::TraceCat::kFabric, kTrDoorbell, node_, vi.remote_node(),
+              open_vi_count_, send_nic_delay());
+}
+
 void Nic::complete(Vi& vi, Descriptor* desc, Status status, std::size_t bytes,
                    bool is_receive) {
   desc->status = status;
@@ -101,6 +143,7 @@ Status Nic::start_send(Vi& vi, Descriptor* desc) {
   assert(vi.state() == ViState::kConnected);
   ++hot_.msg_sent;
   hot_.msg_sent_bytes += static_cast<std::int64_t>(desc->length);
+  trace_doorbell(vi);
   if (cluster_.fault_active()) {
     return vi.reliable() ? start_reliable(vi, desc, /*is_rdma=*/false)
                          : start_unreliable_lossy(vi, desc, /*is_rdma=*/false);
@@ -132,21 +175,21 @@ Status Nic::start_send(Vi& vi, Descriptor* desc) {
 void Nic::on_message(ViId target_vi, const std::vector<std::byte>& payload) {
   Vi* vi = find_vi(target_vi);
   if (vi == nullptr || vi->state() != ViState::kConnected) {
-    stats_.add("msg.dropped_no_vi");
+    stats_.add(kDroppedNoVi);
     return;
   }
   if (vi->recv_queue_.empty()) {
     // VIA semantics: no preposted receive descriptor => the message is
     // dropped. The MPI credit scheme makes this unreachable from MPI.
     ++vi->drops_;
-    stats_.add("msg.dropped_no_desc");
+    stats_.add(kDroppedNoDesc);
     return;
   }
   Descriptor* desc = vi->recv_queue_.front();
   vi->recv_queue_.pop_front();
   if (payload.size() > desc->length) {
     complete(*vi, desc, Status::kLengthError, 0, /*is_receive=*/true);
-    stats_.add("msg.length_error");
+    stats_.add(kLengthError);
     return;
   }
   if (!payload.empty()) {
@@ -165,11 +208,12 @@ Status Nic::start_rdma_write(Vi& vi, Descriptor* desc) {
   if (!remote.memory().covers(desc->remote_mem_handle, desc->remote_addr,
                               desc->length)) {
     complete(vi, desc, Status::kProtectionError, 0, /*is_receive=*/false);
-    stats_.add("rdma.protection_error");
+    stats_.add(kProtectionError);
     return Status::kProtectionError;
   }
   ++hot_.rdma_write;
   hot_.rdma_write_bytes += static_cast<std::int64_t>(desc->length);
+  trace_doorbell(vi);
   if (cluster_.fault_active()) {
     return vi.reliable() ? start_reliable(vi, desc, /*is_rdma=*/true)
                          : start_unreliable_lossy(vi, desc, /*is_rdma=*/true);
@@ -244,7 +288,7 @@ Status Nic::start_unreliable_lossy(Vi& vi, Descriptor* desc, bool is_rdma) {
       [this, vi_ptr, desc, dropped] {
         --vi_ptr->sends_in_flight_;
         if (*dropped) {
-          stats_.add("via.ud_transport_errors");
+          stats_.add(kUdTransportErrors);
           complete(*vi_ptr, desc, Status::kTransportError, 0,
                    /*is_receive=*/false);
         } else {
@@ -334,19 +378,29 @@ void Nic::on_retransmit_timer(ViId vi_id, std::uint64_t seq,
     if (vi->last_ack_time_ >= rs.first_tx_time) {
       rs.retries = 0;
       rs.first_tx_time = sim::Process::current_time(cluster_.engine());
-      stats_.add("via.retransmit_budget_extended");
+      stats_.add(kBudgetExtended);
     } else {
       fail_reliable_sends(*vi);
       return;
     }
   }
   ++rs.retries;
-  stats_.add("via.retransmits");
+  stats_.add(kRetransmits);
+  if (sim::Tracer* tr = cluster_.tracer()) {
+    tr->instant(sim::TraceCat::kFabric, kTrRetransmit, node_,
+                vi->remote_node(), static_cast<std::int64_t>(seq),
+                rs.retries);
+  }
   transmit_reliable(*vi, rs);
 }
 
 void Nic::fail_reliable_sends(Vi& vi) {
-  stats_.add("via.send_timeouts");
+  stats_.add(kSendTimeouts);
+  if (sim::Tracer* tr = cluster_.tracer()) {
+    tr->instant(sim::TraceCat::kFabric, kTrSendTimeout, node_,
+                vi.remote_node(),
+                static_cast<std::int64_t>(vi.unacked_.size()));
+  }
   vi.state_ = ViState::kError;
   // Complete every outstanding packet in sequence order with kTimeout;
   // std::map iterates in ascending seq order already.
@@ -401,19 +455,19 @@ void Nic::on_reliable_message(ViId target_vi, std::uint64_t seq,
                               const std::vector<std::byte>& payload) {
   Vi* vi = find_vi(target_vi);
   if (vi == nullptr || vi->state() != ViState::kConnected) {
-    stats_.add("msg.dropped_no_vi");
+    stats_.add(kDroppedNoVi);
     return;
   }
   if (seq < vi->next_recv_seq_) {
     // Duplicate (retransmit raced the ack, or fabric duplication).
-    stats_.add("via.dup_suppressed");
+    stats_.add(kDupSuppressed);
     send_ack(*vi);
     return;
   }
   if (seq > vi->next_recv_seq_) {
     // Gap: an earlier packet was lost. Go-back-N — drop and re-ack so
     // the sender's timer resends from the gap.
-    stats_.add("via.out_of_order_dropped");
+    stats_.add(kOutOfOrderDropped);
     send_ack(*vi);
     return;
   }
@@ -427,16 +481,16 @@ void Nic::on_reliable_rdma(ViId target_vi, std::uint64_t seq,
                            const std::vector<std::byte>& payload) {
   Vi* vi = find_vi(target_vi);
   if (vi == nullptr || vi->state() != ViState::kConnected) {
-    stats_.add("msg.dropped_no_vi");
+    stats_.add(kDroppedNoVi);
     return;
   }
   if (seq < vi->next_recv_seq_) {
-    stats_.add("via.dup_suppressed");
+    stats_.add(kDupSuppressed);
     send_ack(*vi);
     return;
   }
   if (seq > vi->next_recv_seq_) {
-    stats_.add("via.out_of_order_dropped");
+    stats_.add(kOutOfOrderDropped);
     send_ack(*vi);
     return;
   }

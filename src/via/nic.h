@@ -117,6 +117,10 @@ class Nic {
   void complete(Vi& vi, Descriptor* desc, Status status, std::size_t bytes,
                 bool is_receive);
 
+  // Records the per-message doorbell-scan cost instant (TraceCat::kFabric)
+  // when the job is tracing; args carry open-VI count and the delay.
+  void trace_doorbell(const Vi& vi) const;
+
   // Reliable-delivery internals.
   Status start_reliable(Vi& vi, Descriptor* desc, bool is_rdma);
   void transmit_reliable(Vi& vi, Vi::ReliableSend& rs);

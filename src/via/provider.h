@@ -9,6 +9,7 @@
 #include "src/sim/engine.h"
 #include "src/sim/fault.h"
 #include "src/sim/stats.h"
+#include "src/sim/trace.h"
 #include "src/via/device_profile.h"
 #include "src/via/fabric.h"
 #include "src/via/nic.h"
@@ -36,6 +37,15 @@ class Cluster {
   [[nodiscard]] bool fault_active() const { return fault_plan_.enabled(); }
   [[nodiscard]] sim::FaultPlan& fault_plan() { return fault_plan_; }
 
+  /// Attaches the job's trace sink (owned by the MPI World) and forwards
+  /// it to the fabric; NICs and the connection service read it from here.
+  void set_tracer(sim::Tracer* tracer) {
+    tracer_ = tracer;
+    fabric_.set_tracer(tracer);
+  }
+  /// The attached tracer, or nullptr when the job is not tracing.
+  [[nodiscard]] sim::Tracer* tracer() const { return tracer_; }
+
   /// Aggregated statistics across every NIC (plus fabric totals).
   [[nodiscard]] sim::Stats aggregate_stats();
 
@@ -43,6 +53,7 @@ class Cluster {
   sim::Engine& engine_;
   DeviceProfile profile_;
   sim::FaultPlan fault_plan_;
+  sim::Tracer* tracer_ = nullptr;
   Fabric fabric_;
   std::vector<std::unique_ptr<Nic>> nics_;
 };

@@ -233,10 +233,13 @@ TEST(Deadline, DeadlockedProgramReportsFailure) {
   JobOptions opt = make_options();
   opt.deadline = sim::seconds(1);
   World w(2, opt);
-  EXPECT_FALSE(w.run([](Comm& c) {
+  const RunResult result = w.run_job([](Comm& c) {
     std::int32_t v;
     c.recv(&v, 1, kInt32, 1 - c.rank(), 1);  // both receive, nobody sends
-  }));
+  });
+  EXPECT_EQ(result.status, RunStatus::kDeadline);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.failed_ranks, (std::vector<Rank>{0, 1}));
   EXPECT_FALSE(w.report(0).finished);
   EXPECT_FALSE(w.report(1).finished);
 }

@@ -23,13 +23,14 @@ inline JobOptions make_options(
   return opt;
 }
 
-/// Runs `fn` and fails the test on deadlock/timeout.
+/// Runs `fn` and fails the test unless the job finished cleanly.
 inline void run_or_die(int nranks, const JobOptions& opt,
                        const std::function<void(Comm&)>& fn) {
   World world(nranks, opt);
-  ASSERT_TRUE(world.run(fn)) << "job deadlocked or timed out ("
-                             << to_string(opt.device.connection_model)
-                             << " on " << opt.profile.name << ")";
+  const RunResult result = world.run_job(fn);
+  ASSERT_EQ(result.status, RunStatus::kOk)
+      << result.summary() << " (" << to_string(opt.device.connection_model)
+      << " on " << opt.profile.name << ")";
 }
 
 /// The full experimental matrix of the paper (used by TEST_P suites).

@@ -1,0 +1,157 @@
+// Unit tests for sim::Tracer: the disabled path must record and allocate
+// nothing, the enabled path must capture spans/instants/counters with
+// process-local timestamps, and the digest must be deterministic.
+#include "src/sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/sim/engine.h"
+#include "src/sim/process.h"
+
+namespace odmpi::sim {
+namespace {
+
+const Stats::Counter kName = Stats::counter("trace.test.event");
+const Stats::Counter kOther = Stats::counter("trace.test.other");
+
+TEST(Tracer, DisabledRecordsAndAllocatesNothing) {
+  Engine engine;
+  Tracer t;  // default-constructed: disabled
+  EXPECT_FALSE(t.enabled());
+
+  TraceConfig off;
+  off.enabled = false;
+  t.configure(off, &engine);
+  EXPECT_FALSE(t.enabled());
+  EXPECT_FALSE(t.on(TraceCat::kMsg));
+
+  t.instant(TraceCat::kMsg, kName, 0);
+  t.counter(TraceCat::kMsg, kName, 0, 42);
+  t.complete(TraceCat::kFabric, kName, 0, 1, 10, 20);
+  const TraceSpanId id = t.begin_span(TraceCat::kConn, kName, 0);
+  EXPECT_EQ(id, 0u);
+  t.end_span(id);  // null span: must be a harmless no-op
+
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.chunk_allocations(), 0u);
+  EXPECT_TRUE(t.digest().empty());
+}
+
+TEST(Tracer, CategoryMaskFiltersRecords) {
+  Engine engine;
+  Tracer t;
+  TraceConfig cfg;
+  cfg.enabled = true;
+  cfg.categories = trace_bit(TraceCat::kConn);
+  t.configure(cfg, &engine);
+  EXPECT_TRUE(t.enabled());
+  EXPECT_TRUE(t.on(TraceCat::kConn));
+  EXPECT_FALSE(t.on(TraceCat::kMsg));
+
+  t.instant(TraceCat::kMsg, kName, 0);  // masked off
+  t.instant(TraceCat::kConn, kName, 0);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.event(0).cat, TraceCat::kConn);
+}
+
+TEST(Tracer, SpanCapturesProcessLocalInterval) {
+  Engine engine;
+  Tracer t;
+  TraceConfig cfg;
+  cfg.enabled = true;
+  t.configure(cfg, &engine);
+
+  Process proc(engine, 0, [&] {
+    Process* p = Process::current();
+    p->advance(nanoseconds(100));
+    const TraceSpanId id = t.begin_span(TraceCat::kMsg, kName, /*rank=*/3,
+                                        /*peer=*/7, /*a0=*/64, /*a1=*/9);
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(t.event(id - 1).open);
+    p->advance(nanoseconds(250));
+    t.end_span(id);
+  });
+  proc.start();
+  engine.run();
+
+  ASSERT_EQ(t.size(), 1u);
+  const Tracer::Event& e = t.event(0);
+  EXPECT_EQ(e.ph, 'X');
+  EXPECT_EQ(e.ts, nanoseconds(100));
+  EXPECT_EQ(e.dur, nanoseconds(250));
+  EXPECT_EQ(e.rank, 3);
+  EXPECT_EQ(e.peer, 7);
+  EXPECT_EQ(e.a0, 64);
+  EXPECT_EQ(e.a1, 9);
+  EXPECT_TRUE(e.name == kName);
+  EXPECT_FALSE(e.open);
+}
+
+TEST(Tracer, DigestIsDeterministicAndComplete) {
+  Engine engine;
+  const auto record = [&](Tracer& t) {
+    TraceConfig cfg;
+    cfg.enabled = true;
+    t.configure(cfg, &engine);
+    t.instant_at(TraceCat::kFabric, kName, 0, 1, nanoseconds(5), 128, 2);
+    t.complete(TraceCat::kFabric, kOther, 1, 0, nanoseconds(10),
+               nanoseconds(30), 256, 0);
+    t.counter(TraceCat::kMsg, kName, 0, 17);
+  };
+  Tracer a;
+  Tracer b;
+  record(a);
+  record(b);
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_NE(a.digest().find("trace.test.event"), std::string::npos);
+  EXPECT_NE(a.digest().find("ts=5"), std::string::npos);
+  EXPECT_NE(a.digest().find("a0=256"), std::string::npos);
+}
+
+TEST(Tracer, ChromeJsonHasExpectedShape) {
+  Engine engine;
+  Tracer t;
+  TraceConfig cfg;
+  cfg.enabled = true;
+  t.configure(cfg, &engine);
+  t.complete(TraceCat::kConn, kName, 2, 5, nanoseconds(1500),
+             nanoseconds(2500), 1, 2);
+  t.instant_at(TraceCat::kFabric, kOther, 0, -1, nanoseconds(42));
+  t.counter(TraceCat::kMsg, kName, 1, 3);
+
+  std::ostringstream os;
+  t.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(json.find("trace.test.event"), std::string::npos);
+  // 1500 ns span start -> 1.500 us, printed with fixed decimals.
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2.500"), std::string::npos);
+}
+
+TEST(Tracer, ClearReturnsStorageAndResets) {
+  Engine engine;
+  Tracer t;
+  TraceConfig cfg;
+  cfg.enabled = true;
+  t.configure(cfg, &engine);
+  // Cross a chunk boundary to exercise multi-chunk storage.
+  for (int i = 0; i < 1500; ++i) {
+    t.instant_at(TraceCat::kMsg, kName, 0, -1, nanoseconds(i));
+  }
+  EXPECT_EQ(t.size(), 1500u);
+  EXPECT_GE(t.chunk_allocations(), 2u);
+  EXPECT_EQ(t.event(1200).ts, nanoseconds(1200));
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.digest().empty());
+}
+
+}  // namespace
+}  // namespace odmpi::sim
