@@ -1,0 +1,114 @@
+// Connection churn under a VI budget: the resource-capped extension of
+// Table 2. A rotating neighbor exchange touches every peer in turn, so
+// the instantaneous working set is small but the cumulative peer set is
+// the full communicator — the workload where a cap trades reconnect
+// traffic for a hard bound on open VIs (and their pinned eager memory).
+//
+// Columns: completion time, mean peak simultaneously-open VIs per
+// process, mean VIs created per process (counts eviction reconnects),
+// peak pinned bytes, total evictions and reconnects across ranks.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace odmpi;
+
+namespace {
+
+struct Row {
+  std::string label;
+  mpi::RunResult result;
+  double peak_vis = 0;
+  double created_vis = 0;
+  std::int64_t pinned_peak = 0;  // max over ranks
+  std::int64_t evictions = 0;
+  std::int64_t reconnects = 0;
+};
+
+// Every rank exchanges with (rank +/- stride) for stride = 1..P-1,
+// several passes, with a barrier per stride to keep the pattern phased.
+// Each stride touches a new pair, so by the end every process has spoken
+// to every other — but never to more than two at once.
+void churn_body(mpi::Comm& c, int passes, int bytes) {
+  std::vector<char> out(static_cast<std::size_t>(bytes), 'c');
+  std::vector<char> in(static_cast<std::size_t>(bytes));
+  for (int pass = 0; pass < passes; ++pass) {
+    for (int stride = 1; stride < c.size(); ++stride) {
+      const int right = (c.rank() + stride) % c.size();
+      const int left = (c.rank() - stride + c.size()) % c.size();
+      c.sendrecv(out.data(), bytes, mpi::kByte, right, stride, in.data(),
+                 bytes, mpi::kByte, left, stride);
+      c.barrier();
+    }
+  }
+}
+
+Row run_config(const std::string& label, mpi::ConnectionModel model,
+               int max_vis, int nprocs, int passes, int bytes) {
+  mpi::JobOptions opt;
+  opt.device.connection_model = model;
+  opt.device.max_vis = max_vis;
+  opt.trace = bench::next_trace_config();
+  mpi::World world(nprocs, opt);
+  Row row;
+  row.label = label;
+  row.result =
+      world.run_job([&](mpi::Comm& c) { churn_body(c, passes, bytes); });
+  if (!row.result.ok()) return row;
+  row.peak_vis = world.mean_peak_vis_per_process();
+  row.created_vis = world.mean_vis_per_process();
+  for (int r = 0; r < nprocs; ++r) {
+    row.pinned_peak =
+        std::max(row.pinned_peak, world.report(r).pinned_bytes_peak);
+  }
+  sim::Stats total = world.aggregate_stats();
+  row.evictions = total.get("mpi.evictions");
+  row.reconnects = total.get("mpi.reconnects");
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
+  const bool quick = bench::quick_mode();
+  const int nprocs = quick ? 8 : 16;
+  const int passes = quick ? 1 : 2;
+  const int bytes = 1024;
+
+  bench::heading("Connection churn under a VI budget (rotating exchange, " +
+                 std::to_string(nprocs) + " procs)");
+
+  std::vector<Row> rows;
+  rows.push_back(run_config("on-demand", mpi::ConnectionModel::kOnDemand,
+                            /*max_vis=*/0, nprocs, passes, bytes));
+  rows.push_back(run_config("on-demand-cap4", mpi::ConnectionModel::kOnDemand,
+                            /*max_vis=*/4, nprocs, passes, bytes));
+  rows.push_back(run_config("static-p2p",
+                            mpi::ConnectionModel::kStaticPeerToPeer,
+                            /*max_vis=*/0, nprocs, passes, bytes));
+
+  std::printf("%-16s %10s %9s %9s %12s %7s %7s\n", "config", "time-ms",
+              "peak-VIs", "VIs-made", "pinned-KiB", "evict", "reconn");
+  for (const Row& row : rows) {
+    if (!row.result.ok()) {
+      std::printf("%-16s %s\n", row.label.c_str(),
+                  row.result.summary().c_str());
+      continue;
+    }
+    std::printf("%-16s %10.3f %9.2f %9.2f %12.1f %7lld %7lld\n",
+                row.label.c_str(), sim::to_ms(row.result.completion_time),
+                row.peak_vis, row.created_vis, row.pinned_peak / 1024.0,
+                static_cast<long long>(row.evictions),
+                static_cast<long long>(row.reconnects));
+  }
+  std::printf(
+      "\npaper shape: the cap holds peak VIs (and pinned memory) at the\n"
+      "budget while static pins the full N-1 mesh; the price is reconnect\n"
+      "traffic and a completion-time overhead that stays modest because\n"
+      "the instantaneous working set fits the budget.\n");
+  return 0;
+}

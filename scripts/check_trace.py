@@ -11,10 +11,17 @@ on a bench run with --trace=<file>:
     lanes (fabric, conn, msg, coll);
   * timestamps and durations are non-negative and no span is left open;
   * every pid seen in a data event also has a process_name metadata
-    record (the lane naming the viewer relies on).
+    record (the lane naming the viewer relies on);
+  * with --check-evictions, the eviction lifecycle on every (pid, peer)
+    channel is well-formed: mpi.conn.evict and mpi.conn.reconnect
+    strictly alternate starting with an evict — a reconnect with no
+    preceding evict is impossible (the first connect is never traced as
+    a reconnect), and a trailing evict with no reconnect is a clean
+    shutdown, which is fine.
 
 Usage:
     check_trace.py <trace.json> [--require-cat fabric,conn,msg]
+                   [--check-evictions] [--min-evictions N]
 
 Exits non-zero listing every violation.
 """
@@ -81,6 +88,57 @@ def check(path: pathlib.Path, require_cats: set) -> list:
     return errors
 
 
+def check_evictions(path: pathlib.Path, min_evictions: int) -> list:
+    """Validates the resource-capped eviction lifecycle in a trace.
+
+    Per (pid, peer) channel, in timestamp order, the conn lane must show
+    evict / reconnect strictly alternating and starting with an evict.
+    A channel may end on an unanswered evict — that is the clean-shutdown
+    case where the pair never spoke again before MPI_Finalize.
+    """
+    errors = []
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable or invalid JSON: {exc}"]
+
+    lifecycle = {}  # (pid, peer) -> list of (ts, index_in_file, kind)
+    for i, e in enumerate(doc.get("traceEvents", [])):
+        name = e.get("name")
+        if name not in ("mpi.conn.evict", "mpi.conn.reconnect"):
+            continue
+        kind = "evict" if name == "mpi.conn.evict" else "reconnect"
+        peer = e.get("args", {}).get("peer", -1)
+        if not isinstance(peer, int) or peer < 0:
+            errors.append(f"event {i}: {name} without a valid args.peer")
+            continue
+        key = (e.get("pid"), peer)
+        lifecycle.setdefault(key, []).append((float(e.get("ts", 0)), i, kind))
+
+    n_evict = 0
+    for (pid, peer), events in sorted(lifecycle.items()):
+        events.sort()  # ts, then file order for simultaneous instants
+        expect = "evict"
+        for ts, i, kind in events:
+            if kind != expect:
+                errors.append(
+                    f"pid {pid} peer {peer}: event {i} is a {kind} at "
+                    f"ts={ts} but the lifecycle expected {expect!r} "
+                    "(evict/reconnect must alternate, starting with evict)"
+                )
+                break
+            if kind == "evict":
+                n_evict += 1
+            expect = "reconnect" if kind == "evict" else "evict"
+
+    if n_evict < min_evictions:
+        errors.append(
+            f"only {n_evict} eviction(s) traced, expected at least "
+            f"{min_evictions} — the capped run did not actually churn"
+        )
+    return errors
+
+
 def main(argv: list) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("trace", type=pathlib.Path)
@@ -88,6 +146,19 @@ def main(argv: list) -> int:
         "--require-cat",
         default="",
         help="comma-separated categories that must appear in the trace",
+    )
+    parser.add_argument(
+        "--check-evictions",
+        action="store_true",
+        help="validate the conn.evict / conn.reconnect lifecycle "
+        "(resource-capped runs)",
+    )
+    parser.add_argument(
+        "--min-evictions",
+        type=int,
+        default=0,
+        help="with --check-evictions, fail unless the trace shows at "
+        "least this many evictions",
     )
     args = parser.parse_args(argv[1:])
     require = {c for c in args.require_cat.split(",") if c}
@@ -98,6 +169,8 @@ def main(argv: list) -> int:
         return 2
 
     errors = check(args.trace, require)
+    if args.check_evictions or args.min_evictions:
+        errors += check_evictions(args.trace, args.min_evictions)
     if errors:
         for err in errors:
             print(f"TRACE CHECK FAILED: {err}", file=sys.stderr)

@@ -29,6 +29,51 @@ std::pair<Rank, Rank> decode_pair(via::Discriminator disc) {
 void OnDemandConnectionManager::ensure_connection(Rank peer) {
   Channel& ch = device_.channel(peer);
   if (ch.state != Channel::State::kUnconnected) return;
+  if (may_connect(peer)) {
+    connect_now(peer);
+    return;
+  }
+  // Blocked. Either the budget is exhausted — kick an LRU eviction (one
+  // at a time keeps the schedule deterministic) — or the last free slot
+  // is reserved for synchronous admissions, in which case no eviction can
+  // help and the connect simply waits for a limbo handshake to resolve.
+  // The channel stays kUnconnected, so the triggering send parks in its
+  // FIFO through the normal not-yet-connected path. The strict order —
+  // victim destroyed, then replacement created — is what keeps the live
+  // VI count <= budget at every step.
+  if (device_.open_channel_vis() >= device_.config().max_vis &&
+      !device_.eviction_in_progress()) {
+    device_.evict_lru_channel();
+  }
+  defer(peer);
+}
+
+int OnDemandConnectionManager::limbo_count() {
+  int n = 0;
+  for (Rank peer : connecting_) {
+    if (device_.channel(peer).state == Channel::State::kConnecting) ++n;
+  }
+  return n;
+}
+
+bool OnDemandConnectionManager::may_connect(Rank peer) {
+  const int budget = device_.config().max_vis;
+  if (budget <= 0) return true;
+  if (device_.open_channel_vis() >= budget) return false;
+  if (budget == 1) return true;  // no room for a reservation; see header
+  if (device_.nic().connections().has_unmatched_for(
+          device_.pair_discriminator(peer))) {
+    // The peer's request is already queued: connect_peer matches it
+    // synchronously, so this admission can never strand a slot in limbo
+    // and may take the last one.
+    return true;
+  }
+  return limbo_count() < budget - 1;
+}
+
+void OnDemandConnectionManager::connect_now(Rank peer) {
+  Channel& ch = device_.channel(peer);
+  assert(ch.state == Channel::State::kUnconnected);
   device_.prepare_channel(ch);
   ch.state = Channel::State::kConnecting;
   device_.stats().add(kOndemandConnects);
@@ -40,6 +85,59 @@ void OnDemandConnectionManager::ensure_connection(Rank peer) {
   } else {
     connecting_.push_back(peer);
   }
+}
+
+bool OnDemandConnectionManager::is_waiting(Rank peer) const {
+  return !waiting_flag_.empty() &&
+         waiting_flag_[static_cast<std::size_t>(peer)] != 0;
+}
+
+void OnDemandConnectionManager::defer(Rank peer) {
+  if (waiting_flag_.empty()) {
+    waiting_flag_.assign(static_cast<std::size_t>(device_.size()), 0);
+  }
+  auto& flag = waiting_flag_[static_cast<std::size_t>(peer)];
+  if (flag != 0) return;
+  flag = 1;
+  waiting_slots_.push_back(peer);
+}
+
+bool OnDemandConnectionManager::admit_waiting() {
+  if (waiting_slots_.empty()) return false;
+  bool progressed = false;
+  // Scan the whole queue rather than popping from the head: an entry
+  // blocked on the limbo reservation must not head-of-line-block a later
+  // entry whose peer request is already queued — admitting those
+  // synchronous matches is exactly what un-wedges rings of mutually
+  // waiting ranks. Admission order among eligible entries stays FIFO.
+  for (auto it = waiting_slots_.begin(); it != waiting_slots_.end();) {
+    const Rank peer = *it;
+    Channel& ch = device_.channel(peer);
+    // The wait may have been overtaken: the peer's own request can have
+    // connected the channel, or it failed over. Only a still-unconnected
+    // channel needs the deferred connect.
+    if (ch.state != Channel::State::kUnconnected) {
+      waiting_flag_[static_cast<std::size_t>(peer)] = 0;
+      it = waiting_slots_.erase(it);
+      progressed = true;
+      continue;
+    }
+    if (!may_connect(peer)) {
+      ++it;
+      continue;
+    }
+    waiting_flag_[static_cast<std::size_t>(peer)] = 0;
+    it = waiting_slots_.erase(it);
+    connect_now(peer);
+    progressed = true;
+  }
+  if (!waiting_slots_.empty() &&
+      device_.open_channel_vis() >= device_.config().max_vis &&
+      !device_.eviction_in_progress()) {
+    // Still over budget and nothing draining: free the next slot.
+    progressed |= device_.evict_lru_channel();
+  }
+  return progressed;
 }
 
 void OnDemandConnectionManager::on_any_source(
@@ -64,16 +162,42 @@ bool OnDemandConnectionManager::progress() {
       const auto [lo, hi] = decode_pair(req.discriminator);
       const Rank peer = (lo == device_.rank()) ? hi : lo;
       assert(peer == req.src_node && "discriminator / source mismatch");
+      Channel& ch = device_.channel(peer);
+      const bool was_waiting = is_waiting(peer);
       ensure_connection(peer);
-      progressed = true;
+      // A deferred answer (resource-capped mode) leaves the request
+      // queued in the service until the eventual connect_peer claims it,
+      // so this loop sees it again on every pass. Only count progress
+      // when something actually changed — answering it, or queueing the
+      // peer for admission the first time — or the progress contract
+      // would report "advancing" forever and the wait loop could never
+      // block.
+      if (ch.state != Channel::State::kUnconnected ||
+          (!was_waiting && is_waiting(peer))) {
+        progressed = true;
+      }
     }
   }
+
+  // Resource-capped mode: admit deferred connects as eviction frees
+  // budget slots. A no-op (empty deque) with an unlimited budget.
+  progressed |= admit_waiting();
 
   // Locally initiated requests that completed since the last check.
   if (!connecting_.empty()) {
     auto it = connecting_.begin();
     while (it != connecting_.end()) {
       Channel& ch = device_.channel(*it);
+      if (ch.vi == nullptr || ch.state != Channel::State::kConnecting) {
+        // Resolved out of band (resource-capped mode only): an arriving
+        // kEvictReq connected the channel through its fast path, and it
+        // may since have drained or been torn down. Never reachable with
+        // an unlimited budget, where only this walk resolves entries.
+        attempts_.erase(*it);
+        it = connecting_.erase(it);
+        progressed = true;
+        continue;
+      }
       if (ch.vi->state() == via::ViState::kConnected) {
         device_.channel_connected(ch);
         attempts_.erase(*it);

@@ -9,8 +9,29 @@
 // and completes locally initiated requests, draining each channel's
 // pre-posted send FIFO in order. A receive from MPI_ANY_SOURCE connects
 // to every process in the communicator (section 3.5).
+//
+// Resource-capped mode (DeviceConfig::max_vis > 0): when a connect would
+// exceed the per-process VI budget, the manager kicks off an LRU eviction
+// on the device and defers the connect into a FIFO until a slot frees;
+// the triggering send parks in the channel's pre-posted FIFO exactly as
+// during a normal handshake, so ordering is preserved. The live VI count
+// never exceeds the budget — a victim is fully torn down before its
+// replacement is created.
+//
+// Deadlock avoidance (the limbo reservation): a locally initiated
+// connect whose peer has not asked for us yet sits in kConnecting
+// "limbo" until the peer reciprocates — and a channel in limbo is
+// neither evictable nor guaranteed to resolve while the peer is itself
+// wedged. If every rank filled its whole budget with limbo connects, a
+// ring of ranks would wait on each other forever. So limbo connects may
+// occupy at most max_vis - 1 slots: one slot is always reclaimable for
+// admissions that match an already-queued incoming request (those
+// connect synchronously and can never strand a slot). max_vis = 1 has no
+// room for the reservation and can deadlock on adversarial patterns;
+// configure at least 2.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <vector>
 
@@ -35,11 +56,40 @@ class OnDemandConnectionManager final : public ConnectionManager {
   }
 
  private:
+  /// The actual connect: creates the VI and issues the peer request.
+  /// Callers have already checked the channel is kUnconnected and the
+  /// budget has room (or is unlimited).
+  void connect_now(Rank peer);
+
+  /// Queues `peer` for connection once the VI budget has room (dedupes).
+  void defer(Rank peer);
+
+  /// True while `peer` sits in the deferred-connect queue.
+  [[nodiscard]] bool is_waiting(Rank peer) const;
+
+  /// Admits deferred peers as budget slots free up; keeps an eviction in
+  /// flight while any peer is still waiting. Returns true on progress.
+  bool admit_waiting();
+
+  /// True when connect_now(peer) is admissible under the budget right
+  /// now: a slot is free AND the connect either matches a queued incoming
+  /// request synchronously or leaves the limbo reservation intact (see
+  /// the file comment). Always true with an unlimited budget.
+  bool may_connect(Rank peer);
+
+  /// Channels currently stuck in the kConnecting handshake.
+  int limbo_count();
+
   std::vector<Rank> connecting_;  // channels with a pending peer request
   // Handshake attempts per peer (fault injection only): when a VIA-level
   // connect times out, the handshake restarts on the same VI up to
   // DeviceConfig::max_connect_attempts times before the channel fails.
   std::map<Rank, int> attempts_;
+  // Resource-capped mode: peers whose connect is deferred until an
+  // eviction frees a budget slot (FIFO, deduped via waiting_flag_). Both
+  // stay empty when max_vis is 0.
+  std::deque<Rank> waiting_slots_;
+  std::vector<char> waiting_flag_;  // sized lazily to world size
 };
 
 }  // namespace odmpi::mpi

@@ -36,6 +36,10 @@ const sim::Stats::Counter kRegCacheHits =
     sim::Stats::counter("mpi.reg_cache_hits");
 const sim::Stats::Counter kRegCacheMisses =
     sim::Stats::counter("mpi.reg_cache_misses");
+// Resource-capped eviction (DeviceConfig::max_vis > 0 only): counted only
+// when the budget actually evicts, so unlimited runs never touch these.
+const sim::Stats::Counter kEvictions = sim::Stats::counter("mpi.evictions");
+const sim::Stats::Counter kReconnects = sim::Stats::counter("mpi.reconnects");
 
 // Trace-event names: the message lifecycle (TraceCat::kMsg) and the
 // device-level connection handshake (TraceCat::kConn).
@@ -49,6 +53,9 @@ const sim::Stats::Counter kTrUnexpected =
     sim::Stats::counter("mpi.msg.unexpected");
 const sim::Stats::Counter kTrUnexpDepth =
     sim::Stats::counter("mpi.unexpected_depth");
+const sim::Stats::Counter kTrEvict = sim::Stats::counter("mpi.conn.evict");
+const sim::Stats::Counter kTrReconnect =
+    sim::Stats::counter("mpi.conn.reconnect");
 
 RequestPtr make_completed_request(ReqKind kind) {
   auto req = std::make_shared<RequestState>();
@@ -137,8 +144,10 @@ void Device::trace_unexpected_depth() {
 }
 
 int Device::distinct_peers_contacted() const {
+  // ever_had_vi rather than vi != nullptr so the count keeps its meaning
+  // when a resource cap has torn some VIs back down.
   int n = 0;
-  for (const auto& ch : channels_) n += (ch->vi != nullptr);
+  for (const auto& ch : channels_) n += (ch->ever_had_vi ? 1 : 0);
   return n;
 }
 
@@ -146,6 +155,18 @@ void Device::prepare_channel(Channel& ch) {
   touch_channel(ch);  // connection traffic is about to start
   if (ch.vi != nullptr) return;
   assert(ch.peer != rank_);
+  if (ch.ever_had_vi) {
+    // Transparent re-establishment after an eviction tore the pair down
+    // (only reachable in resource-capped mode — nothing else destroys a
+    // VI before finalize).
+    stats_.add(kReconnects);
+    if (tracer_ != nullptr) {
+      tracer_->instant(sim::TraceCat::kConn, kTrReconnect, rank_, ch.peer);
+    }
+  }
+  ch.ever_had_vi = true;
+  ++channel_vis_;
+  touch_lru(ch);
   ch.vi = nic_.create_vi(send_cq_, recv_cq_);
   // MVICH requires Reliable Delivery from the VI provider; the level is
   // only observable (acks + retransmission) under fault injection.
@@ -190,7 +211,15 @@ void Device::prepare_channel(Channel& ch) {
 
 void Device::channel_connected(Channel& ch) {
   assert(ch.vi != nullptr && ch.vi->state() == via::ViState::kConnected);
-  if (ch.state == Channel::State::kConnected) return;
+  // Idempotent, and must never resurrect a channel that has moved past
+  // kConnected: a stale connection-manager entry observing the VI as
+  // connected while the channel is mid eviction drain (or failed over)
+  // would otherwise yank it back to kConnected.
+  if (ch.state == Channel::State::kConnected ||
+      ch.state == Channel::State::kDraining ||
+      ch.state == Channel::State::kFailed) {
+    return;
+  }
   ch.state = Channel::State::kConnected;
   stats_.add(kConnections);
   if (ch.conn_span != 0) {
@@ -213,6 +242,11 @@ void Device::channel_connected(Channel& ch) {
 void Device::fail_channel(Channel& ch, via::Status error) {
   if (ch.state == Channel::State::kFailed) return;
   ch.state = Channel::State::kFailed;
+  // An eviction handshake cut short by the failure is abandoned; the
+  // entry on evicting_ is swept lazily by progress_evictions().
+  ch.evict_initiator = false;
+  ch.evict_ack_due = false;
+  ch.evict_teardown_ready = false;
   stats_.add(kChannelFailures);
   if (ch.conn_span != 0) {
     tracer_->end_span(ch.conn_span);
@@ -308,6 +342,7 @@ RequestPtr Device::post_send(const void* buf, std::size_t bytes,
   }
 
   Channel& ch = channel(dst_world);
+  touch_lru(ch);
   if (ch.state == Channel::State::kFailed) {
     // Terminal: the peer was declared unreachable. Fail fast instead of
     // parking the send forever.
@@ -406,7 +441,7 @@ void Device::take_credits(Channel& ch, PacketHeader& header) {
 
 bool Device::drain_outq(Channel& ch) {
   bool progressed = false;
-  while (!ch.outq.empty() && ch.connected()) {
+  while (!ch.outq.empty() && ch.transport_active()) {
     OutPacket& pkt = ch.outq.front();
     const bool is_credit = pkt.header.type == PacketType::kCredit;
     if (is_credit && ch.unreturned == 0) {
@@ -416,7 +451,13 @@ bool Device::drain_outq(Channel& ch) {
       progressed = true;
       continue;
     }
-    const int floor = is_credit ? kCreditCreditFloor : kDataCreditFloor;
+    // kEvictAck may dip into the reserved credit like kCredit: the
+    // responder is tearing the channel down and will never need its
+    // explicit credit-return reserve again, and the ack must not be able
+    // to starve behind an exhausted data window.
+    const bool reserve_ok =
+        is_credit || pkt.header.type == PacketType::kEvictAck;
+    const int floor = reserve_ok ? kCreditCreditFloor : kDataCreditFloor;
     if (ch.credits < floor) break;
     EagerBuf* buf = acquire_send_buf();
     if (buf == nullptr) {
@@ -558,6 +599,7 @@ RequestPtr Device::post_recv(void* buf, std::size_t capacity, Rank src_world,
       trace_msg_done(*req);
       return req;
     }
+    touch_lru(channel(src_world));  // expected traffic: a poor LRU victim
   }
 
   UnexpectedMsg* m = matching_.match_posted(req);
@@ -669,6 +711,7 @@ void Device::handle_packet(Channel& ch, const std::byte* data,
                            std::size_t bytes) {
   assert(bytes >= kHeaderBytes);
   const PacketHeader h = read_header(data);
+  touch_lru(ch);  // an arrival is recent use of the pair
   if (h.credits > 0) {
     ch.credits += h.credits;
     drain_outq(ch);  // the refill may unblock queued packets
@@ -693,6 +736,12 @@ void Device::handle_packet(Channel& ch, const std::byte* data,
       return;
     case PacketType::kCredit:
       return;  // piggyback already harvested above
+    case PacketType::kEvictReq:
+      handle_evict_req(ch);
+      return;
+    case PacketType::kEvictAck:
+      handle_evict_ack(ch);
+      return;
   }
   assert(false && "unknown packet type");
 }
@@ -941,16 +990,211 @@ bool Device::poll_send_cq() {
     if (send_failed) {
       auto ch_it = vi_to_channel_.find(c->vi);
       if (ch_it != vi_to_channel_.end()) {
-        fail_channel(*ch_it->second, via::Status::kTimeout);
+        Channel& fch = *ch_it->second;
+        if (fch.state == Channel::State::kDraining &&
+            fch.evict_teardown_ready) {
+          // Retry exhaustion after an agreed eviction teardown: the peer
+          // provably processed everything up to the handshake packet (it
+          // could not have agreed otherwise), so the "failure" is its VI
+          // disappearing under our trailing retransmits — e.g. the
+          // disconnect notification itself was fault-dropped. Not data
+          // loss; the teardown completes normally.
+          continue;
+        }
+        fail_channel(fch, via::Status::kTimeout);
       }
     }
   }
   return progressed;
 }
 
+// --- Resource-capped eviction (DeviceConfig::max_vis > 0) ----------------
+//
+// Two-phase handshake over the ordered eager channel (DESIGN.md sec. 11):
+// the initiator sends kEvictReq once the channel is locally quiescent; the
+// responder answers kEvictAck once *its* side is quiescent too. Eager
+// ordering makes this race-free — the req is ordered after everything the
+// initiator ever sent, the ack after everything the responder sent — so
+// when each side has seen the other's handshake packet the wire between
+// the pair is provably empty in its inbound direction and the VI can be
+// torn down without losing data.
+
+bool Device::peer_has_rndv(Rank peer) const {
+  for (const auto& [cookie, req] : rndv_senders_) {
+    if (req->dst == peer) return true;
+  }
+  for (const auto& [cookie, req] : rndv_receivers_) {
+    if (req->src == peer || req->status.source == peer) return true;
+  }
+  return false;
+}
+
+bool Device::channel_evictable(const Channel& ch) const {
+  if (ch.state != Channel::State::kConnected) return false;
+  if (ch.vi == nullptr || ch.vi->state() != via::ViState::kConnected) {
+    return false;
+  }
+  if (!ch.outq.empty() || !ch.park_fifo.empty()) return false;
+  if (ch.vi->sends_in_flight() != 0) return false;
+  if (ch.credit_msg_queued) return false;
+  if (ch.in_req != nullptr || ch.in_unexp != nullptr || ch.in_total != 0) {
+    return false;
+  }
+  // The teardown request itself must respect the data-credit floor.
+  if (ch.credits < kDataCreditFloor) return false;
+  if (peer_has_rndv(ch.peer)) return false;
+  return true;
+}
+
+bool Device::begin_evict(Channel& ch) {
+  assert(config_.max_vis > 0);
+  if (!channel_evictable(ch)) return false;
+  ch.state = Channel::State::kDraining;
+  ch.evict_initiator = true;
+  ch.evict_ack_due = false;
+  ch.evict_teardown_ready = false;
+  evicting_.push_back(&ch);
+  PacketHeader h;
+  h.type = PacketType::kEvictReq;
+  h.src_rank = rank_;
+  enqueue_control(ch, h);
+  return true;
+}
+
+bool Device::evict_lru_channel() {
+  Channel* victim = nullptr;
+  for (const auto& chp : channels_) {
+    Channel& ch = *chp;
+    if (!channel_evictable(ch)) continue;
+    if (victim == nullptr || ch.last_used < victim->last_used) victim = &ch;
+  }
+  return victim != nullptr && begin_evict(*victim);
+}
+
+void Device::handle_evict_req(Channel& ch) {
+  if (ch.state == Channel::State::kFailed) return;
+  if (ch.state == Channel::State::kDraining && ch.evict_initiator) {
+    // Crossing evictions: both sides proposed teardown simultaneously.
+    // The peer's request proves it was quiescent when it sent it — by the
+    // ordering argument above it is as good as an ack.
+    ch.evict_teardown_ready = true;
+    return;
+  }
+  if (ch.state == Channel::State::kConnecting) {
+    // The request arrived on the VI, so the VIA handshake has completed;
+    // our connection manager just has not observed it yet. Catch up first
+    // so parked sends drain (and then block the ack) rather than sitting
+    // out the teardown.
+    channel_connected(ch);
+  }
+  assert(ch.state == Channel::State::kConnected);
+  ch.state = Channel::State::kDraining;
+  ch.evict_initiator = false;
+  ch.evict_ack_due = true;
+  ch.evict_teardown_ready = false;
+  evicting_.push_back(&ch);
+}
+
+void Device::handle_evict_ack(Channel& ch) {
+  if (ch.state == Channel::State::kFailed) return;
+  assert(ch.state == Channel::State::kDraining && ch.evict_initiator);
+  ch.evict_teardown_ready = true;
+}
+
+bool Device::progress_evictions() {
+  bool progressed = false;
+  // Index loop: finish_evict() may reconnect a peer whose sends parked
+  // during the drain, which can re-enter ensure_connection and (at the
+  // budget) push a fresh eviction onto evicting_.
+  for (std::size_t i = 0; i < evicting_.size();) {
+    Channel& ch = *evicting_[i];
+    if (ch.state != Channel::State::kDraining) {
+      // Failed over mid-drain (fault injection): the handshake is
+      // abandoned, fail_channel already swept the queues.
+      evicting_.erase(evicting_.begin() + static_cast<std::ptrdiff_t>(i));
+      progressed = true;
+      continue;
+    }
+    if (ch.evict_ack_due && ch.outq.empty() && ch.in_total == 0 &&
+        !peer_has_rndv(ch.peer)) {
+      // Responder side is quiescent: everything we ever sent is queued
+      // ahead of (and thus ordered before) this ack.
+      PacketHeader h;
+      h.type = PacketType::kEvictAck;
+      h.src_rank = rank_;
+      ch.evict_ack_due = false;
+      ch.evict_teardown_ready = true;
+      enqueue_control(ch, h);
+      progressed = true;
+    }
+    if (ch.evict_teardown_ready && ch.outq.empty()) {
+      if (ch.vi->state() == via::ViState::kDisconnected &&
+          ch.vi->sends_in_flight() > 0) {
+        // The peer finished first and its disconnect overtook our last
+        // VIA-level acks (fault mode). The disconnect itself proves the
+        // peer processed everything we sent, so flush the reliable-send
+        // bookkeeping instead of retransmitting into a dead VI.
+        nic_.complete_sends_on_disconnect(*ch.vi);
+      }
+      if (ch.vi->sends_in_flight() == 0) {
+        finish_evict(ch);
+        evicting_.erase(evicting_.begin() + static_cast<std::ptrdiff_t>(i));
+        progressed = true;
+        continue;
+      }
+    }
+    ++i;
+  }
+  return progressed;
+}
+
+void Device::finish_evict(Channel& ch) {
+  assert(ch.state == Channel::State::kDraining);
+  assert(ch.vi != nullptr && ch.vi->sends_in_flight() == 0);
+  assert(ch.outq.empty());
+  assert(ch.in_req == nullptr && ch.in_unexp == nullptr && ch.in_total == 0);
+  // Send completions for this VI may still sit unpolled in the CQ; drain
+  // them now so no completion outlives its VI.
+  poll_send_cq();
+  if (ch.vi->state() == via::ViState::kConnected) {
+    nic_.connections().disconnect(*ch.vi);
+  }
+  vi_to_channel_.erase(ch.vi);
+  nic_.destroy_vi(ch.vi);
+  ch.vi = nullptr;
+  // Release the pinned eager receive window — the paper's ~120 kB per VI.
+  std::int64_t released = 0;
+  for (const auto& buf : ch.recv_bufs) {
+    released += static_cast<std::int64_t>(buf->mem.size());
+    nic_.deregister_memory(buf->handle);
+  }
+  ch.recv_bufs.clear();
+  stats_.add(kPinnedRecvBytes, -released);
+  ch.credits = 0;
+  ch.credit_limit = 0;
+  ch.unreturned = 0;
+  ch.msgs_received = 0;
+  ch.credit_msg_queued = false;
+  ch.evict_initiator = false;
+  ch.evict_ack_due = false;
+  ch.evict_teardown_ready = false;
+  ch.state = Channel::State::kUnconnected;
+  --channel_vis_;
+  stats_.add(kEvictions);
+  if (tracer_ != nullptr) {
+    tracer_->instant(sim::TraceCat::kConn, kTrEvict, rank_, ch.peer,
+                     released);
+  }
+  // Sends that arrived while the drain was in flight parked in the FIFO;
+  // reconnect immediately so they replay in order through the normal
+  // establishment path (budget-checked like any other connect).
+  if (!ch.park_fifo.empty()) cm_->ensure_connection(ch.peer);
+}
+
 bool Device::progress() {
   bool progressed = false;
   progressed |= cm_->progress();
+  if (!evicting_.empty()) progressed |= progress_evictions();
   progressed |= poll_send_cq();
   progressed |= poll_recv_cq();
   return progressed;
@@ -1025,6 +1269,11 @@ void Device::finalize_quiesce() {
   wait_until([&] {
     if (!rdma_in_flight_.empty()) return false;
     if (!rndv_senders_.empty()) return false;
+    // Resource-capped mode: an eviction handshake this side started (or
+    // is responding to) must finish before we may declare quiescence —
+    // entering the finalize barrier with a channel mid-drain would tear
+    // the VI down under the handshake.
+    if (!evicting_.empty()) return false;
     while (!active_channels_.empty()) {
       Channel& ch = *active_channels_.back();
       if (!channel_quiet(ch)) return false;

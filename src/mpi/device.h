@@ -54,6 +54,15 @@ struct DeviceConfig {
   // peer unreachable and failing the channel. Only reachable under fault
   // injection — a loss-free fabric always connects on the first try.
   int max_connect_attempts = 3;
+  // Per-process VI budget for on-demand management (paper section 6's
+  // "dynamic teardown under resource pressure"). 0 = unlimited, which is
+  // today's behaviour and the default: no eviction code path runs and
+  // identically-seeded runs are byte-identical to a build without the
+  // feature. When > 0, exceeding the budget evicts the least-recently
+  // used quiescent channel through a graceful teardown handshake and the
+  // pair transparently reconnects on next use. Only the on-demand
+  // connection manager honours the budget; static models ignore it.
+  int max_vis = 0;
 
   [[nodiscard]] std::size_t eager_payload() const {
     return eager_buf_bytes - kHeaderBytes;
@@ -79,11 +88,17 @@ struct OutPacket {
 /// Per-peer virtual channel. kFailed is terminal: the peer could not be
 /// reached (or a reliable send exhausted its retries) and every pending
 /// and future operation on the channel completes with a kTimeout error.
+/// kDraining is the eviction teardown handshake (resource-capped mode
+/// only): the wire is still live — arrivals are processed and queued
+/// packets flush — but new sends park in the FIFO exactly as during
+/// connection establishment, and the channel returns to kUnconnected
+/// once both sides agree the pair is quiescent.
 struct Channel {
   enum class State : std::uint8_t {
     kUnconnected,
     kConnecting,
     kConnected,
+    kDraining,
     kFailed,
   };
 
@@ -113,7 +128,31 @@ struct Channel {
   // job is tracing; 0 otherwise. Lives in the World's sim::Tracer.
   std::uint32_t conn_span = 0;
 
+  // --- Resource-capped mode bookkeeping (DeviceConfig::max_vis > 0) ------
+  // LRU stamp: monotonic use counter, bumped on every send/arrival. A
+  // plain integer so maintaining it is free and order-neutral when the
+  // budget is unlimited.
+  std::uint64_t last_used = 0;
+  // The channel held a VI at some point (survives eviction; lets
+  // distinct_peers_contacted() keep its meaning when VIs are torn down).
+  bool ever_had_vi = false;
+  // Eviction handshake state: this side initiated the evict (sent
+  // kEvictReq) vs. is responding to the peer's request.
+  bool evict_initiator = false;
+  // Responder owes the peer a kEvictAck once its own side is quiescent.
+  bool evict_ack_due = false;
+  // Handshake agreed; tear the VI down as soon as the out-queue flushes
+  // and the last send descriptor completes.
+  bool evict_teardown_ready = false;
+
   [[nodiscard]] bool connected() const { return state == State::kConnected; }
+
+  /// True while the VI can still carry wire traffic: connected, or mid
+  /// eviction drain (arrivals and queued packets keep flowing so the
+  /// teardown handshake itself can complete).
+  [[nodiscard]] bool transport_active() const {
+    return state == State::kConnected || state == State::kDraining;
+  }
 };
 
 class Device {
@@ -217,6 +256,34 @@ class Device {
   [[nodiscard]] via::CompletionQueue& send_cq() { return *send_cq_; }
   [[nodiscard]] via::CompletionQueue& recv_cq() { return *recv_cq_; }
 
+  // --- Resource-capped eviction (DeviceConfig::max_vis > 0) ----------------
+  // Mechanics live here (the device owns channels, packets and buffers);
+  // policy — when to evict and which connection to defer — lives in the
+  // on-demand connection manager.
+
+  /// Channels currently holding a VI (created, not yet torn down).
+  [[nodiscard]] int open_channel_vis() const { return channel_vis_; }
+
+  /// True when `ch` may be chosen as an eviction victim right now: fully
+  /// connected with no queued packets, no parked sends, no in-flight send
+  /// descriptors, no partial eager reassembly, no rendezvous touching the
+  /// peer, and enough credits to carry the teardown request.
+  [[nodiscard]] bool channel_evictable(const Channel& ch) const;
+
+  /// Starts the graceful teardown handshake on an evictable connected
+  /// channel: sends kEvictReq, moves the channel to kDraining and tracks
+  /// it until finish_evict(). Returns false if `ch` is not evictable.
+  bool begin_evict(Channel& ch);
+
+  /// Picks the least-recently-used evictable channel and begins its
+  /// eviction. Returns false when no channel qualifies (all busy).
+  bool evict_lru_channel();
+
+  /// True while any eviction handshake is in flight.
+  [[nodiscard]] bool eviction_in_progress() const {
+    return !evicting_.empty();
+  }
+
  private:
   // Send path.
   void start_protocol(const RequestPtr& req);
@@ -259,6 +326,14 @@ class Device {
     return ch.outq.empty() && ch.state != Channel::State::kConnecting &&
            (ch.vi == nullptr || ch.vi->sends_in_flight() == 0);
   }
+
+  // Eviction internals (resource-capped mode; see DESIGN.md section 11).
+  void touch_lru(Channel& ch) { ch.last_used = ++lru_clock_; }
+  [[nodiscard]] bool peer_has_rndv(Rank peer) const;
+  void handle_evict_req(Channel& ch);
+  void handle_evict_ack(Channel& ch);
+  bool progress_evictions();
+  void finish_evict(Channel& ch);
 
   // Tracing helpers; no-ops when the job is not tracing (tracer_ null or
   // the message category masked).
@@ -312,6 +387,14 @@ class Device {
   HotCounters hot_;
   sim::Stats stats_;
   bool finalized_ = false;
+
+  // Resource-capped mode state: monotonic LRU clock, count of channels
+  // holding a VI, and channels mid eviction handshake. All three stay at
+  // their initial values' cost (integer bumps, empty-vector checks) when
+  // max_vis is 0, so the unlimited mode is byte-identical to before.
+  std::uint64_t lru_clock_ = 0;
+  int channel_vis_ = 0;
+  std::vector<Channel*> evicting_;
 };
 
 /// Strategy interface for connection management (paper sections 3-4).

@@ -19,6 +19,14 @@ enum class PacketType : std::uint8_t {
   kCts,             // clear-to-send: target address + memory handle
   kFin,             // rendezvous completion notification
   kCredit,          // explicit flow-control credit return
+  // Resource-capped eviction handshake (DeviceConfig::max_vis > 0 only).
+  // Both ride the ordered eager channel, which is what makes the
+  // teardown race-free: kEvictReq is ordered after every packet the
+  // initiator ever sent, and kEvictAck after every packet the responder
+  // sent — so once the initiator sees the ack, the wire between the pair
+  // is provably empty in both directions.
+  kEvictReq,        // initiator -> responder: propose teardown
+  kEvictAck,        // responder -> initiator: both sides quiescent
 };
 
 struct PacketHeader {

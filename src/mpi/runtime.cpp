@@ -74,6 +74,34 @@ void World::oob_barrier() {
   }
 }
 
+void World::oob_barrier_driving(Device& dev) {
+  auto* p = sim::Process::current();
+  assert(p != nullptr);
+  const std::uint64_t my_generation = barrier_generation_;
+  ++barrier_waiting_;
+  if (barrier_waiting_ == nranks_) {
+    barrier_waiting_ = 0;
+    ++barrier_generation_;
+    for (sim::Process* blocked : barrier_blocked_) blocked->wakeup();
+    barrier_blocked_.clear();
+    return;
+  }
+  barrier_blocked_.push_back(p);
+  // Unlike oob_barrier, keep the device's progress engine running while
+  // waiting: under a VI budget a peer still in its user code may evict the
+  // channel to us, and the two-phase teardown needs our half of the
+  // handshake (kEvictAck) answered even though we are already quiescent.
+  // Event-driven, same shape as Device::wait_until's blocking path — the
+  // barrier release wakes us via barrier_blocked_, NIC activity via the
+  // host waiter.
+  while (barrier_generation_ == my_generation) {
+    if (dev.progress()) continue;
+    dev.nic().set_host_waiter(p);
+    p->block();
+    dev.nic().set_host_waiter(nullptr);
+  }
+}
+
 void World::rank_main(int rank, const std::function<void(Comm&)>& fn) {
   auto* proc = sim::Process::current();
   RankReport& report = reports_[static_cast<std::size_t>(rank)];
@@ -107,12 +135,24 @@ void World::rank_main(int rank, const std::function<void(Comm&)>& fn) {
 
   // ---- MPI_Finalize ----
   dev.finalize_quiesce();
-  oob_barrier();  // nobody disconnects until everyone has quiesced
+  // Nobody disconnects until everyone has quiesced. With a VI budget the
+  // wait must keep driving the device: an eviction handshake from a rank
+  // still in its user code can target us after our own quiescence, and a
+  // blocked barrier would never answer the kEvictReq (deadlock). Unlimited
+  // mode keeps the plain blocking barrier so its event order — and the
+  // golden traces — stay untouched.
+  if (options_.device.max_vis > 0) {
+    oob_barrier_driving(dev);
+  } else {
+    oob_barrier();
+  }
   dev.finalize_teardown();
   oob_barrier();
   report.total_time = proc->now() - t_start;
   report.finished = true;
   report.vis_created = cluster_.nic(rank).vis_ever_created();
+  report.vis_open_peak =
+      static_cast<int>(cluster_.nic(rank).stats().get("vi.open_peak"));
   report.connections = static_cast<int>(
       cluster_.nic(rank).connections().connections_established());
   report.pinned_bytes_peak = cluster_.nic(rank).memory().peak_pinned_bytes();
@@ -177,6 +217,12 @@ double World::mean_init_us() const {
 double World::mean_vis_per_process() const {
   double sum = 0;
   for (const RankReport& r : reports_) sum += r.vis_created;
+  return sum / nranks_;
+}
+
+double World::mean_peak_vis_per_process() const {
+  double sum = 0;
+  for (const RankReport& r : reports_) sum += r.vis_open_peak;
   return sum / nranks_;
 }
 

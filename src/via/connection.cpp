@@ -451,11 +451,22 @@ void ConnectionService::on_cs_response(ViId local_vi, bool accepted,
 
 // --- Disconnect ---------------------------------------------------------
 
+void ConnectionService::forget_established(const Vi& vi) {
+  // Idempotent re-accept hygiene: once a VI leaves the connected state its
+  // discriminator must stop short-circuiting handshakes — an eviction
+  // reconnect reuses the same pair discriminator with fresh VIs, and a
+  // stale entry would re-ack the new request against a dead endpoint.
+  // Both maps are empty in fault-free runs, so this costs nothing there.
+  std::erase_if(established_peer_,
+                [&](const auto& kv) { return kv.second == vi.id(); });
+}
+
 void ConnectionService::disconnect(Vi& vi) {
   if (vi.state() != ViState::kConnected) return;
   const NodeId remote_node = vi.remote_node();
   const ViId remote_vi = vi.remote_vi();
   vi.state_ = ViState::kDisconnected;
+  forget_established(vi);
   send_control(remote_node, [remote_vi](Nic& remote) {
     remote.connections().on_disconnect(remote_vi);
   });
@@ -467,6 +478,18 @@ void ConnectionService::on_disconnect(ViId local_vi) {
   Vi* vi = nic_.find_vi(local_vi);
   if (vi == nullptr || vi->state() != ViState::kConnected) return;
   vi->state_ = ViState::kDisconnected;
+  // Preposted receive descriptors can never complete now; flush them with
+  // kDisconnected exactly as destroy_vi does (the VIA spec flushes work
+  // queues on disconnect, not just destruction). Leaving them queued —
+  // the pre-fix behaviour — strands the remote VI's descriptors in limbo
+  // until the endpoint happens to be destroyed.
+  while (!vi->recv_queue_.empty()) {
+    Descriptor* desc = vi->recv_queue_.front();
+    vi->recv_queue_.pop_front();
+    desc->status = Status::kDisconnected;
+    desc->done = true;
+  }
+  forget_established(*vi);
   nic_.notify_host();
 }
 

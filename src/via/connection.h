@@ -60,6 +60,18 @@ class ConnectionService {
   /// host-memory check used by progress loops).
   [[nodiscard]] bool has_incoming() const { return !unmatched_.empty(); }
 
+  /// True if an unmatched incoming request with `disc` is queued — i.e. a
+  /// local connect_peer with that discriminator would match synchronously
+  /// instead of waiting for the remote side. The on-demand manager's VI
+  /// budget uses this to tell limbo-free admissions apart (no cost; the
+  /// queue is never more than a handful deep).
+  [[nodiscard]] bool has_unmatched_for(Discriminator disc) const {
+    for (const IncomingRequest& r : unmatched_) {
+      if (r.discriminator == disc) return true;
+    }
+    return false;
+  }
+
   // --- Client/server model ------------------------------------------------
 
   /// Blocking VipConnectWait: parks the calling process until a client
@@ -123,6 +135,10 @@ class ConnectionService {
 
   void send_control(NodeId dst, std::function<void(Nic&)> handler);
   void establish(Vi& vi, NodeId remote_node, ViId remote_vi);
+
+  /// Drops fault-mode idempotency entries that reference `vi` once it
+  /// leaves the connected state (disconnect, either side).
+  void forget_established(const Vi& vi);
 
   // Records one point on the connection state-machine timeline
   // (TraceCat::kConn) when the job is tracing; no-op otherwise.

@@ -413,6 +413,18 @@ void Nic::fail_reliable_sends(Vi& vi) {
   }
 }
 
+void Nic::complete_sends_on_disconnect(Vi& vi) {
+  assert(vi.state() != ViState::kConnected);
+  while (!vi.unacked_.empty()) {
+    auto it = vi.unacked_.begin();
+    Descriptor* desc = it->second->desc;
+    const std::size_t bytes = it->second->payload.size();
+    vi.unacked_.erase(it);
+    --vi.sends_in_flight_;
+    complete(vi, desc, Status::kSuccess, bytes, /*is_receive=*/false);
+  }
+}
+
 void Nic::send_ack(Vi& vi) {
   const NodeId dst = vi.remote_node();
   const ViId dst_vi = vi.remote_vi();

@@ -103,6 +103,16 @@ class Nic {
                         const std::vector<std::byte>& payload);
   void on_ack(ViId target_vi, std::uint64_t acked);
 
+  /// Flushes reliable sends still awaiting a VIA-level ack on a VI whose
+  /// peer has disconnected, completing them with kSuccess. Only legal
+  /// when a higher-level handshake proved the peer processed everything
+  /// outstanding before it tore its endpoint down (the MPI eviction
+  /// protocol): the missing acks were lost in flight or cut off by the
+  /// peer's teardown, not the data. Without this a disconnect racing the
+  /// last ack would strand sends_in_flight() above zero forever (the
+  /// retransmit timer is a no-op on a non-connected VI).
+  void complete_sends_on_disconnect(Vi& vi);
+
   /// Charges host-side time to the currently running process (no-op when
   /// called from plain engine context, e.g. a delivery event).
   static void charge_host(sim::SimTime cost) {

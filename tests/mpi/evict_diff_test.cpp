@@ -1,0 +1,310 @@
+// Differential battery for resource-capped connection management: one
+// seeded random workload (pt2pt eager + rendezvous, wildcard fan-ins,
+// collectives) runs under on-demand unlimited, on-demand capped at
+// 8/4/2, and static peer-to-peer management. Everything user-visible —
+// payload bytes, receive statuses, per-(source,tag) ordering, collective
+// results — must be byte-identical across configurations: eviction and
+// reconnection are transparent or they are wrong.
+//
+// Wildcard receives are the one place arrival *timing* legitimately leaks
+// into results (which sender matches first), so for those the comparison
+// is the timing-independent contract: the set of matched sources and the
+// per-source payloads, not their interleaving.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "tests/mpi/mpi_test_util.h"
+
+namespace odmpi::mpi {
+namespace {
+
+using testing::make_options;
+
+constexpr int kP = 8;
+constexpr std::uint64_t kScheduleSeed = 0x0D0C2002ULL;
+
+std::uint64_t fnv1a(const std::byte* data, std::size_t n,
+                    std::uint64_t h = 0xcbf29ce484222325ULL) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<std::uint64_t>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Deterministic payload byte: a pure function of the message identity,
+/// so sender and receiver agree without communicating.
+std::byte payload_byte(int src, int tag, std::size_t i) {
+  const auto x = static_cast<std::uint64_t>(src) * 1000003ULL +
+                 static_cast<std::uint64_t>(tag) * 8191ULL + i;
+  return static_cast<std::byte>((x * 2654435761ULL) >> 24);
+}
+
+void fill_payload(std::vector<std::byte>& buf, int src, int tag) {
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = payload_byte(src, tag, i);
+  }
+}
+
+/// One message of the random phase, generated identically on every rank.
+struct ScheduledMsg {
+  int src;
+  int dst;
+  int tag;
+  std::size_t bytes;
+};
+
+std::vector<ScheduledMsg> make_schedule(std::uint64_t seed, int count) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> rank_d(0, kP - 1);
+  // Sizes straddle the 5000 B eager/rendezvous threshold.
+  const std::size_t sizes[] = {16, 700, 3800, 6000, 18000};
+  std::uniform_int_distribution<int> size_d(0, 4);
+  std::vector<ScheduledMsg> sched;
+  sched.reserve(static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k) {
+    int src = rank_d(rng);
+    int dst = rank_d(rng);
+    if (dst == src) dst = (dst + 1) % kP;
+    sched.push_back({src, dst, 1000 + k,
+                     sizes[static_cast<std::size_t>(size_d(rng))]});
+  }
+  return sched;
+}
+
+/// Everything user-visible a rank observed, in a deterministic encoding.
+struct RankCapture {
+  // Named receives: (source, tag, count_bytes, payload hash) per receive
+  // in posted order.
+  std::vector<std::uint64_t> named;
+  // Wildcard receives: sorted matched sources and an order-independent
+  // combined payload hash, per fan-in round.
+  std::vector<int> any_sources;
+  std::uint64_t any_hash = 0;
+  // Collective results.
+  std::vector<double> coll;
+
+  bool operator==(const RankCapture&) const = default;
+};
+
+void record_named(RankCapture& cap, const MsgStatus& st,
+                  const std::vector<std::byte>& buf) {
+  cap.named.push_back(static_cast<std::uint64_t>(st.source));
+  cap.named.push_back(static_cast<std::uint64_t>(st.tag));
+  cap.named.push_back(st.count_bytes);
+  cap.named.push_back(fnv1a(buf.data(), st.count_bytes));
+}
+
+/// The workload. Fibers are cooperatively scheduled in one thread, so
+/// writing into the shared capture vector needs no locking.
+std::vector<RankCapture> run_workload(const JobOptions& opt) {
+  std::vector<RankCapture> captures(kP);
+  World world(kP, opt);
+  const bool ok = world.run([&](Comm& comm) {
+    const int r = comm.rank();
+    RankCapture& cap = captures[static_cast<std::size_t>(r)];
+
+    // Phase A: rotating ring, mixed eager/rendezvous sizes.
+    {
+      const std::size_t sizes[] = {64, 3000, 9000};
+      for (int t = 1; t < kP; ++t) {
+        const int dst = (r + t) % kP;
+        const int src = (r - t + kP) % kP;
+        const std::size_t n = sizes[static_cast<std::size_t>(t) % 3];
+        std::vector<std::byte> sbuf(n), rbuf(n);
+        fill_payload(sbuf, r, t);
+        MsgStatus st = comm.sendrecv(sbuf.data(), static_cast<int>(n), kByte,
+                                     dst, t, rbuf.data(), static_cast<int>(n),
+                                     kByte, src, t);
+        record_named(cap, st, rbuf);
+      }
+    }
+
+    // Phase B: seeded random sparse traffic, nonblocking, unique tags.
+    {
+      const auto sched = make_schedule(kScheduleSeed, 48);
+      std::vector<Request> reqs;
+      std::vector<std::vector<std::byte>> rbufs, sbufs;
+      std::vector<std::size_t> my_recvs;  // schedule indices, posted order
+      for (std::size_t k = 0; k < sched.size(); ++k) {
+        const ScheduledMsg& m = sched[k];
+        if (m.dst != r) continue;
+        rbufs.emplace_back(m.bytes);
+        my_recvs.push_back(k);
+        reqs.push_back(comm.irecv(rbufs.back().data(),
+                                  static_cast<int>(m.bytes), kByte, m.src,
+                                  m.tag));
+      }
+      const std::size_t nrecvs = reqs.size();
+      for (const ScheduledMsg& m : sched) {
+        if (m.src != r) continue;
+        sbufs.emplace_back(m.bytes);
+        fill_payload(sbufs.back(), m.src, m.tag);
+        reqs.push_back(comm.isend(sbufs.back().data(),
+                                  static_cast<int>(m.bytes), kByte, m.dst,
+                                  m.tag));
+      }
+      wait_all(reqs);
+      for (std::size_t i = 0; i < nrecvs; ++i) {
+        const ScheduledMsg& m = sched[my_recvs[i]];
+        MsgStatus st;
+        st.source = m.src;
+        st.tag = m.tag;
+        st.count_bytes = reqs[i].state()->bytes_received;
+        record_named(cap, st, rbufs[i]);
+      }
+    }
+
+    // Phase C: wildcard fan-ins with rotating roots (order-independent
+    // record; see the file comment).
+    for (int t = 0; t < 3; ++t) {
+      const int root = (t * 3) % kP;
+      const int tag = 500 + t;
+      if (r == root) {
+        std::vector<int> sources;
+        for (int k = 0; k < kP - 1; ++k) {
+          std::vector<std::byte> buf(256);
+          MsgStatus st = comm.recv(buf.data(), 256, kByte, kAnySource, tag);
+          sources.push_back(st.source);
+          cap.any_hash += fnv1a(buf.data(), st.count_bytes);
+        }
+        std::sort(sources.begin(), sources.end());
+        cap.any_sources.insert(cap.any_sources.end(), sources.begin(),
+                               sources.end());
+      } else {
+        std::vector<std::byte> buf(256);
+        fill_payload(buf, r, tag);
+        comm.send(buf.data(), 256, kByte, root, tag);
+      }
+      comm.barrier();
+    }
+
+    // Phase D: collectives.
+    {
+      const double mine = r * 1.5 + 1.0;
+      cap.coll.push_back(comm.allreduce_one(mine, Op::kSum));
+      cap.coll.push_back(comm.allreduce_one(mine, Op::kMax));
+      std::vector<double> all_in(kP), all_out(kP, -1.0);
+      for (int i = 0; i < kP; ++i) all_in[static_cast<std::size_t>(i)] = r * 100.0 + i;
+      comm.alltoall(all_in.data(), 1, all_out.data(), kDouble);
+      cap.coll.insert(cap.coll.end(), all_out.begin(), all_out.end());
+      double root_val = (r == 3) ? 2718.28 : 0.0;
+      comm.bcast_one(root_val, 3);
+      cap.coll.push_back(root_val);
+    }
+  });
+  EXPECT_TRUE(ok) << "workload deadlocked under "
+                  << to_string(opt.device.connection_model) << " max_vis="
+                  << opt.device.max_vis;
+  return captures;
+}
+
+JobOptions config(ConnectionModel model, int max_vis) {
+  JobOptions opt = make_options(model);
+  opt.device.max_vis = max_vis;
+  return opt;
+}
+
+class EvictDiff : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    baseline_ = new std::vector<RankCapture>(
+        run_workload(config(ConnectionModel::kOnDemand, 0)));
+  }
+  static void TearDownTestSuite() {
+    delete baseline_;
+    baseline_ = nullptr;
+  }
+  static const std::vector<RankCapture>& baseline() { return *baseline_; }
+
+  static void expect_matches_baseline(const std::vector<RankCapture>& got,
+                                      const std::string& label) {
+    ASSERT_EQ(got.size(), baseline().size());
+    for (int r = 0; r < kP; ++r) {
+      const RankCapture& b = baseline()[static_cast<std::size_t>(r)];
+      const RankCapture& g = got[static_cast<std::size_t>(r)];
+      EXPECT_EQ(g.named, b.named)
+          << label << ": rank " << r << " named-receive records diverged";
+      EXPECT_EQ(g.any_sources, b.any_sources)
+          << label << ": rank " << r << " wildcard source sets diverged";
+      EXPECT_EQ(g.any_hash, b.any_hash)
+          << label << ": rank " << r << " wildcard payloads diverged";
+      EXPECT_EQ(g.coll, b.coll)
+          << label << ": rank " << r << " collective results diverged";
+    }
+  }
+
+ private:
+  static std::vector<RankCapture>* baseline_;
+};
+
+std::vector<RankCapture>* EvictDiff::baseline_ = nullptr;
+
+TEST_F(EvictDiff, CappedBudget8MatchesUnlimited) {
+  // Budget 8 >= the 7-peer fan-out: capped code paths armed, but
+  // evictions may never trigger. Results must be identical either way.
+  expect_matches_baseline(
+      run_workload(config(ConnectionModel::kOnDemand, 8)), "max_vis=8");
+}
+
+TEST_F(EvictDiff, CappedBudget4MatchesUnlimited) {
+  expect_matches_baseline(
+      run_workload(config(ConnectionModel::kOnDemand, 4)), "max_vis=4");
+}
+
+TEST_F(EvictDiff, CappedBudget2MatchesUnlimited) {
+  expect_matches_baseline(
+      run_workload(config(ConnectionModel::kOnDemand, 2)), "max_vis=2");
+}
+
+TEST_F(EvictDiff, StaticPeerToPeerMatchesOnDemand) {
+  expect_matches_baseline(
+      run_workload(config(ConnectionModel::kStaticPeerToPeer, 0)),
+      "static-p2p");
+}
+
+TEST_F(EvictDiff, CappedRunsActuallyEvictAndStayUnderBudget) {
+  for (int cap : {4, 2}) {
+    World world(kP, config(ConnectionModel::kOnDemand, cap));
+    std::vector<RankCapture> sink(kP);
+    ASSERT_TRUE(world.run([&](Comm& comm) {
+      // The wildcard fan-out alone touches all 7 peers on every rank.
+      const int r = comm.rank();
+      for (int t = 1; t < kP; ++t) {
+        const double out = r;
+        double in = -1.0;
+        comm.sendrecv(&out, 1, kDouble, (r + t) % kP, t, &in, 1, kDouble,
+                      (r - t + kP) % kP, t);
+        ASSERT_EQ(in, (r - t + kP) % kP);
+      }
+    }));
+    for (int r = 0; r < kP; ++r) {
+      EXPECT_LE(world.report(r).vis_open_peak, cap)
+          << "cap " << cap << " exceeded on rank " << r;
+    }
+    EXPECT_GT(world.aggregate_stats().get("mpi.evictions"), 0)
+        << "cap " << cap << " with 7 peers never evicted";
+  }
+}
+
+// Faults on top of the cap: lossy control and data packets force
+// handshake retries and reliable-delivery retransmissions through the
+// evict/reconnect cycle, and the user-visible results must STILL be
+// byte-identical to the clean unlimited baseline.
+TEST_F(EvictDiff, CappedAndFaultedStillMatchesUnlimited) {
+  JobOptions opt = config(ConnectionModel::kOnDemand, 4);
+  opt.fault.enabled = true;
+  opt.fault.seed = 0xFA417;
+  opt.fault.control_drop_rate = 0.02;
+  opt.fault.data_drop_rate = 0.01;
+  expect_matches_baseline(run_workload(opt), "max_vis=4+faults");
+}
+
+}  // namespace
+}  // namespace odmpi::mpi

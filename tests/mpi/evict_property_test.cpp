@@ -1,0 +1,369 @@
+// Property / stress battery for resource-capped connection management
+// (DeviceConfig::max_vis): under heavy channel churn the per-process VI
+// budget must hold at every progress step, evicted pairs must reconnect
+// transparently with per-pair message order preserved, eviction must
+// never strand channel state, and the whole machine must keep these
+// guarantees under fault injection (the CI seed matrix re-runs the
+// *FaultMatrix tests with several ODMPI_FAULT_SEED values).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tests/mpi/mpi_test_util.h"
+
+namespace odmpi::mpi {
+namespace {
+
+using testing::make_options;
+
+/// Seed for this run: ODMPI_FAULT_SEED if set (the CI matrix), else fixed.
+std::uint64_t fault_seed() {
+  if (const char* env = std::getenv("ODMPI_FAULT_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return 0xFA417;
+}
+
+JobOptions capped_options(int max_vis) {
+  JobOptions opt = make_options(ConnectionModel::kOnDemand);
+  opt.device.max_vis = max_vis;
+  return opt;
+}
+
+/// The budget invariant: the live VI count never exceeds max_vis — a
+/// victim is fully torn down before its replacement is created, so this
+/// holds at *every* step, not just between operations.
+void check_budget(Comm& comm, int budget) {
+  ASSERT_LE(comm.device().nic().open_vi_count(), budget)
+      << "rank " << comm.rank() << " exceeded its VI budget";
+  ASSERT_LE(comm.device().open_channel_vis(), budget);
+}
+
+/// An evicted channel (kUnconnected again but once held a VI) must be
+/// left with nothing stranded: no VI, no queued packets, no partial eager
+/// reassembly, no eager buffers still pinned.
+void check_evicted_channels_clean(Comm& comm) {
+  Device& dev = comm.device();
+  for (int p = 0; p < comm.size(); ++p) {
+    if (p == comm.rank()) continue;
+    const Channel& ch = dev.channel(p);
+    if (ch.state != Channel::State::kUnconnected || !ch.ever_had_vi) continue;
+    ASSERT_EQ(ch.vi, nullptr);
+    ASSERT_TRUE(ch.outq.empty()) << "eviction stranded queued packets";
+    ASSERT_FALSE(ch.in_req) << "eviction stranded a partial eager recv";
+    ASSERT_EQ(ch.in_unexp, nullptr);
+    ASSERT_EQ(ch.in_total, 0u);
+    ASSERT_TRUE(ch.recv_bufs.empty()) << "eviction leaked eager buffers";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The ISSUE's 64-rank churn: every round each rank talks to a new pair of
+// peers (send to (r+t)%P, recv from (r-t+P)%P), so with budget 4 almost
+// every round forces evictions on both sides. The budget and cleanliness
+// invariants are checked after every round on every rank.
+TEST(EvictProperty, RotatingChurn64RanksStaysUnderBudget) {
+  constexpr int kP = 64;
+  constexpr int kBudget = 4;
+  constexpr int kCount = 48;
+  World world(kP, capped_options(kBudget));
+  ASSERT_TRUE(world.run([&](Comm& comm) {
+    const int r = comm.rank();
+    std::vector<double> sbuf(kCount), rbuf(kCount);
+    for (int t = 1; t < kP; ++t) {
+      const int dst = (r + t) % kP;
+      const int src = (r - t + kP) % kP;
+      for (int i = 0; i < kCount; ++i) sbuf[i] = r * 1.0e6 + t * 1.0e3 + i;
+      comm.sendrecv(sbuf.data(), kCount, kDouble, dst, t, rbuf.data(), kCount,
+                    kDouble, src, t);
+      for (int i = 0; i < kCount; ++i) {
+        ASSERT_EQ(rbuf[i], src * 1.0e6 + t * 1.0e3 + i)
+            << "payload corrupted across eviction churn (round " << t << ")";
+      }
+      check_budget(comm, kBudget);
+      check_evicted_channels_clean(comm);
+    }
+  }));
+  for (int r = 0; r < kP; ++r) {
+    EXPECT_LE(world.report(r).vis_open_peak, kBudget)
+        << "rank " << r << " peak VI count over budget";
+  }
+  auto stats = world.aggregate_stats();
+  EXPECT_GT(stats.get("mpi.evictions"), 0) << "cap 4 with 63 peers must evict";
+  EXPECT_GT(stats.get("mpi.reconnects"), 0)
+      << "rotating pattern revisits peers, so evictions imply reconnects";
+  EXPECT_EQ(stats.get("mpi.channel_failures"), 0);
+}
+
+// Budget invariant at *every* progress step: requests are polled by hand
+// with test() so the VI count is observed between individual progress
+// passes, not just between whole operations.
+TEST(EvictProperty, BudgetHeldAtEveryProgressStep) {
+  constexpr int kP = 12;
+  constexpr int kBudget = 3;
+  World world(kP, capped_options(kBudget));
+  ASSERT_TRUE(world.run([&](Comm& comm) {
+    const int r = comm.rank();
+    std::vector<double> rvals(kP, -1.0), svals(kP, 0.0);
+    std::vector<Request> reqs;
+    for (int o = 1; o < kP; ++o) {
+      const int peer = (r + o) % kP;
+      reqs.push_back(comm.irecv(&rvals[peer], 1, kDouble, peer, 100 + r));
+    }
+    for (int o = 1; o < kP; ++o) {
+      const int peer = (r + o) % kP;
+      svals[peer] = r * 1000.0 + peer;
+      reqs.push_back(comm.isend(&svals[peer], 1, kDouble, peer, 100 + peer));
+    }
+    bool all_done = false;
+    while (!all_done) {
+      all_done = true;
+      for (auto& rq : reqs) {
+        if (!rq.test()) all_done = false;
+        check_budget(comm, kBudget);
+      }
+      check_evicted_channels_clean(comm);
+      // yield() is the simulator's interleaving point: it lets queued
+      // deliveries land between polls, like a real NIC would interleave
+      // with a polling host loop.
+      if (!all_done) sim::Process::current()->yield();
+    }
+    for (int o = 1; o < kP; ++o) {
+      const int peer = (r + o) % kP;
+      ASSERT_EQ(rvals[peer], peer * 1000.0 + r);
+    }
+  }));
+}
+
+// Per-pair ordering across evict/reconnect cycles: every pair exchanges a
+// sequence number on the SAME tag once per epoch; with budget 2 and 7
+// peers the pair's channel is evicted and rebuilt between almost every
+// meeting. Receiving the expected sequence proves the drain was in order
+// and nothing was lost or duplicated across the teardown.
+TEST(EvictProperty, SamePairOrderingSurvivesEvictReconnectCycles) {
+  constexpr int kP = 8;
+  constexpr int kBudget = 2;
+  constexpr int kEpochs = 4;
+  World world(kP, capped_options(kBudget));
+  ASSERT_TRUE(world.run([&](Comm& comm) {
+    const int r = comm.rank();
+    std::vector<int> seq_out(kP, 0), seq_in(kP, 0);
+    for (int e = 0; e < kEpochs; ++e) {
+      for (int t = 1; t < kP; ++t) {
+        const int dst = (r + t) % kP;
+        const int src = (r - t + kP) % kP;
+        const double out = seq_out[dst]++;
+        double in = -1.0;
+        comm.sendrecv(&out, 1, kDouble, dst, 0, &in, 1, kDouble, src, 0);
+        ASSERT_EQ(in, seq_in[src]++)
+            << "pair (" << src << " -> " << r
+            << ") reordered across reconnect (epoch " << e << ")";
+        check_budget(comm, kBudget);
+      }
+      check_evicted_channels_clean(comm);
+    }
+  }));
+  auto stats = world.aggregate_stats();
+  EXPECT_GT(stats.get("mpi.evictions"), 0);
+  EXPECT_GT(stats.get("mpi.reconnects"), 0);
+  EXPECT_EQ(stats.get("mpi.channel_failures"), 0);
+}
+
+// Race: eviction vs the MPI_ANY_SOURCE fan-out of section 3.5. The root's
+// wildcard receive wants a connection to every member while its budget
+// only holds 3; the deferred-connect FIFO must cycle slots through
+// evictions until every sender has been heard. Roots rotate so incoming
+// pressure also lands on ranks mid-churn.
+TEST(EvictProperty, AnySourceFanInUnderCap) {
+  constexpr int kP = 10;
+  constexpr int kBudget = 3;
+  constexpr int kRounds = 3;
+  World world(kP, capped_options(kBudget));
+  ASSERT_TRUE(world.run([&](Comm& comm) {
+    const int r = comm.rank();
+    for (int t = 0; t < kRounds; ++t) {
+      const int root = t % kP;
+      if (r == root) {
+        std::vector<int> seen(kP, 0);
+        for (int k = 0; k < kP - 1; ++k) {
+          double v = -1.0;
+          MsgStatus st = comm.recv(&v, 1, kDouble, kAnySource, 500 + t);
+          ASSERT_GE(st.source, 0);
+          ASSERT_LT(st.source, kP);
+          ASSERT_NE(st.source, root);
+          ASSERT_EQ(v, st.source * 10.0 + t) << "wrong payload for source";
+          ++seen[static_cast<std::size_t>(st.source)];
+          check_budget(comm, kBudget);
+        }
+        for (int p = 0; p < kP; ++p) {
+          ASSERT_EQ(seen[static_cast<std::size_t>(p)], p == root ? 0 : 1)
+              << "fan-in lost or duplicated a sender";
+        }
+      } else {
+        const double v = r * 10.0 + t;
+        comm.send(&v, 1, kDouble, root, 500 + t);
+        check_budget(comm, kBudget);
+      }
+      comm.barrier();
+      check_evicted_channels_clean(comm);
+    }
+  }));
+  auto stats = world.aggregate_stats();
+  EXPECT_GT(stats.get("mpi.evictions"), 0);
+  EXPECT_EQ(stats.get("mpi.channel_failures"), 0);
+}
+
+// Rendezvous traffic (above eager_threshold) in the churn: a channel with
+// an in-flight RTS/CTS/RDMA exchange is not evictable, so large transfers
+// must complete untouched while smaller channels cycle around them.
+TEST(EvictProperty, RendezvousSurvivesChurn) {
+  constexpr int kP = 8;
+  constexpr int kBudget = 3;
+  constexpr int kBig = 20000;  // bytes, well above the 5000 B threshold
+  World world(kP, capped_options(kBudget));
+  ASSERT_TRUE(world.run([&](Comm& comm) {
+    const int r = comm.rank();
+    const int n = kBig / static_cast<int>(sizeof(double));
+    std::vector<double> sbuf(static_cast<std::size_t>(n)),
+        rbuf(static_cast<std::size_t>(n));
+    for (int t = 1; t < kP; ++t) {
+      const int dst = (r + t) % kP;
+      const int src = (r - t + kP) % kP;
+      for (int i = 0; i < n; ++i) sbuf[static_cast<std::size_t>(i)] = r + t * 0.5 + i * 1e-3;
+      comm.sendrecv(sbuf.data(), n, kDouble, dst, t, rbuf.data(), n, kDouble,
+                    src, t);
+      for (int i = 0; i < n; ++i) {
+        ASSERT_EQ(rbuf[static_cast<std::size_t>(i)], src + t * 0.5 + i * 1e-3);
+      }
+      check_budget(comm, kBudget);
+    }
+  }));
+  auto stats = world.aggregate_stats();
+  EXPECT_GT(stats.get("mpi.rndv_sends"), 0);
+  EXPECT_GT(stats.get("mpi.evictions"), 0);
+  EXPECT_EQ(stats.get("mpi.channel_failures"), 0);
+}
+
+// With the default unlimited budget the eviction machinery must never
+// run: zero evictions, zero reconnects, and the peak VI count reaches the
+// full peer fan-out exactly as before the feature existed.
+TEST(EvictProperty, UnlimitedBudgetNeverEvicts) {
+  constexpr int kP = 8;
+  World world(kP, capped_options(0));
+  ASSERT_TRUE(world.run([&](Comm& comm) {
+    const int r = comm.rank();
+    for (int t = 1; t < kP; ++t) {
+      const int dst = (r + t) % kP;
+      const int src = (r - t + kP) % kP;
+      const double out = r;
+      double in = -1.0;
+      comm.sendrecv(&out, 1, kDouble, dst, t, &in, 1, kDouble, src, t);
+      ASSERT_EQ(in, src);
+    }
+  }));
+  auto stats = world.aggregate_stats();
+  EXPECT_EQ(stats.get("mpi.evictions"), 0);
+  EXPECT_EQ(stats.get("mpi.reconnects"), 0);
+  for (int r = 0; r < kP; ++r) {
+    EXPECT_EQ(world.report(r).vis_open_peak, kP - 1);
+  }
+}
+
+// Same seed + same capped config => bit-identical stats and completion
+// time. Eviction decisions (LRU choice, defer order) must be as
+// deterministic as everything else in the simulator.
+TEST(EvictProperty, CappedRunReplaysBitForBit) {
+  auto run_once = [](sim::SimTime* when) {
+    World world(8, capped_options(2));
+    EXPECT_TRUE(world.run([&](Comm& comm) {
+      const int r = comm.rank();
+      const int kP = comm.size();
+      for (int e = 0; e < 3; ++e) {
+        for (int t = 1; t < kP; ++t) {
+          const double out = r + e;
+          double in = -1.0;
+          comm.sendrecv(&out, 1, kDouble, (r + t) % kP, 0, &in, 1, kDouble,
+                        (r - t + kP) % kP, 0);
+        }
+      }
+    }));
+    *when = world.completion_time();
+    return world.aggregate_stats().all();
+  };
+  sim::SimTime t1 = 0, t2 = 0;
+  const auto s1 = run_once(&t1);
+  const auto s2 = run_once(&t2);
+  EXPECT_EQ(s1, s2) << "capped replay diverged: stats differ";
+  EXPECT_EQ(t1, t2) << "capped replay diverged: completion time differs";
+}
+
+// ---------------------------------------------------------------------------
+// Fault matrix: the eviction handshake and its reconnects under lossy
+// control packets (connection handshakes, disconnect notifications) and
+// lossy data packets (eager traffic including kEvictReq/kEvictAck, which
+// reliable delivery retransmits). The invariants and payload checks are
+// the same as in the clean runs; seeds rotate via ODMPI_FAULT_SEED.
+struct EvictFaultCase {
+  double control_drop;
+  double data_drop;
+  int budget;
+};
+
+class EvictFaultMatrix : public ::testing::TestWithParam<EvictFaultCase> {};
+
+TEST_P(EvictFaultMatrix, ChurnKeepsInvariantsUnderLoss) {
+  const EvictFaultCase& p = GetParam();
+  constexpr int kP = 8;
+  constexpr int kEpochs = 2;
+  JobOptions opt = capped_options(p.budget);
+  opt.fault.enabled = true;
+  opt.fault.seed = fault_seed();
+  opt.fault.control_drop_rate = p.control_drop;
+  opt.fault.data_drop_rate = p.data_drop;
+  World world(kP, opt);
+  ASSERT_TRUE(world.run([&](Comm& comm) {
+    const int r = comm.rank();
+    std::vector<int> seq_out(kP, 0), seq_in(kP, 0);
+    for (int e = 0; e < kEpochs; ++e) {
+      for (int t = 1; t < kP; ++t) {
+        const int dst = (r + t) % kP;
+        const int src = (r - t + kP) % kP;
+        const double out = seq_out[dst]++;
+        double in = -1.0;
+        comm.sendrecv(&out, 1, kDouble, dst, 0, &in, 1, kDouble, src, 0);
+        ASSERT_EQ(in, seq_in[src]++)
+            << "ordering broke under faults (pair " << src << "->" << r
+            << ", seed 0x" << std::hex << fault_seed() << ")";
+        check_budget(comm, p.budget);
+      }
+      check_evicted_channels_clean(comm);
+    }
+  })) << "churn deadlocked under faults (seed 0x" << std::hex << fault_seed()
+      << ")";
+  auto stats = world.aggregate_stats();
+  EXPECT_GT(stats.get("mpi.evictions"), 0);
+  EXPECT_EQ(stats.get("mpi.channel_failures"), 0)
+      << "recoverable loss rates must not kill channels";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Loss, EvictFaultMatrix,
+    ::testing::Values(EvictFaultCase{0.01, 0.0, 4},
+                      EvictFaultCase{0.05, 0.0, 4},
+                      EvictFaultCase{0.01, 0.01, 2},
+                      EvictFaultCase{0.05, 0.02, 2}),
+    [](const ::testing::TestParamInfo<EvictFaultCase>& ti) {
+      std::string s = "ctl";
+      s += std::to_string(static_cast<int>(ti.param.control_drop * 100));
+      s += "_data";
+      s += std::to_string(static_cast<int>(ti.param.data_drop * 100));
+      s += "_cap";
+      s += std::to_string(ti.param.budget);
+      return s;
+    });
+
+}  // namespace
+}  // namespace odmpi::mpi

@@ -225,6 +225,59 @@ TEST(Disconnect, PropagatesToPeer) {
   EXPECT_EQ(vis[0]->state(), ViState::kDisconnected);
 }
 
+// Regression: a remote-initiated disconnect must flush the surviving
+// VI's preposted receive descriptors with kDisconnected, exactly like a
+// local destroy_vi does, and without pushing CQ entries (the host learns
+// of the disconnect from the state change). Before the fix the
+// descriptors stayed queued forever — the MPI eviction teardown would
+// have leaked every eager buffer on the side that received the
+// disconnect instead of initiating it.
+TEST(Disconnect, FlushesSurvivorsPrepostedReceives) {
+  MiniCluster mc(2);
+  constexpr int kPreposted = 4;
+  constexpr std::size_t kBufBytes = 64;
+  std::vector<Descriptor> descs(kPreposted);
+  mc.spawn(0, [&] {
+    Vi* vi = mc.nic(0).create_vi(nullptr, nullptr);
+    mc.nic(0).connections().connect_peer(*vi, 1, 11);
+    await_connected(vi);
+    // Let the peer observe the established connection before tearing it
+    // down, so the test exercises disconnect-of-a-connected-VI.
+    sim::Process::current()->sleep(sim::microseconds(50));
+    vi->disconnect();
+  });
+  mc.spawn(1, [&] {
+    CompletionQueue* recv_cq = mc.nic(1).create_cq();
+    Vi* vi = mc.nic(1).create_vi(nullptr, recv_cq);
+    testing::PinnedBuffer buf(mc.nic(1), kPreposted * kBufBytes);
+    for (int i = 0; i < kPreposted; ++i) {
+      auto& d = descs[static_cast<std::size_t>(i)];
+      d.op = DescOp::kReceive;
+      d.addr = buf.data() + static_cast<std::size_t>(i) * kBufBytes;
+      d.length = kBufBytes;
+      d.mem_handle = buf.handle;
+      ASSERT_EQ(vi->post_recv(&d), Status::kSuccess);
+    }
+    mc.nic(1).connections().connect_peer(*vi, 0, 11);
+    await_connected(vi);
+    auto* p = sim::Process::current();
+    while (vi->state() == ViState::kConnected) {
+      p->advance(sim::nanoseconds(200));
+      p->yield();
+    }
+    EXPECT_EQ(vi->state(), ViState::kDisconnected);
+    EXPECT_EQ(vi->recv_queue_depth(), 0u)
+        << "disconnect must flush preposted receives";
+    for (const Descriptor& d : descs) {
+      EXPECT_TRUE(d.done);
+      EXPECT_EQ(d.status, Status::kDisconnected);
+    }
+    EXPECT_FALSE(recv_cq->has_entries())
+        << "flushed receives must not surface as CQ completions";
+  });
+  ASSERT_TRUE(mc.run());
+}
+
 TEST(ConnectCost, ChargesOsInvolvement) {
   MiniCluster mc(2);
   sim::SimTime spent = 0;
