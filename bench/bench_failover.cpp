@@ -1,0 +1,171 @@
+// Failover latency under rank-death injection: how long after a kill
+// does every survivor *know*, and how much completion time does the
+// degradation cost? Charted against the DeviceProfile timeout constants
+// that bound detection analytically (DESIGN.md section 12):
+//
+//   * conn_retry_budget()  — handshake / liveness-probe exhaustion,
+//   * RD exhaustion        — sum of doubling retransmit timeouts,
+//   * watchdog interval    — 20 x conn_timeout between probe sweeps.
+//
+// One rank is killed mid-run; each survivor's detection instant is the
+// device gauge mpi.peer_failed_last_ns (single kill => last == first).
+// Columns: kill time, min/mean/max detection latency across survivors,
+// completion overhead vs the kill-free baseline, watchdog probes sent.
+//
+// With --trace=<file> every measured run records all lanes, so CI can
+// feed the killed-run traces to scripts/check_trace.py --check-failures.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace odmpi;
+
+namespace {
+
+constexpr int kVictim = 3;
+
+// Rotating neighbor exchange: every survivor eventually needs the
+// victim as a partner, so detection is on the critical path for all of
+// them — the worst case for failure propagation.
+void exchange_body(mpi::Comm& c, int passes, int bytes) {
+  std::vector<char> out(static_cast<std::size_t>(bytes), 'f');
+  std::vector<char> in(static_cast<std::size_t>(bytes));
+  for (int pass = 0; pass < passes; ++pass) {
+    for (int stride = 1; stride < c.size(); ++stride) {
+      const int right = (c.rank() + stride) % c.size();
+      const int left = (c.rank() - stride + c.size()) % c.size();
+      c.sendrecv(out.data(), bytes, mpi::kByte, right, stride, in.data(),
+                 bytes, mpi::kByte, left, stride);
+    }
+  }
+}
+
+mpi::JobOptions make_options(bool bvia, mpi::ConnectionModel model) {
+  mpi::JobOptions opt;
+  opt.profile = bvia ? via::DeviceProfile::bvia() : via::DeviceProfile::clan();
+  opt.device.connection_model = model;
+  opt.deadline = sim::seconds(600);
+  return opt;
+}
+
+struct Row {
+  std::string label;
+  sim::SimTime baseline = 0;
+  sim::SimTime kill_time = 0;
+  mpi::RunResult result;
+  sim::SimTime detect_min = 0;
+  sim::SimTime detect_mean = 0;
+  sim::SimTime detect_max = 0;
+  std::int64_t probes = 0;
+};
+
+Row run_config(const std::string& label, bool bvia,
+               mpi::ConnectionModel model, int nprocs, int passes,
+               int bytes) {
+  Row row;
+  row.label = label;
+  {
+    mpi::World world(nprocs, make_options(bvia, model));
+    mpi::RunResult base =
+        world.run_job([&](mpi::Comm& c) { exchange_body(c, passes, bytes); });
+    if (!base.ok()) {
+      row.result = std::move(base);
+      return row;
+    }
+    row.baseline = base.completion_time;
+  }
+
+  row.kill_time = row.baseline * 2 / 5;  // mid-run, well before finalize
+  mpi::JobOptions opt = make_options(bvia, model);
+  opt.fault.kill_rank(kVictim, row.kill_time);
+  opt.trace = bench::next_trace_config();
+  mpi::World world(nprocs, opt);
+  row.result =
+      world.run_job([&](mpi::Comm& c) { exchange_body(c, passes, bytes); });
+  if (row.result.status != mpi::RunStatus::kRankFailed) return row;
+
+  std::int64_t sum = 0;
+  int n = 0;
+  for (int r = 0; r < nprocs; ++r) {
+    if (r == kVictim) continue;
+    const mpi::RankReport& rep = world.report(r);
+    row.probes += rep.device_stats.get("mpi.watchdog_probes");
+    const std::int64_t at = rep.device_stats.get("mpi.peer_failed_last_ns");
+    if (at == 0) continue;  // finished before it ever needed the victim
+    const sim::SimTime latency = static_cast<sim::SimTime>(at) - row.kill_time;
+    if (n == 0 || latency < row.detect_min) row.detect_min = latency;
+    if (latency > row.detect_max) row.detect_max = latency;
+    sum += latency;
+    ++n;
+  }
+  if (n > 0) row.detect_mean = static_cast<sim::SimTime>(sum / n);
+  return row;
+}
+
+void print_bounds(const via::DeviceProfile& p) {
+  const sim::SimTime rd =
+      p.retransmit_timeout * ((sim::SimTime{1} << (p.max_retransmits + 1)) - 1);
+  std::printf(
+      "%-6s conn_retry_budget=%.3f ms  rd_exhaustion=%.3f ms  "
+      "watchdog_interval=%.3f ms\n",
+      p.name.c_str(), sim::to_ms(p.conn_retry_budget()), sim::to_ms(rd),
+      sim::to_ms(20 * p.conn_timeout));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
+  const bool quick = bench::quick_mode();
+  const int nprocs = 8;
+  const int passes = quick ? 24 : 96;
+  const int bytes = 4096;
+
+  bench::heading("Failover: detection latency after a rank kill (" +
+                 std::to_string(nprocs) + " procs, victim rank " +
+                 std::to_string(kVictim) + ")");
+  std::printf("analytic detection bounds per profile:\n");
+  print_bounds(via::DeviceProfile::clan());
+  print_bounds(via::DeviceProfile::bvia());
+
+  struct Case {
+    const char* label;
+    bool bvia;
+    mpi::ConnectionModel model;
+  };
+  const std::vector<Case> cases = {
+      {"clan/on-demand", false, mpi::ConnectionModel::kOnDemand},
+      {"clan/static-p2p", false, mpi::ConnectionModel::kStaticPeerToPeer},
+      {"bvia/on-demand", true, mpi::ConnectionModel::kOnDemand},
+      {"bvia/static-p2p", true, mpi::ConnectionModel::kStaticPeerToPeer},
+  };
+
+  std::printf("\n%-18s %9s %11s %11s %11s %10s %7s\n", "config", "kill-ms",
+              "det-min-ms", "det-mean-ms", "det-max-ms", "overhd-ms",
+              "probes");
+  for (const Case& c : cases) {
+    Row row = run_config(c.label, c.bvia, c.model, nprocs, passes, bytes);
+    if (row.result.status != mpi::RunStatus::kRankFailed) {
+      std::printf("%-18s %s\n", row.label.c_str(),
+                  row.result.summary().c_str());
+      continue;
+    }
+    std::printf("%-18s %9.3f %11.3f %11.3f %11.3f %10.3f %7lld\n",
+                row.label.c_str(), sim::to_ms(row.kill_time),
+                sim::to_ms(row.detect_min), sim::to_ms(row.detect_mean),
+                sim::to_ms(row.detect_max),
+                sim::to_ms(row.result.completion_time - row.baseline),
+                static_cast<long long>(row.probes));
+  }
+  std::printf(
+      "\nshape: detection tracks conn_retry_budget (liveness-probe\n"
+      "exhaustion, plus a small per-retry congestion allowance) — the\n"
+      "watchdog fires well before RD exhaustion would. Gossip collapses\n"
+      "the survivor spread (max - min) to a few wire hops once the first\n"
+      "survivor knows. The completion overhead is the degradation cost:\n"
+      "bounded by detection latency, not by the remaining work.\n");
+  return 0;
+}

@@ -9,7 +9,9 @@ on a bench run with --trace=<file>:
     need ``dur``, counters carry ``args.value``);
   * phases are limited to X/i/C/M and categories to the four tracer
     lanes (fabric, conn, msg, coll);
-  * timestamps and durations are non-negative and no span is left open;
+  * timestamps and durations are non-negative and no span is left open
+    (except on a rank with a fault.rank_killed instant — dying mid-
+    operation legitimately abandons the span);
   * every pid seen in a data event also has a process_name metadata
     record (the lane naming the viewer relies on);
   * with --check-evictions, the eviction lifecycle on every (pid, peer)
@@ -17,11 +19,19 @@ on a bench run with --trace=<file>:
     strictly alternate starting with an evict — a reconnect with no
     preceding evict is impossible (the first connect is never traced as
     a reconnect), and a trailing evict with no reconnect is a clean
-    shutdown, which is fine.
+    shutdown, which is fine;
+  * with --check-failures, the rank-death cascade is causally ordered:
+    every survivor event about a dead rank (mpi.conn.peer_failed
+    learnings, kPeerFailed-labelled mpi.conn.failed channel failures,
+    mpi.msg.aborted request aborts) happens at or after that rank's
+    fault.rank_killed instant, each surviving pid learns of a given
+    death exactly once, and every death somebody aborted work over was
+    actually learned by that pid first.
 
 Usage:
     check_trace.py <trace.json> [--require-cat fabric,conn,msg]
                    [--check-evictions] [--min-evictions N]
+                   [--check-failures] [--min-deaths N]
 
 Exits non-zero listing every violation.
 """
@@ -46,6 +56,9 @@ def check(path: pathlib.Path, require_cats: set) -> list:
     if not isinstance(events, list) or not events:
         return [f"{path}: no traceEvents"]
 
+    killed_pids = {
+        e.get("pid") for e in events if e.get("name") == "fault.rank_killed"
+    }
     seen_cats = set()
     data_pids = set()
     named_pids = set()
@@ -74,7 +87,7 @@ def check(path: pathlib.Path, require_cats: set) -> list:
                 errors.append(f"event {i}: span without dur")
             elif float(e["dur"]) < 0:
                 errors.append(f"event {i}: negative duration")
-            if e.get("args", {}).get("open"):
+            if e.get("args", {}).get("open") and e.get("pid") not in killed_pids:
                 errors.append(
                     f"event {i}: span {e.get('name')!r} never closed"
                 )
@@ -139,6 +152,127 @@ def check_evictions(path: pathlib.Path, min_evictions: int) -> list:
     return errors
 
 
+def check_failures(path: pathlib.Path, min_deaths: int) -> list:
+    """Validates the rank-death cascade in a trace.
+
+    The tracer emits one ``fault.rank_killed`` instant on the victim's
+    pid at the moment the kill fires.  Everything a survivor does about
+    that death must be causally downstream of it:
+
+      * ``mpi.conn.peer_failed`` (pid learned args.peer is dead) — at or
+        after the kill, and at most one per (pid, victim): a device
+        records a death the first time it learns of it and never again;
+      * ``mpi.conn.failed`` with args.a0 == 12 (via::Status::kPeerFailed)
+        — a channel failed *because* the peer died, so the death must
+        predate it and the pid must have a peer_failed learning event;
+      * ``mpi.msg.aborted`` against the victim (args.peer >= 0 — wildcard
+        aborts carry peer -1 and are skipped) — at or after the kill.
+    """
+    K_PEER_FAILED = 12  # via::Status::kPeerFailed ordinal
+    errors = []
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable or invalid JSON: {exc}"]
+
+    kills = {}  # victim pid -> kill ts
+    for i, e in enumerate(doc.get("traceEvents", [])):
+        if e.get("name") != "fault.rank_killed":
+            continue
+        victim = e.get("pid")
+        ts = float(e.get("ts", 0))
+        if victim in kills:
+            errors.append(
+                f"event {i}: pid {victim} killed twice "
+                f"(ts={kills[victim]} and ts={ts})"
+            )
+        else:
+            kills[victim] = ts
+
+    if len(kills) < min_deaths:
+        errors.append(
+            f"only {len(kills)} fault.rank_killed instant(s) traced, "
+            f"expected at least {min_deaths} — the kill never fired"
+        )
+    if not kills:
+        return errors
+
+    learned = set()  # (pid, victim) pairs that saw mpi.conn.peer_failed
+    for i, e in enumerate(doc.get("traceEvents", [])):
+        name = e.get("name")
+        if name not in ("mpi.conn.peer_failed", "mpi.conn.failed",
+                        "mpi.msg.aborted"):
+            continue
+        peer = e.get("args", {}).get("peer", -1)
+        if not isinstance(peer, int) or peer < 0:
+            if name == "mpi.msg.aborted":
+                continue  # wildcard abort, no single victim to check
+            errors.append(f"event {i}: {name} without a valid args.peer")
+            continue
+        pid = e.get("pid")
+        ts = float(e.get("ts", 0))
+
+        if name == "mpi.conn.peer_failed":
+            if peer not in kills:
+                errors.append(
+                    f"event {i}: pid {pid} reports peer {peer} failed "
+                    "but that rank was never killed"
+                )
+                continue
+            if ts < kills[peer]:
+                errors.append(
+                    f"event {i}: pid {pid} learned of peer {peer}'s "
+                    f"death at ts={ts}, before the kill at "
+                    f"ts={kills[peer]}"
+                )
+            if (pid, peer) in learned:
+                errors.append(
+                    f"event {i}: pid {pid} learned of peer {peer}'s "
+                    "death twice — deaths must be recorded on first "
+                    "learning only"
+                )
+            learned.add((pid, peer))
+        elif name == "mpi.conn.failed":
+            if e.get("args", {}).get("a0") != K_PEER_FAILED:
+                continue  # ordinary timeout/transport failure
+            if peer not in kills:
+                errors.append(
+                    f"event {i}: pid {pid} channel to {peer} failed "
+                    "with kPeerFailed but that rank was never killed"
+                )
+            elif ts < kills[peer]:
+                errors.append(
+                    f"event {i}: pid {pid} channel to {peer} failed "
+                    f"with kPeerFailed at ts={ts}, before the kill at "
+                    f"ts={kills[peer]}"
+                )
+        else:  # mpi.msg.aborted
+            if peer in kills and ts < kills[peer]:
+                errors.append(
+                    f"event {i}: pid {pid} aborted a request against "
+                    f"{peer} at ts={ts}, before the kill at "
+                    f"ts={kills[peer]}"
+                )
+
+    # Every kPeerFailed channel failure must be explained by a learning
+    # event on the same pid (the device labels peer_error only from its
+    # known-failed set or the fault plan — the former always traces).
+    for i, e in enumerate(doc.get("traceEvents", [])):
+        if e.get("name") != "mpi.conn.failed":
+            continue
+        if e.get("args", {}).get("a0") != K_PEER_FAILED:
+            continue
+        pid = e.get("pid")
+        peer = e.get("args", {}).get("peer", -1)
+        if peer in kills and (pid, peer) not in learned:
+            errors.append(
+                f"event {i}: pid {pid} failed its channel to {peer} "
+                "with kPeerFailed but never traced a peer_failed "
+                "learning event for that death"
+            )
+    return errors
+
+
 def main(argv: list) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("trace", type=pathlib.Path)
@@ -160,6 +294,19 @@ def main(argv: list) -> int:
         help="with --check-evictions, fail unless the trace shows at "
         "least this many evictions",
     )
+    parser.add_argument(
+        "--check-failures",
+        action="store_true",
+        help="validate the rank-death cascade ordering "
+        "(fault-injected runs with rank_kills)",
+    )
+    parser.add_argument(
+        "--min-deaths",
+        type=int,
+        default=0,
+        help="with --check-failures, fail unless the trace shows at "
+        "least this many fault.rank_killed instants",
+    )
     args = parser.parse_args(argv[1:])
     require = {c for c in args.require_cat.split(",") if c}
     unknown = require - KNOWN_CATS
@@ -171,6 +318,8 @@ def main(argv: list) -> int:
     errors = check(args.trace, require)
     if args.check_evictions or args.min_evictions:
         errors += check_evictions(args.trace, args.min_evictions)
+    if args.check_failures or args.min_deaths:
+        errors += check_failures(args.trace, args.min_deaths)
     if errors:
         for err in errors:
             print(f"TRACE CHECK FAILED: {err}", file=sys.stderr)

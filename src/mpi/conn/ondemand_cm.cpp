@@ -163,6 +163,14 @@ bool OnDemandConnectionManager::progress() {
       const Rank peer = (lo == device_.rank()) ? hi : lo;
       assert(peer == req.src_node && "discriminator / source mismatch");
       Channel& ch = device_.channel(peer);
+      if (ch.state == Channel::State::kFailed) {
+        // The peer's request outlived the channel: it failed over (or the
+        // peer is known dead) after the request was queued. Answering is
+        // pointless and leaving it queued would re-report it every pass.
+        svc.drop_unmatched_from(req.src_node);
+        progressed = true;
+        continue;
+      }
       const bool was_waiting = is_waiting(peer);
       ensure_connection(peer);
       // A deferred answer (resource-capped mode) leaves the request

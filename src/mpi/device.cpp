@@ -40,6 +40,18 @@ const sim::Stats::Counter kRegCacheMisses =
 // when the budget actually evicts, so unlimited runs never touch these.
 const sim::Stats::Counter kEvictions = sim::Stats::counter("mpi.evictions");
 const sim::Stats::Counter kReconnects = sim::Stats::counter("mpi.reconnects");
+// Rank-kill injection only: how many distinct peer deaths this device
+// learned of (directly or by gossip). The runtime classifies a finished
+// rank with a nonzero count as "impacted".
+const sim::Stats::Counter kPeerFailedSeen =
+    sim::Stats::counter("mpi.peer_failed_seen");
+// Sim time (ns) at which this device most recently learned of a death.
+// With a single injected kill this IS the detection instant, which is
+// what bench_failover charts against the DeviceProfile timeouts.
+const sim::Stats::Counter kPeerFailedLastNs =
+    sim::Stats::counter("mpi.peer_failed_last_ns");
+const sim::Stats::Counter kWatchdogProbes =
+    sim::Stats::counter("mpi.watchdog_probes");
 
 // Trace-event names: the message lifecycle (TraceCat::kMsg) and the
 // device-level connection handshake (TraceCat::kConn).
@@ -56,6 +68,12 @@ const sim::Stats::Counter kTrUnexpDepth =
 const sim::Stats::Counter kTrEvict = sim::Stats::counter("mpi.conn.evict");
 const sim::Stats::Counter kTrReconnect =
     sim::Stats::counter("mpi.conn.reconnect");
+// Failure model (TraceCat::kConn / kMsg): a0 of peer_failed is 1 when the
+// death was learned by gossip, 0 when detected locally.
+const sim::Stats::Counter kTrPeerFailed =
+    sim::Stats::counter("mpi.conn.peer_failed");
+const sim::Stats::Counter kTrMsgAborted =
+    sim::Stats::counter("mpi.msg.aborted");
 
 RequestPtr make_completed_request(ReqKind kind) {
   auto req = std::make_shared<RequestState>();
@@ -85,6 +103,15 @@ Device::Device(via::Cluster& cluster, Rank rank, int size, DeviceConfig config)
   for (Rank p = 0; p < size; ++p) {
     channels_.push_back(std::make_unique<Channel>());
     channels_.back()->peer = p;
+  }
+
+  kills_active_ = cluster_.fault_plan().config().has_kills();
+  known_failed_.assign(static_cast<std::size_t>(size), false);
+  if (kills_active_) {
+    // Probe exhaustion (the watchdog's detector for a connected-but-idle
+    // corpse) reports straight into the failure-knowledge machinery.
+    nic_.connections().set_peer_failed_handler(
+        [this](via::NodeId node) { note_peer_failed(node); });
   }
 
   // Device-global pool of registered eager send (staging) buffers.
@@ -226,6 +253,22 @@ void Device::channel_connected(Channel& ch) {
     tracer_->end_span(ch.conn_span);
     ch.conn_span = 0;
   }
+  // Failure propagation to the late-connecting: a peer that was not
+  // connected when a death flooded the mesh learns of it here, first
+  // thing on its fresh channel (the practical form of piggybacking the
+  // known-failed set on connection establishment).
+  if (kills_active_ && known_failed_count_ > 0) {
+    for (Rank d = 0; d < size_; ++d) {
+      if (!known_failed_[static_cast<std::size_t>(d)] || d == ch.peer) {
+        continue;
+      }
+      PacketHeader h;
+      h.type = PacketType::kPeerFailed;
+      h.src_rank = rank_;
+      h.tag = d;
+      enqueue_control(ch, h);
+    }
+  }
   // Drain the paper's pre-posted send FIFO strictly in order (MPI
   // non-overtaking, section 3.4).
   while (!ch.park_fifo.empty()) {
@@ -239,8 +282,36 @@ void Device::channel_connected(Channel& ch) {
   }
 }
 
+via::Status Device::peer_error(Rank peer) const {
+  if (kills_active_ &&
+      (known_failed_[static_cast<std::size_t>(peer)] ||
+       cluster_.fault_plan().node_dead(peer))) {
+    return via::Status::kPeerFailed;
+  }
+  return via::Status::kTimeout;
+}
+
+void Device::abort_request(const RequestPtr& req, via::Status error,
+                           Rank peer) {
+  if (req == nullptr || req->done) return;
+  req->error = error;
+  req->done = true;
+  trace_msg_done(*req);
+  if (error == via::Status::kPeerFailed && tracer_ != nullptr) {
+    const bool send = req->kind == ReqKind::kSend;
+    tracer_->instant(sim::TraceCat::kMsg, kTrMsgAborted, rank_, peer,
+                     static_cast<std::int64_t>(send ? req->bytes
+                                                    : req->capacity),
+                     req->tag);
+  }
+}
+
 void Device::fail_channel(Channel& ch, via::Status error) {
   if (ch.state == Channel::State::kFailed) return;
+  // Relabel a generic timeout against a process the fault plan knows is
+  // dead: callers keep reporting what their timers saw (kTimeout); the
+  // peek never shortens any timer, it only names the cause honestly.
+  if (error == via::Status::kTimeout) error = peer_error(ch.peer);
   ch.state = Channel::State::kFailed;
   // An eviction handshake cut short by the failure is abandoned; the
   // entry on evicting_ is swept lazily by progress_evictions().
@@ -257,11 +328,8 @@ void Device::fail_channel(Channel& ch, via::Status error) {
                      static_cast<std::int64_t>(error));
   }
 
-  auto fail_req = [this, error](const RequestPtr& req) {
-    if (req == nullptr || req->done) return;
-    req->error = error;
-    req->done = true;
-    trace_msg_done(*req);
+  auto fail_req = [this, error, &ch](const RequestPtr& req) {
+    abort_request(req, error, ch.peer);
   };
 
   // Sends parked waiting for the connection that will never come.
@@ -304,7 +372,64 @@ void Device::fail_channel(Channel& ch, via::Status error) {
   for (const RequestPtr& r : matching_.take_posted_from(ch.peer)) {
     fail_req(r);
   }
+  // A wildcard receive may have just lost its last live candidate.
+  sweep_doomed_wildcards();
   nic_.notify_host();  // wake a blocked waiter so it observes the failure
+  // A channel failed over against a process the plan knows is dead is
+  // this device's moment of detection: record and propagate it.
+  if (error == via::Status::kPeerFailed) note_peer_failed(ch.peer);
+}
+
+void Device::note_peer_failed(Rank dead, bool via_gossip) {
+  if (!kills_active_ || dead == rank_) return;
+  if (dead < 0 || dead >= size_) return;
+  if (known_failed_[static_cast<std::size_t>(dead)]) return;
+  known_failed_[static_cast<std::size_t>(dead)] = true;
+  ++known_failed_count_;
+  stats_.add(kPeerFailedSeen);
+  stats_.set(kPeerFailedLastNs,
+             static_cast<std::int64_t>(cluster_.engine().now()));
+  if (tracer_ != nullptr) {
+    tracer_->instant(sim::TraceCat::kConn, kTrPeerFailed, rank_, dead,
+                     via_gossip ? 1 : 0);
+  }
+  // Fail the corpse's channel (idempotent — fail_channel re-entering
+  // note_peer_failed stops at the known_failed_ check above), then
+  // gossip the death to everyone still live.
+  fail_channel(channel(dead), via::Status::kPeerFailed);
+  flood_peer_failed(dead);
+  sweep_doomed_wildcards();
+}
+
+void Device::flood_peer_failed(Rank dead) {
+  for (const auto& chp : channels_) {
+    Channel& ch = *chp;
+    if (ch.peer == rank_ || ch.peer == dead) continue;
+    if (known_failed_[static_cast<std::size_t>(ch.peer)]) continue;
+    if (!ch.transport_active()) continue;
+    PacketHeader h;
+    h.type = PacketType::kPeerFailed;
+    h.src_rank = rank_;
+    h.tag = dead;  // the rank being reported dead
+    enqueue_control(ch, h);
+  }
+}
+
+void Device::sweep_doomed_wildcards() {
+  if (matching_.posted_count() == 0) return;
+  auto doomed = [this](const RequestPtr& r) {
+    if (r->wildcard_candidates.empty()) return false;
+    for (Rank c : r->wildcard_candidates) {
+      const bool dead =
+          channel(c).state == Channel::State::kFailed ||
+          (kills_active_ && known_failed_[static_cast<std::size_t>(c)]);
+      if (!dead) return false;
+    }
+    return true;
+  };
+  for (const RequestPtr& r : matching_.take_posted_wildcards(doomed)) {
+    abort_request(r, via::Status::kPeerFailed, kAnySource);
+  }
 }
 
 // --- Send path ---------------------------------------------------------------
@@ -346,18 +471,14 @@ RequestPtr Device::post_send(const void* buf, std::size_t bytes,
   if (ch.state == Channel::State::kFailed) {
     // Terminal: the peer was declared unreachable. Fail fast instead of
     // parking the send forever.
-    req->error = via::Status::kTimeout;
-    req->done = true;
-    trace_msg_done(*req);
+    abort_request(req, peer_error(dst_world), dst_world);
     return req;
   }
   if (!ch.connected()) {
     cm_->ensure_connection(dst_world);
   }
   if (ch.state == Channel::State::kFailed) {
-    req->error = via::Status::kTimeout;
-    req->done = true;
-    trace_msg_done(*req);
+    abort_request(req, peer_error(dst_world), dst_world);
     return req;
   }
   if (!ch.connected()) {
@@ -487,11 +608,7 @@ bool Device::drain_outq(Channel& ch) {
       // descriptor was discarded synchronously without a CQ entry, so the
       // buffer is still ours to reclaim. Fail the channel terminally.
       release_send_buf(buf);
-      if (out.req != nullptr && !out.req->done) {
-        out.req->error = via::Status::kTimeout;
-        out.req->done = true;
-        trace_msg_done(*out.req);
-      }
+      abort_request(out.req, peer_error(ch.peer), ch.peer);
       fail_channel(ch, via::Status::kTimeout);
       return true;
     }
@@ -585,18 +702,29 @@ RequestPtr Device::post_recv(void* buf, std::size_t capacity, Rank src_world,
       for (Rank r = 0; r < size_; ++r) all[static_cast<std::size_t>(r)] = r;
       cm_->on_any_source(all);
     }
+    if (cluster_.fault_active()) {
+      // Record who could legally match this wildcard (everyone in the
+      // communicator but ourselves) so the doomed-wildcard sweep can tell
+      // when the last live candidate is gone. Bookkeeping only: no events
+      // are scheduled and no draws made, so fault schedules are unchanged.
+      if (comm_world_ranks != nullptr) {
+        for (Rank r : *comm_world_ranks) {
+          if (r != rank_) req->wildcard_candidates.push_back(r);
+        }
+      } else {
+        for (Rank r = 0; r < size_; ++r) {
+          if (r != rank_) req->wildcard_candidates.push_back(r);
+        }
+      }
+    }
   } else if (src_world != rank_) {
     if (channel(src_world).state == Channel::State::kFailed) {
-      req->error = via::Status::kTimeout;
-      req->done = true;
-      trace_msg_done(*req);
+      abort_request(req, peer_error(src_world), src_world);
       return req;
     }
     cm_->ensure_connection(src_world);
     if (channel(src_world).state == Channel::State::kFailed) {
-      req->error = via::Status::kTimeout;
-      req->done = true;
-      trace_msg_done(*req);
+      abort_request(req, peer_error(src_world), src_world);
       return req;
     }
     touch_lru(channel(src_world));  // expected traffic: a poor LRU victim
@@ -604,6 +732,24 @@ RequestPtr Device::post_recv(void* buf, std::size_t capacity, Rank src_world,
 
   UnexpectedMsg* m = matching_.match_posted(req);
   if (m == nullptr) {
+    if (!req->wildcard_candidates.empty()) {
+      // All candidates may already be dead at post time (e.g. a 2-rank
+      // job whose only peer was killed): fail now rather than queueing a
+      // receive the sweep has already passed over.
+      bool all_dead = true;
+      for (Rank c : req->wildcard_candidates) {
+        if (channel(c).state != Channel::State::kFailed &&
+            !(kills_active_ &&
+              known_failed_[static_cast<std::size_t>(c)])) {
+          all_dead = false;
+          break;
+        }
+      }
+      if (all_dead) {
+        abort_request(req, via::Status::kPeerFailed, kAnySource);
+        return req;
+      }
+    }
     matching_.add_posted(req);
     return req;
   }
@@ -741,6 +887,14 @@ void Device::handle_packet(Channel& ch, const std::byte* data,
       return;
     case PacketType::kEvictAck:
       handle_evict_ack(ch);
+      return;
+    case PacketType::kPeerFailed:
+      // Gossip: a peer tells us h.tag is dead. Re-flooding happens inside
+      // note_peer_failed on first learning, which is what bounds the
+      // propagation: each device forwards a given death at most once.
+      if (h.tag != rank_) {
+        note_peer_failed(h.tag, /*via_gossip=*/true);
+      }
       return;
   }
   assert(false && "unknown packet type");
@@ -992,13 +1146,17 @@ bool Device::poll_send_cq() {
       if (ch_it != vi_to_channel_.end()) {
         Channel& fch = *ch_it->second;
         if (fch.state == Channel::State::kDraining &&
-            fch.evict_teardown_ready) {
+            fch.evict_teardown_ready &&
+            !(kills_active_ && cluster_.fault_plan().node_dead(fch.peer))) {
           // Retry exhaustion after an agreed eviction teardown: the peer
           // provably processed everything up to the handshake packet (it
           // could not have agreed otherwise), so the "failure" is its VI
           // disappearing under our trailing retransmits — e.g. the
           // disconnect notification itself was fault-dropped. Not data
-          // loss; the teardown completes normally.
+          // loss; the teardown completes normally. EXCEPT when the peer
+          // died after agreeing: finish_evict against a corpse would
+          // wedge the drain, so the death wins the race and the channel
+          // fails over instead.
           continue;
         }
         fail_channel(fch, via::Status::kTimeout);
@@ -1229,7 +1387,15 @@ void Device::wait_until(const std::function<bool()>& pred) {
     //    was exhausted, the process had really gone to sleep in the
     //    kernel and pays the wake-up penalty.
     nic_.set_host_waiter(proc);
+    if (kills_active_) {
+      // A connected-but-silent corpse generates no completions: nothing
+      // would ever wake this wait. The watchdog keeps virtual time (and
+      // liveness probes) flowing while the process is parked.
+      in_blocking_wait_ = true;
+      arm_watchdog();
+    }
     const sim::SimTime blocked = proc->block();
+    in_blocking_wait_ = false;
     nic_.set_host_waiter(nullptr);
     if (blocked > 0 && !polling && has_kernel_wait &&
         blocked > spin_window) {
@@ -1239,6 +1405,38 @@ void Device::wait_until(const std::function<bool()>& pred) {
       stats_.add(kKernelWakeups);
     }
   }
+}
+
+void Device::arm_watchdog() {
+  if (watchdog_armed_ || finalized_ || nic_.dead()) return;
+  watchdog_armed_ = true;
+  const std::uint64_t gen = ++watchdog_generation_;
+  // Interval: well above one conn_timeout so a healthy-but-congested peer
+  // never gets probed mid-handshake storm, well below the run deadline so
+  // detection latency stays bounded (~3 ms on cLAN constants).
+  const sim::SimTime interval = 20 * nic_.profile().conn_timeout;
+  cluster_.engine().schedule_after(interval,
+                                   [this, gen] { on_watchdog(gen); });
+}
+
+void Device::on_watchdog(std::uint64_t gen) {
+  if (gen != watchdog_generation_) return;
+  watchdog_armed_ = false;
+  if (finalized_ || nic_.dead() || !in_blocking_wait_) return;
+  // Probe every peer not already known dead — not just transport-active
+  // channels: an on-demand receiver waiting on a corpse that never sent
+  // has no connection (and thus no retransmission timer) to detect the
+  // death for it. Pongs are answered at NIC level, so probing a busy
+  // live peer never perturbs its host.
+  for (Rank peer = 0; peer < size_; ++peer) {
+    if (peer == rank_ || known_failed_[static_cast<std::size_t>(peer)]) {
+      continue;
+    }
+    if (nic_.connections().probing(peer)) continue;
+    nic_.connections().probe_peer(peer);
+    stats_.add(kWatchdogProbes);
+  }
+  arm_watchdog();
 }
 
 void Device::wait(const RequestPtr& req) {

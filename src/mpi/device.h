@@ -248,7 +248,30 @@ class Device {
   /// Terminal connection/transport failure on `ch`: fails every queued,
   /// parked and in-progress request touching the peer with `error`
   /// (normally via::Status::kTimeout) instead of leaving them to hang.
+  /// Under rank-kill injection a kTimeout against a peer the fault plan
+  /// knows is dead is relabelled kPeerFailed — labelling only; detection
+  /// latency is still paid in full by the timers that got us here.
   void fail_channel(Channel& ch, via::Status error);
+
+  // --- Failure knowledge (rank-kill injection only) ------------------------
+
+  /// Records that `dead` is a failed process: fails its channel, sweeps
+  /// doomed wildcard receives, and floods a kPeerFailed notice to every
+  /// connected peer that does not know yet (gossip — each device
+  /// re-floods on first learning, so knowledge covers the live mesh in
+  /// O(diameter) rounds). Idempotent; no-op unless the job injects kills.
+  /// `via_gossip` marks knowledge relayed by a peer's kPeerFailed notice
+  /// rather than local detection (trace annotation only).
+  void note_peer_failed(Rank dead, bool via_gossip = false);
+
+  /// True if this device knows `peer` to be a failed process.
+  [[nodiscard]] bool peer_known_failed(Rank peer) const {
+    return kills_active_ &&
+           known_failed_[static_cast<std::size_t>(peer)];
+  }
+  [[nodiscard]] int known_failed_count() const {
+    return known_failed_count_;
+  }
 
   /// Pair-unique VIA discriminator for (rank, peer).
   [[nodiscard]] via::Discriminator pair_discriminator(Rank peer) const;
@@ -327,6 +350,25 @@ class Device {
            (ch.vi == nullptr || ch.vi->sends_in_flight() == 0);
   }
 
+  // Failure-model internals (rank-kill injection; see DESIGN.md sec. 12).
+  // The error label for operations against `peer`: kPeerFailed when the
+  // peer is known (or provably, per the fault plan) dead, else kTimeout.
+  [[nodiscard]] via::Status peer_error(Rank peer) const;
+  // Fails `req` with `error` (idempotent) and emits the msg.aborted
+  // instant when the error is a peer death.
+  void abort_request(const RequestPtr& req, via::Status error, Rank peer);
+  void flood_peer_failed(Rank dead);
+  // Completes every posted wildcard receive whose candidate senders have
+  // all failed (the latent ANY_SOURCE hang) with kPeerFailed.
+  void sweep_doomed_wildcards();
+  // Death-detection watchdog: armed while the process blocks in
+  // wait_until under an active kill schedule, it periodically asks the
+  // ConnectionService to liveness-probe every transport-active peer —
+  // the only detector for a connected-but-silent corpse (a pair with no
+  // packets in flight has no retransmission timer watching it).
+  void arm_watchdog();
+  void on_watchdog(std::uint64_t gen);
+
   // Eviction internals (resource-capped mode; see DESIGN.md section 11).
   void touch_lru(Channel& ch) { ch.last_used = ++lru_clock_; }
   [[nodiscard]] bool peer_has_rndv(Rank peer) const;
@@ -395,6 +437,17 @@ class Device {
   std::uint64_t lru_clock_ = 0;
   int channel_vis_ = 0;
   std::vector<Channel*> evicting_;
+
+  // Rank-kill state. kills_active_ is fixed at construction from the
+  // fault config; with no kill schedule every guard below is one false
+  // branch and the watchdog / probe machinery never arms, keeping
+  // kill-free runs byte-identical.
+  bool kills_active_ = false;
+  std::vector<bool> known_failed_;  // by world rank
+  int known_failed_count_ = 0;
+  bool in_blocking_wait_ = false;
+  bool watchdog_armed_ = false;
+  std::uint64_t watchdog_generation_ = 0;
 };
 
 /// Strategy interface for connection management (paper sections 3-4).

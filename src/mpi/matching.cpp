@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iterator>
 
 namespace odmpi::mpi {
 
@@ -131,6 +132,36 @@ std::vector<RequestPtr> MatchingEngine::take_posted_from(Rank src) {
       --posted_count_;
     }
     it = posted_.erase(it);
+  }
+  std::sort(taken.begin(), taken.end(),
+            [](const PostedEntry& a, const PostedEntry& b) {
+              return a.seq < b.seq;
+            });
+  std::vector<RequestPtr> out;
+  out.reserve(taken.size());
+  for (PostedEntry& e : taken) out.push_back(std::move(e.req));
+  return out;
+}
+
+std::vector<RequestPtr> MatchingEngine::take_posted_wildcards(
+    const std::function<bool(const RequestPtr&)>& doomed) {
+  std::vector<PostedEntry> taken;
+  for (auto it = posted_.begin(); it != posted_.end();) {
+    if (rank_of_key(it->first) != kAnySource) {
+      ++it;
+      continue;
+    }
+    auto& bucket = it->second;
+    for (auto e = bucket.begin(); e != bucket.end();) {
+      if (doomed(e->req)) {
+        taken.push_back(std::move(*e));
+        e = bucket.erase(e);
+        --posted_count_;
+      } else {
+        ++e;
+      }
+    }
+    it = bucket.empty() ? posted_.erase(it) : std::next(it);
   }
   std::sort(taken.begin(), taken.end(),
             [](const PostedEntry& a, const PostedEntry& b) {

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 
@@ -80,6 +81,14 @@ class MatchingEngine {
   /// in post order. Used to fail receives cleanly when a peer becomes
   /// unreachable.
   std::vector<RequestPtr> take_posted_from(Rank src);
+
+  /// Removes and returns, in post order, every posted MPI_ANY_SOURCE
+  /// receive for which `doomed` returns true. The device sweeps with a
+  /// predicate meaning "every candidate sender of this receive has
+  /// failed" when the known-failed set grows — the only condition under
+  /// which a wildcard receive provably can never match.
+  std::vector<RequestPtr> take_posted_wildcards(
+      const std::function<bool(const RequestPtr&)>& doomed);
 
   [[nodiscard]] std::size_t posted_count() const { return posted_count_; }
   [[nodiscard]] std::size_t unexpected_count() const {

@@ -27,6 +27,11 @@ enum class PacketType : std::uint8_t {
   // is provably empty in both directions.
   kEvictReq,        // initiator -> responder: propose teardown
   kEvictAck,        // responder -> initiator: both sides quiescent
+  // Failure propagation (rank-kill injection only): "rank h.tag is dead".
+  // Flooded to every connected peer when a device first learns of a
+  // death, so knowledge spreads through the live mesh in bounded time
+  // instead of each pair rediscovering the corpse by timeout.
+  kPeerFailed,
 };
 
 struct PacketHeader {

@@ -23,7 +23,9 @@ struct RequestState {
 
   /// Transport-level failure. kSuccess for a normal completion; kTimeout
   /// when the peer channel failed terminally (connection or reliable-send
-  /// retries exhausted under fault injection). A failed request is done.
+  /// retries exhausted under fault injection); kPeerFailed when the peer
+  /// process is known dead (rank-kill injection). A failed request is
+  /// done.
   via::Status error = via::Status::kSuccess;
 
   // Envelope (ranks are world ranks inside the device layer).
@@ -50,6 +52,13 @@ struct RequestState {
   std::size_t bytes_received = 0;
   bool truncated = false;  // arrived message exceeded capacity
   MsgStatus status;        // source is a world rank; Comm translates
+
+  // MPI_ANY_SOURCE only, fault-mode only: the world ranks that could
+  // legally match this receive (the communicator's members minus self).
+  // The device sweeps wildcard receives whose every candidate has failed
+  // — without this list a wildcard against an all-dead communicator
+  // would block forever. Empty in fault-free runs.
+  std::vector<Rank> wildcard_candidates;
 
   // --- Tracing (0 = no open span; ids live in the World's sim::Tracer) ---
   std::uint32_t trace_span = 0;  // post -> complete lifecycle span

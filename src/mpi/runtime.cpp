@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <string>
 
 namespace odmpi::mpi {
@@ -19,6 +20,14 @@ const char* to_string(RunStatus s) {
   return "?";
 }
 
+namespace {
+std::string format_sim_seconds(sim::SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6gs", sim::to_us(t) / 1e6);
+  return buf;
+}
+}  // namespace
+
 std::string RunResult::summary() const {
   std::string out;
   switch (status) {
@@ -27,14 +36,31 @@ std::string RunResult::summary() const {
     case RunStatus::kDeadline:
       out = "deadline exceeded, " + std::to_string(failed_ranks.size()) +
             " unfinished rank(s):";
-      break;
+      for (int r : failed_ranks) out += " " + std::to_string(r);
+      if (!deaths.empty()) {
+        out += " (after " + std::to_string(deaths.size()) +
+               " injected death(s))";
+      }
+      return out;
     case RunStatus::kRankFailed:
+      if (!deaths.empty()) {
+        // Killed vs impacted, spelled out: "rank 3 died at t=1.2s;
+        // 5 survivors degraded".
+        for (std::size_t i = 0; i < deaths.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += "rank " + std::to_string(deaths[i].rank) + " died at t=" +
+                 format_sim_seconds(deaths[i].time);
+        }
+        out += "; " + std::to_string(impacted_ranks.size()) + " survivor" +
+               (impacted_ranks.size() == 1 ? "" : "s") + " degraded";
+        return out;
+      }
       out = "finished with failed channels on " +
             std::to_string(failed_ranks.size()) + " rank(s):";
-      break;
+      for (int r : failed_ranks) out += " " + std::to_string(r);
+      return out;
   }
-  for (int r : failed_ranks) out += " " + std::to_string(r);
-  return out;
+  return "?";
 }
 
 World::World(int nranks, JobOptions options)
@@ -44,6 +70,7 @@ World::World(int nranks, JobOptions options)
       cluster_(engine_, nranks, options_.profile, options_.fault),
       reports_(static_cast<std::size_t>(nranks)) {
   assert(nranks >= 1);
+  alive_ = nranks;
   tracer_->configure(options_.trace, &engine_);
   cluster_.set_tracer(tracer_.get());
   contexts_.resize(static_cast<std::size_t>(nranks));
@@ -61,7 +88,10 @@ void World::oob_barrier() {
   // rather than trust a single block().
   const std::uint64_t my_generation = barrier_generation_;
   ++barrier_waiting_;
-  if (barrier_waiting_ == nranks_) {
+  // Release when every *alive* rank has arrived: a rank killed mid-run
+  // (FaultConfig::rank_kills) never shows up, and kill_rank() shrinks
+  // alive_ / re-checks release so survivors are not held hostage.
+  if (barrier_waiting_ >= alive_) {
     barrier_waiting_ = 0;
     ++barrier_generation_;
     for (sim::Process* blocked : barrier_blocked_) blocked->wakeup();
@@ -79,7 +109,7 @@ void World::oob_barrier_driving(Device& dev) {
   assert(p != nullptr);
   const std::uint64_t my_generation = barrier_generation_;
   ++barrier_waiting_;
-  if (barrier_waiting_ == nranks_) {
+  if (barrier_waiting_ >= alive_) {  // alive, not nranks_: see oob_barrier
     barrier_waiting_ = 0;
     ++barrier_generation_;
     for (sim::Process* blocked : barrier_blocked_) blocked->wakeup();
@@ -99,6 +129,39 @@ void World::oob_barrier_driving(Device& dev) {
     dev.nic().set_host_waiter(p);
     p->block();
     dev.nic().set_host_waiter(nullptr);
+  }
+}
+
+void World::kill_rank(int rank) {
+  RankReport& report = reports_[static_cast<std::size_t>(rank)];
+  if (report.finished) return;  // finalized before its kill time: survives
+  sim::Process& p = *processes_[static_cast<std::size_t>(rank)];
+  if (p.killed()) return;  // duplicate entry in the kill schedule
+  p.kill();
+  --alive_;
+  deaths_.push_back(RunResult::RankDeath{rank, engine_.now()});
+  // Black out the node: the fabric drops every packet to or from it (so
+  // survivors' retransmissions and probes go unanswered and time out) and
+  // the corpse's own NIC machinery — armed timers, host wakeups — goes
+  // silent rather than replaying a ghost.
+  cluster_.fault_plan().mark_node_dead(rank);
+  cluster_.nic(rank).kill();
+  static const sim::Stats::Counter kTrRankKilled =
+      sim::Stats::counter("fault.rank_killed");
+  tracer_->instant(sim::TraceCat::kFabric, kTrRankKilled, rank);
+  // If the corpse was parked in an oob barrier it will never re-arrive;
+  // un-count it. Either way the death may make the remaining waiters a
+  // full house, so re-evaluate the release.
+  auto it = std::find(barrier_blocked_.begin(), barrier_blocked_.end(), &p);
+  if (it != barrier_blocked_.end()) {
+    barrier_blocked_.erase(it);
+    --barrier_waiting_;
+  }
+  if (barrier_waiting_ > 0 && barrier_waiting_ >= alive_) {
+    barrier_waiting_ = 0;
+    ++barrier_generation_;
+    for (sim::Process* blocked : barrier_blocked_) blocked->wakeup();
+    barrier_blocked_.clear();
   }
 }
 
@@ -170,17 +233,46 @@ RunResult World::run_job(const std::function<void(Comm&)>& fn) {
         options_.stack_bytes));
     processes_.back()->start();
   }
+  // Injected rank deaths fire as plain engine events: deterministic in
+  // virtual time, ordered against application events by the same queue.
+  for (const sim::RankKill& k : options_.fault.rank_kills) {
+    if (k.rank < 0 || k.rank >= nranks_) continue;
+    engine_.schedule_at(k.time, [this, r = k.rank] { kill_rank(r); });
+  }
   engine_.run_until(options_.deadline);
 
   RunResult result;
   result.completion_time = completion_time();
+  result.deaths = deaths_;
+  std::vector<bool> killed(static_cast<std::size_t>(nranks_), false);
+  for (const RunResult::RankDeath& d : deaths_) {
+    killed[static_cast<std::size_t>(d.rank)] = true;
+  }
+  // A killed rank not finishing is the injected outcome, not a deadline
+  // miss; only a *survivor* that failed to finalize is a hang.
   for (int r = 0; r < nranks_; ++r) {
-    if (!reports_[static_cast<std::size_t>(r)].finished) {
+    if (!reports_[static_cast<std::size_t>(r)].finished &&
+        !killed[static_cast<std::size_t>(r)]) {
       result.failed_ranks.push_back(r);
     }
   }
   if (!result.failed_ranks.empty()) {
     result.status = RunStatus::kDeadline;
+  } else if (!deaths_.empty()) {
+    // Every survivor finalized: the run "succeeded" in the degraded sense.
+    // failed_ranks names the dead; impacted_ranks the survivors that saw
+    // a death (locally or via gossip) and kept going.
+    result.status = RunStatus::kRankFailed;
+    static const sim::Stats::Counter kPeerFailedSeen =
+        sim::Stats::counter("mpi.peer_failed_seen");
+    for (int r = 0; r < nranks_; ++r) {
+      if (killed[static_cast<std::size_t>(r)]) {
+        result.failed_ranks.push_back(r);
+      } else if (reports_[static_cast<std::size_t>(r)].device_stats.get(
+                     kPeerFailedSeen) > 0) {
+        result.impacted_ranks.push_back(r);
+      }
+    }
   } else {
     // Every rank finalized; surface ranks whose peers died under them.
     static const sim::Stats::Counter kChannelFailures =
@@ -193,6 +285,10 @@ RunResult World::run_job(const std::function<void(Comm&)>& fn) {
     }
     if (!result.failed_ranks.empty()) result.status = RunStatus::kRankFailed;
   }
+  std::sort(result.failed_ranks.begin(), result.failed_ranks.end());
+  result.failed_ranks.erase(
+      std::unique(result.failed_ranks.begin(), result.failed_ranks.end()),
+      result.failed_ranks.end());
   if (tracer_->enabled()) {
     result.trace = tracer_.get();
     if (!options_.trace.path.empty()) {

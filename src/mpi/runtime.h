@@ -70,8 +70,9 @@ struct RankReport {
 enum class RunStatus {
   kOk,          // every rank finalized, no channel failures
   kDeadline,    // some rank never finished: deadlock or virtual timeout
-  kRankFailed,  // all ranks finalized, but some saw peer channels fail
-                // over (fault injection killed connections)
+  kRankFailed,  // every *surviving* rank finalized, but fault injection
+                // either killed ranks outright (FaultConfig::rank_kills)
+                // or failed peer channels under them
 };
 
 [[nodiscard]] const char* to_string(RunStatus s);
@@ -82,9 +83,25 @@ enum class RunStatus {
 struct [[nodiscard]] RunResult {
   RunStatus status = RunStatus::kOk;
 
-  /// kDeadline: ranks that never finished. kRankFailed: ranks whose
-  /// device reported channel failures. Empty for kOk.
+  /// kDeadline: ranks that never finished (killed ranks are *not* listed
+  /// here — dying on schedule is not a deadline miss; a survivor that
+  /// hangs is). kRankFailed: the killed ranks when a kill schedule fired,
+  /// otherwise ranks whose device reported channel failures. Always
+  /// sorted ascending with duplicates removed. Empty for kOk.
   std::vector<int> failed_ranks;
+
+  /// One injected death that actually took effect (the rank had not yet
+  /// finalized when its kill time arrived), in kill order.
+  struct RankDeath {
+    int rank = -1;
+    sim::SimTime time = 0;
+  };
+  std::vector<RankDeath> deaths;
+
+  /// Survivors that observed at least one peer death (locally detected or
+  /// learned via kPeerFailed gossip) and finalized anyway. Sorted
+  /// ascending. Disjoint from failed_ranks in kill runs.
+  std::vector<int> impacted_ranks;
 
   /// Virtual time when the last rank stopped (== World::completion_time).
   sim::SimTime completion_time = 0;
@@ -159,6 +176,12 @@ class World {
  private:
   void rank_main(int rank, const std::function<void(Comm&)>& fn);
 
+  /// Engine-context kill event (FaultConfig::rank_kills): halts the
+  /// rank's fiber, blacks out its NIC in the fault plan, and releases any
+  /// oob barrier the corpse was (or would have been) counted in. No-op if
+  /// the rank already finalized — a kill cannot race past MPI_Finalize.
+  void kill_rank(int rank);
+
   /// oob_barrier that keeps pumping `dev.progress()` while waiting.
   /// Resource-capped finalize only: a quiescent rank must still answer
   /// eviction handshakes from peers that are not done yet.
@@ -174,10 +197,14 @@ class World {
   std::vector<std::unique_ptr<Device>> devices_;
   std::vector<RankReport> reports_;
 
-  // oob barrier state (sense-reversing; see the .cpp)
+  // oob barrier state (sense-reversing; see the .cpp). Barriers release
+  // when every *alive* rank has arrived; kill_rank shrinks alive_ and
+  // re-evaluates the release so survivors never wait on a corpse.
   int barrier_waiting_ = 0;
   std::uint64_t barrier_generation_ = 0;
   std::vector<sim::Process*> barrier_blocked_;
+  int alive_ = 0;
+  std::vector<RunResult::RankDeath> deaths_;
   bool ran_ = false;
 };
 

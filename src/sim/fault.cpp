@@ -8,6 +8,7 @@ namespace {
 
 // Interned once: decide() runs per simulated packet.
 const Stats::Counter kBrownoutDrops = Stats::counter("fault.brownout_drops");
+const Stats::Counter kRankKillDrops = Stats::counter("fault.rank_kill_drops");
 const Stats::Counter kDroppedData = Stats::counter("fault.dropped_data");
 const Stats::Counter kDroppedControl = Stats::counter("fault.dropped_control");
 const Stats::Counter kDuplicated = Stats::counter("fault.duplicated");
@@ -15,9 +16,23 @@ const Stats::Counter kDelayed = Stats::counter("fault.delayed");
 
 }  // namespace
 
+void FaultPlan::mark_node_dead(int node) {
+  if (!node_dead(node)) dead_nodes_.push_back(node);
+}
+
 FaultDecision FaultPlan::decide(int src, int dst, FaultClass cls,
                                 SimTime when) {
   FaultDecision d;
+
+  // A dead endpoint loses the packet outright, both directions: the
+  // corpse neither transmits (its armed timers still fire, but nothing
+  // leaves the node) nor receives. No Rng draw — deaths are part of the
+  // schedule, not the noise, so a kills-only plan stays draw-free.
+  if (!dead_nodes_.empty() && (node_dead(src) || node_dead(dst))) {
+    d.drop = true;
+    stats_.add(kRankKillDrops);
+    return d;
+  }
 
   // NIC brownouts: either endpoint off the wire loses the packet outright
   // (no Rng draw — windows are part of the schedule, not the noise).

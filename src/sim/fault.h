@@ -38,6 +38,15 @@ struct LinkFault {
   double drop_rate = 0.0;
 };
 
+/// A scheduled process death: at `time` the rank's fiber halts and its
+/// NIC goes dark (every link to or from it becomes 100% lossy and its
+/// ConnectionService stops answering). Unlike a brownout the node never
+/// comes back.
+struct RankKill {
+  int rank = -1;
+  SimTime time = 0;
+};
+
 struct FaultConfig {
   bool enabled = false;
   std::uint64_t seed = 0xFA417;
@@ -60,12 +69,26 @@ struct FaultConfig {
   std::vector<BrownoutWindow> brownouts;
   std::vector<LinkFault> link_faults;
 
+  // Scheduled process deaths. A non-empty list activates the plan even
+  // with `enabled == false` (the kill schedule needs the reliability
+  // machinery — acks, retransmission, connect timers — to detect the
+  // corpse), but makes no Rng draws of its own, so a kills-only plan
+  // adds no noise to the packet schedule until the first death.
+  std::vector<RankKill> rank_kills;
+
   /// Marks the directed links a->b and b->a as 100% lossy (unreachable
   /// peer): the scenario behind the paper-motivated timeout tests.
   void block_pair(int a, int b) {
     link_faults.push_back(LinkFault{a, b, 1.0});
     link_faults.push_back(LinkFault{b, a, 1.0});
   }
+
+  /// Schedules `rank` to die at `time`.
+  void kill_rank(int rank, SimTime time) {
+    rank_kills.push_back(RankKill{rank, time});
+  }
+
+  [[nodiscard]] bool has_kills() const { return !rank_kills.empty(); }
 };
 
 /// The verdict for one packet.
@@ -80,12 +103,14 @@ class FaultPlan {
  public:
   FaultPlan() = default;
   explicit FaultPlan(const FaultConfig& config)
-      : config_(config), rng_(config.seed, /*stream=*/0x0DF417ULL) {}
+      : config_(config),
+        enabled_(config.enabled || !config.rank_kills.empty()),
+        rng_(config.seed, /*stream=*/0x0DF417ULL) {}
 
   FaultPlan(const FaultPlan&) = delete;
   FaultPlan& operator=(const FaultPlan&) = delete;
 
-  [[nodiscard]] bool enabled() const { return config_.enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
   [[nodiscard]] const FaultConfig& config() const { return config_; }
 
   /// Rules on one packet about to hit the wire at `when`. Must only be
@@ -93,11 +118,27 @@ class FaultPlan {
   /// path costs one branch and zero Rng draws).
   FaultDecision decide(int src, int dst, FaultClass cls, SimTime when);
 
+  // --- Rank-death state (driven by the runtime's kill events) -------------
+
+  /// Marks `node`'s NIC dark: from now on every packet to or from it is
+  /// dropped unconditionally (no Rng draw — a corpse is schedule, not
+  /// noise).
+  void mark_node_dead(int node);
+  [[nodiscard]] bool node_dead(int node) const {
+    for (int d : dead_nodes_) {
+      if (d == node) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool any_node_dead() const { return !dead_nodes_.empty(); }
+
   /// Fault-model counters ("fault.*"), for aggregation into cluster stats.
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
   FaultConfig config_;
+  bool enabled_ = false;
+  std::vector<int> dead_nodes_;
   Rng rng_;
   Stats stats_;
 };

@@ -34,7 +34,18 @@ void Process::start(SimTime delay) {
   engine_.schedule_after(delay, [this] { resume_now(); });
 }
 
+void Process::kill() {
+  assert(g_current_process != this && "a process cannot kill itself");
+  if (state_ == State::Finished) return;
+  state_ = State::Killed;
+  pending_signal_ = false;
+}
+
 void Process::resume_now() {
+  // A kill may land between a wakeup's schedule_at and the resume event:
+  // the corpse simply never runs again (its fiber is torn down with the
+  // Process, exactly like a deadline-expired run).
+  if (state_ == State::Killed) return;
   assert(state_ == State::Ready);
   local_now_ = std::max(local_now_, engine_.now());
   state_ = State::Running;
@@ -79,8 +90,8 @@ void Process::wakeup() {
   } else if (state_ == State::Running || state_ == State::Ready) {
     pending_signal_ = true;
   }
-  // Wakeups aimed at finished/unstarted processes are dropped: the only
-  // sources are completion queues, whose owners outlive their waiters.
+  // Wakeups aimed at finished/killed/unstarted processes are dropped: the
+  // only sources are completion queues, whose owners outlive their waiters.
 }
 
 }  // namespace odmpi::sim

@@ -28,7 +28,7 @@ namespace odmpi::sim {
 
 class Process {
  public:
-  enum class State { NotStarted, Ready, Running, Blocked, Finished };
+  enum class State { NotStarted, Ready, Running, Blocked, Finished, Killed };
 
   /// Creates a process that runs `body` when started. `id` is free-form
   /// (MPI rank for our usage) and appears in diagnostics.
@@ -47,6 +47,15 @@ class Process {
   [[nodiscard]] State state() const { return state_; }
   [[nodiscard]] int id() const { return id_; }
   [[nodiscard]] bool finished() const { return state_ == State::Finished; }
+  [[nodiscard]] bool killed() const { return state_ == State::Killed; }
+
+  /// Halts the process where it stands (fault injection): a Ready resume
+  /// becomes a no-op, a Blocked fiber stays suspended forever (its stack
+  /// unwinds at Process destruction, like a deadline-expired run), and
+  /// future wakeups are dropped. Must be called from engine context —
+  /// never from inside the victim's own fiber — so the process is never
+  /// Running at kill time. No-op on a Finished process.
+  void kill();
 
   /// --- Calls below must be made from inside the process's fiber. ---
 

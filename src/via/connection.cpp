@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iterator>
 
 #include "src/via/nic.h"
 #include "src/via/provider.h"
@@ -45,6 +46,18 @@ const sim::Stats::Counter kTrRejected =
     sim::Stats::counter("via.conn.rejected");
 const sim::Stats::Counter kTrDisconnect =
     sim::Stats::counter("via.conn.disconnect");
+
+// Liveness-probe stats and trace names (rank-death detection only).
+const sim::Stats::Counter kProbes = sim::Stats::counter("conn.probes");
+const sim::Stats::Counter kProbeRetries =
+    sim::Stats::counter("conn.probe_retries");
+const sim::Stats::Counter kProbePongs =
+    sim::Stats::counter("conn.probe_pongs");
+const sim::Stats::Counter kProbeFailed =
+    sim::Stats::counter("conn.probe_failed");
+const sim::Stats::Counter kTrProbe = sim::Stats::counter("via.conn.probe");
+const sim::Stats::Counter kTrProbeFailed =
+    sim::Stats::counter("via.conn.probe_failed");
 }  // namespace
 
 void ConnectionService::trace_conn(sim::Stats::Counter name, NodeId peer,
@@ -168,6 +181,7 @@ void ConnectionService::arm_peer_timer(Discriminator disc) {
 }
 
 void ConnectionService::on_peer_timer(Discriminator disc, std::uint64_t gen) {
+  if (nic_.dead()) return;  // a corpse's armed handshake timers are no-ops
   auto it = pending_peer_.find(disc);
   if (it == pending_peer_.end()) return;  // matched or abandoned meanwhile
   PendingPeer& pending = it->second;
@@ -269,6 +283,12 @@ std::vector<IncomingRequest> ConnectionService::poll_incoming() {
   return {unmatched_.begin(), unmatched_.end()};
 }
 
+void ConnectionService::drop_unmatched_from(NodeId src) {
+  for (auto it = unmatched_.begin(); it != unmatched_.end();) {
+    it = (it->src_node == src) ? unmatched_.erase(it) : std::next(it);
+  }
+}
+
 // --- Client/server model ----------------------------------------------------
 
 IncomingRequest ConnectionService::connect_wait(Discriminator disc) {
@@ -368,6 +388,7 @@ void ConnectionService::arm_cs_timer(ViId vi_id) {
 }
 
 void ConnectionService::on_cs_timer(ViId vi_id, std::uint64_t gen) {
+  if (nic_.dead()) return;  // a corpse's armed handshake timers are no-ops
   auto it = cs_clients_.find(vi_id);
   if (it == cs_clients_.end()) return;
   CsClient& client = it->second;
@@ -447,6 +468,74 @@ void ConnectionService::on_cs_response(ViId local_vi, bool accepted,
     trace_conn(kTrRejected, remote_node);
   }
   client.process->wakeup();
+}
+
+// --- Liveness probes --------------------------------------------------------
+
+void ConnectionService::probe_peer(NodeId remote) {
+  if (nic_.dead()) return;
+  if (probes_.find(remote) != probes_.end()) return;  // one in flight
+  probes_[remote] = Probe{};
+  nic_.stats().add(kProbes);
+  trace_conn(kTrProbe, remote);
+  send_ping(remote);
+  arm_probe_timer(remote);
+}
+
+void ConnectionService::send_ping(NodeId remote) {
+  const NodeId me = nic_.node();
+  send_control(remote, [me](Nic& r) { r.connections().on_liveness_ping(me); });
+}
+
+void ConnectionService::on_liveness_ping(NodeId src_node) {
+  // Answered entirely at NIC level — no descriptors, no host involvement —
+  // so a process parked in a long compute phase still answers probes. A
+  // dead NIC never gets here (the fabric blackholes its packets), but the
+  // guard keeps the invariant local.
+  if (nic_.dead()) return;
+  const NodeId me = nic_.node();
+  send_control(src_node,
+               [me](Nic& r) { r.connections().on_liveness_pong(me); });
+}
+
+void ConnectionService::on_liveness_pong(NodeId src_node) {
+  auto it = probes_.find(src_node);
+  if (it == probes_.end()) return;  // probe already resolved
+  probes_.erase(it);
+  nic_.stats().add(kProbePongs);
+}
+
+void ConnectionService::arm_probe_timer(NodeId remote) {
+  auto it = probes_.find(remote);
+  if (it == probes_.end()) return;
+  Probe& probe = it->second;
+  const std::uint64_t gen = ++next_timer_generation_;
+  probe.timer_generation = gen;
+  Cluster& cluster = nic_.cluster();
+  cluster.engine().schedule_at(
+      sim::Process::current_time(cluster.engine()) +
+          retry_wait(probe.attempts) + congestion_allowance(remote),
+      [this, remote, gen] { on_probe_timer(remote, gen); });
+}
+
+void ConnectionService::on_probe_timer(NodeId remote, std::uint64_t gen) {
+  if (nic_.dead()) return;  // the prober itself died meanwhile
+  auto it = probes_.find(remote);
+  if (it == probes_.end()) return;  // pong arrived meanwhile
+  Probe& probe = it->second;
+  if (probe.timer_generation != gen) return;  // superseded
+  if (probe.attempts >= nic_.profile().max_conn_retries) {
+    probes_.erase(it);
+    nic_.stats().add(kProbeFailed);
+    trace_conn(kTrProbeFailed, remote);
+    if (peer_failed_handler_) peer_failed_handler_(remote);
+    nic_.notify_host();
+    return;
+  }
+  ++probe.attempts;
+  nic_.stats().add(kProbeRetries);
+  send_ping(remote);
+  arm_probe_timer(remote);
 }
 
 // --- Disconnect ---------------------------------------------------------

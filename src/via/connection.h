@@ -60,6 +60,13 @@ class ConnectionService {
   /// host-memory check used by progress loops).
   [[nodiscard]] bool has_incoming() const { return !unmatched_.empty(); }
 
+  /// Drops every queued unmatched peer request from `src`. Failure
+  /// cleanup: once the host knows `src`'s process is gone (or its channel
+  /// failed over), a stale pre-death request must be discarded — left
+  /// queued it would be re-reported by poll_incoming on every progress
+  /// pass forever.
+  void drop_unmatched_from(NodeId src);
+
   /// True if an unmatched incoming request with `disc` is queued — i.e. a
   /// local connect_peer with that discriminator would match synchronously
   /// instead of waiting for the remote side. The on-demand manager's VI
@@ -92,6 +99,30 @@ class ConnectionService {
 
   void disconnect(Vi& vi);
 
+  // --- Liveness probes (rank-death detection) ------------------------------
+  // A connected pair exchanging no data has no retransmission machinery
+  // watching the peer, so a process death on the far side is invisible: a
+  // blocked receiver would wait forever. The host (the MPI device's
+  // watchdog) asks the NIC to probe such peers: a connectionless ping is
+  // answered at NIC level by a pong, retried with the same backoff budget
+  // as a connection handshake; a peer whose NIC is dark never answers, and
+  // exhausting the budget reports the peer failed through the callback.
+  // Probes ride the control class, so they are visible to fault injection
+  // like any handshake packet.
+
+  /// Starts a liveness probe toward `remote` (no-op if one is in flight).
+  void probe_peer(NodeId remote);
+
+  /// True while a probe toward `remote` awaits its pong.
+  [[nodiscard]] bool probing(NodeId remote) const {
+    return probes_.find(remote) != probes_.end();
+  }
+
+  /// Called when a probe exhausts its retry budget: the peer is dead.
+  void set_peer_failed_handler(std::function<void(NodeId)> handler) {
+    peer_failed_handler_ = std::move(handler);
+  }
+
   // --- Fabric-facing handlers (invoked by delivery events) ----------------
 
   void on_peer_request(const IncomingRequest& request);
@@ -100,6 +131,8 @@ class ConnectionService {
   void on_cs_response(ViId local_vi, bool accepted, NodeId remote_node,
                       ViId remote_vi);
   void on_disconnect(ViId local_vi);
+  void on_liveness_ping(NodeId src_node);
+  void on_liveness_pong(NodeId src_node);
 
   [[nodiscard]] std::uint64_t connections_established() const {
     return connections_established_;
@@ -156,9 +189,19 @@ class ConnectionService {
   void resend_peer_request(const PendingPeer& pending);
   void arm_cs_timer(ViId vi_id);
   void on_cs_timer(ViId vi_id, std::uint64_t gen);
+  void send_ping(NodeId remote);
+  void arm_probe_timer(NodeId remote);
+  void on_probe_timer(NodeId remote, std::uint64_t gen);
+
+  struct Probe {
+    int attempts = 0;
+    std::uint64_t timer_generation = 0;
+  };
 
   Nic& nic_;
   std::map<Discriminator, PendingPeer> pending_peer_;
+  std::map<NodeId, Probe> probes_;  // liveness probes awaiting a pong
+  std::function<void(NodeId)> peer_failed_handler_;
   std::deque<IncomingRequest> unmatched_;        // peer reqs with no match
   std::deque<IncomingRequest> cs_pending_;       // client reqs awaiting wait
   std::vector<CsWaiter> cs_waiters_;

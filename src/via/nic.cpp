@@ -107,7 +107,13 @@ bool Nic::deregister_memory(MemoryHandle handle) {
 }
 
 void Nic::notify_host() {
+  if (dead_) return;
   if (host_waiter_ != nullptr) host_waiter_->wakeup();
+}
+
+void Nic::kill() {
+  dead_ = true;
+  host_waiter_ = nullptr;
 }
 
 Vi* Nic::find_vi(ViId id) {
@@ -364,6 +370,7 @@ void Nic::transmit_reliable(Vi& vi, Vi::ReliableSend& rs) {
 
 void Nic::on_retransmit_timer(ViId vi_id, std::uint64_t seq,
                               std::uint64_t gen) {
+  if (dead_) return;  // a corpse's armed timers are no-ops
   Vi* vi = find_vi(vi_id);
   if (vi == nullptr || vi->state() != ViState::kConnected) return;
   auto it = vi->unacked_.find(seq);

@@ -79,6 +79,17 @@ class Nic {
   void set_host_waiter(sim::Process* process) { host_waiter_ = process; }
   void notify_host();
 
+  // --- Rank-death injection ------------------------------------------------
+
+  /// Takes the NIC off the wire permanently: pending and future timer
+  /// events on this NIC become no-ops and the host is never notified
+  /// again. The fabric-level packet blackout is the FaultPlan's job
+  /// (mark_node_dead); this flag silences the locally-armed machinery —
+  /// retransmit timers, probe replies — that would otherwise keep acting
+  /// for a corpse.
+  void kill();
+  [[nodiscard]] bool dead() const { return dead_; }
+
   // --- Internal (Vi / ConnectionService entry points) ---------------------
 
   Status start_send(Vi& vi, Descriptor* desc);
@@ -148,6 +159,7 @@ class Nic {
   std::vector<std::unique_ptr<CompletionQueue>> cqs_;
   int open_vi_count_ = 0;
   int vis_ever_created_ = 0;
+  bool dead_ = false;
   sim::Process* host_waiter_ = nullptr;
   // Data-path counters as plain integers (see stats()).
   struct HotCounters {

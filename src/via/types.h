@@ -38,6 +38,7 @@ enum class Status {
   kProtectionError,    // RDMA target outside the remote registered region
   kTimeout,            // connect / reliable send exhausted its retries
   kTransportError,     // packet lost on the wire (unreliable delivery)
+  kPeerFailed,         // remote process known dead (rank-kill injection)
 };
 
 [[nodiscard]] inline const char* to_string(Status s) {
@@ -54,6 +55,7 @@ enum class Status {
     case Status::kProtectionError: return "protection-error";
     case Status::kTimeout: return "timeout";
     case Status::kTransportError: return "transport-error";
+    case Status::kPeerFailed: return "peer-failed";
   }
   return "unknown";
 }

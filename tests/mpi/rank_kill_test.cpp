@@ -1,0 +1,408 @@
+// Rank-death injection battery (DESIGN.md section 12).
+//
+// The hard invariant under test: a mid-run kill must never end as
+// kDeadline. Every surviving rank detects the death (reliable-delivery
+// exhaustion, handshake timeout, or watchdog probe), learns of it through
+// kPeerFailed gossip, completes its blocked operations with a kPeerFailed
+// error instead of hanging, and finalizes. RunResult reports the killed
+// ranks (failed_ranks) apart from the degraded survivors
+// (impacted_ranks), and the whole failure cascade replays bit-for-bit:
+// the trace digest of a killed run is identical across reruns.
+//
+// The matrix crosses {on-demand, static peer-to-peer, on-demand capped at
+// max_vis=4} x 4 seeds (the seed picks the victim) x 2 kill times
+// (during/just after init, mid-body) over NAS CG, NAS MG and a collective
+// suite. Directed tests cover the ANY_SOURCE-all-dead sweep, named
+// receives and sends against a corpse, the eviction-vs-death race, and
+// the summary wording.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/nas/common.h"
+#include "tests/mpi/mpi_test_util.h"
+
+namespace odmpi::mpi {
+namespace {
+
+using testing::make_options;
+
+constexpr int kNp = 8;
+
+enum class KillConfig { kOnDemand, kStaticP2P, kCapped4 };
+enum class Workload { kCG, kMG, kColl };
+
+const char* to_string(KillConfig c) {
+  switch (c) {
+    case KillConfig::kOnDemand:
+      return "ondemand";
+    case KillConfig::kStaticP2P:
+      return "static";
+    case KillConfig::kCapped4:
+      return "capped4";
+  }
+  return "?";
+}
+
+const char* to_string(Workload w) {
+  switch (w) {
+    case Workload::kCG:
+      return "CG";
+    case Workload::kMG:
+      return "MG";
+    case Workload::kColl:
+      return "COLL";
+  }
+  return "?";
+}
+
+JobOptions options_for(KillConfig config) {
+  JobOptions opt = make_options(config == KillConfig::kStaticP2P
+                                    ? ConnectionModel::kStaticPeerToPeer
+                                    : ConnectionModel::kOnDemand);
+  if (config == KillConfig::kCapped4) opt.device.max_vis = 4;
+  // Detection is bounded (handshake/RD budgets ~tens of ms, watchdog
+  // ~3 ms period), so a degraded run finishes well inside this; a hung
+  // survivor is what blows it.
+  opt.deadline = sim::seconds(60);
+  return opt;
+}
+
+void run_workload(Workload w, Comm& comm) {
+  switch (w) {
+    case Workload::kCG:
+      nas::run_cg(comm, nas::Class::S);
+      return;
+    case Workload::kMG:
+      nas::run_mg(comm, nas::Class::S);
+      return;
+    case Workload::kColl: {
+      // A few dozen rounds of the main collective shapes: recursive
+      // doubling (barrier/allreduce), binomial tree (bcast), pairwise
+      // exchange (alltoall).
+      std::vector<double> buf(static_cast<std::size_t>(comm.size()), 1.0);
+      std::vector<double> out(buf.size(), 0.0);
+      for (int it = 0; it < 40; ++it) {
+        comm.barrier();
+        double x = comm.rank() + it, sum = 0;
+        comm.allreduce(&x, &sum, 1, kDouble, Op::kSum);
+        comm.bcast(buf.data(), comm.size(), kDouble, it % comm.size());
+        comm.alltoall(buf.data(), 1, out.data(), kDouble);
+      }
+      return;
+    }
+  }
+}
+
+/// Completion time of the kill-free run, used to place kills at fixed
+/// fractions of the job so the matrix self-scales with the workloads.
+sim::SimTime baseline_time(KillConfig config, Workload w, std::uint64_t seed) {
+  JobOptions opt = options_for(config);
+  opt.seed = seed;
+  World world(kNp, opt);
+  const RunResult r =
+      world.run_job([&](Comm& c) { run_workload(w, c); });
+  EXPECT_EQ(r.status, RunStatus::kOk) << r.summary();
+  return r.completion_time;
+}
+
+struct KillParam {
+  KillConfig config;
+  Workload workload;
+  std::uint64_t seed;
+  double kill_frac;  // kill time as a fraction of the kill-free runtime
+
+  [[nodiscard]] int victim() const {
+    // The seed picks the victim; avoid rank 0 so rooted collectives keep
+    // a live root more often than not (rank 0 death is covered by seed 7
+    // victim arithmetic below landing on various ranks).
+    return 1 + static_cast<int>(seed % (kNp - 1));
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const KillParam& p) {
+    return os << to_string(p.config) << "_" << to_string(p.workload)
+              << "_s" << p.seed << "_f" << static_cast<int>(p.kill_frac * 100);
+  }
+};
+
+std::string kill_param_name(const ::testing::TestParamInfo<KillParam>& info) {
+  const KillParam& p = info.param;
+  return std::string(to_string(p.config)) + "_" + to_string(p.workload) +
+         "_s" + std::to_string(p.seed) + "_f" +
+         std::to_string(static_cast<int>(p.kill_frac * 100));
+}
+
+std::vector<KillParam> kill_matrix() {
+  std::vector<KillParam> v;
+  for (KillConfig c :
+       {KillConfig::kOnDemand, KillConfig::kStaticP2P, KillConfig::kCapped4}) {
+    for (Workload w : {Workload::kCG, Workload::kMG, Workload::kColl}) {
+      for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+        // Two kill times per (config, workload, seed): early (init /
+        // first rounds) and mid-body.
+        v.push_back({c, w, seed, 0.1});
+        v.push_back({c, w, seed, 0.55});
+      }
+    }
+  }
+  return v;
+}
+
+class RankKillMatrix : public ::testing::TestWithParam<KillParam> {};
+
+TEST_P(RankKillMatrix, SurvivorsFinalize) {
+  const KillParam& p = GetParam();
+  const sim::SimTime base = baseline_time(p.config, p.workload, p.seed);
+  ASSERT_GT(base, 0);
+  const auto kill_time = static_cast<sim::SimTime>(base * p.kill_frac);
+
+  JobOptions opt = options_for(p.config);
+  opt.seed = p.seed;
+  opt.fault.kill_rank(p.victim(), kill_time);
+  World world(kNp, opt);
+  const RunResult result =
+      world.run_job([&](Comm& c) { run_workload(p.workload, c); });
+
+  // The invariant: a kill degrades the run, it never deadlocks it.
+  ASSERT_NE(result.status, RunStatus::kDeadline) << result.summary();
+  ASSERT_EQ(result.status, RunStatus::kRankFailed) << result.summary();
+
+  // Exactly the scheduled death, at exactly the scheduled time.
+  ASSERT_EQ(result.deaths.size(), 1u);
+  EXPECT_EQ(result.deaths[0].rank, p.victim());
+  EXPECT_EQ(result.deaths[0].time, kill_time);
+  EXPECT_EQ(result.failed_ranks, std::vector<int>{p.victim()});
+
+  // Every survivor finalized; those that saw the death are reported as
+  // impacted, sorted, and disjoint from the dead.
+  EXPECT_TRUE(std::is_sorted(result.impacted_ranks.begin(),
+                             result.impacted_ranks.end()));
+  for (int r : result.impacted_ranks) {
+    EXPECT_NE(r, p.victim());
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, kNp);
+  }
+  // At least one survivor must have noticed (the victim had live peers).
+  EXPECT_FALSE(result.impacted_ranks.empty()) << result.summary();
+  // Survivors' reports are complete.
+  for (int r = 0; r < kNp; ++r) {
+    if (r == p.victim()) continue;
+    EXPECT_TRUE(world.report(r).finished) << "survivor " << r << " hung";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kill, RankKillMatrix,
+                         ::testing::ValuesIn(kill_matrix()),
+                         kill_param_name);
+
+// --- Determinism: the failure cascade replays bit-for-bit -------------------
+
+std::string killed_digest(KillConfig config, std::uint64_t seed) {
+  JobOptions opt = options_for(config);
+  opt.seed = seed;
+  opt.trace.enabled = true;
+  opt.fault.kill_rank(/*rank=*/3, sim::milliseconds(5));
+  World world(kNp, opt);
+  const RunResult result =
+      world.run_job([&](Comm& c) { run_workload(Workload::kColl, c); });
+  EXPECT_EQ(result.status, RunStatus::kRankFailed) << result.summary();
+  EXPECT_NE(result.trace, nullptr);
+  return world.tracer().digest();
+}
+
+TEST(RankKillDeterminism, FailureTraceDigestIdenticalAcrossReruns) {
+  for (KillConfig c : {KillConfig::kOnDemand, KillConfig::kStaticP2P}) {
+    for (std::uint64_t seed : {11ull, 12ull}) {
+      const std::string first = killed_digest(c, seed);
+      const std::string second = killed_digest(c, seed);
+      EXPECT_FALSE(first.empty());
+      EXPECT_EQ(first, second)
+          << "failure cascade must replay bit-for-bit (" << to_string(c)
+          << ", seed " << seed << ")";
+    }
+  }
+}
+
+TEST(RankKillDeterminism, DifferentSeedsStillFinalize) {
+  // Cross-seed variation moves the workload, not the kill handling.
+  const std::string a = killed_digest(KillConfig::kOnDemand, 21);
+  const std::string b = killed_digest(KillConfig::kOnDemand, 22);
+  EXPECT_FALSE(a.empty());
+  EXPECT_FALSE(b.empty());
+}
+
+// --- Directed degradation tests ---------------------------------------------
+
+TEST(RankKillDegrade, NamedRecvFromCorpseCompletesWithPeerFailed) {
+  JobOptions opt = options_for(KillConfig::kOnDemand);
+  opt.fault.kill_rank(1, sim::milliseconds(2));
+  World world(2, opt);
+  const RunResult result = world.run_job([](Comm& c) {
+    if (c.rank() != 0) {
+      // Rank 1 computes quietly until it is killed; it must not send, or
+      // the recv below could complete normally before the death.
+      sim::Process::current()->advance(sim::seconds(1));
+      return;
+    }
+    std::int32_t x = 0;
+    Request r = c.irecv(&x, 1, kInt32, 1, 7);
+    r.wait();
+    EXPECT_TRUE(r.done());
+    EXPECT_EQ(r.error(), via::Status::kPeerFailed);
+  });
+  EXPECT_EQ(result.status, RunStatus::kRankFailed) << result.summary();
+  EXPECT_EQ(result.failed_ranks, std::vector<int>{1});
+}
+
+TEST(RankKillDegrade, AnySourceRecvCompletesOnceAllCandidatesDead) {
+  // The latent ANY_SOURCE hang: a wildcard receive whose every possible
+  // sender is dead must complete with kPeerFailed, not wait forever.
+  JobOptions opt = options_for(KillConfig::kOnDemand);
+  opt.fault.kill_rank(1, sim::milliseconds(2));
+  opt.fault.kill_rank(2, sim::milliseconds(3));
+  World world(3, opt);
+  const RunResult result = world.run_job([](Comm& c) {
+    if (c.rank() != 0) {
+      sim::Process::current()->advance(sim::seconds(1));
+      return;
+    }
+    std::int32_t x = 0;
+    Request r = c.irecv(&x, 1, kInt32, kAnySource, 9);
+    r.wait();
+    EXPECT_TRUE(r.done());
+    EXPECT_EQ(r.error(), via::Status::kPeerFailed);
+  });
+  EXPECT_EQ(result.status, RunStatus::kRankFailed) << result.summary();
+  EXPECT_EQ(result.failed_ranks, (std::vector<int>{1, 2}));
+}
+
+TEST(RankKillDegrade, SendToCorpseFailsAfterDetection) {
+  JobOptions opt = options_for(KillConfig::kOnDemand);
+  opt.fault.kill_rank(1, sim::milliseconds(1));
+  World world(2, opt);
+  const RunResult result = world.run_job([](Comm& c) {
+    if (c.rank() != 0) {
+      sim::Process::current()->advance(sim::seconds(1));
+      return;
+    }
+    // Give the kill time to land before the first-touch connect.
+    sim::Process::current()->advance(sim::milliseconds(2));
+    std::int32_t x = 42;
+    Request r = c.isend(&x, 1, kInt32, 1, 5);
+    r.wait();
+    EXPECT_TRUE(r.done());
+    EXPECT_EQ(r.error(), via::Status::kPeerFailed);
+    // Once the death is known, further operations fail fast.
+    Request r2 = c.isend(&x, 1, kInt32, 1, 5);
+    EXPECT_TRUE(r2.done());
+    EXPECT_EQ(r2.error(), via::Status::kPeerFailed);
+  });
+  EXPECT_EQ(result.status, RunStatus::kRankFailed) << result.summary();
+}
+
+TEST(RankKillDegrade, EvictionChurnWithDeathDoesNotWedge) {
+  // Resource-capped round-robin keeps the LRU eviction handshake machinery
+  // constantly busy while a peer dies under it: the eviction-vs-death race
+  // (an eviction teardown against a corpse) must convert to failure, never
+  // wedge the drain.
+  JobOptions opt = options_for(KillConfig::kCapped4);
+  opt.device.max_vis = 2;
+  opt.fault.kill_rank(3, sim::milliseconds(4));
+  World world(6, opt);
+  const RunResult result = world.run_job([](Comm& c) {
+    if (c.rank() == 0) {
+      std::int32_t x = 0;
+      for (int round = 0; round < 6; ++round) {
+        for (int peer = 1; peer < c.size(); ++peer) {
+          Request r = c.isend(&x, 1, kInt32, peer, 2);
+          r.wait();  // completes normally or with kPeerFailed/kTimeout
+        }
+      }
+    } else {
+      std::int32_t x = 0;
+      for (int round = 0; round < 6; ++round) {
+        Request r = c.irecv(&x, 1, kInt32, 0, 2);
+        r.wait();
+      }
+    }
+  });
+  ASSERT_NE(result.status, RunStatus::kDeadline) << result.summary();
+  EXPECT_EQ(result.failed_ranks, std::vector<int>{3});
+}
+
+TEST(RankKillDegrade, CollectiveRoundsCompleteDegraded) {
+  // Every survivor's collective rounds complete (with errors under the
+  // hood) rather than hanging on the corpse's tree/ring position.
+  JobOptions opt = options_for(KillConfig::kStaticP2P);
+  opt.fault.kill_rank(2, sim::milliseconds(3));
+  World world(4, opt);
+  const RunResult result = world.run_job([](Comm& c) {
+    for (int it = 0; it < 10; ++it) {
+      // A compute slice between rounds keeps the body spanning the kill
+      // time (tiny collectives alone finish in microseconds).
+      sim::Process::current()->advance(sim::milliseconds(1));
+      double x = c.rank(), sum = 0;
+      c.allreduce(&x, &sum, 1, kDouble, Op::kSum);
+      c.barrier();
+    }
+  });
+  ASSERT_NE(result.status, RunStatus::kDeadline) << result.summary();
+  EXPECT_EQ(result.failed_ranks, std::vector<int>{2});
+  for (int r : {0, 1, 3}) {
+    EXPECT_TRUE(world.report(r).finished) << "survivor " << r;
+  }
+}
+
+// --- Reporting --------------------------------------------------------------
+
+TEST(RankKillReport, SummaryDistinguishesKilledFromImpacted) {
+  JobOptions opt = options_for(KillConfig::kOnDemand);
+  opt.fault.kill_rank(3, sim::milliseconds(5));
+  World world(kNp, opt);
+  const RunResult result =
+      world.run_job([](Comm& c) { run_workload(Workload::kColl, c); });
+  ASSERT_EQ(result.status, RunStatus::kRankFailed) << result.summary();
+  const std::string s = result.summary();
+  EXPECT_NE(s.find("rank 3 died at t="), std::string::npos) << s;
+  EXPECT_NE(s.find("survivor"), std::string::npos) << s;
+  EXPECT_NE(s.find("degraded"), std::string::npos) << s;
+}
+
+TEST(RankKillReport, FailedRanksSortedAndDeduplicated) {
+  JobOptions opt = options_for(KillConfig::kOnDemand);
+  // Out of order, with a duplicate entry: the report sorts and dedups.
+  opt.fault.kill_rank(5, sim::milliseconds(4));
+  opt.fault.kill_rank(2, sim::milliseconds(3));
+  opt.fault.kill_rank(5, sim::milliseconds(6));
+  World world(kNp, opt);
+  const RunResult result =
+      world.run_job([](Comm& c) { run_workload(Workload::kColl, c); });
+  ASSERT_NE(result.status, RunStatus::kDeadline) << result.summary();
+  EXPECT_EQ(result.failed_ranks, (std::vector<int>{2, 5}));
+  // The duplicate kill is a no-op: two effective deaths.
+  EXPECT_EQ(result.deaths.size(), 2u);
+}
+
+TEST(RankKillReport, KillAfterCompletionIsNoOp) {
+  JobOptions opt = options_for(KillConfig::kOnDemand);
+  opt.fault.kill_rank(1, sim::seconds(3000));  // long after the job ends
+  World world(4, opt);
+  const RunResult result = world.run_job([](Comm& c) { c.barrier(); });
+  EXPECT_EQ(result.status, RunStatus::kOk) << result.summary();
+  EXPECT_TRUE(result.deaths.empty());
+  EXPECT_TRUE(result.failed_ranks.empty());
+}
+
+TEST(RankKillReport, KillFreeFaultConfigStillReportsOk) {
+  // An explicitly empty kill list must not activate any kill machinery.
+  JobOptions opt = options_for(KillConfig::kOnDemand);
+  ASSERT_FALSE(opt.fault.has_kills());
+  World world(4, opt);
+  const RunResult result = world.run_job([](Comm& c) { c.barrier(); });
+  EXPECT_EQ(result.status, RunStatus::kOk) << result.summary();
+}
+
+}  // namespace
+}  // namespace odmpi::mpi
