@@ -5,21 +5,31 @@
 //  3. dynamic per-VI credit windows (the paper's stated future work)
 //     versus the fixed 32-credit allocation: pinned memory vs time;
 //  4. MPI_ANY_SOURCE's connect-to-all cost under on-demand management.
+//
+// All 34 Worlds are independent simulations, so they are submitted as one
+// SweepRunner batch and executed across hardware threads; the tables are
+// printed from the submission-ordered results afterwards. Measurements
+// are virtual-time, so concurrency cannot perturb them (sweep_test.cpp
+// holds thread-count invariance as a regression test).
 #include <cstdio>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/sim/sweep.h"
 
 using namespace odmpi;
 
 namespace {
 
-double pingpong_us_at(std::size_t bytes, std::size_t eager_threshold) {
-  mpi::JobOptions opt = bench::job_options(bench::static_polling(), false);
-  opt.device.eager_threshold = eager_threshold;
-  double result = -1;
-  mpi::World world(2, opt);
-  world.run([&](mpi::Comm& c) {
+sim::SweepConfig pingpong_cfg(std::size_t bytes, std::size_t eager_threshold,
+                              double* out_us) {
+  sim::SweepConfig cfg;
+  cfg.label = "pingpong/" + std::to_string(bytes) + "/thr" +
+              std::to_string(eager_threshold);
+  cfg.nranks = 2;
+  cfg.options = bench::job_options(bench::static_polling(), false);
+  cfg.options.device.eager_threshold = eager_threshold;
+  cfg.body = [bytes, out_us](mpi::Comm& c) {
     std::vector<std::byte> buf(bytes);
     const auto round = [&] {
       if (c.rank() == 0) {
@@ -33,19 +43,21 @@ double pingpong_us_at(std::size_t bytes, std::size_t eager_threshold) {
     for (int i = 0; i < 5; ++i) round();
     const double t0 = c.wtime();
     for (int i = 0; i < 50; ++i) round();
-    if (c.rank() == 0) result = (c.wtime() - t0) * 1e6 / 100.0;
-  });
-  return result;
+    if (c.rank() == 0) *out_us = (c.wtime() - t0) * 1e6 / 100.0;
+  };
+  return cfg;
 }
 
-double token_ring_us(int spin_count) {
-  mpi::JobOptions opt;
-  opt.device.connection_model = mpi::ConnectionModel::kStaticPeerToPeer;
-  opt.device.wait_policy = spin_count < 0 ? mpi::WaitPolicy::polling()
-                                          : mpi::WaitPolicy::spinwait(spin_count);
-  double result = -1;
-  mpi::World world(4, opt);
-  world.run([&](mpi::Comm& c) {
+sim::SweepConfig token_ring_cfg(int spin_count, double* out_us) {
+  sim::SweepConfig cfg;
+  cfg.label = spin_count < 0 ? "ring/polling"
+                             : "ring/spin" + std::to_string(spin_count);
+  cfg.nranks = 4;
+  cfg.options.device.connection_model = mpi::ConnectionModel::kStaticPeerToPeer;
+  cfg.options.device.wait_policy = spin_count < 0
+                                       ? mpi::WaitPolicy::polling()
+                                       : mpi::WaitPolicy::spinwait(spin_count);
+  cfg.body = [out_us](mpi::Comm& c) {
     // Token ring with 60 us of compute per hop: waits regularly exceed
     // small spin windows.
     std::int32_t token = 0;
@@ -63,23 +75,19 @@ double token_ring_us(int spin_count) {
         c.send(&token, 1, mpi::kInt32, right, 0);
       }
     }
-    if (c.rank() == 0) result = (c.wtime() - t0) * 1e6;
-  });
-  return result;
+    if (c.rank() == 0) *out_us = (c.wtime() - t0) * 1e6;
+  };
+  return cfg;
 }
 
-struct CreditResult {
-  double seconds;
-  double pinned_mb;
-};
-
-CreditResult credit_run(bool dynamic) {
-  mpi::JobOptions opt;
-  opt.device.connection_model = mpi::ConnectionModel::kOnDemand;
-  opt.device.dynamic_credits = dynamic;
-  mpi::World world(16, opt);
-  double secs = -1;
-  world.run([&](mpi::Comm& c) {
+sim::SweepConfig credit_cfg(bool dynamic, double* out_secs) {
+  sim::SweepConfig cfg;
+  cfg.label = dynamic ? "credits/dynamic" : "credits/fixed";
+  cfg.nranks = 16;
+  cfg.options.device.connection_model = mpi::ConnectionModel::kOnDemand;
+  cfg.options.device.dynamic_credits = dynamic;
+  cfg.collect_reports = true;  // pinned_bytes_peak comes from the reports
+  cfg.body = [out_secs](mpi::Comm& c) {
     // Skewed traffic: every rank floods one partner but only brushes the
     // others — the case where fixed windows waste pinned memory.
     const double t0 = c.wtime();
@@ -92,49 +100,94 @@ CreditResult credit_run(bool dynamic) {
     }
     std::int32_t one = 1, sum = 0;
     c.allreduce(&one, &sum, 1, mpi::kInt32, mpi::Op::kSum);
-    if (c.rank() == 0) secs = c.wtime() - t0;
-  });
-  double pinned = 0;
-  for (int r = 0; r < world.size(); ++r) {
-    pinned += static_cast<double>(world.report(r).pinned_bytes_peak);
-  }
-  return {secs, pinned / 1e6};
+    if (c.rank() == 0) *out_secs = c.wtime() - t0;
+  };
+  return cfg;
 }
 
-double anysource_first_recv_us(bool wildcard, int nprocs) {
-  mpi::JobOptions opt;
-  opt.device.connection_model = mpi::ConnectionModel::kOnDemand;
-  double result = -1;
-  mpi::World world(nprocs, opt);
-  world.run([&](mpi::Comm& c) {
+double pinned_mb(const sim::SweepItemResult& item) {
+  double pinned = 0;
+  for (const mpi::RankReport& r : item.reports) {
+    pinned += static_cast<double>(r.pinned_bytes_peak);
+  }
+  return pinned / 1e6;
+}
+
+sim::SweepConfig anysource_cfg(bool wildcard, int nprocs, double* out_us) {
+  sim::SweepConfig cfg;
+  cfg.label = std::string(wildcard ? "anysource" : "named") + "/np" +
+              std::to_string(nprocs);
+  cfg.nranks = nprocs;
+  cfg.options.device.connection_model = mpi::ConnectionModel::kOnDemand;
+  cfg.body = [wildcard, out_us](mpi::Comm& c) {
     if (c.rank() == 0) {
       std::int32_t v;
       const double t0 = c.wtime();
       c.recv(&v, 1, mpi::kInt32, wildcard ? mpi::kAnySource : 1, 0);
-      result = (c.wtime() - t0) * 1e6;
+      *out_us = (c.wtime() - t0) * 1e6;
     } else if (c.rank() == 1) {
       std::int32_t v = 1;
       c.send(&v, 1, mpi::kInt32, 0, 0);
     }
     c.barrier();
-  });
-  return result;
+  };
+  return cfg;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::parse_args(argc, argv);
+
+  constexpr std::size_t kThresholds[] = {2048, 5000, 16384, 65536};
+  constexpr std::size_t kSizes[] = {2048, 4096, 6144, 12288, 24576};
+  constexpr int kSpins[] = {0, 10, 100, 1000, 10000, -1};
+  constexpr int kNps[] = {4, 8, 16};
+
+  // Result slots, written by the bodies (stable storage for the sweep).
+  double a1[5][4];
+  double a2[6];
+  double credit_secs[2] = {-1, -1};  // [0]=fixed, [1]=dynamic
+  double a4[3][2];                   // [np][named, wildcard]
+
+  std::vector<sim::SweepConfig> configs;
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      a1[i][j] = -1;
+      configs.push_back(pingpong_cfg(kSizes[i], kThresholds[j], &a1[i][j]));
+    }
+  }
+  for (std::size_t i = 0; i < 6; ++i) {
+    a2[i] = -1;
+    configs.push_back(token_ring_cfg(kSpins[i], &a2[i]));
+  }
+  const std::size_t credit_fixed = configs.size();
+  configs.push_back(credit_cfg(false, &credit_secs[0]));
+  const std::size_t credit_dyn = configs.size();
+  configs.push_back(credit_cfg(true, &credit_secs[1]));
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      a4[i][j] = -1;
+      configs.push_back(anysource_cfg(j == 1, kNps[i], &a4[i][j]));
+    }
+  }
+
+  const sim::SweepReport rep = sim::SweepRunner::run_all(std::move(configs), 0);
+  for (const sim::SweepItemResult& item : rep.items) {
+    if (!item.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", item.label.c_str(),
+                   item.error.c_str());
+      return 1;
+    }
+  }
+
   bench::heading("Ablation 1 — eager->rendezvous threshold sweep (cLAN)");
   std::printf("%10s", "bytes");
-  const std::size_t thresholds[] = {2048, 5000, 16384, 65536};
-  for (std::size_t t : thresholds) std::printf("  thr=%-8zu", t);
+  for (std::size_t t : kThresholds) std::printf("  thr=%-8zu", t);
   std::printf("   (one-way us)\n");
-  for (std::size_t bytes : {2048u, 4096u, 6144u, 12288u, 24576u}) {
-    std::printf("%10zu", bytes);
-    for (std::size_t t : thresholds) {
-      std::printf("  %12.1f", pingpong_us_at(bytes, t));
-    }
+  for (std::size_t i = 0; i < 5; ++i) {
+    std::printf("%10zu", kSizes[i]);
+    for (std::size_t j = 0; j < 4; ++j) std::printf("  %12.1f", a1[i][j]);
     std::printf("\n");
   }
   std::printf("paper's note confirmed: raising the threshold past 5000 B\n"
@@ -142,30 +195,27 @@ int main(int argc, char** argv) {
 
   bench::heading("Ablation 2 — spin count sweep (4-rank token ring, cLAN)");
   std::printf("%12s %14s\n", "spin count", "ring time (us)");
-  for (int sc : {0, 10, 100, 1000, 10000}) {
-    std::printf("%12d %14.1f\n", sc, token_ring_us(sc));
+  for (std::size_t i = 0; i < 5; ++i) {
+    std::printf("%12d %14.1f\n", kSpins[i], a2[i]);
   }
-  std::printf("%12s %14.1f\n", "polling", token_ring_us(-1));
+  std::printf("%12s %14.1f\n", "polling", a2[5]);
   std::printf("a small spin budget pays the ~40 us kernel wake-up on every\n"
               "hop; a large one converges to pure polling.\n");
 
   bench::heading("Ablation 3 — dynamic credit windows (paper future work)");
-  const CreditResult fixed = credit_run(false);
-  const CreditResult dyn = credit_run(true);
   std::printf("%-14s %12s %14s\n", "mode", "time (s)", "pinned (MB)");
-  std::printf("%-14s %12.4f %14.2f\n", "fixed-32", fixed.seconds,
-              fixed.pinned_mb);
-  std::printf("%-14s %12.4f %14.2f\n", "dynamic", dyn.seconds, dyn.pinned_mb);
+  std::printf("%-14s %12.4f %14.2f\n", "fixed-32", credit_secs[0],
+              pinned_mb(rep.items[credit_fixed]));
+  std::printf("%-14s %12.4f %14.2f\n", "dynamic", credit_secs[1],
+              pinned_mb(rep.items[credit_dyn]));
   std::printf("dynamic windows trade a small warm-up cost for a large\n"
               "reduction in pinned memory on skewed traffic.\n");
 
   bench::heading("Ablation 4 — MPI_ANY_SOURCE connect-to-all cost");
   std::printf("%8s %18s %18s\n", "procs", "named recv (us)",
               "wildcard recv (us)");
-  for (int np : {4, 8, 16}) {
-    std::printf("%8d %18.1f %18.1f\n", np,
-                anysource_first_recv_us(false, np),
-                anysource_first_recv_us(true, np));
+  for (std::size_t i = 0; i < 3; ++i) {
+    std::printf("%8d %18.1f %18.1f\n", kNps[i], a4[i][0], a4[i][1]);
   }
   std::printf("the wildcard's O(N) connection burst is a one-time cost per\n"
               "peer set (section 3.5's design).\n");

@@ -226,6 +226,9 @@ void BM_SimulatedAllreduce32(benchmark::State& state) {
       }
     });
   }
+  // 20 allreduces across 32 ranks per iteration, to match the baseline
+  // record's unit (rank-operations per second).
+  state.SetItemsProcessed(state.iterations() * 20 * 32);
 }
 BENCHMARK(BM_SimulatedAllreduce32);
 

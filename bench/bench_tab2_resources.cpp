@@ -1,13 +1,19 @@
 // Table 2: average number of VIs created per process and resource
 // utilization (used / created) under static and on-demand connection
 // management, for the microbenchmark programs and the NAS kernels.
+//
+// 24 (app, size) rows x 3 connection configurations = 72 independent
+// Worlds: submitted as one SweepRunner batch so the table costs the
+// wall-clock of the slowest cell, not the sum of all of them.
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/nas/common.h"
+#include "src/sim/sweep.h"
 
 using namespace odmpi;
 
@@ -36,18 +42,32 @@ struct VisFigures {
   double peak = -1;     // mean peak simultaneously-open VIs per process
 };
 
-VisFigures vis_under(const Workload& w, int nprocs,
-                     mpi::ConnectionModel model, int max_vis = 0) {
-  mpi::JobOptions opt;
-  opt.device.connection_model = model;
-  opt.device.max_vis = max_vis;
-  opt.trace = bench::next_trace_config();
-  mpi::World world(nprocs, opt);
-  if (!world.run(w.body)) {
-    std::fprintf(stderr, "%s.%d deadlocked!\n", w.name.c_str(), nprocs);
+sim::SweepConfig vis_cfg(const Workload& w, int nprocs,
+                         mpi::ConnectionModel model, int max_vis = 0) {
+  sim::SweepConfig cfg;
+  cfg.label = w.name + "." + std::to_string(nprocs) + "/" +
+              std::string(mpi::to_string(model)) +
+              (max_vis > 0 ? "/cap" + std::to_string(max_vis) : "");
+  cfg.nranks = nprocs;
+  cfg.options.device.connection_model = model;
+  cfg.options.device.max_vis = max_vis;
+  cfg.options.trace = bench::next_trace_config();
+  cfg.body = w.body;
+  cfg.collect_reports = true;  // per-rank vis_open_peak for the peak column
+  return cfg;
+}
+
+VisFigures vis_figures(const sim::SweepItemResult& item) {
+  if (!item.ok()) {
+    std::fprintf(stderr, "%s deadlocked!\n", item.label.c_str());
     return {};
   }
-  return {world.mean_vis_per_process(), world.mean_peak_vis_per_process()};
+  double peak = 0;
+  for (const mpi::RankReport& r : item.reports) {
+    peak += static_cast<double>(r.vis_open_peak);
+  }
+  return {item.mean_vis_per_process,
+          item.reports.empty() ? 0 : peak / item.reports.size()};
 }
 
 }  // namespace
@@ -105,16 +125,29 @@ int main(int argc, char** argv) {
   // simultaneously-open VIs is the honest resource figure there, since
   // created counts every eviction reconnect too.
   constexpr int kCap = 4;
-  std::printf("%-10s %5s | %8s %10s | %8s %10s | %9s\n", "App", "Size",
-              "VIs-stat", "util-stat", "VIs-od", "util-od", "peak-cap4");
+
+  // Submit every (workload, size) row's three configurations — static,
+  // on-demand, capped — as one sweep; cells stay submission-ordered.
+  std::vector<sim::SweepConfig> configs;
   for (const Workload& w : workloads) {
     for (int size : w.sizes) {
-      const VisFigures st =
-          vis_under(w, size, mpi::ConnectionModel::kStaticPeerToPeer);
-      const VisFigures od =
-          vis_under(w, size, mpi::ConnectionModel::kOnDemand);
-      const VisFigures capped =
-          vis_under(w, size, mpi::ConnectionModel::kOnDemand, kCap);
+      configs.push_back(
+          vis_cfg(w, size, mpi::ConnectionModel::kStaticPeerToPeer));
+      configs.push_back(vis_cfg(w, size, mpi::ConnectionModel::kOnDemand));
+      configs.push_back(
+          vis_cfg(w, size, mpi::ConnectionModel::kOnDemand, kCap));
+    }
+  }
+  const sim::SweepReport rep = sim::SweepRunner::run_all(std::move(configs), 0);
+
+  std::printf("%-10s %5s | %8s %10s | %8s %10s | %9s\n", "App", "Size",
+              "VIs-stat", "util-stat", "VIs-od", "util-od", "peak-cap4");
+  std::size_t cell = 0;
+  for (const Workload& w : workloads) {
+    for (int size : w.sizes) {
+      const VisFigures st = vis_figures(rep.items[cell++]);
+      const VisFigures od = vis_figures(rep.items[cell++]);
+      const VisFigures capped = vis_figures(rep.items[cell++]);
       if (st.created < 0 || od.created < 0 || capped.created < 0) continue;
       // Utilization: VIs actually used / VIs created. On-demand only
       // creates what it uses (1.0 by construction); static creates N-1.

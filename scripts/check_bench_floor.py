@@ -19,13 +19,39 @@ import pathlib
 import sys
 
 
-def items_per_second(results: dict) -> dict:
+def items_per_second(results: dict) -> tuple:
+    """Returns ({name: items_per_second}, [names with a null/missing rate]).
+
+    A bench without an items_per_second rate cannot be floor-checked, so a
+    null is an error to surface, not a row to skip silently: every bench in
+    bench_simcore must call SetItemsProcessed.
+    """
     out = {}
+    nulls = []
     for bench in results.get("benchmarks", []):
+        # Aggregate rows (mean/median/stddev under --benchmark_repetitions)
+        # repeat the base name; only check the raw iteration rows.
+        if bench.get("run_type") == "aggregate":
+            continue
         ips = bench.get("items_per_second")
-        if ips is not None:
+        if ips is None:
+            nulls.append(bench["name"])
+        else:
             out[bench["name"]] = ips
-    return out
+    return out, nulls
+
+
+def record_nulls(record: dict) -> list:
+    """Names in the committed record whose before/after/speedup are null."""
+    bad = []
+    for bench in record.get("benchmarks", []):
+        if any(
+            bench.get(key) is None
+            for key in ("before_items_per_second", "after_items_per_second",
+                        "speedup")
+        ):
+            bad.append(bench["name"])
+    return bad
 
 
 def main(argv: list) -> int:
@@ -40,11 +66,26 @@ def main(argv: list) -> int:
         / "BENCH_simcore.json"
     )
 
-    fresh = items_per_second(json.loads(fresh_path.read_text()))
-    floors = json.loads(record_path.read_text())["floors"]
+    fresh, fresh_nulls = items_per_second(json.loads(fresh_path.read_text()))
+    record = json.loads(record_path.read_text())
+    floors = record["floors"]
 
     failures = []
     missing = []
+    for name in fresh_nulls:
+        print(
+            f"NULL {name}: no items_per_second in fresh run "
+            "(missing SetItemsProcessed?)",
+            file=sys.stderr,
+        )
+    for name in record_nulls(record):
+        print(
+            f"NULL {name}: record has null before/after/speedup — "
+            "measure and fill it in",
+            file=sys.stderr,
+        )
+        missing.append(name)
+    missing.extend(fresh_nulls)
     for name, floor in sorted(floors.items()):
         got = fresh.get(name)
         if got is None:

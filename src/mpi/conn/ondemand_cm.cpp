@@ -102,8 +102,7 @@ void OnDemandConnectionManager::defer(Rank peer) {
   waiting_slots_.push_back(peer);
 }
 
-bool OnDemandConnectionManager::admit_waiting() {
-  if (waiting_slots_.empty()) return false;
+bool OnDemandConnectionManager::admit_waiting_slow() {
   bool progressed = false;
   // Scan the whole queue rather than popping from the head: an entry
   // blocked on the limbo reservation must not head-of-line-block a later

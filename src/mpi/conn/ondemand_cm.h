@@ -69,7 +69,13 @@ class OnDemandConnectionManager final : public ConnectionManager {
 
   /// Admits deferred peers as budget slots free up; keeps an eviction in
   /// flight while any peer is still waiting. Returns true on progress.
-  bool admit_waiting();
+  /// The empty-queue fast path (every poll in uncapped mode) stays
+  /// inline; the scan is out of line.
+  bool admit_waiting() {
+    if (waiting_slots_.empty()) return false;
+    return admit_waiting_slow();
+  }
+  bool admit_waiting_slow();
 
   /// True when connect_now(peer) is admissible under the budget right
   /// now: a slot is free AND the connect either matches a queued incoming

@@ -142,8 +142,7 @@ via::Discriminator Device::pair_discriminator(Rank peer) const {
   return (std::uint64_t{1} << 63) | (lo << 24) | hi;
 }
 
-void Device::trace_msg_begin(const RequestPtr& req) {
-  if (tracer_ == nullptr || !tracer_->on(sim::TraceCat::kMsg)) return;
+void Device::trace_msg_begin_slow(const RequestPtr& req) {
   const bool send = req->kind == ReqKind::kSend;
   req->trace_span = tracer_->begin_span(
       sim::TraceCat::kMsg, send ? kTrSend : kTrRecv, rank_,
@@ -151,7 +150,7 @@ void Device::trace_msg_begin(const RequestPtr& req) {
       static_cast<std::int64_t>(send ? req->bytes : req->capacity), req->tag);
 }
 
-void Device::trace_msg_done(RequestState& req) {
+void Device::trace_msg_done_slow(RequestState& req) {
   // Idempotent: every completion site calls this, and a request can pass
   // through several (fail_channel sweeps, then a wait observes done).
   if (req.trace_span != 0) {
@@ -1356,55 +1355,6 @@ bool Device::progress() {
   progressed |= poll_send_cq();
   progressed |= poll_recv_cq();
   return progressed;
-}
-
-void Device::wait_until(const std::function<bool()>& pred) {
-  auto* proc = sim::Process::current();
-  assert(proc != nullptr);
-  const bool polling = config_.wait_policy.is_polling();
-  const bool has_kernel_wait = !nic_.profile().wait_is_poll;
-  // One spin iteration of MPID_DeviceCheck costs roughly two CQ polls
-  // plus loop overhead; the spin window is what the configured spin
-  // budget buys before the process falls through to the kernel wait.
-  const sim::SimTime spin_iter_cost =
-      2 * nic_.profile().cq_poll_cost + sim::nanoseconds(60);
-  const sim::SimTime spin_window =
-      polling ? 0
-              : std::max(1, config_.wait_policy.spin_count) * spin_iter_cost;
-
-  while (!pred()) {
-    if (progress()) continue;
-    // Nothing progressed: the process would now sit in a poll loop (or a
-    // kernel wait) until the NIC signals. Blocking in the *simulator* is
-    // virtual-time-equivalent to polling — nothing else runs on this CPU
-    // and the wake-up lands exactly at the event's arrival time — so we
-    // block and reconstruct the policy cost afterwards:
-    //  * polling: no extra charge, ever;
-    //  * spinwait on a device whose wait is a poll (BVIA): same as
-    //    polling, matching the paper's observation that the two modes
-    //    are indistinguishable there;
-    //  * spinwait on cLAN: if the event arrived after the spin budget
-    //    was exhausted, the process had really gone to sleep in the
-    //    kernel and pays the wake-up penalty.
-    nic_.set_host_waiter(proc);
-    if (kills_active_) {
-      // A connected-but-silent corpse generates no completions: nothing
-      // would ever wake this wait. The watchdog keeps virtual time (and
-      // liveness probes) flowing while the process is parked.
-      in_blocking_wait_ = true;
-      arm_watchdog();
-    }
-    const sim::SimTime blocked = proc->block();
-    in_blocking_wait_ = false;
-    nic_.set_host_waiter(nullptr);
-    if (blocked > 0 && !polling && has_kernel_wait &&
-        blocked > spin_window) {
-      proc->advance(nic_.profile().blocking_wait_wakeup);
-      static const sim::Stats::Counter kKernelWakeups =
-          sim::Stats::counter("mpi.kernel_wakeups");
-      stats_.add(kKernelWakeups);
-    }
-  }
 }
 
 void Device::arm_watchdog() {

@@ -15,6 +15,8 @@
 //    policies of section 5.3.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -27,6 +29,7 @@
 #include "src/mpi/packet.h"
 #include "src/mpi/request.h"
 #include "src/mpi/types.h"
+#include "src/sim/process.h"
 #include "src/sim/stats.h"
 #include "src/sim/trace.h"
 #include "src/via/provider.h"
@@ -195,7 +198,10 @@ class Device {
   bool progress();
 
   /// Runs progress under the configured wait policy until `pred` holds.
-  void wait_until(const std::function<bool()>& pred);
+  /// Templated so the predicate is a direct (inlinable) call in the poll
+  /// loop rather than a std::function indirection per iteration.
+  template <typename Pred>
+  void wait_until(Pred&& pred);
 
   void wait(const RequestPtr& req);
   bool test(const RequestPtr& req);
@@ -211,16 +217,33 @@ class Device {
   [[nodiscard]] via::Nic& nic() { return nic_; }
   [[nodiscard]] via::Cluster& cluster() { return cluster_; }
   /// Statistics registry; hot-path counters are folded in on access.
+  /// Counter handles are interned once per process, not per flush.
   [[nodiscard]] sim::Stats& stats() {
-    stats_.set("mpi.sends", hot_.sends);
-    stats_.set("mpi.send_bytes", hot_.send_bytes);
-    stats_.set("mpi.recvs", hot_.recvs);
-    stats_.set("mpi.eager_sends", hot_.eager_sends);
-    stats_.set("mpi.rndv_sends", hot_.rndv_sends);
-    stats_.set("mpi.rndv_bytes", hot_.rndv_bytes);
-    stats_.set("mpi.packets_sent", hot_.packets_sent);
-    stats_.set("mpi.packets_received", hot_.packets_received);
-    stats_.set("mpi.self_sends", hot_.self_sends);
+    static const sim::Stats::Counter kSends = sim::Stats::counter("mpi.sends");
+    static const sim::Stats::Counter kSendBytes =
+        sim::Stats::counter("mpi.send_bytes");
+    static const sim::Stats::Counter kRecvs = sim::Stats::counter("mpi.recvs");
+    static const sim::Stats::Counter kEagerSends =
+        sim::Stats::counter("mpi.eager_sends");
+    static const sim::Stats::Counter kRndvSends =
+        sim::Stats::counter("mpi.rndv_sends");
+    static const sim::Stats::Counter kRndvBytes =
+        sim::Stats::counter("mpi.rndv_bytes");
+    static const sim::Stats::Counter kPacketsSent =
+        sim::Stats::counter("mpi.packets_sent");
+    static const sim::Stats::Counter kPacketsReceived =
+        sim::Stats::counter("mpi.packets_received");
+    static const sim::Stats::Counter kSelfSends =
+        sim::Stats::counter("mpi.self_sends");
+    stats_.set(kSends, hot_.sends);
+    stats_.set(kSendBytes, hot_.send_bytes);
+    stats_.set(kRecvs, hot_.recvs);
+    stats_.set(kEagerSends, hot_.eager_sends);
+    stats_.set(kRndvSends, hot_.rndv_sends);
+    stats_.set(kRndvBytes, hot_.rndv_bytes);
+    stats_.set(kPacketsSent, hot_.packets_sent);
+    stats_.set(kPacketsReceived, hot_.packets_received);
+    stats_.set(kSelfSends, hot_.self_sends);
     return stats_;
   }
   [[nodiscard]] Channel& channel(Rank peer) {
@@ -378,9 +401,18 @@ class Device {
   void finish_evict(Channel& ch);
 
   // Tracing helpers; no-ops when the job is not tracing (tracer_ null or
-  // the message category masked).
-  void trace_msg_begin(const RequestPtr& req);  // opens the lifecycle span
-  void trace_msg_done(RequestState& req);       // closes lifecycle + park
+  // the message category masked). The guards live inline so the common
+  // not-tracing case costs a branch, not an out-of-line call per message.
+  void trace_msg_begin(const RequestPtr& req) {  // opens the lifecycle span
+    if (tracer_ == nullptr || !tracer_->on(sim::TraceCat::kMsg)) return;
+    trace_msg_begin_slow(req);
+  }
+  void trace_msg_done(RequestState& req) {  // closes lifecycle + park
+    if (req.trace_span == 0 && req.park_span == 0) return;
+    trace_msg_done_slow(req);
+  }
+  void trace_msg_begin_slow(const RequestPtr& req);
+  void trace_msg_done_slow(RequestState& req);
   void trace_unexpected_depth();  // samples the unexpected-queue depth
 
   // Buffers / registration.
@@ -492,5 +524,55 @@ class ConnectionManager {
  protected:
   Device& device_;
 };
+
+template <typename Pred>
+void Device::wait_until(Pred&& pred) {
+  auto* proc = sim::Process::current();
+  assert(proc != nullptr);
+  const bool polling = config_.wait_policy.is_polling();
+  const bool has_kernel_wait = !nic_.profile().wait_is_poll;
+  // One spin iteration of MPID_DeviceCheck costs roughly two CQ polls
+  // plus loop overhead; the spin window is what the configured spin
+  // budget buys before the process falls through to the kernel wait.
+  const sim::SimTime spin_iter_cost =
+      2 * nic_.profile().cq_poll_cost + sim::nanoseconds(60);
+  const sim::SimTime spin_window =
+      polling ? 0
+              : std::max(1, config_.wait_policy.spin_count) * spin_iter_cost;
+
+  while (!pred()) {
+    if (progress()) continue;
+    // Nothing progressed: the process would now sit in a poll loop (or a
+    // kernel wait) until the NIC signals. Blocking in the *simulator* is
+    // virtual-time-equivalent to polling — nothing else runs on this CPU
+    // and the wake-up lands exactly at the event's arrival time — so we
+    // block and reconstruct the policy cost afterwards:
+    //  * polling: no extra charge, ever;
+    //  * spinwait on a device whose wait is a poll (BVIA): same as
+    //    polling, matching the paper's observation that the two modes
+    //    are indistinguishable there;
+    //  * spinwait on cLAN: if the event arrived after the spin budget
+    //    was exhausted, the process had really gone to sleep in the
+    //    kernel and pays the wake-up penalty.
+    nic_.set_host_waiter(proc);
+    if (kills_active_) {
+      // A connected-but-silent corpse generates no completions: nothing
+      // would ever wake this wait. The watchdog keeps virtual time (and
+      // liveness probes) flowing while the process is parked.
+      in_blocking_wait_ = true;
+      arm_watchdog();
+    }
+    const sim::SimTime blocked = proc->block();
+    in_blocking_wait_ = false;
+    nic_.set_host_waiter(nullptr);
+    if (blocked > 0 && !polling && has_kernel_wait &&
+        blocked > spin_window) {
+      proc->advance(nic_.profile().blocking_wait_wakeup);
+      static const sim::Stats::Counter kKernelWakeups =
+          sim::Stats::counter("mpi.kernel_wakeups");
+      stats_.add(kKernelWakeups);
+    }
+  }
+}
 
 }  // namespace odmpi::mpi

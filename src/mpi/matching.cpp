@@ -43,9 +43,9 @@ RequestPtr MatchingEngine::match_arrival(ContextId ctx, Rank src, Tag tag) {
   RequestPtr found = std::move(best->req);
   best_bucket->erase(best);
   --posted_count_;
-  if (best_bucket->empty()) {
-    posted_.erase(key_of(found->context, found->src));
-  }
+  // The emptied bucket stays in the map: a ping-pong pattern re-creates
+  // the same (context, source) key on every message, and a fresh deque
+  // costs a heap allocation. Key count is bounded by peers × contexts.
   return found;
 }
 
@@ -100,7 +100,7 @@ void MatchingEngine::remove_unexpected(UnexpectedMsg* msg) {
   assert(it != bucket.end());
   bucket.erase(it);
   --unexpected_count_;
-  if (bucket.empty()) unexpected_.erase(bucket_it);
+  // Empty buckets are kept (see match_arrival); wildcard scans skip them.
 }
 
 bool MatchingEngine::cancel_posted(const RequestPtr& recv) {
@@ -113,7 +113,6 @@ bool MatchingEngine::cancel_posted(const RequestPtr& recv) {
   if (it == bucket.end()) return false;
   bucket.erase(it);
   --posted_count_;
-  if (bucket.empty()) posted_.erase(bucket_it);
   return true;
 }
 

@@ -23,6 +23,7 @@
 // order is the strict (time, seq) order in both modes.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -43,6 +44,16 @@ class Engine {
   Engine() = default;
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+
+  ~Engine() {
+    // The engine's arrays and slabs free into the thread-local block pool.
+    // Destroying an Engine (and hence a World) on a different thread than
+    // the one that ran it would drain its blocks into the wrong thread's
+    // arena — the sweep runner guarantees same-thread teardown, and this
+    // assert keeps other callers honest.
+    assert(pool_thread_ == detail::pool_thread_id() &&
+           "Engine destroyed on a different thread than it ran on");
+  }
 
   /// Current global virtual time: the timestamp of the event being
   /// processed (or of the last processed event while between events).
@@ -152,6 +163,8 @@ class Engine {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_processed_ = 0;
+  // Captured at construction; checked at destruction (debug builds).
+  [[maybe_unused]] std::uintptr_t pool_thread_ = detail::pool_thread_id();
 };
 
 }  // namespace odmpi::sim

@@ -3,11 +3,41 @@
 #include <cassert>
 #include <cstdlib>
 
+#if defined(__SANITIZE_THREAD__)
+#define ODMPI_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ODMPI_TSAN_FIBERS 1
+#endif
+#endif
+
+#ifdef ODMPI_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace odmpi::sim {
 
 namespace {
-// Single-threaded simulation: plain globals are safe and fast.
-Fiber* g_current_fiber = nullptr;
+// One simulation per thread (the sweep runner drives independent Worlds on
+// separate threads), so the "current fiber" register is per-thread. Within
+// a thread fibers still switch cooperatively — no locking needed.
+thread_local Fiber* g_current_fiber = nullptr;
+
+#ifdef ODMPI_TSAN_FIBERS
+void* tsan_make_fiber() { return __tsan_create_fiber(0); }
+void tsan_free_fiber(void* f) {
+  if (f != nullptr) __tsan_destroy_fiber(f);
+}
+void tsan_switch(void* f) {
+  if (f != nullptr) __tsan_switch_to_fiber(f, 0);
+}
+void* tsan_this_fiber() { return __tsan_get_current_fiber(); }
+#else
+void* tsan_make_fiber() { return nullptr; }
+void tsan_free_fiber(void*) {}
+void tsan_switch(void*) {}
+void* tsan_this_fiber() { return nullptr; }
+#endif
 }  // namespace
 
 Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
@@ -16,6 +46,7 @@ Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
 Fiber::~Fiber() {
   // A fiber destroyed mid-flight simply abandons its stack; the simulation
   // tears everything down together at the end of a run.
+  tsan_free_fiber(tsan_fiber_);
 }
 
 Fiber* Fiber::current() { return g_current_fiber; }
@@ -27,6 +58,7 @@ void Fiber::trampoline() {
   self->finished_ = true;
   // Return to the scheduler for good. uc_link would also work, but an
   // explicit swap keeps all switching in one place.
+  tsan_switch(self->tsan_scheduler_);
   swapcontext(&self->context_, &self->scheduler_context_);
   // Unreachable: a finished fiber is never resumed.
   std::abort();
@@ -42,8 +74,11 @@ void Fiber::resume() {
     context_.uc_stack.ss_size = stack_.size();
     context_.uc_link = nullptr;
     makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+    tsan_fiber_ = tsan_make_fiber();
   }
   g_current_fiber = this;
+  tsan_scheduler_ = tsan_this_fiber();
+  tsan_switch(tsan_fiber_);
   swapcontext(&scheduler_context_, &context_);
   g_current_fiber = nullptr;
 }
@@ -52,6 +87,7 @@ void Fiber::yield_to_scheduler() {
   Fiber* self = g_current_fiber;
   assert(self != nullptr && "yield outside of a fiber");
   g_current_fiber = nullptr;
+  tsan_switch(self->tsan_scheduler_);
   swapcontext(&self->context_, &self->scheduler_context_);
   g_current_fiber = self;
 }

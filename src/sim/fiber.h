@@ -56,6 +56,11 @@ class Fiber {
   ucontext_t scheduler_context_{};
   bool started_ = false;
   bool finished_ = false;
+  // ThreadSanitizer fiber handles (null outside TSan builds). TSan cannot
+  // see through swapcontext(); without the switch annotations it reports
+  // false races between fibers that share an OS thread.
+  void* tsan_fiber_ = nullptr;
+  void* tsan_scheduler_ = nullptr;
 };
 
 }  // namespace odmpi::sim

@@ -18,6 +18,7 @@ constexpr std::size_t kMaxPerBucket = 4;  // cache depth per size class
 
 struct BlockPool {
   std::array<std::vector<void*>, kBuckets> buckets;
+  PoolStats stats;
 };
 
 // Leaked intentionally: engines living in thread-local or static storage
@@ -40,12 +41,18 @@ void* pool_alloc(std::size_t bytes) {
   if (bytes < kMinPooledBytes) return ::operator new(bytes);
   const std::size_t b = bucket_of(bytes);
   if (b >= kBuckets) return ::operator new(bytes);
-  auto& bucket = pool().buckets[b];
+  BlockPool& pl = pool();
+  auto& bucket = pl.buckets[b];
+  ++pl.stats.allocs;
   if (!bucket.empty()) {
     void* p = bucket.back();
     bucket.pop_back();
+    ++pl.stats.reuses;
+    --pl.stats.blocks_cached;
+    pl.stats.cached_bytes -= kMinPooledBytes << b;
     return p;
   }
+  ++pl.stats.fresh;
   return ::operator new(kMinPooledBytes << b);
 }
 
@@ -54,14 +61,28 @@ void pool_free(void* p, std::size_t bytes) noexcept {
   if (bytes >= kMinPooledBytes) {
     const std::size_t b = bucket_of(bytes);
     if (b < kBuckets) {
-      auto& bucket = pool().buckets[b];
+      BlockPool& pl = pool();
+      auto& bucket = pl.buckets[b];
       if (bucket.size() < kMaxPerBucket) {
         bucket.push_back(p);
+        ++pl.stats.frees_cached;
+        ++pl.stats.blocks_cached;
+        pl.stats.cached_bytes += kMinPooledBytes << b;
+        if (pl.stats.cached_bytes > pl.stats.peak_cached_bytes) {
+          pl.stats.peak_cached_bytes = pl.stats.cached_bytes;
+        }
         return;
       }
+      ++pl.stats.frees_released;
     }
   }
   ::operator delete(p);
+}
+
+PoolStats pool_stats() { return pool().stats; }
+
+std::uintptr_t pool_thread_id() {
+  return reinterpret_cast<std::uintptr_t>(&pool());
 }
 
 }  // namespace odmpi::sim::detail

@@ -8,16 +8,46 @@
 // reuse warm memory. Blocks below the cache threshold go straight to
 // operator new (malloc already recycles those).
 //
+// Each OS thread owns an independent pool: the sweep runner relies on this
+// for per-thread arena reuse (Worlds executed back-to-back on the same
+// worker thread recycle each other's blocks with zero cross-thread
+// traffic). A World must be destroyed on the thread that ran it —
+// otherwise its blocks drain into the wrong thread's cache; Engine asserts
+// this in debug builds via pool_thread_id().
+//
 // Purely an allocation-layer optimization: no effect on event ordering or
 // determinism.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace odmpi::sim::detail {
 
 void* pool_alloc(std::size_t bytes);
 void pool_free(void* p, std::size_t bytes) noexcept;
+
+/// Counters for the calling thread's block pool. Alloc/free tallies count
+/// pooled-size requests only (smaller ones bypass the pool entirely).
+struct PoolStats {
+  std::uint64_t allocs = 0;          ///< pooled-size allocation requests
+  std::uint64_t reuses = 0;          ///< requests served from the cache
+  std::uint64_t fresh = 0;           ///< requests served by operator new
+  std::uint64_t frees_cached = 0;    ///< frees recycled into the cache
+  std::uint64_t frees_released = 0;  ///< frees passed to operator delete
+  std::size_t blocks_cached = 0;     ///< blocks sitting in the cache now
+  std::size_t cached_bytes = 0;      ///< bytes sitting in the cache now
+  std::size_t peak_cached_bytes = 0; ///< high-water mark of cached_bytes
+};
+
+/// Snapshot of the calling thread's pool counters.
+[[nodiscard]] PoolStats pool_stats();
+
+/// Stable identifier of the calling thread's pool. Objects that free into
+/// the pool record this at construction and assert it at destruction to
+/// catch cross-thread frees (which would silently migrate cached blocks
+/// between arenas).
+[[nodiscard]] std::uintptr_t pool_thread_id();
 
 template <typename T>
 struct PoolAllocator {

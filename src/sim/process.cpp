@@ -6,7 +6,9 @@
 namespace odmpi::sim {
 
 namespace {
-Process* g_current_process = nullptr;
+// One simulation per thread: the sweep runner drives independent Worlds
+// on separate threads, so the "current process" register is per-thread.
+thread_local Process* g_current_process = nullptr;
 }  // namespace
 
 Process::Process(Engine& engine, int id, std::function<void()> body,

@@ -1,5 +1,7 @@
 #include "src/sim/stats.h"
 
+#include <atomic>
+#include <cassert>
 #include <mutex>
 #include <unordered_map>
 
@@ -7,13 +9,31 @@ namespace odmpi::sim {
 
 namespace {
 
-// Process-wide intern table. The mutex is cold-path only: hot code holds
-// Counter handles and never comes here. Leaked intentionally so handles
-// stay valid during static/thread-local teardown.
+// Process-wide intern table, shared by every World in the process —
+// including Worlds running concurrently on sweep-runner threads.
+//
+// Writes (first-time registration of a name) take the mutex; they are
+// cold — hot code holds Counter handles and never comes here. Reads
+// (name_of / all) are lock-free: name storage is chunked and append-only
+// so a slot's address never changes once written, and `published` is
+// release-stored only after the slot is fully constructed, so an
+// acquire-load of `published` makes every id below it safe to read.
+// Leaked intentionally so handles stay valid during static/thread-local
+// teardown.
 struct InternTable {
-  std::mutex mu;
+  static constexpr std::uint32_t kChunkSize = 1024;
+  static constexpr std::uint32_t kMaxChunks = 1024;  // 1M names, plenty
+
+  std::mutex mu;  // guards ids + appends; readers never take it
   std::unordered_map<std::string, std::uint32_t> ids;
-  std::vector<std::string> names;
+  std::atomic<std::string*> chunks[kMaxChunks] = {};
+  std::atomic<std::uint32_t> published{0};
+
+  /// Lock-free; valid for any id below published.load(acquire).
+  [[nodiscard]] const std::string& name(std::uint32_t id) const {
+    std::string* chunk = chunks[id / kChunkSize].load(std::memory_order_relaxed);
+    return chunk[id % kChunkSize];
+  }
 };
 
 InternTable& table() {
@@ -26,25 +46,35 @@ InternTable& table() {
 Stats::Counter Stats::counter(std::string_view name) {
   InternTable& t = table();
   std::lock_guard<std::mutex> lock(t.mu);
-  auto [it, inserted] = t.ids.try_emplace(
-      std::string(name), static_cast<std::uint32_t>(t.names.size()));
-  if (inserted) t.names.push_back(it->first);
+  const std::uint32_t next = t.published.load(std::memory_order_relaxed);
+  auto [it, inserted] = t.ids.try_emplace(std::string(name), next);
+  if (inserted) {
+    assert(next / InternTable::kChunkSize < InternTable::kMaxChunks &&
+           "counter-name intern table full");
+    std::atomic<std::string*>& slot = t.chunks[next / InternTable::kChunkSize];
+    std::string* chunk = slot.load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new std::string[InternTable::kChunkSize];
+      slot.store(chunk, std::memory_order_relaxed);
+    }
+    chunk[next % InternTable::kChunkSize] = it->first;
+    t.published.store(next + 1, std::memory_order_release);
+  }
   return Counter(it->second);
 }
 
 std::string Stats::name_of(Counter c) {
   InternTable& t = table();
-  std::lock_guard<std::mutex> lock(t.mu);
-  // Returned by value: `names` may reallocate when later names intern.
-  return c.id_ < t.names.size() ? t.names[c.id_] : std::string();
+  const std::uint32_t n = t.published.load(std::memory_order_acquire);
+  return c.id_ < n ? t.name(c.id_) : std::string();
 }
 
 std::map<std::string, std::int64_t> Stats::all() const {
   std::map<std::string, std::int64_t> out;
   InternTable& t = table();
-  std::lock_guard<std::mutex> lock(t.mu);
+  const std::uint32_t n = t.published.load(std::memory_order_acquire);
   for (std::uint32_t id = 0; id < cells_.size(); ++id) {
-    if (cells_[id].touched) out.emplace(t.names[id], cells_[id].value);
+    if (cells_[id].touched && id < n) out.emplace(t.name(id), cells_[id].value);
   }
   return out;
 }

@@ -44,7 +44,7 @@ class Stats {
   static Counter counter(std::string_view name);
 
   /// The name a handle was interned under. Cold path: reporting and
-  /// trace export only.
+  /// trace export only. Lock-free (safe from concurrent sweep threads).
   [[nodiscard]] static std::string name_of(Counter c);
 
   /// Adds `delta` to the counter (created at 0 on first touch).

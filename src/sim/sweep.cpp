@@ -1,0 +1,185 @@
+#include "src/sim/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace odmpi::sim {
+
+namespace {
+
+double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Executes one config to completion on the calling thread and fills its
+// submission-indexed slot. The World lives and dies entirely on this
+// thread (Engine asserts same-thread teardown), so its pool blocks recycle
+// into this thread's arena for the next World the worker picks up.
+void execute(const SweepConfig& cfg, int worker, SweepItemResult& out) {
+  out.label = cfg.label;
+  out.worker = worker;
+  const double t0 = wall_now();
+  try {
+    mpi::World world(cfg.nranks, cfg.options);
+    out.result = world.run_job(cfg.body);
+    out.result.trace = nullptr;  // dies with the World below
+    out.mean_init_us = world.mean_init_us();
+    out.mean_vis_per_process = world.mean_vis_per_process();
+    if (cfg.collect_stats) out.stats = world.aggregate_stats();
+    if (cfg.collect_digest) out.digest = world.tracer().digest();
+    if (cfg.collect_reports) {
+      out.reports.reserve(static_cast<std::size_t>(cfg.nranks));
+      for (int r = 0; r < cfg.nranks; ++r) out.reports.push_back(world.report(r));
+    }
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  } catch (...) {
+    out.error = "unknown exception";
+  }
+  out.wall_seconds = wall_now() - t0;
+}
+
+// One work-stealing deque per worker. Tasks are whole Worlds (hundreds of
+// microseconds and up), so a mutex per deque costs nothing measurable;
+// the deques exist to keep round-robin locality (a worker drains its own
+// share front-to-front, preserving warm-arena reuse) while letting idle
+// workers steal from the back of loaded ones.
+struct WorkerQueue {
+  std::mutex mu;
+  std::deque<std::size_t> q;
+};
+
+}  // namespace
+
+SweepRunner::SweepRunner(int threads) {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads_ = threads;
+}
+
+std::size_t SweepRunner::submit(SweepConfig config) {
+  configs_.push_back(std::move(config));
+  return configs_.size() - 1;
+}
+
+SweepReport SweepRunner::run() {
+  std::vector<SweepConfig> configs = std::move(configs_);
+  configs_.clear();
+
+  SweepReport report;
+  report.items.resize(configs.size());
+  const int nworkers =
+      static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(threads_), std::max<std::size_t>(configs.size(), 1)));
+  report.threads = nworkers;
+  const double t0 = wall_now();
+
+  if (configs.empty()) return report;
+
+  if (nworkers == 1) {
+    // Degenerate sweep: run inline on the caller's thread. Identical
+    // results (each World is deterministic in isolation), and the caller's
+    // pool arena stays warm for whatever it runs next.
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      execute(configs[i], 0, report.items[i]);
+    }
+  } else {
+    std::vector<WorkerQueue> queues(static_cast<std::size_t>(nworkers));
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      queues[i % static_cast<std::size_t>(nworkers)].q.push_back(i);
+    }
+    std::atomic<std::size_t> remaining{configs.size()};
+
+    auto worker_main = [&](int me) {
+      const auto self = static_cast<std::size_t>(me);
+      while (remaining.load(std::memory_order_acquire) > 0) {
+        std::size_t task = 0;
+        bool got = false;
+        {
+          WorkerQueue& mine = queues[self];
+          std::lock_guard<std::mutex> lock(mine.mu);
+          if (!mine.q.empty()) {
+            task = mine.q.front();
+            mine.q.pop_front();
+            got = true;
+          }
+        }
+        if (!got) {
+          // Steal from the back of the most loaded victim.
+          for (std::size_t k = 1; k < queues.size() && !got; ++k) {
+            WorkerQueue& victim = queues[(self + k) % queues.size()];
+            std::lock_guard<std::mutex> lock(victim.mu);
+            if (!victim.q.empty()) {
+              task = victim.q.back();
+              victim.q.pop_back();
+              got = true;
+            }
+          }
+        }
+        if (!got) {
+          // Queues are empty but Worlds are still in flight on other
+          // workers; nothing to steal until one finishes (it won't spawn
+          // more work). Yield rather than spin hard.
+          std::this_thread::yield();
+          continue;
+        }
+        execute(configs[task], me, report.items[task]);
+        remaining.fetch_sub(1, std::memory_order_release);
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(nworkers));
+    for (int w = 0; w < nworkers; ++w) pool.emplace_back(worker_main, w);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Aggregate in submission order so the report is identical for any
+  // thread count.
+  bool first = true;
+  double completion_sum = 0;
+  for (const SweepItemResult& item : report.items) {
+    if (!item.error.empty()) {
+      ++report.errored;
+      continue;
+    }
+    switch (item.result.status) {
+      case mpi::RunStatus::kOk: ++report.ok; break;
+      case mpi::RunStatus::kDeadline: ++report.deadline; break;
+      case mpi::RunStatus::kRankFailed: ++report.rank_failed; break;
+    }
+    const SimTime ct = item.result.completion_time;
+    if (first) {
+      report.completion_min = report.completion_max = ct;
+      first = false;
+    } else {
+      report.completion_min = std::min(report.completion_min, ct);
+      report.completion_max = std::max(report.completion_max, ct);
+    }
+    completion_sum += static_cast<double>(ct);
+    report.merged_stats.merge(item.stats);
+  }
+  const int counted = report.ok + report.deadline + report.rank_failed;
+  if (counted > 0) report.completion_mean = completion_sum / counted;
+  report.wall_seconds = wall_now() - t0;
+  return report;
+}
+
+SweepReport SweepRunner::run_all(std::vector<SweepConfig> configs,
+                                 int threads) {
+  SweepRunner runner(threads);
+  for (SweepConfig& c : configs) runner.submit(std::move(c));
+  return runner.run();
+}
+
+}  // namespace odmpi::sim

@@ -1,0 +1,137 @@
+// Parallel multi-World sweep runner.
+//
+// The paper's results are all parameter sweeps — connection model x
+// message size x rank count x NIC profile — and the test batteries
+// (fault seeds, eviction budgets, rank-kill grids) are sweeps too. Each
+// World is a fully deterministic single-threaded simulation; Worlds share
+// nothing mutable (the Stats intern table is lock-free for readers, the
+// process/fiber "current" registers are thread_local, and the block pool
+// is one arena per thread). So N configurations can run on N OS threads
+// with zero coordination beyond handing out tasks.
+//
+// SweepRunner is a small work-stealing thread pool: one World per task,
+// per-thread BlockPool arenas warm across the Worlds a thread executes
+// back-to-back, results written into submission-indexed slots. The
+// returned SweepReport is therefore deterministic and submission-ordered
+// regardless of thread count or interleaving: running with threads=8
+// yields bit-identical per-config results to threads=1 and to a plain
+// sequential loop (sweep_test.cpp holds this as a regression test).
+//
+// Thread-safety contract for callers: a config's `body` runs on an
+// arbitrary worker thread, concurrently with other configs' bodies. A
+// body may freely touch state owned by its own config (the usual capture
+// of per-config output buffers) but must not share mutable state across
+// configs without its own synchronization.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/mpi/runtime.h"
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace odmpi::sim {
+
+/// One World to run: the shape of World(nranks, options).run_job(body).
+struct SweepConfig {
+  std::string label;  ///< carried through to the item result, for reports
+  int nranks = 2;
+  mpi::JobOptions options;
+  std::function<void(mpi::Comm&)> body;
+
+  /// Aggregate this World's device stats into the item and the report's
+  /// merged table. Off by default: stats aggregation walks every rank.
+  bool collect_stats = false;
+
+  /// Record the World's trace digest (requires options.trace.enabled).
+  /// The digest is computed before the World is destroyed, so sweep items
+  /// can be golden-diffed without keeping Worlds alive.
+  bool collect_digest = false;
+
+  /// Copy every rank's RankReport into the item result.
+  bool collect_reports = false;
+};
+
+/// Outcome of one config. `result.trace` is always nulled: the World (and
+/// its tracer) is destroyed on the worker thread that ran it — ask for
+/// collect_digest when the trace content matters.
+struct SweepItemResult {
+  std::string label;
+  mpi::RunResult result;
+  double mean_init_us = 0;
+  double mean_vis_per_process = 0;
+  Stats stats;          ///< aggregate device stats (collect_stats)
+  std::string digest;   ///< trace digest (collect_digest)
+  std::vector<mpi::RankReport> reports;  ///< per-rank (collect_reports)
+  /// Non-empty if constructing or running the World threw on the worker
+  /// thread (e.g. an invalid config); `result` is then default. Note an
+  /// exception thrown *inside a rank body* cannot be captured here — it
+  /// unwinds a fiber stack and terminates, exactly as without the runner.
+  std::string error;
+  double wall_seconds = 0;  ///< host time this World took to execute
+  int worker = -1;          ///< worker thread index (observability only)
+
+  [[nodiscard]] bool ok() const {
+    return error.empty() && result.status == mpi::RunStatus::kOk;
+  }
+};
+
+/// Aggregated outcome of a sweep, submission-ordered.
+struct SweepReport {
+  std::vector<SweepItemResult> items;
+
+  // Status counts across items.
+  int ok = 0;
+  int deadline = 0;
+  int rank_failed = 0;
+  int errored = 0;  ///< items whose body threw
+
+  // Virtual completion-time stats across items (min/mean/max).
+  SimTime completion_min = 0;
+  SimTime completion_max = 0;
+  double completion_mean = 0;
+
+  /// Merged device stats across every collect_stats item.
+  Stats merged_stats;
+
+  double wall_seconds = 0;  ///< host time for the whole sweep
+  int threads = 0;          ///< worker threads actually used
+
+  [[nodiscard]] bool all_ok() const {
+    return deadline == 0 && errored == 0;
+  }
+};
+
+class SweepRunner {
+ public:
+  /// `threads` <= 0 selects std::thread::hardware_concurrency().
+  explicit SweepRunner(int threads = 0);
+
+  SweepRunner(const SweepRunner&) = delete;
+  SweepRunner& operator=(const SweepRunner&) = delete;
+
+  /// Queues a config; returns its submission index (== its slot in
+  /// SweepReport::items). Must not be called while run() is executing.
+  std::size_t submit(SweepConfig config);
+
+  /// Executes every submitted config and returns the aggregated report.
+  /// Reusable: the submission list is consumed, and more configs may be
+  /// submitted for a subsequent run().
+  SweepReport run();
+
+  [[nodiscard]] int threads() const { return threads_; }
+  [[nodiscard]] std::size_t pending() const { return configs_.size(); }
+
+  /// One-call form: submit everything, run, report.
+  static SweepReport run_all(std::vector<SweepConfig> configs,
+                             int threads = 0);
+
+ private:
+  int threads_;
+  std::vector<SweepConfig> configs_;
+};
+
+}  // namespace odmpi::sim

@@ -188,11 +188,11 @@ void ConnectionService::on_peer_timer(Discriminator disc, std::uint64_t gen) {
   if (pending.timer_generation != gen) return;  // superseded
   if (pending.attempts >= nic_.profile().max_conn_retries) {
     Vi* vi = pending.vi;
-    pending_peer_.erase(it);
+    const NodeId remote_node = pending.remote_node;
+    pending_peer_.erase(it);  // invalidates `pending`
     vi->state_ = ViState::kError;
     nic_.stats().add(kTimeouts);
-    trace_conn(kTrTimeout, pending.remote_node,
-               static_cast<std::int64_t>(disc));
+    trace_conn(kTrTimeout, remote_node, static_cast<std::int64_t>(disc));
     nic_.notify_host();
     return;
   }
@@ -548,6 +548,16 @@ void ConnectionService::forget_established(const Vi& vi) {
   // Both maps are empty in fault-free runs, so this costs nothing there.
   std::erase_if(established_peer_,
                 [&](const auto& kv) { return kv.second == vi.id(); });
+}
+
+void ConnectionService::forget_vi(const Vi& vi) {
+  // A VI destroyed mid-handshake (rank teardown, eviction of an endpoint
+  // whose connect never completed) leaves its PendingPeer entry behind;
+  // the armed retry timer would then resend through a dangling Vi*. Erase
+  // by pointer — the entry is keyed by discriminator, not id.
+  std::erase_if(pending_peer_,
+                [&](const auto& kv) { return kv.second.vi == &vi; });
+  forget_established(vi);
 }
 
 void ConnectionService::disconnect(Vi& vi) {

@@ -99,6 +99,12 @@ class ConnectionService {
 
   void disconnect(Vi& vi);
 
+  /// Called by Nic::destroy_vi: drops every handshake record that still
+  /// references `vi` by pointer or id. A peer request can be pending (with
+  /// a retransmit timer armed) when its VI is torn down — the timer must
+  /// find nothing rather than a dangling Vi*.
+  void forget_vi(const Vi& vi);
+
   // --- Liveness probes (rank-death detection) ------------------------------
   // A connected pair exchanging no data has no retransmission machinery
   // watching the peer, so a process death on the far side is invisible: a

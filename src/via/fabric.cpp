@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
+#include <utility>
 
 namespace odmpi::via {
 
@@ -16,8 +18,7 @@ const sim::Stats::Counter kTrDup = sim::Stats::counter("fabric.dup");
 bool Fabric::deliver(NodeId src, NodeId dst, std::size_t bytes,
                      sim::FaultClass cls, sim::SimTime depart_time,
                      sim::SimTime src_nic_delay, sim::SimTime dst_nic_delay,
-                     std::function<void()> on_tx_done,
-                     std::function<void()> on_arrival) {
+                     sim::SmallFn on_tx_done, sim::SmallFn on_arrival) {
   assert(src >= 0 && src < static_cast<int>(egress_free_.size()));
   assert(dst >= 0 && dst < static_cast<int>(egress_free_.size()));
 
@@ -48,7 +49,15 @@ bool Fabric::deliver(NodeId src, NodeId dst, std::size_t bytes,
     arrival += d.extra_delay;
     if (d.duplicate) {
       ++packets_duplicated_;
-      engine_.schedule_at(arrival + d.duplicate_lag, on_arrival);
+      // SmallFn is move-only; the duplicate needs the callback twice.
+      // Cold path (faults only), so one shared_ptr allocation is fine.
+      // Schedule order (dup first, then primary) matches the pre-SmallFn
+      // behavior so the event sequence numbers are unchanged.
+      auto shared =
+          std::make_shared<sim::SmallFn>(std::move(on_arrival));
+      engine_.schedule_at(arrival + d.duplicate_lag,
+                          [shared] { (*shared)(); });
+      on_arrival = [shared] { (*shared)(); };
       if (tracer_ != nullptr) {
         tracer_->instant_at(sim::TraceCat::kFabric, kTrDup, src, dst,
                             arrival + d.duplicate_lag,

@@ -83,6 +83,7 @@ void Nic::destroy_vi(Vi* vi) {
   const ViId id = vi->id();
   assert(id >= 0 && id < static_cast<ViId>(vis_.size()) &&
          vis_[id].get() == vi);
+  connections_.forget_vi(*vi);  // no handshake record may outlive the VI
   vis_[id].reset();  // keep ids of other VIs stable
   --open_vi_count_;
 }
@@ -276,7 +277,7 @@ Status Nic::start_unreliable_lossy(Vi& vi, Descriptor* desc, bool is_rdma) {
   // the tx-done lambda is built first — route the verdict through a
   // shared flag (tx-done always fires strictly after deliver() returns).
   auto dropped = std::make_shared<bool>(false);
-  std::function<void()> on_arrival;
+  sim::SmallFn on_arrival;
   if (is_rdma) {
     on_arrival = [&remote, remote_addr, payload = std::move(payload)] {
       remote.on_rdma_write(remote_addr, kInvalidMemoryHandle, payload);
@@ -328,7 +329,7 @@ void Nic::transmit_reliable(Vi& vi, Vi::ReliableSend& rs) {
   const NodeId dst = vi.remote_node();
   const ViId dst_vi = vi.remote_vi();
   Nic& remote = cluster_.nic(dst);
-  std::function<void()> on_arrival;
+  sim::SmallFn on_arrival;
   if (rs.is_rdma) {
     on_arrival = [&remote, dst_vi, seq = rs.seq, addr = rs.remote_addr,
                   payload = rs.payload] {

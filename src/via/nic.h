@@ -60,13 +60,25 @@ class Nic {
   [[nodiscard]] Cluster& cluster() { return cluster_; }
   [[nodiscard]] const DeviceProfile& profile() const;
   /// Statistics registry; hot-path counters are folded in on access.
+  /// Counter handles are interned once per process, not per flush.
   [[nodiscard]] sim::Stats& stats() {
-    stats_.set("msg.sent", hot_.msg_sent);
-    stats_.set("msg.sent_bytes", hot_.msg_sent_bytes);
-    stats_.set("msg.received", hot_.msg_received);
-    stats_.set("rdma.write", hot_.rdma_write);
-    stats_.set("rdma.write_bytes", hot_.rdma_write_bytes);
-    stats_.set("rdma.write_received", hot_.rdma_write_received);
+    static const sim::Stats::Counter kSent = sim::Stats::counter("msg.sent");
+    static const sim::Stats::Counter kSentBytes =
+        sim::Stats::counter("msg.sent_bytes");
+    static const sim::Stats::Counter kReceived =
+        sim::Stats::counter("msg.received");
+    static const sim::Stats::Counter kRdmaWrite =
+        sim::Stats::counter("rdma.write");
+    static const sim::Stats::Counter kRdmaWriteBytes =
+        sim::Stats::counter("rdma.write_bytes");
+    static const sim::Stats::Counter kRdmaWriteReceived =
+        sim::Stats::counter("rdma.write_received");
+    stats_.set(kSent, hot_.msg_sent);
+    stats_.set(kSentBytes, hot_.msg_sent_bytes);
+    stats_.set(kReceived, hot_.msg_received);
+    stats_.set(kRdmaWrite, hot_.rdma_write);
+    stats_.set(kRdmaWriteBytes, hot_.rdma_write_bytes);
+    stats_.set(kRdmaWriteReceived, hot_.rdma_write_received);
     return stats_;
   }
 

@@ -10,15 +10,23 @@
 // into results (which sender matches first), so for those the comparison
 // is the timing-independent contract: the set of matched sources and the
 // per-source payloads, not their interleaving.
+//
+// All configurations (the five diff cases plus two eviction-pressure
+// runs) execute as ONE parallel sweep in SetUpTestSuite — each World is
+// independent, so the battery's wall-clock is the slowest single config
+// rather than their sum. Individual TEST_Fs then compare cached results.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <map>
 #include <random>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/sim/sweep.h"
 #include "tests/mpi/mpi_test_util.h"
 
 namespace odmpi::mpi {
@@ -101,108 +109,116 @@ void record_named(RankCapture& cap, const MsgStatus& st,
   cap.named.push_back(fnv1a(buf.data(), st.count_bytes));
 }
 
-/// The workload. Fibers are cooperatively scheduled in one thread, so
-/// writing into the shared capture vector needs no locking.
-std::vector<RankCapture> run_workload(const JobOptions& opt) {
-  std::vector<RankCapture> captures(kP);
-  World world(kP, opt);
-  const bool ok = world.run([&](Comm& comm) {
-    const int r = comm.rank();
-    RankCapture& cap = captures[static_cast<std::size_t>(r)];
+/// The workload body. Fibers within one World are cooperatively scheduled
+/// in one thread, so writing into that World's capture vector needs no
+/// locking; distinct sweep configs write into distinct vectors.
+void workload(Comm& comm, std::vector<RankCapture>& captures) {
+  const int r = comm.rank();
+  RankCapture& cap = captures[static_cast<std::size_t>(r)];
 
-    // Phase A: rotating ring, mixed eager/rendezvous sizes.
-    {
-      const std::size_t sizes[] = {64, 3000, 9000};
-      for (int t = 1; t < kP; ++t) {
-        const int dst = (r + t) % kP;
-        const int src = (r - t + kP) % kP;
-        const std::size_t n = sizes[static_cast<std::size_t>(t) % 3];
-        std::vector<std::byte> sbuf(n), rbuf(n);
-        fill_payload(sbuf, r, t);
-        MsgStatus st = comm.sendrecv(sbuf.data(), static_cast<int>(n), kByte,
-                                     dst, t, rbuf.data(), static_cast<int>(n),
-                                     kByte, src, t);
-        record_named(cap, st, rbuf);
-      }
+  // Phase A: rotating ring, mixed eager/rendezvous sizes.
+  {
+    const std::size_t sizes[] = {64, 3000, 9000};
+    for (int t = 1; t < kP; ++t) {
+      const int dst = (r + t) % kP;
+      const int src = (r - t + kP) % kP;
+      const std::size_t n = sizes[static_cast<std::size_t>(t) % 3];
+      std::vector<std::byte> sbuf(n), rbuf(n);
+      fill_payload(sbuf, r, t);
+      MsgStatus st = comm.sendrecv(sbuf.data(), static_cast<int>(n), kByte,
+                                   dst, t, rbuf.data(), static_cast<int>(n),
+                                   kByte, src, t);
+      record_named(cap, st, rbuf);
     }
+  }
 
-    // Phase B: seeded random sparse traffic, nonblocking, unique tags.
-    {
-      const auto sched = make_schedule(kScheduleSeed, 48);
-      std::vector<Request> reqs;
-      std::vector<std::vector<std::byte>> rbufs, sbufs;
-      std::vector<std::size_t> my_recvs;  // schedule indices, posted order
-      for (std::size_t k = 0; k < sched.size(); ++k) {
-        const ScheduledMsg& m = sched[k];
-        if (m.dst != r) continue;
-        rbufs.emplace_back(m.bytes);
-        my_recvs.push_back(k);
-        reqs.push_back(comm.irecv(rbufs.back().data(),
-                                  static_cast<int>(m.bytes), kByte, m.src,
-                                  m.tag));
-      }
-      const std::size_t nrecvs = reqs.size();
-      for (const ScheduledMsg& m : sched) {
-        if (m.src != r) continue;
-        sbufs.emplace_back(m.bytes);
-        fill_payload(sbufs.back(), m.src, m.tag);
-        reqs.push_back(comm.isend(sbufs.back().data(),
-                                  static_cast<int>(m.bytes), kByte, m.dst,
-                                  m.tag));
-      }
-      wait_all(reqs);
-      for (std::size_t i = 0; i < nrecvs; ++i) {
-        const ScheduledMsg& m = sched[my_recvs[i]];
-        MsgStatus st;
-        st.source = m.src;
-        st.tag = m.tag;
-        st.count_bytes = reqs[i].state()->bytes_received;
-        record_named(cap, st, rbufs[i]);
-      }
+  // Phase B: seeded random sparse traffic, nonblocking, unique tags.
+  {
+    const auto sched = make_schedule(kScheduleSeed, 48);
+    std::vector<Request> reqs;
+    std::vector<std::vector<std::byte>> rbufs, sbufs;
+    std::vector<std::size_t> my_recvs;  // schedule indices, posted order
+    for (std::size_t k = 0; k < sched.size(); ++k) {
+      const ScheduledMsg& m = sched[k];
+      if (m.dst != r) continue;
+      rbufs.emplace_back(m.bytes);
+      my_recvs.push_back(k);
+      reqs.push_back(comm.irecv(rbufs.back().data(),
+                                static_cast<int>(m.bytes), kByte, m.src,
+                                m.tag));
     }
+    const std::size_t nrecvs = reqs.size();
+    for (const ScheduledMsg& m : sched) {
+      if (m.src != r) continue;
+      sbufs.emplace_back(m.bytes);
+      fill_payload(sbufs.back(), m.src, m.tag);
+      reqs.push_back(comm.isend(sbufs.back().data(),
+                                static_cast<int>(m.bytes), kByte, m.dst,
+                                m.tag));
+    }
+    wait_all(reqs);
+    for (std::size_t i = 0; i < nrecvs; ++i) {
+      const ScheduledMsg& m = sched[my_recvs[i]];
+      MsgStatus st;
+      st.source = m.src;
+      st.tag = m.tag;
+      st.count_bytes = reqs[i].state()->bytes_received;
+      record_named(cap, st, rbufs[i]);
+    }
+  }
 
-    // Phase C: wildcard fan-ins with rotating roots (order-independent
-    // record; see the file comment).
-    for (int t = 0; t < 3; ++t) {
-      const int root = (t * 3) % kP;
-      const int tag = 500 + t;
-      if (r == root) {
-        std::vector<int> sources;
-        for (int k = 0; k < kP - 1; ++k) {
-          std::vector<std::byte> buf(256);
-          MsgStatus st = comm.recv(buf.data(), 256, kByte, kAnySource, tag);
-          sources.push_back(st.source);
-          cap.any_hash += fnv1a(buf.data(), st.count_bytes);
-        }
-        std::sort(sources.begin(), sources.end());
-        cap.any_sources.insert(cap.any_sources.end(), sources.begin(),
-                               sources.end());
-      } else {
+  // Phase C: wildcard fan-ins with rotating roots (order-independent
+  // record; see the file comment).
+  for (int t = 0; t < 3; ++t) {
+    const int root = (t * 3) % kP;
+    const int tag = 500 + t;
+    if (r == root) {
+      std::vector<int> sources;
+      for (int k = 0; k < kP - 1; ++k) {
         std::vector<std::byte> buf(256);
-        fill_payload(buf, r, tag);
-        comm.send(buf.data(), 256, kByte, root, tag);
+        MsgStatus st = comm.recv(buf.data(), 256, kByte, kAnySource, tag);
+        sources.push_back(st.source);
+        cap.any_hash += fnv1a(buf.data(), st.count_bytes);
       }
-      comm.barrier();
+      std::sort(sources.begin(), sources.end());
+      cap.any_sources.insert(cap.any_sources.end(), sources.begin(),
+                             sources.end());
+    } else {
+      std::vector<std::byte> buf(256);
+      fill_payload(buf, r, tag);
+      comm.send(buf.data(), 256, kByte, root, tag);
     }
+    comm.barrier();
+  }
 
-    // Phase D: collectives.
-    {
-      const double mine = r * 1.5 + 1.0;
-      cap.coll.push_back(comm.allreduce_one(mine, Op::kSum));
-      cap.coll.push_back(comm.allreduce_one(mine, Op::kMax));
-      std::vector<double> all_in(kP), all_out(kP, -1.0);
-      for (int i = 0; i < kP; ++i) all_in[static_cast<std::size_t>(i)] = r * 100.0 + i;
-      comm.alltoall(all_in.data(), 1, all_out.data(), kDouble);
-      cap.coll.insert(cap.coll.end(), all_out.begin(), all_out.end());
-      double root_val = (r == 3) ? 2718.28 : 0.0;
-      comm.bcast_one(root_val, 3);
-      cap.coll.push_back(root_val);
-    }
-  });
-  EXPECT_TRUE(ok) << "workload deadlocked under "
-                  << to_string(opt.device.connection_model) << " max_vis="
-                  << opt.device.max_vis;
-  return captures;
+  // Phase D: collectives.
+  {
+    const double mine = r * 1.5 + 1.0;
+    cap.coll.push_back(comm.allreduce_one(mine, Op::kSum));
+    cap.coll.push_back(comm.allreduce_one(mine, Op::kMax));
+    std::vector<double> all_in(kP), all_out(kP, -1.0);
+    for (int i = 0; i < kP; ++i) all_in[static_cast<std::size_t>(i)] = r * 100.0 + i;
+    comm.alltoall(all_in.data(), 1, all_out.data(), kDouble);
+    cap.coll.insert(cap.coll.end(), all_out.begin(), all_out.end());
+    double root_val = (r == 3) ? 2718.28 : 0.0;
+    comm.bcast_one(root_val, 3);
+    cap.coll.push_back(root_val);
+  }
+}
+
+/// Eviction-pressure body: the full-fan-out sendrecv ring under a tight VI
+/// budget. Received values go into cap.coll, verified after the sweep
+/// (no gtest assertions inside a body running on a worker thread).
+void pressure_workload(Comm& comm, std::vector<RankCapture>& captures) {
+  const int r = comm.rank();
+  RankCapture& cap = captures[static_cast<std::size_t>(r)];
+  for (int t = 1; t < kP; ++t) {
+    const double out = r;
+    double in = -1.0;
+    comm.sendrecv(&out, 1, kDouble, (r + t) % kP, t, &in, 1, kDouble,
+                  (r - t + kP) % kP, t);
+    cap.coll.push_back(in);
+  }
 }
 
 JobOptions config(ConnectionModel model, int max_vis) {
@@ -213,21 +229,80 @@ JobOptions config(ConnectionModel model, int max_vis) {
 
 class EvictDiff : public ::testing::Test {
  protected:
-  static void SetUpTestSuite() {
-    baseline_ = new std::vector<RankCapture>(
-        run_workload(config(ConnectionModel::kOnDemand, 0)));
-  }
-  static void TearDownTestSuite() {
-    delete baseline_;
-    baseline_ = nullptr;
-  }
-  static const std::vector<RankCapture>& baseline() { return *baseline_; }
+  struct CaseResult {
+    std::vector<RankCapture> captures;
+    sim::SweepItemResult item;
+  };
 
-  static void expect_matches_baseline(const std::vector<RankCapture>& got,
-                                      const std::string& label) {
-    ASSERT_EQ(got.size(), baseline().size());
+  // Every configuration runs once, concurrently, before the first test.
+  static void SetUpTestSuite() {
+    results_ = new std::map<std::string, CaseResult>();
+    std::vector<sim::SweepConfig> configs;
+    const auto add = [&](const std::string& label, const JobOptions& opt,
+                         bool pressure = false) {
+      CaseResult& slot = (*results_)[label];
+      slot.captures.resize(kP);
+      sim::SweepConfig cfg;
+      cfg.label = label;
+      cfg.nranks = kP;
+      cfg.options = opt;
+      cfg.collect_stats = true;
+      cfg.collect_reports = true;
+      std::vector<RankCapture>* caps = &slot.captures;  // map nodes: stable
+      cfg.body = pressure
+                     ? std::function<void(Comm&)>(
+                           [caps](Comm& c) { pressure_workload(c, *caps); })
+                     : std::function<void(Comm&)>(
+                           [caps](Comm& c) { workload(c, *caps); });
+      configs.push_back(std::move(cfg));
+    };
+    add("baseline", config(ConnectionModel::kOnDemand, 0));
+    add("max_vis=8", config(ConnectionModel::kOnDemand, 8));
+    add("max_vis=4", config(ConnectionModel::kOnDemand, 4));
+    add("max_vis=2", config(ConnectionModel::kOnDemand, 2));
+    add("static-p2p", config(ConnectionModel::kStaticPeerToPeer, 0));
+    {
+      // Faults on top of the cap: lossy control and data packets force
+      // handshake retries and retransmissions through the evict/reconnect
+      // cycle; user-visible results must STILL match the clean baseline.
+      JobOptions opt = config(ConnectionModel::kOnDemand, 4);
+      opt.fault.enabled = true;
+      opt.fault.seed = 0xFA417;
+      opt.fault.control_drop_rate = 0.02;
+      opt.fault.data_drop_rate = 0.01;
+      add("max_vis=4+faults", opt);
+    }
+    add("pressure-cap4", config(ConnectionModel::kOnDemand, 4),
+        /*pressure=*/true);
+    add("pressure-cap2", config(ConnectionModel::kOnDemand, 2),
+        /*pressure=*/true);
+
+    const sim::SweepReport rep =
+        sim::SweepRunner::run_all(std::move(configs), 0);
+    for (const sim::SweepItemResult& item : rep.items) {
+      EXPECT_TRUE(item.ok())
+          << item.label << " did not complete: status "
+          << static_cast<int>(item.result.status) << " error='" << item.error
+          << "'";
+      (*results_)[item.label].item = item;
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete results_;
+    results_ = nullptr;
+  }
+
+  static const CaseResult& result(const std::string& label) {
+    return results_->at(label);
+  }
+
+  static void expect_matches_baseline(const std::string& label) {
+    const std::vector<RankCapture>& base = result("baseline").captures;
+    const std::vector<RankCapture>& got = result(label).captures;
+    ASSERT_EQ(got.size(), base.size());
     for (int r = 0; r < kP; ++r) {
-      const RankCapture& b = baseline()[static_cast<std::size_t>(r)];
+      const RankCapture& b = base[static_cast<std::size_t>(r)];
       const RankCapture& g = got[static_cast<std::size_t>(r)];
       EXPECT_EQ(g.named, b.named)
           << label << ": rank " << r << " named-receive records diverged";
@@ -241,69 +316,56 @@ class EvictDiff : public ::testing::Test {
   }
 
  private:
-  static std::vector<RankCapture>* baseline_;
+  static std::map<std::string, CaseResult>* results_;
 };
 
-std::vector<RankCapture>* EvictDiff::baseline_ = nullptr;
+std::map<std::string, EvictDiff::CaseResult>* EvictDiff::results_ = nullptr;
 
 TEST_F(EvictDiff, CappedBudget8MatchesUnlimited) {
   // Budget 8 >= the 7-peer fan-out: capped code paths armed, but
   // evictions may never trigger. Results must be identical either way.
-  expect_matches_baseline(
-      run_workload(config(ConnectionModel::kOnDemand, 8)), "max_vis=8");
+  expect_matches_baseline("max_vis=8");
 }
 
 TEST_F(EvictDiff, CappedBudget4MatchesUnlimited) {
-  expect_matches_baseline(
-      run_workload(config(ConnectionModel::kOnDemand, 4)), "max_vis=4");
+  expect_matches_baseline("max_vis=4");
 }
 
 TEST_F(EvictDiff, CappedBudget2MatchesUnlimited) {
-  expect_matches_baseline(
-      run_workload(config(ConnectionModel::kOnDemand, 2)), "max_vis=2");
+  expect_matches_baseline("max_vis=2");
 }
 
 TEST_F(EvictDiff, StaticPeerToPeerMatchesOnDemand) {
-  expect_matches_baseline(
-      run_workload(config(ConnectionModel::kStaticPeerToPeer, 0)),
-      "static-p2p");
+  expect_matches_baseline("static-p2p");
+}
+
+TEST_F(EvictDiff, CappedAndFaultedStillMatchesUnlimited) {
+  expect_matches_baseline("max_vis=4+faults");
 }
 
 TEST_F(EvictDiff, CappedRunsActuallyEvictAndStayUnderBudget) {
   for (int cap : {4, 2}) {
-    World world(kP, config(ConnectionModel::kOnDemand, cap));
-    std::vector<RankCapture> sink(kP);
-    ASSERT_TRUE(world.run([&](Comm& comm) {
-      // The wildcard fan-out alone touches all 7 peers on every rank.
-      const int r = comm.rank();
-      for (int t = 1; t < kP; ++t) {
-        const double out = r;
-        double in = -1.0;
-        comm.sendrecv(&out, 1, kDouble, (r + t) % kP, t, &in, 1, kDouble,
-                      (r - t + kP) % kP, t);
-        ASSERT_EQ(in, (r - t + kP) % kP);
-      }
-    }));
+    const CaseResult& res = result("pressure-cap" + std::to_string(cap));
+    ASSERT_TRUE(res.item.ok());
+    // The sendrecv ring delivered the right values...
     for (int r = 0; r < kP; ++r) {
-      EXPECT_LE(world.report(r).vis_open_peak, cap)
+      const RankCapture& rc = res.captures[static_cast<std::size_t>(r)];
+      ASSERT_EQ(rc.coll.size(), static_cast<std::size_t>(kP - 1));
+      for (int t = 1; t < kP; ++t) {
+        EXPECT_EQ(rc.coll[static_cast<std::size_t>(t - 1)], (r - t + kP) % kP)
+            << "cap " << cap << " rank " << r << " step " << t;
+      }
+    }
+    // ...while every rank stayed under its VI budget and actually evicted.
+    ASSERT_EQ(res.item.reports.size(), static_cast<std::size_t>(kP));
+    for (int r = 0; r < kP; ++r) {
+      EXPECT_LE(res.item.reports[static_cast<std::size_t>(r)].vis_open_peak,
+                cap)
           << "cap " << cap << " exceeded on rank " << r;
     }
-    EXPECT_GT(world.aggregate_stats().get("mpi.evictions"), 0)
+    EXPECT_GT(res.item.stats.get("mpi.evictions"), 0)
         << "cap " << cap << " with 7 peers never evicted";
   }
-}
-
-// Faults on top of the cap: lossy control and data packets force
-// handshake retries and reliable-delivery retransmissions through the
-// evict/reconnect cycle, and the user-visible results must STILL be
-// byte-identical to the clean unlimited baseline.
-TEST_F(EvictDiff, CappedAndFaultedStillMatchesUnlimited) {
-  JobOptions opt = config(ConnectionModel::kOnDemand, 4);
-  opt.fault.enabled = true;
-  opt.fault.seed = 0xFA417;
-  opt.fault.control_drop_rate = 0.02;
-  opt.fault.data_drop_rate = 0.01;
-  expect_matches_baseline(run_workload(opt), "max_vis=4+faults");
 }
 
 }  // namespace

@@ -10,9 +10,12 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/nas/common.h"
+#include "src/sim/sweep.h"
 #include "tests/mpi/mpi_test_util.h"
 
 namespace odmpi::mpi {
@@ -56,40 +59,45 @@ struct LossyKernelCase {
   double control_drop;
 };
 
-class LossyHandshake : public ::testing::TestWithParam<LossyKernelCase> {};
-
 // ISSUE acceptance: CG and MG at 8 ranks verify under 1% and 5% loss of
 // connection-handshake control packets with on-demand management. The
-// retries show up in the stats; the numerics must be untouched.
-TEST_P(LossyHandshake, NasKernelVerifiesUnderControlLoss) {
-  const auto& p = GetParam();
-  JobOptions opt = faulty_options(p.control_drop);
-  World world(p.nprocs, opt);
-  KernelResult result;
-  ASSERT_TRUE(world.run([&](Comm& comm) {
-    KernelResult r = nas::kernel_by_name(p.kernel)(comm, nas::Class::S);
-    if (comm.rank() == 0) result = r;
-  })) << p.kernel << " deadlocked under " << p.control_drop
-      << " control-packet loss";
-  EXPECT_TRUE(result.verified)
-      << p.kernel << " mis-verified under handshake loss";
-  auto stats = world.aggregate_stats();
-  EXPECT_EQ(stats.get("mpi.channel_failures"), 0)
-      << "recoverable loss rate must not kill channels";
+// retries show up in the stats; the numerics must be untouched. All four
+// kernel x loss-rate cells run as one parallel sweep.
+TEST(LossyHandshake, NasKernelsVerifyUnderControlLoss) {
+  const std::vector<LossyKernelCase> cases = {
+      {"CG", 8, 0.01}, {"CG", 8, 0.05}, {"MG", 8, 0.01}, {"MG", 8, 0.05}};
+  std::vector<KernelResult> results(cases.size());  // sized once: stable
+  std::vector<sim::SweepConfig> configs;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const LossyKernelCase& p = cases[i];
+    sim::SweepConfig cfg;
+    cfg.label = std::string(p.kernel) + "_drop" +
+                std::to_string(static_cast<int>(p.control_drop * 100));
+    cfg.nranks = p.nprocs;
+    cfg.options = faulty_options(p.control_drop);
+    cfg.collect_stats = true;
+    KernelResult* out = &results[i];
+    const char* kernel = p.kernel;
+    cfg.body = [kernel, out](Comm& comm) {
+      KernelResult r = nas::kernel_by_name(kernel)(comm, nas::Class::S);
+      if (comm.rank() == 0) *out = r;
+    };
+    configs.push_back(std::move(cfg));
+  }
+  const sim::SweepReport rep = sim::SweepRunner::run_all(std::move(configs), 0);
+  ASSERT_EQ(rep.items.size(), cases.size());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const sim::SweepItemResult& item = rep.items[i];
+    SCOPED_TRACE(item.label);
+    ASSERT_TRUE(item.ok()) << item.label << " deadlocked under "
+                           << cases[i].control_drop
+                           << " control-packet loss: " << item.error;
+    EXPECT_TRUE(results[i].verified)
+        << item.label << " mis-verified under handshake loss";
+    EXPECT_EQ(item.stats.get("mpi.channel_failures"), 0)
+        << "recoverable loss rate must not kill channels";
+  }
 }
-
-INSTANTIATE_TEST_SUITE_P(
-    Kernels, LossyHandshake,
-    ::testing::Values(LossyKernelCase{"CG", 8, 0.01},
-                      LossyKernelCase{"CG", 8, 0.05},
-                      LossyKernelCase{"MG", 8, 0.01},
-                      LossyKernelCase{"MG", 8, 0.05}),
-    [](const ::testing::TestParamInfo<LossyKernelCase>& ti) {
-      std::string s = ti.param.kernel;
-      s += "_drop";
-      s += std::to_string(static_cast<int>(ti.param.control_drop * 100));
-      return s;
-    });
 
 // Static peer-to-peer management also retries its MPI_Init handshake storm.
 TEST(FaultConn, StaticPeerToPeerSurvivesControlLoss) {

@@ -18,10 +18,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "src/nas/common.h"
+#include "src/sim/sweep.h"
 #include "tests/mpi/mpi_test_util.h"
 
 namespace odmpi::mpi {
@@ -96,18 +98,6 @@ void run_workload(Workload w, Comm& comm) {
   }
 }
 
-/// Completion time of the kill-free run, used to place kills at fixed
-/// fractions of the job so the matrix self-scales with the workloads.
-sim::SimTime baseline_time(KillConfig config, Workload w, std::uint64_t seed) {
-  JobOptions opt = options_for(config);
-  opt.seed = seed;
-  World world(kNp, opt);
-  const RunResult r =
-      world.run_job([&](Comm& c) { run_workload(w, c); });
-  EXPECT_EQ(r.status, RunStatus::kOk) << r.summary();
-  return r.completion_time;
-}
-
 struct KillParam {
   KillConfig config;
   Workload workload;
@@ -127,13 +117,6 @@ struct KillParam {
   }
 };
 
-std::string kill_param_name(const ::testing::TestParamInfo<KillParam>& info) {
-  const KillParam& p = info.param;
-  return std::string(to_string(p.config)) + "_" + to_string(p.workload) +
-         "_s" + std::to_string(p.seed) + "_f" +
-         std::to_string(static_cast<int>(p.kill_frac * 100));
-}
-
 std::vector<KillParam> kill_matrix() {
   std::vector<KillParam> v;
   for (KillConfig c :
@@ -150,52 +133,107 @@ std::vector<KillParam> kill_matrix() {
   return v;
 }
 
-class RankKillMatrix : public ::testing::TestWithParam<KillParam> {};
-
-TEST_P(RankKillMatrix, SurvivorsFinalize) {
-  const KillParam& p = GetParam();
-  const sim::SimTime base = baseline_time(p.config, p.workload, p.seed);
-  ASSERT_GT(base, 0);
-  const auto kill_time = static_cast<sim::SimTime>(base * p.kill_frac);
-
-  JobOptions opt = options_for(p.config);
-  opt.seed = p.seed;
-  opt.fault.kill_rank(p.victim(), kill_time);
-  World world(kNp, opt);
-  const RunResult result =
-      world.run_job([&](Comm& c) { run_workload(p.workload, c); });
-
-  // The invariant: a kill degrades the run, it never deadlocks it.
-  ASSERT_NE(result.status, RunStatus::kDeadline) << result.summary();
-  ASSERT_EQ(result.status, RunStatus::kRankFailed) << result.summary();
-
-  // Exactly the scheduled death, at exactly the scheduled time.
-  ASSERT_EQ(result.deaths.size(), 1u);
-  EXPECT_EQ(result.deaths[0].rank, p.victim());
-  EXPECT_EQ(result.deaths[0].time, kill_time);
-  EXPECT_EQ(result.failed_ranks, std::vector<int>{p.victim()});
-
-  // Every survivor finalized; those that saw the death are reported as
-  // impacted, sorted, and disjoint from the dead.
-  EXPECT_TRUE(std::is_sorted(result.impacted_ranks.begin(),
-                             result.impacted_ranks.end()));
-  for (int r : result.impacted_ranks) {
-    EXPECT_NE(r, p.victim());
-    EXPECT_GE(r, 0);
-    EXPECT_LT(r, kNp);
-  }
-  // At least one survivor must have noticed (the victim had live peers).
-  EXPECT_FALSE(result.impacted_ranks.empty()) << result.summary();
-  // Survivors' reports are complete.
-  for (int r = 0; r < kNp; ++r) {
-    if (r == p.victim()) continue;
-    EXPECT_TRUE(world.report(r).finished) << "survivor " << r << " hung";
-  }
+std::string param_label(const KillParam& p) {
+  return std::string(to_string(p.config)) + "_" + to_string(p.workload) +
+         "_s" + std::to_string(p.seed) + "_f" +
+         std::to_string(static_cast<int>(p.kill_frac * 100));
 }
 
-INSTANTIATE_TEST_SUITE_P(Kill, RankKillMatrix,
-                         ::testing::ValuesIn(kill_matrix()),
-                         kill_param_name);
+// The 72-case matrix runs as two parallel sweeps instead of 72 serial
+// test cases: first the kill-free baselines (one per unique config x
+// workload x seed — their completion times place the kills), then every
+// killed run. Each killed run's invariants are asserted per item, labeled
+// so a failure still names its cell of the matrix.
+TEST(RankKillMatrix, SurvivorsFinalize) {
+  const std::vector<KillParam> matrix = kill_matrix();
+
+  // Phase 1: kill-free baselines through the sweep runner.
+  std::map<std::string, std::size_t> base_index;
+  std::vector<sim::SweepConfig> base_configs;
+  auto base_key = [](const KillParam& p) {
+    return std::string(to_string(p.config)) + "/" + to_string(p.workload) +
+           "/s" + std::to_string(p.seed);
+  };
+  for (const KillParam& p : matrix) {
+    const std::string key = base_key(p);
+    if (base_index.count(key) != 0) continue;
+    base_index[key] = base_configs.size();
+    sim::SweepConfig cfg;
+    cfg.label = key;
+    cfg.nranks = kNp;
+    cfg.options = options_for(p.config);
+    cfg.options.seed = p.seed;
+    const Workload w = p.workload;
+    cfg.body = [w](Comm& c) { run_workload(w, c); };
+    base_configs.push_back(std::move(cfg));
+  }
+  const sim::SweepReport base = sim::SweepRunner::run_all(base_configs);
+  for (const sim::SweepItemResult& item : base.items) {
+    ASSERT_TRUE(item.error.empty()) << item.label << ": " << item.error;
+    ASSERT_EQ(item.result.status, RunStatus::kOk)
+        << item.label << ": " << item.result.summary();
+    ASSERT_GT(item.result.completion_time, 0) << item.label;
+  }
+
+  // Phase 2: the killed runs, one sweep config per matrix cell.
+  std::vector<sim::SweepConfig> kill_configs;
+  kill_configs.reserve(matrix.size());
+  for (const KillParam& p : matrix) {
+    const sim::SimTime base_time =
+        base.items[base_index.at(base_key(p))].result.completion_time;
+    sim::SweepConfig cfg;
+    cfg.label = param_label(p);
+    cfg.nranks = kNp;
+    cfg.options = options_for(p.config);
+    cfg.options.seed = p.seed;
+    cfg.options.fault.kill_rank(
+        p.victim(), static_cast<sim::SimTime>(base_time * p.kill_frac));
+    const Workload w = p.workload;
+    cfg.body = [w](Comm& c) { run_workload(w, c); };
+    cfg.collect_reports = true;
+    kill_configs.push_back(std::move(cfg));
+  }
+  const sim::SweepReport killed = sim::SweepRunner::run_all(kill_configs);
+
+  ASSERT_EQ(killed.items.size(), matrix.size());
+  for (std::size_t i = 0; i < matrix.size(); ++i) {
+    const KillParam& p = matrix[i];
+    const sim::SweepItemResult& item = killed.items[i];
+    const RunResult& result = item.result;
+    SCOPED_TRACE(item.label);
+    ASSERT_TRUE(item.error.empty()) << item.error;
+
+    // The invariant: a kill degrades the run, it never deadlocks it.
+    ASSERT_NE(result.status, RunStatus::kDeadline) << result.summary();
+    ASSERT_EQ(result.status, RunStatus::kRankFailed) << result.summary();
+
+    // Exactly the scheduled death, at exactly the scheduled time.
+    const sim::SimTime kill_time =
+        kill_configs[i].options.fault.rank_kills[0].time;
+    ASSERT_EQ(result.deaths.size(), 1u);
+    EXPECT_EQ(result.deaths[0].rank, p.victim());
+    EXPECT_EQ(result.deaths[0].time, kill_time);
+    EXPECT_EQ(result.failed_ranks, std::vector<int>{p.victim()});
+
+    // Every survivor finalized; those that saw the death are reported as
+    // impacted, sorted, and disjoint from the dead.
+    EXPECT_TRUE(std::is_sorted(result.impacted_ranks.begin(),
+                               result.impacted_ranks.end()));
+    for (int r : result.impacted_ranks) {
+      EXPECT_NE(r, p.victim());
+      EXPECT_GE(r, 0);
+      EXPECT_LT(r, kNp);
+    }
+    // At least one survivor must have noticed (the victim had live peers).
+    EXPECT_FALSE(result.impacted_ranks.empty()) << result.summary();
+    // Survivors' reports are complete.
+    for (int r = 0; r < kNp; ++r) {
+      if (r == p.victim()) continue;
+      EXPECT_TRUE(item.reports[static_cast<std::size_t>(r)].finished)
+          << "survivor " << r << " hung";
+    }
+  }
+}
 
 // --- Determinism: the failure cascade replays bit-for-bit -------------------
 

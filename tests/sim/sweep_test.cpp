@@ -1,0 +1,229 @@
+// SweepRunner determinism and aggregation tests.
+//
+// The load-bearing property: a sweep's per-config results are a pure
+// function of the configs — bit-identical digests, statuses, completion
+// times and stats whether the sweep ran on 1 thread, on 8 threads, or as
+// a plain sequential loop with no runner at all. Anything less means
+// cross-World shared state leaked through (intern table, thread_local
+// registers, pool arenas) and the parallel batteries can't be trusted.
+#include "src/sim/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/mpi/runtime.h"
+#include "src/sim/pool_alloc.h"
+
+namespace odmpi::sim {
+namespace {
+
+using mpi::Comm;
+using mpi::ConnectionModel;
+using mpi::JobOptions;
+using mpi::RunStatus;
+
+// A small but layer-crossing workload: neighbor exchange (connects
+// channels), a wildcard receive fan-in (matching), one collective.
+void workload(Comm& c) {
+  const int np = c.size();
+  const int r = c.rank();
+  std::int32_t v = r;
+  std::int32_t in = -1;
+  c.sendrecv(&v, 1, mpi::kInt32, (r + 1) % np, 7, &in, 1, mpi::kInt32,
+             (r + np - 1) % np, 7);
+  EXPECT_EQ(in, (r + np - 1) % np);
+  double acc = 0;
+  const double mine = r + 1.0;
+  c.allreduce(&mine, &acc, 1, mpi::kDouble, mpi::Op::kSum);
+  EXPECT_EQ(acc, np * (np + 1) / 2.0);
+}
+
+// The 32-config grid: {on-demand, static-p2p} x {4, 8 ranks} x
+// {clean, faulted} x 4 seeds — a miniature of the CI fault matrix.
+std::vector<SweepConfig> grid_configs() {
+  std::vector<SweepConfig> configs;
+  const std::uint64_t seeds[] = {1, 2, 0xFA417, 20020925};
+  for (ConnectionModel model :
+       {ConnectionModel::kOnDemand, ConnectionModel::kStaticPeerToPeer}) {
+    for (int np : {4, 8}) {
+      for (bool faulted : {false, true}) {
+        for (std::uint64_t seed : seeds) {
+          SweepConfig cfg;
+          cfg.label = std::string(mpi::to_string(model)) + "/np" +
+                      std::to_string(np) + (faulted ? "/fault" : "/clean") +
+                      "/s" + std::to_string(seed);
+          cfg.nranks = np;
+          cfg.options.device.connection_model = model;
+          cfg.options.seed = seed;
+          if (faulted) {
+            cfg.options.fault.enabled = true;
+            cfg.options.fault.seed = seed;
+            cfg.options.fault.control_drop_rate = 0.02;
+            cfg.options.fault.data_drop_rate = 0.01;
+            cfg.options.fault.duplicate_rate = 0.01;
+          }
+          cfg.options.trace.enabled = true;
+          cfg.body = workload;
+          cfg.collect_stats = true;
+          cfg.collect_digest = true;
+          cfg.collect_reports = true;
+          configs.push_back(cfg);
+        }
+      }
+    }
+  }
+  return configs;
+}
+
+// Field-by-field identity of two sweep items (label, status, digests,
+// timings, stats, per-rank reports).
+void expect_items_identical(const SweepItemResult& a, const SweepItemResult& b,
+                            const std::string& what) {
+  EXPECT_EQ(a.label, b.label) << what;
+  EXPECT_EQ(a.error, b.error) << what << " " << a.label;
+  EXPECT_EQ(a.result.status, b.result.status) << what << " " << a.label;
+  EXPECT_EQ(a.result.failed_ranks, b.result.failed_ranks)
+      << what << " " << a.label;
+  EXPECT_EQ(a.result.completion_time, b.result.completion_time)
+      << what << " " << a.label;
+  EXPECT_EQ(a.mean_init_us, b.mean_init_us) << what << " " << a.label;
+  EXPECT_EQ(a.mean_vis_per_process, b.mean_vis_per_process)
+      << what << " " << a.label;
+  EXPECT_EQ(a.digest, b.digest) << what << " " << a.label;
+  EXPECT_EQ(a.stats.all(), b.stats.all()) << what << " " << a.label;
+  ASSERT_EQ(a.reports.size(), b.reports.size()) << what << " " << a.label;
+  for (std::size_t r = 0; r < a.reports.size(); ++r) {
+    EXPECT_EQ(a.reports[r].init_time, b.reports[r].init_time)
+        << what << " " << a.label << " rank " << r;
+    EXPECT_EQ(a.reports[r].total_time, b.reports[r].total_time)
+        << what << " " << a.label << " rank " << r;
+    EXPECT_EQ(a.reports[r].vis_created, b.reports[r].vis_created)
+        << what << " " << a.label << " rank " << r;
+  }
+}
+
+TEST(Sweep, ThreadCountInvariance32ConfigGrid) {
+  const SweepReport seq = SweepRunner::run_all(grid_configs(), 1);
+  const SweepReport par = SweepRunner::run_all(grid_configs(), 8);
+  ASSERT_EQ(seq.items.size(), 32u);
+  ASSERT_EQ(par.items.size(), 32u);
+  for (std::size_t i = 0; i < seq.items.size(); ++i) {
+    expect_items_identical(seq.items[i], par.items[i], "threads=1 vs 8");
+    EXPECT_FALSE(seq.items[i].digest.empty());
+  }
+  EXPECT_EQ(seq.ok, par.ok);
+  EXPECT_EQ(seq.deadline, par.deadline);
+  EXPECT_EQ(seq.rank_failed, par.rank_failed);
+  EXPECT_EQ(seq.completion_min, par.completion_min);
+  EXPECT_EQ(seq.completion_max, par.completion_max);
+  EXPECT_EQ(seq.completion_mean, par.completion_mean);
+  EXPECT_EQ(seq.merged_stats.all(), par.merged_stats.all());
+  EXPECT_EQ(seq.deadline, 0);
+  EXPECT_EQ(seq.errored, 0);
+}
+
+TEST(Sweep, MatchesStandaloneSequentialRun) {
+  // The same grid run with no SweepRunner at all: plain Worlds on the
+  // test's own thread must agree with the 8-thread sweep bit for bit.
+  const std::vector<SweepConfig> configs = grid_configs();
+  const SweepReport par = SweepRunner::run_all(grid_configs(), 8);
+  ASSERT_EQ(par.items.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    mpi::World world(configs[i].nranks, configs[i].options);
+    const mpi::RunResult r = world.run_job(configs[i].body);
+    const SweepItemResult& item = par.items[i];
+    EXPECT_EQ(item.result.status, r.status) << configs[i].label;
+    EXPECT_EQ(item.result.failed_ranks, r.failed_ranks) << configs[i].label;
+    EXPECT_EQ(item.result.completion_time, r.completion_time)
+        << configs[i].label;
+    EXPECT_EQ(item.digest, world.tracer().digest()) << configs[i].label;
+    EXPECT_EQ(item.stats.all(), world.aggregate_stats().all())
+        << configs[i].label;
+  }
+}
+
+TEST(Sweep, SubmissionOrderPreservedAndLabelsCarried) {
+  std::vector<SweepConfig> configs = grid_configs();
+  std::vector<std::string> labels;
+  labels.reserve(configs.size());
+  for (const SweepConfig& c : configs) labels.push_back(c.label);
+  const SweepReport rep = SweepRunner::run_all(std::move(configs), 8);
+  for (std::size_t i = 0; i < rep.items.size(); ++i) {
+    EXPECT_EQ(rep.items[i].label, labels[i]);
+  }
+}
+
+TEST(Sweep, StatusCountsAndCompletionStats) {
+  std::vector<SweepConfig> configs;
+  // Two clean runs and one guaranteed deadline (deadline too small for
+  // bootstrap), to exercise the status tallies.
+  for (int i = 0; i < 2; ++i) {
+    SweepConfig cfg;
+    cfg.label = "ok" + std::to_string(i);
+    cfg.nranks = 2;
+    cfg.body = workload;
+    configs.push_back(cfg);
+  }
+  SweepConfig dead;
+  dead.label = "deadline";
+  dead.nranks = 2;
+  dead.options.deadline = 1;  // 1ns: nobody gets through MPI_Init
+  dead.body = workload;
+  configs.push_back(dead);
+
+  const SweepReport rep = SweepRunner::run_all(std::move(configs), 4);
+  EXPECT_EQ(rep.ok, 2);
+  EXPECT_EQ(rep.deadline, 1);
+  EXPECT_EQ(rep.rank_failed, 0);
+  EXPECT_EQ(rep.errored, 0);
+  EXPECT_FALSE(rep.all_ok());
+  EXPECT_GT(rep.completion_max, 0);
+  EXPECT_LE(rep.completion_min, rep.completion_max);
+  EXPECT_EQ(rep.items[2].result.status, RunStatus::kDeadline);
+}
+
+TEST(Sweep, RunnerIsReusable) {
+  SweepRunner runner(4);
+  SweepConfig cfg;
+  cfg.nranks = 2;
+  cfg.body = workload;
+  cfg.label = "first";
+  runner.submit(cfg);
+  const SweepReport first = runner.run();
+  ASSERT_EQ(first.items.size(), 1u);
+  EXPECT_EQ(first.ok, 1);
+
+  cfg.label = "second";
+  runner.submit(cfg);
+  runner.submit(cfg);
+  const SweepReport second = runner.run();
+  ASSERT_EQ(second.items.size(), 2u);
+  EXPECT_EQ(second.ok, 2);
+}
+
+TEST(Sweep, PerThreadArenaReuseObservable) {
+  // Worlds executed back-to-back on one thread must recycle pool blocks:
+  // that is the whole point of per-thread arenas in the sweep runner.
+  // Run a single-threaded sweep of several Worlds and check the pool
+  // reuse counter advanced. (threads=1 executes on this thread.)
+  const detail::PoolStats before = detail::pool_stats();
+  std::vector<SweepConfig> configs;
+  for (int i = 0; i < 4; ++i) {
+    SweepConfig cfg;
+    cfg.label = "arena" + std::to_string(i);
+    cfg.nranks = 4;
+    cfg.body = workload;
+    configs.push_back(cfg);
+  }
+  const SweepReport rep = SweepRunner::run_all(std::move(configs), 1);
+  EXPECT_EQ(rep.ok, 4);
+  const detail::PoolStats after = detail::pool_stats();
+  EXPECT_GT(after.reuses, before.reuses)
+      << "back-to-back Worlds did not recycle any pooled blocks";
+}
+
+}  // namespace
+}  // namespace odmpi::sim
