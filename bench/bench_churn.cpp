@@ -58,8 +58,8 @@ Row run_config(const std::string& label, mpi::ConnectionModel model,
   row.result =
       world.run_job([&](mpi::Comm& c) { churn_body(c, passes, bytes); });
   if (!row.result.ok()) return row;
-  row.peak_vis = world.mean_peak_vis_per_process();
-  row.created_vis = world.mean_vis_per_process();
+  row.peak_vis = world.metrics().mean_peak_vis_per_process;
+  row.created_vis = world.metrics().mean_vis_per_process;
   for (int r = 0; r < nprocs; ++r) {
     row.pinned_peak =
         std::max(row.pinned_peak, world.report(r).pinned_bytes_peak);

@@ -16,7 +16,7 @@ double pingpong_us(const bench::Config& cfg, bool bvia, std::size_t bytes) {
   mpi::JobOptions opt = bench::job_options(cfg, bvia);
   double result = -1;
   mpi::World world(2, opt);
-  if (!world.run([&](mpi::Comm& c) {
+  if (!world.run_job([&](mpi::Comm& c) {
         std::vector<std::byte> buf(bytes ? bytes : 1);
         const int iters = 100;
         const auto round = [&] {

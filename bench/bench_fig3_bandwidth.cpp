@@ -14,7 +14,7 @@ double bandwidth_mbs(const bench::Config& cfg, bool bvia, std::size_t bytes) {
   mpi::JobOptions opt = bench::job_options(cfg, bvia);
   double result = -1;
   mpi::World world(2, opt);
-  if (!world.run([&](mpi::Comm& c) {
+  if (!world.run_job([&](mpi::Comm& c) {
         std::vector<std::byte> buf(bytes);
         const int iters = bytes >= 65536 ? 20 : 50;
         if (c.rank() == 0) {

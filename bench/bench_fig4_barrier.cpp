@@ -21,7 +21,7 @@ double barrier_us(const bench::Config& cfg, bool bvia, int nprocs) {
   const int iters = bench::quick_mode() ? 100 : 1000;
   double result = -1;
   mpi::World world(nprocs, opt);
-  if (!world.run([&](mpi::Comm& c) {
+  if (!world.run_job([&](mpi::Comm& c) {
         for (int i = 0; i < 10; ++i) c.barrier();  // warmup + connect
         const double t0 = c.wtime();
         for (int i = 0; i < iters; ++i) c.barrier();

@@ -16,7 +16,7 @@ double allreduce_us(const bench::Config& cfg, bool bvia, int nprocs) {
   const int iters = bench::quick_mode() ? 100 : 1000;
   double result = -1;
   mpi::World world(nprocs, opt);
-  if (!world.run([&](mpi::Comm& c) {
+  if (!world.run_job([&](mpi::Comm& c) {
         double v = c.rank(), s = 0;
         for (int i = 0; i < 10; ++i) {
           c.allreduce(&v, &s, 1, mpi::kDouble, mpi::Op::kSum);

@@ -24,7 +24,7 @@ double nas_seconds(const bench::Config& cfg, bool bvia, const Cell& cell) {
   double secs = -1;
   bool verified = false;
   mpi::World world(cell.np, opt);
-  if (!world.run([&](mpi::Comm& c) {
+  if (!world.run_job([&](mpi::Comm& c) {
         nas::KernelResult r = nas::kernel_by_name(cell.kernel)(
             c, nas::class_from_char(cell.cls));
         if (c.rank() == 0) {

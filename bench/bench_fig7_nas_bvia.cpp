@@ -21,7 +21,7 @@ double nas_seconds(const bench::Config& cfg, const Cell& cell) {
   mpi::JobOptions opt = bench::job_options(cfg, /*bvia=*/true);
   double secs = -1;
   mpi::World world(cell.np, opt);
-  if (!world.run([&](mpi::Comm& c) {
+  if (!world.run_job([&](mpi::Comm& c) {
         nas::KernelResult r = nas::kernel_by_name(cell.kernel)(
             c, nas::class_from_char(cell.cls));
         if (c.rank() == 0) {

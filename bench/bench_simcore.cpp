@@ -132,7 +132,7 @@ void BM_ProgressPassIdleChannels(benchmark::State& state) {
     opt.device.connection_model = mpi::ConnectionModel::kStaticPeerToPeer;
     mpi::World world(nranks, opt);
     double secs = 0;
-    world.run([&](mpi::Comm& c) {
+    (void)world.run_job([&](mpi::Comm& c) {
       if (c.rank() != 0) return;
       const auto t0 = std::chrono::steady_clock::now();
       for (int i = 0; i < kPasses; ++i) c.device().progress();
@@ -164,7 +164,7 @@ void BM_ProgressScalingActivePair(benchmark::State& state) {
     opt.device.connection_model = mpi::ConnectionModel::kStaticPeerToPeer;
     mpi::World world(nranks, opt);
     double secs = 0;
-    world.run([&](mpi::Comm& c) {
+    (void)world.run_job([&](mpi::Comm& c) {
       std::int32_t v = 0;
       if (c.rank() == 0) {
         const auto t0 = std::chrono::steady_clock::now();
@@ -197,7 +197,7 @@ void BM_SimulatedPingPong(benchmark::State& state) {
     mpi::JobOptions opt;
     opt.device.connection_model = mpi::ConnectionModel::kOnDemand;
     mpi::World world(2, opt);
-    world.run([](mpi::Comm& c) {
+    (void)world.run_job([](mpi::Comm& c) {
       std::int32_t v = 0;
       for (int i = 0; i < 100; ++i) {
         if (c.rank() == 0) {
@@ -219,7 +219,7 @@ void BM_SimulatedAllreduce32(benchmark::State& state) {
     mpi::JobOptions opt;
     opt.device.connection_model = mpi::ConnectionModel::kOnDemand;
     mpi::World world(32, opt);
-    world.run([](mpi::Comm& c) {
+    (void)world.run_job([](mpi::Comm& c) {
       double v = c.rank(), s = 0;
       for (int i = 0; i < 20; ++i) {
         c.allreduce(&v, &s, 1, mpi::kDouble, mpi::Op::kSum);

@@ -51,15 +51,29 @@ inline std::string& trace_path() {
   return path;
 }
 
+/// Path given by --json=<file>; empty when no machine-readable output was
+/// requested. Benches that honour it write google-benchmark-style JSON
+/// ({"benchmarks": [{name, items_per_second, ...}]}) so
+/// scripts/check_bench_floor.py can gate them in CI.
+inline std::string& json_path() {
+  static std::string path;
+  return path;
+}
+
 /// Parses bench command-line flags. Supported: --trace=<file> (record all
-/// trace categories on every measured job; see next_trace_config()).
+/// trace categories on every measured job; see next_trace_config()) and
+/// --json=<file> (machine-readable results; see json_path()).
 inline void parse_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--trace=", 0) == 0) {
       trace_path() = arg.substr(8);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path() = arg.substr(7);
     } else {
-      std::fprintf(stderr, "unknown argument: %s (supported: --trace=<file>)\n",
+      std::fprintf(stderr,
+                   "unknown argument: %s (supported: --trace=<file>, "
+                   "--json=<file>)\n",
                    arg.c_str());
       std::exit(2);
     }

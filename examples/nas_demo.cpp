@@ -55,8 +55,8 @@ int main(int argc, char** argv) {
   std::printf("  verification  : %s\n",
               result.verified ? "SUCCESSFUL" : "FAILED");
   std::printf("  VIs/process   : %.2f of %d possible\n",
-              world.mean_vis_per_process(), nprocs - 1);
-  std::printf("  mean init     : %.1f us\n", world.mean_init_us());
+              world.metrics().mean_vis_per_process, nprocs - 1);
+  std::printf("  mean init     : %.1f us\n", world.metrics().mean_init_us);
   std::printf("  pinned memory : %.2f MB across the job\n", pinned / 1e6);
   return result.verified ? 0 : 2;
 }

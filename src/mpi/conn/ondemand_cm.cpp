@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/mpi/conn/static_cm.h"
+#include "src/mpi/conn/tree_cm.h"
 
 namespace odmpi::mpi {
 
@@ -88,17 +89,11 @@ void OnDemandConnectionManager::connect_now(Rank peer) {
 }
 
 bool OnDemandConnectionManager::is_waiting(Rank peer) const {
-  return !waiting_flag_.empty() &&
-         waiting_flag_[static_cast<std::size_t>(peer)] != 0;
+  return waiting_set_.find(peer) != waiting_set_.end();
 }
 
 void OnDemandConnectionManager::defer(Rank peer) {
-  if (waiting_flag_.empty()) {
-    waiting_flag_.assign(static_cast<std::size_t>(device_.size()), 0);
-  }
-  auto& flag = waiting_flag_[static_cast<std::size_t>(peer)];
-  if (flag != 0) return;
-  flag = 1;
+  if (!waiting_set_.insert(peer).second) return;
   waiting_slots_.push_back(peer);
 }
 
@@ -116,7 +111,7 @@ bool OnDemandConnectionManager::admit_waiting_slow() {
     // connected the channel, or it failed over. Only a still-unconnected
     // channel needs the deferred connect.
     if (ch.state != Channel::State::kUnconnected) {
-      waiting_flag_[static_cast<std::size_t>(peer)] = 0;
+      waiting_set_.erase(peer);
       it = waiting_slots_.erase(it);
       progressed = true;
       continue;
@@ -125,7 +120,7 @@ bool OnDemandConnectionManager::admit_waiting_slow() {
       ++it;
       continue;
     }
-    waiting_flag_[static_cast<std::size_t>(peer)] = 0;
+    waiting_set_.erase(peer);
     it = waiting_slots_.erase(it);
     connect_now(peer);
     progressed = true;
@@ -157,7 +152,16 @@ bool OnDemandConnectionManager::progress() {
   // establishes immediately.
   via::ConnectionService& svc = device_.nic().connections();
   if (svc.has_incoming()) {
-    for (const via::IncomingRequest& req : svc.poll_incoming()) {
+    // Batched admission: one MPID_DeviceCheck() pass answers at most
+    // admission_batch queued requests (0 = all). Under an ANY_SOURCE
+    // connect storm the backlog behind one rank is O(N); bounding the
+    // round keeps each progress pass O(batch) and lets the responder
+    // interleave data progress with admissions. Requests beyond the
+    // bound simply stay queued for the next pass — arrival order is
+    // preserved.
+    const auto batch = static_cast<std::size_t>(
+        std::max(0, device_.config().admission_batch));
+    for (const via::IncomingRequest& req : svc.poll_incoming(batch)) {
       const auto [lo, hi] = decode_pair(req.discriminator);
       const Rank peer = (lo == device_.rank()) ? hi : lo;
       assert(peer == req.src_node && "discriminator / source mismatch");
@@ -256,6 +260,8 @@ std::unique_ptr<ConnectionManager> ConnectionManager::create(
     case ConnectionModel::kStaticPeerToPeer:
       return std::make_unique<StaticConnectionManager>(
           device, /*client_server=*/false);
+    case ConnectionModel::kStaticTree:
+      return std::make_unique<TreeConnectionManager>(device);
     case ConnectionModel::kOnDemand:
       return std::make_unique<OnDemandConnectionManager>(device);
   }

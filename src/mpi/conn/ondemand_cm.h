@@ -33,6 +33,7 @@
 
 #include <deque>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "src/mpi/device.h"
@@ -92,10 +93,12 @@ class OnDemandConnectionManager final : public ConnectionManager {
   // DeviceConfig::max_connect_attempts times before the channel fails.
   std::map<Rank, int> attempts_;
   // Resource-capped mode: peers whose connect is deferred until an
-  // eviction frees a budget slot (FIFO, deduped via waiting_flag_). Both
-  // stay empty when max_vis is 0.
+  // eviction frees a budget slot (FIFO, deduped via waiting_set_). Both
+  // stay empty when max_vis is 0, and waiting_set_ holds only peers
+  // actually deferred — O(waiting), never the O(N) flag array it used to
+  // be (a 16k-rank job must not pay per-world-size state per manager).
   std::deque<Rank> waiting_slots_;
-  std::vector<char> waiting_flag_;  // sized lazily to world size
+  std::set<Rank> waiting_set_;
 };
 
 }  // namespace odmpi::mpi

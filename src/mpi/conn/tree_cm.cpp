@@ -1,0 +1,66 @@
+#include "src/mpi/conn/tree_cm.h"
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+#include "src/mpi/oob.h"
+
+namespace odmpi::mpi {
+
+void TreeConnectionManager::init() {
+  Device& d = device_;
+  if (d.size() == 1) return;
+  OobExchange* oob = d.oob_exchange();
+  assert(oob != nullptr &&
+         "static-tree bootstrap needs an out-of-band exchange hub; "
+         "run the device under a World (or another OobExchange)");
+
+  // Phase 1 — local endpoint creation: every VI plus its preposted eager
+  // window, no wire traffic.
+  std::vector<via::ViId> table(static_cast<std::size_t>(d.size()), -1);
+  for (Rank peer = 0; peer < d.size(); ++peer) {
+    if (peer == d.rank()) continue;
+    Channel& ch = d.channel(peer);
+    d.prepare_channel(ch);
+    table[static_cast<std::size_t>(peer)] = ch.vi->id();
+  }
+
+  // Phase 2 — aggregated exchange (collective, barrier semantics): after
+  // this returns, every rank's table is visible everywhere.
+  oob->publish_vi_table(d.rank(), std::move(table));
+
+  // Phase 3 — bind every pair. Both sides already know each other's VI
+  // id, so establishment is a local driver transition; no handshake
+  // packet exists for the fault plan to drop.
+  via::ConnectionService& svc = d.nic().connections();
+  for (Rank peer = 0; peer < d.size(); ++peer) {
+    if (peer == d.rank()) continue;
+    Channel& ch = d.channel(peer);
+    [[maybe_unused]] via::Status st =
+        svc.bind_peer(*ch.vi, peer, oob->lookup_vi(peer, d.rank()));
+    assert(st == via::Status::kSuccess);
+    d.channel_connected(ch);
+  }
+
+  // Phase 4 — fence before any data can flow: a locally-bound VI whose
+  // peer has not bound yet silently drops arrivals (VIA semantics), so no
+  // rank may leave MPI_Init until every rank finished phase 3.
+  oob->oob_fence(d.rank());
+}
+
+void TreeConnectionManager::ensure_connection(Rank peer) {
+  // Fully connected after init by construction, exactly like the other
+  // static models.
+  [[maybe_unused]] Channel& ch = device_.channel(peer);
+  assert((ch.connected() || ch.state == Channel::State::kFailed) &&
+         "static-tree connection management lost a connection");
+  (void)peer;
+}
+
+void TreeConnectionManager::on_any_source(
+    const std::vector<Rank>& /*comm_world_ranks*/) {
+  // Nothing to do: every possible sender is already connected.
+}
+
+}  // namespace odmpi::mpi

@@ -1,0 +1,41 @@
+// Static bootstrap via bulk out-of-band exchange (DESIGN.md section 14).
+//
+// The naive static models pay one wire handshake (and, for client/server,
+// a serialization chain) per pair, which is what makes the Figure-8 init
+// curves blow up with N. Real launchers do better: every process creates
+// its N-1 VIs locally, deposits the id table into the process manager's
+// out-of-band channel, the runtime aggregates the tables tree-fashion
+// (depth log2 N), and each process then *binds* its endpoints directly —
+// a local driver transition (conn_bind_cost), no per-pair rendezvous at
+// all. This manager is that fairer static baseline: still O(N) VIs and
+// pinned buffers per process (the paper's resource argument is untouched,
+// and exactly why on-demand still wins at scale), but with an init cost
+// of N * (vi_create + bind) + oob_exchange(log N, N) instead of the
+// all-pairs handshake storm.
+//
+// Loss immunity: the exchange rides the management network and the binds
+// never touch the VIA wire, so a FaultPlan's packet loss cannot touch
+// this bootstrap — only the data phase sees faults.
+#pragma once
+
+#include "src/mpi/device.h"
+
+namespace odmpi::mpi {
+
+class TreeConnectionManager final : public ConnectionManager {
+ public:
+  explicit TreeConnectionManager(Device& device) : ConnectionManager(device) {}
+
+  void init() override;
+
+  void ensure_connection(Rank peer) override;
+  void on_any_source(const std::vector<Rank>& comm_world_ranks) override;
+  /// Like the other static models, init() leaves nothing to advance.
+  bool progress() override { return false; }
+
+  [[nodiscard]] ConnectionModel model() const override {
+    return ConnectionModel::kStaticTree;
+  }
+};
+
+}  // namespace odmpi::mpi

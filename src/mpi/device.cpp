@@ -87,27 +87,29 @@ RequestPtr make_completed_request(ReqKind kind) {
 
 }  // namespace
 
-Device::Device(via::Cluster& cluster, Rank rank, int size, DeviceConfig config)
+Device::Device(via::Cluster& cluster, Rank rank, int size, DeviceConfig config,
+               OobExchange* oob)
     : cluster_(cluster),
       nic_(cluster.nic(rank)),
       tracer_(cluster.tracer()),
       rank_(rank),
       size_(size),
-      config_(config) {
+      config_(config),
+      oob_(oob) {
   assert(rank >= 0 && rank < size);
   assert(config_.eager_buf_bytes > kHeaderBytes);
   send_cq_ = nic_.create_cq();
   recv_cq_ = nic_.create_cq();
 
-  channels_.reserve(static_cast<std::size_t>(size));
-  for (Rank p = 0; p < size; ++p) {
-    channels_.push_back(std::make_unique<Channel>());
-    channels_.back()->peer = p;
-  }
+  // Channels are created lazily on first touch (see Device::channel): an
+  // on-demand process in a 16k-rank job must not pay N-1 channel structs
+  // for the handful of peers it will ever talk to.
 
   kills_active_ = cluster_.fault_plan().config().has_kills();
-  known_failed_.assign(static_cast<std::size_t>(size), false);
   if (kills_active_) {
+    // The O(N) knowledge vector only exists under a kill schedule; every
+    // read is behind a kills_active_ guard.
+    known_failed_.assign(static_cast<std::size_t>(size), false);
     // Probe exhaustion (the watchdog's detector for a connected-but-idle
     // corpse) reports straight into the failure-knowledge machinery.
     nic_.connections().set_peer_failed_handler(
@@ -115,13 +117,17 @@ Device::Device(via::Cluster& cluster, Rank rank, int size, DeviceConfig config)
   }
 
   // Device-global pool of registered eager send (staging) buffers.
-  send_pool_.reserve(static_cast<std::size_t>(config_.send_pool_size));
-  for (int i = 0; i < config_.send_pool_size; ++i) {
-    auto buf = std::make_unique<EagerBuf>();
-    buf->mem.resize(config_.eager_buf_bytes);
-    buf->handle = nic_.register_memory(buf->mem.data(), buf->mem.size());
-    free_send_bufs_.push_back(buf.get());
-    send_pool_.push_back(std::move(buf));
+  // lazy_send_pool defers allocation + registration to first use (the
+  // registration cost then lands outside the init window — opt-in only).
+  if (!config_.lazy_send_pool) {
+    send_pool_.reserve(static_cast<std::size_t>(config_.send_pool_size));
+    for (int i = 0; i < config_.send_pool_size; ++i) {
+      auto buf = std::make_unique<EagerBuf>();
+      buf->mem.resize(config_.eager_buf_bytes);
+      buf->handle = nic_.register_memory(buf->mem.data(), buf->mem.size());
+      free_send_bufs_.push_back(buf.get());
+      send_pool_.push_back(std::move(buf));
+    }
   }
 
   cm_ = ConnectionManager::create(*this, config_.connection_model);
@@ -173,7 +179,7 @@ int Device::distinct_peers_contacted() const {
   // ever_had_vi rather than vi != nullptr so the count keeps its meaning
   // when a resource cap has torn some VIs back down.
   int n = 0;
-  for (const auto& ch : channels_) n += (ch->ever_had_vi ? 1 : 0);
+  for (const auto& [peer, ch] : channels_) n += (ch->ever_had_vi ? 1 : 0);
   return n;
 }
 
@@ -401,7 +407,9 @@ void Device::note_peer_failed(Rank dead, bool via_gossip) {
 }
 
 void Device::flood_peer_failed(Rank dead) {
-  for (const auto& chp : channels_) {
+  // Only materialized channels can be transport-active, so walking the
+  // lazy map covers every peer a notice could reach.
+  for (const auto& [peer, chp] : channels_) {
     Channel& ch = *chp;
     if (ch.peer == rank_ || ch.peer == dead) continue;
     if (known_failed_[static_cast<std::size_t>(ch.peer)]) continue;
@@ -419,9 +427,12 @@ void Device::sweep_doomed_wildcards() {
   auto doomed = [this](const RequestPtr& r) {
     if (r->wildcard_candidates.empty()) return false;
     for (Rank c : r->wildcard_candidates) {
+      // find_channel: a read-only sweep must not materialize channels for
+      // untouched candidates (absent == kUnconnected == live).
+      const Channel* ch = find_channel(c);
       const bool dead =
-          channel(c).state == Channel::State::kFailed ||
-          (kills_active_ && known_failed_[static_cast<std::size_t>(c)]);
+          (ch != nullptr && ch->state == Channel::State::kFailed) ||
+          peer_known_failed(c);
       if (!dead) return false;
     }
     return true;
@@ -737,9 +748,9 @@ RequestPtr Device::post_recv(void* buf, std::size_t capacity, Rank src_world,
       // receive the sweep has already passed over.
       bool all_dead = true;
       for (Rank c : req->wildcard_candidates) {
-        if (channel(c).state != Channel::State::kFailed &&
-            !(kills_active_ &&
-              known_failed_[static_cast<std::size_t>(c)])) {
+        const Channel* cch = find_channel(c);
+        if (!((cch != nullptr && cch->state == Channel::State::kFailed) ||
+              peer_known_failed(c))) {
           all_dead = false;
           break;
         }
@@ -1076,7 +1087,21 @@ void Device::maybe_return_credits(Channel& ch) {
 // --- Buffers -----------------------------------------------------------------
 
 EagerBuf* Device::acquire_send_buf() {
-  if (free_send_bufs_.empty()) return nullptr;
+  if (free_send_bufs_.empty()) {
+    if (config_.lazy_send_pool &&
+        send_pool_.size() <
+            static_cast<std::size_t>(config_.send_pool_size)) {
+      // Deferred pool growth: allocate + register one staging buffer at
+      // the moment a send first needs it instead of during MPID_Init.
+      auto buf = std::make_unique<EagerBuf>();
+      buf->mem.resize(config_.eager_buf_bytes);
+      buf->handle = nic_.register_memory(buf->mem.data(), buf->mem.size());
+      EagerBuf* raw = buf.get();
+      send_pool_.push_back(std::move(buf));
+      return raw;
+    }
+    return nullptr;
+  }
   EagerBuf* buf = free_send_bufs_.back();
   free_send_bufs_.pop_back();
   return buf;
@@ -1220,7 +1245,7 @@ bool Device::begin_evict(Channel& ch) {
 
 bool Device::evict_lru_channel() {
   Channel* victim = nullptr;
-  for (const auto& chp : channels_) {
+  for (const auto& [peer, chp] : channels_) {
     Channel& ch = *chp;
     if (!channel_evictable(ch)) continue;
     if (victim == nullptr || ch.last_used < victim->last_used) victim = &ch;
@@ -1433,7 +1458,7 @@ void Device::finalize_quiesce() {
 }
 
 void Device::finalize_teardown() {
-  for (const auto& chp : channels_) {
+  for (const auto& [peer, chp] : channels_) {
     Channel& ch = *chp;
     if (ch.vi == nullptr) continue;
     if (ch.vi->state() == via::ViState::kConnected) ch.vi->disconnect();

@@ -37,6 +37,7 @@
 namespace odmpi::mpi {
 
 class ConnectionManager;
+class OobExchange;
 
 /// Protocol knobs. Defaults replicate MVICH's configuration as described
 /// in the paper (eager->rendezvous switch at 5000 bytes, 120 kB of pinned
@@ -46,6 +47,18 @@ struct DeviceConfig {
   std::size_t eager_buf_bytes = 3840;  // 32 x 3840 B = 120 kB per VI
   int credits = 32;
   int send_pool_size = 64;  // device-global eager send buffers
+  // Register send-pool buffers on first use instead of during MPID_Init.
+  // Off by default: deferral moves the registration cost out of the
+  // measured init window, which changes init-time numbers, so it is an
+  // explicit opt-in for memory-footprint studies at very large N.
+  bool lazy_send_pool = false;
+  // Upper bound on how many queued incoming connection requests one
+  // progress pass admits (0 = unlimited). Under an ANY_SOURCE connect
+  // storm — N-1 simultaneous handshakes into one rank — admission happens
+  // in batched rounds so a single MPID_DeviceCheck() never walks an O(N)
+  // backlog. 32 exceeds any backlog a <=16-rank job can form, so paper-
+  // regime runs behave exactly as the unbounded poll did.
+  int admission_batch = 32;
   WaitPolicy wait_policy = WaitPolicy::spinwait(100);
   ConnectionModel connection_model = ConnectionModel::kOnDemand;
   // Paper's planned future work: grow a channel's credit window with
@@ -160,7 +173,12 @@ struct Channel {
 
 class Device {
  public:
-  Device(via::Cluster& cluster, Rank rank, int size, DeviceConfig config);
+  /// `oob`, when non-null, is the job's out-of-band bootstrap hub (the
+  /// World): connection managers that bulk-exchange endpoint ids at init
+  /// (static-tree) publish and read their VI tables through it. Managers
+  /// that handshake over the wire never touch it.
+  Device(via::Cluster& cluster, Rank rank, int size, DeviceConfig config,
+         OobExchange* oob = nullptr);
   ~Device();
 
   Device(const Device&) = delete;
@@ -246,10 +264,30 @@ class Device {
     stats_.set(kSelfSends, hot_.self_sends);
     return stats_;
   }
+  /// The virtual channel for `peer`, created on first touch. Channels are
+  /// lazy so a 16k-rank on-demand device holds state for O(active peers),
+  /// not O(N): an untouched peer costs nothing until a send, receive or
+  /// incoming packet names it. Creation is pure host memory — no sim time
+  /// is charged and no events scheduled — so laziness cannot perturb any
+  /// schedule.
   [[nodiscard]] Channel& channel(Rank peer) {
-    return *channels_.at(static_cast<std::size_t>(peer));
+    auto it = channels_.find(peer);
+    if (it == channels_.end()) {
+      it = channels_.emplace(peer, std::make_unique<Channel>()).first;
+      it->second->peer = peer;
+    }
+    return *it->second;
+  }
+  /// Read-only lookup that never materializes a channel: nullptr means
+  /// the peer was never touched (state-wise equivalent to kUnconnected).
+  [[nodiscard]] const Channel* find_channel(Rank peer) const {
+    auto it = channels_.find(peer);
+    return it == channels_.end() ? nullptr : it->second.get();
   }
   [[nodiscard]] ConnectionManager& connection_manager() { return *cm_; }
+  /// The job's out-of-band bootstrap hub, or nullptr when the device runs
+  /// outside a World (single-device unit tests).
+  [[nodiscard]] OobExchange* oob_exchange() const { return oob_; }
   [[nodiscard]] MatchingEngine& matching() { return matching_; }
 
   /// The job's trace sink, or nullptr when not tracing. Collectives and
@@ -288,6 +326,8 @@ class Device {
   void note_peer_failed(Rank dead, bool via_gossip = false);
 
   /// True if this device knows `peer` to be a failed process.
+  /// known_failed_ is only allocated under a kill schedule, hence the
+  /// short-circuit order.
   [[nodiscard]] bool peer_known_failed(Rank peer) const {
     return kills_active_ &&
            known_failed_[static_cast<std::size_t>(peer)];
@@ -426,12 +466,16 @@ class Device {
   Rank rank_;
   int size_;
   DeviceConfig config_;
+  OobExchange* oob_ = nullptr;
   std::unique_ptr<ConnectionManager> cm_;
 
   via::CompletionQueue* send_cq_ = nullptr;
   via::CompletionQueue* recv_cq_ = nullptr;
 
-  std::vector<std::unique_ptr<Channel>> channels_;
+  // Keyed and ordered by peer rank; lazily populated (see channel()).
+  // Iteration order matches the old dense vector's, so every sweep that
+  // walks the map visits peers in the same deterministic order.
+  std::map<Rank, std::unique_ptr<Channel>> channels_;
   std::vector<Channel*> active_channels_;  // see touch_channel()
   std::unordered_map<via::Vi*, Channel*> vi_to_channel_;
   MatchingEngine matching_;
@@ -472,10 +516,11 @@ class Device {
 
   // Rank-kill state. kills_active_ is fixed at construction from the
   // fault config; with no kill schedule every guard below is one false
-  // branch and the watchdog / probe machinery never arms, keeping
-  // kill-free runs byte-identical.
+  // branch, the watchdog / probe machinery never arms, and known_failed_
+  // is never even allocated (every read is kills-gated), keeping
+  // kill-free runs byte-identical and their footprint N-independent.
   bool kills_active_ = false;
-  std::vector<bool> known_failed_;  // by world rank
+  std::vector<bool> known_failed_;  // by world rank; kill schedules only
   int known_failed_count_ = 0;
   bool in_blocking_wait_ = false;
   bool watchdog_armed_ = false;

@@ -4,23 +4,39 @@
 
 namespace odmpi::mpi {
 
-Group::Group(std::vector<Rank> world_ranks)
-    : world_ranks_(std::move(world_ranks)) {
-  index_.reserve(world_ranks_.size());
-  for (int i = 0; i < size(); ++i) {
-    index_.emplace(world_ranks_[static_cast<std::size_t>(i)], i);
+Group::Group(std::vector<Rank> world_ranks) {
+  auto state = std::make_shared<State>();
+  state->ranks = std::move(world_ranks);
+  size_ = static_cast<int>(state->ranks.size());
+  state->index.reserve(state->ranks.size());
+  for (int i = 0; i < size_; ++i) {
+    state->index.emplace(state->ranks[static_cast<std::size_t>(i)], i);
   }
+  state_ = std::move(state);
 }
 
 Group Group::world(int n) {
-  std::vector<Rank> ranks(static_cast<std::size_t>(n));
-  std::iota(ranks.begin(), ranks.end(), 0);
-  return Group(std::move(ranks));
+  Group g;
+  g.size_ = n;
+  g.identity_ = true;
+  return g;
 }
 
 int Group::rank_of_world(Rank world) const {
-  auto it = index_.find(world);
-  return it == index_.end() ? -1 : it->second;
+  if (identity_) return (world >= 0 && world < size_) ? world : -1;
+  if (!state_) return -1;
+  auto it = state_->index.find(world);
+  return it == state_->index.end() ? -1 : it->second;
+}
+
+const std::vector<Rank>& Group::world_ranks() const {
+  if (!state_) {
+    auto state = std::make_shared<State>();
+    state->ranks.resize(static_cast<std::size_t>(size_));
+    std::iota(state->ranks.begin(), state->ranks.end(), 0);
+    state_ = std::move(state);
+  }
+  return state_->ranks;
 }
 
 }  // namespace odmpi::mpi

@@ -1,5 +1,12 @@
 // Process groups: an ordered set of world ranks. Communicators are a
 // group plus a context id.
+//
+// The world group {0..n-1} is the identity permutation, so it is stored
+// as just its size: translations are arithmetic and no N-sized table
+// exists until someone asks for the materialized vector (the ANY_SOURCE
+// path does). Explicit groups share their rank table and index through an
+// immutable shared state, so copying a Group (every Comm holds one by
+// value) never duplicates O(N) storage.
 #pragma once
 
 #include <memory>
@@ -15,16 +22,15 @@ class Group {
   Group() = default;
   explicit Group(std::vector<Rank> world_ranks);
 
-  /// The world group {0, 1, ..., n-1}.
+  /// The world group {0, 1, ..., n-1}: O(1) storage (identity form).
   static Group world(int n);
 
-  [[nodiscard]] int size() const {
-    return static_cast<int>(world_ranks_.size());
-  }
+  [[nodiscard]] int size() const { return size_; }
 
   /// Translates a group-relative rank to a world rank.
   [[nodiscard]] Rank world_rank(int group_rank) const {
-    return world_ranks_.at(static_cast<std::size_t>(group_rank));
+    if (identity_) return group_rank;
+    return state_->ranks.at(static_cast<std::size_t>(group_rank));
   }
 
   /// Translates a world rank to its group-relative rank (-1 if absent).
@@ -34,13 +40,24 @@ class Group {
     return rank_of_world(world) >= 0;
   }
 
-  [[nodiscard]] const std::vector<Rank>& world_ranks() const {
-    return world_ranks_;
-  }
+  /// The full rank table. An identity group materializes it on first call
+  /// (cached; shared by copies made afterwards) — callers that only
+  /// translate ranks never pay the O(N) allocation.
+  [[nodiscard]] const std::vector<Rank>& world_ranks() const;
 
  private:
-  std::vector<Rank> world_ranks_;
-  std::unordered_map<Rank, int> index_;
+  struct State {
+    std::vector<Rank> ranks;
+    std::unordered_map<Rank, int> index;  // empty for identity groups
+  };
+
+  // Shared, immutable once published. For identity groups it starts null
+  // and is filled lazily by world_ranks() — mutable because that is a
+  // cache, not a semantic change. Worlds are single-threaded, and groups
+  // never cross Worlds, so no synchronization is needed.
+  mutable std::shared_ptr<const State> state_;
+  int size_ = 0;
+  bool identity_ = false;
 };
 
 }  // namespace odmpi::mpi

@@ -1,0 +1,51 @@
+// Out-of-band bootstrap exchange (DESIGN.md section 14).
+//
+// Static connection establishment at large N is dominated by the O(N^2)
+// wire handshakes of the naive all-pairs bootstrap. Real MPI launchers
+// avoid this with their process manager: every process deposits its
+// endpoint identifiers into an out-of-band channel (PMI put/fence/get),
+// the runtime aggregates them tree-fashion, and each process then binds
+// its endpoints directly — no per-pair wire rendezvous at all.
+//
+// OobExchange is that hub. The World implements it on top of its shared
+// address space: publish_vi_table() deposits one rank's per-peer VI-id
+// table and blocks (barrier semantics) until every rank has deposited,
+// charging each caller the aggregated-exchange cost
+//
+//     oob_hop_cost * ceil(log2 N)  +  oob_entry_cost * N
+//
+// — a tree of depth log2(N) forwarding hops plus linear per-entry
+// marshalling, the standard cost shape of an alltoallv-style PMI fence.
+// After it returns, lookup_vi() reads any rank's table entry for free
+// (host memory; the charged cost already covered the distribution).
+#pragma once
+
+#include <vector>
+
+#include "src/mpi/types.h"
+#include "src/via/types.h"
+
+namespace odmpi::mpi {
+
+class OobExchange {
+ public:
+  virtual ~OobExchange() = default;
+
+  /// Collective: deposits `rank`'s table (table[p] = the VI id `rank`
+  /// created for talking to peer p; unused entries may be -1) and parks
+  /// the caller until all participants have deposited. Charges the
+  /// aggregated-exchange cost to the calling process's clock.
+  virtual void publish_vi_table(Rank rank, std::vector<via::ViId> table) = 0;
+
+  /// The VI id `owner` published for talking to `peer`. Only valid after
+  /// publish_vi_table() returned on every rank.
+  [[nodiscard]] virtual via::ViId lookup_vi(Rank owner, Rank peer) const = 0;
+
+  /// Plain collective fence: parks `rank` until every participant has
+  /// arrived. Bootstraps fence after their bind phase — a locally bound
+  /// VI whose peer has not bound yet silently drops arrivals, so no rank
+  /// may start sending before all binds are done.
+  virtual void oob_fence(Rank rank) = 0;
+};
+
+}  // namespace odmpi::mpi

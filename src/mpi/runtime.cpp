@@ -63,21 +63,26 @@ std::string RunResult::summary() const {
   return "?";
 }
 
-World::World(int nranks, JobOptions options)
-    : nranks_(nranks),
-      options_(std::move(options)),
+World::World(SessionConfig session)
+    : nranks_(session.nranks),
+      options_(std::move(session.options)),
       tracer_(std::make_unique<sim::Tracer>()),
-      cluster_(engine_, nranks, options_.profile, options_.fault),
-      reports_(static_cast<std::size_t>(nranks)) {
-  assert(nranks >= 1);
-  alive_ = nranks;
+      reports_(static_cast<std::size_t>(nranks_)) {
+  assert(nranks_ >= 1);
+  alive_ = nranks_;
   tracer_->configure(options_.trace, &engine_);
-  cluster_.set_tracer(tracer_.get());
-  contexts_.resize(static_cast<std::size_t>(nranks));
-  devices_.resize(static_cast<std::size_t>(nranks));
+  contexts_.resize(static_cast<std::size_t>(nranks_));
+  devices_.resize(static_cast<std::size_t>(nranks_));
 }
 
 World::~World() = default;
+
+void World::materialize_cluster() {
+  if (cluster_) return;
+  cluster_ = std::make_unique<via::Cluster>(engine_, nranks_, options_.profile,
+                                            options_.fault);
+  cluster_->set_tracer(tracer_.get());
+}
 
 void World::oob_barrier() {
   auto* p = sim::Process::current();
@@ -144,8 +149,8 @@ void World::kill_rank(int rank) {
   // survivors' retransmissions and probes go unanswered and time out) and
   // the corpse's own NIC machinery — armed timers, host wakeups — goes
   // silent rather than replaying a ghost.
-  cluster_.fault_plan().mark_node_dead(rank);
-  cluster_.nic(rank).kill();
+  cluster_->fault_plan().mark_node_dead(rank);
+  cluster_->nic(rank).kill();
   static const sim::Stats::Counter kTrRankKilled =
       sim::Stats::counter("fault.rank_killed");
   tracer_->instant(sim::TraceCat::kFabric, kTrRankKilled, rank);
@@ -178,8 +183,8 @@ void World::rank_main(int rank, const std::function<void(Comm&)>& fn) {
                 log_n * options_.bootstrap_per_rank_log);
   oob_barrier();
 
-  auto device = std::make_unique<Device>(cluster_, rank, nranks_,
-                                         options_.device);
+  auto device = std::make_unique<Device>(*cluster_, rank, nranks_,
+                                         options_.device, /*oob=*/this);
   auto ctx = std::make_unique<RankContext>();
   ctx->device = device.get();
   devices_[static_cast<std::size_t>(rank)] = std::move(device);
@@ -213,19 +218,20 @@ void World::rank_main(int rank, const std::function<void(Comm&)>& fn) {
   oob_barrier();
   report.total_time = proc->now() - t_start;
   report.finished = true;
-  report.vis_created = cluster_.nic(rank).vis_ever_created();
+  report.vis_created = cluster_->nic(rank).vis_ever_created();
   report.vis_open_peak =
-      static_cast<int>(cluster_.nic(rank).stats().get("vi.open_peak"));
+      static_cast<int>(cluster_->nic(rank).stats().get("vi.open_peak"));
   report.connections = static_cast<int>(
-      cluster_.nic(rank).connections().connections_established());
-  report.pinned_bytes_peak = cluster_.nic(rank).memory().peak_pinned_bytes();
+      cluster_->nic(rank).connections().connections_established());
+  report.pinned_bytes_peak = cluster_->nic(rank).memory().peak_pinned_bytes();
   report.device_stats = dev.stats();
-  report.device_stats.merge(cluster_.nic(rank).stats());
+  report.device_stats.merge(cluster_->nic(rank).stats());
 }
 
 RunResult World::run_job(const std::function<void(Comm&)>& fn) {
   assert(!ran_ && "World::run is one-shot; build a fresh World per job");
   ran_ = true;
+  materialize_cluster();
   processes_.reserve(static_cast<std::size_t>(nranks_));
   for (int r = 0; r < nranks_; ++r) {
     processes_.push_back(std::make_unique<sim::Process>(
@@ -304,28 +310,63 @@ sim::SimTime World::completion_time() const {
   return t;
 }
 
-double World::mean_init_us() const {
-  double sum = 0;
-  for (const RankReport& r : reports_) sum += sim::to_us(r.init_time);
-  return sum / nranks_;
-}
-
-double World::mean_vis_per_process() const {
-  double sum = 0;
-  for (const RankReport& r : reports_) sum += r.vis_created;
-  return sum / nranks_;
-}
-
-double World::mean_peak_vis_per_process() const {
-  double sum = 0;
-  for (const RankReport& r : reports_) sum += r.vis_open_peak;
-  return sum / nranks_;
+WorldMetrics World::metrics() const {
+  WorldMetrics m;
+  for (const RankReport& r : reports_) {
+    const double init_us = sim::to_us(r.init_time);
+    m.mean_init_us += init_us;
+    m.max_init_us = std::max(m.max_init_us, init_us);
+    m.mean_vis_per_process += r.vis_created;
+    m.mean_peak_vis_per_process += r.vis_open_peak;
+    m.mean_pinned_bytes_peak += static_cast<double>(r.pinned_bytes_peak);
+  }
+  m.mean_init_us /= nranks_;
+  m.mean_vis_per_process /= nranks_;
+  m.mean_peak_vis_per_process /= nranks_;
+  m.mean_pinned_bytes_peak /= nranks_;
+  return m;
 }
 
 sim::Stats World::aggregate_stats() {
-  sim::Stats total = cluster_.aggregate_stats();
+  sim::Stats total;
+  if (cluster_) total = cluster_->aggregate_stats();
   for (const RankReport& r : reports_) total.merge(r.device_stats);
   return total;
+}
+
+// --- OobExchange --------------------------------------------------------
+
+void World::publish_vi_table(Rank rank, std::vector<via::ViId> table) {
+  auto* proc = sim::Process::current();
+  assert(proc != nullptr && "publish_vi_table must run on a rank fiber");
+  assert(static_cast<int>(table.size()) == nranks_);
+  if (oob_tables_.empty()) {
+    oob_tables_.resize(static_cast<std::size_t>(nranks_));
+  }
+  oob_tables_[static_cast<std::size_t>(rank)] = std::move(table);
+  // Aggregated-exchange cost: a tree of forwarding hops plus linear
+  // per-entry marshalling (see JobOptions::oob_hop_cost).
+  const auto log_n = static_cast<std::int64_t>(
+      std::ceil(std::log2(std::max(2, nranks_))));
+  proc->advance(log_n * options_.oob_hop_cost +
+                static_cast<std::int64_t>(nranks_) * options_.oob_entry_cost);
+  oob_barrier();  // get() is only valid once every rank has put()
+}
+
+via::ViId World::lookup_vi(Rank owner, Rank peer) const {
+  return oob_tables_.at(static_cast<std::size_t>(owner))
+      .at(static_cast<std::size_t>(peer));
+}
+
+void World::oob_fence(Rank rank) {
+  auto* proc = sim::Process::current();
+  assert(proc != nullptr && "oob_fence must run on a rank fiber");
+  (void)rank;
+  // A fence is the tree half of the exchange: hops only, no payload.
+  const auto log_n = static_cast<std::int64_t>(
+      std::ceil(std::log2(std::max(2, nranks_))));
+  proc->advance(log_n * options_.oob_hop_cost);
+  oob_barrier();
 }
 
 RunResult run_world_job(int nranks, const JobOptions& options,

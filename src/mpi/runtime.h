@@ -2,14 +2,23 @@
 // per MPI rank, runs MPI_Init / user code / MPI_Finalize, and collects the
 // per-rank reports (init time, run time, VIs created, pinned memory) the
 // paper's tables and figures are made of.
+//
+// Construction is sessions-style (MPI-4 flavored): a SessionConfig — or
+// the fluent WorldBuilder over it — describes the whole job as a plain
+// value; the World itself stays cheap until run_job() materializes the
+// cluster (one NIC per node). A 16k-rank World can therefore be described,
+// stored and copied around for free, and only the run pays for N.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/mpi/comm.h"
 #include "src/mpi/device.h"
+#include "src/mpi/oob.h"
 #include "src/sim/engine.h"
 #include "src/sim/process.h"
 #include "src/sim/stats.h"
@@ -23,7 +32,7 @@ struct JobOptions {
   DeviceConfig device;
 
   /// Virtual-time budget; a run that does not finish by then is reported
-  /// as deadlocked (false from World::run).
+  /// as deadlocked (RunStatus::kDeadline).
   sim::SimTime deadline = sim::seconds(36000);
 
   /// Out-of-band (process-manager / sockets) bootstrap cost charged to
@@ -32,6 +41,14 @@ struct JobOptions {
   /// through VIA (paper section 5.5 note).
   sim::SimTime bootstrap_base = sim::microseconds(250);
   sim::SimTime bootstrap_per_rank_log = sim::microseconds(60);
+
+  /// Aggregated out-of-band exchange cost model (static-tree bootstrap;
+  /// DESIGN.md section 14). One publish_vi_table() collective charges
+  /// every rank  oob_hop_cost * ceil(log2 N) + oob_entry_cost * N:
+  /// a tree of forwarding hops plus linear per-entry marshalling — the
+  /// standard shape of a PMI put/fence/get over a management network.
+  sim::SimTime oob_hop_cost = sim::microseconds(40);
+  sim::SimTime oob_entry_cost = sim::nanoseconds(150);
 
   std::size_t stack_bytes = 1 << 20;
   std::uint64_t seed = 0x0D0C2002;  // reproducible workloads
@@ -50,6 +67,14 @@ struct JobOptions {
   sim::TraceConfig trace;
 };
 
+/// Sessions-style job description: the full shape of one run — size plus
+/// every knob — as a plain value. Copyable, storable, replayable; no
+/// simulation resource exists until a World built from it runs.
+struct SessionConfig {
+  int nranks = 1;
+  JobOptions options;
+};
+
 struct RankReport {
   bool finished = false;
   sim::SimTime init_time = 0;      // MPI_Init duration (Figure 8)
@@ -64,6 +89,17 @@ struct RankReport {
   int connections = 0;
   std::int64_t pinned_bytes_peak = 0;  // NIC high-water pinned memory
   sim::Stats device_stats;
+};
+
+/// Cross-rank aggregates of the RankReports: every number the paper's
+/// figures and tables quote, in one struct (one accessor instead of a
+/// getter per metric; see World::metrics).
+struct WorldMetrics {
+  double mean_init_us = 0;   // Figure 8's metric
+  double max_init_us = 0;    // stragglers: the slowest rank's MPI_Init
+  double mean_vis_per_process = 0;       // Table 2
+  double mean_peak_vis_per_process = 0;  // Table 2 under a VI budget
+  double mean_pinned_bytes_peak = 0;     // NIC pinned-memory high water
 };
 
 /// Why a job ended the way it did.
@@ -118,10 +154,17 @@ struct [[nodiscard]] RunResult {
   [[nodiscard]] std::string summary() const;
 };
 
-class World {
+class World : public OobExchange {
  public:
-  explicit World(int nranks, JobOptions options = {});
-  ~World();
+  /// Primary constructor: a fully described session. Cheap — the cluster
+  /// (one NIC per node) is not materialized until run_job().
+  explicit World(SessionConfig session);
+
+  /// Historic signature; thin forwarder to the SessionConfig form.
+  World(int nranks, JobOptions options = {})
+      : World(SessionConfig{nranks, std::move(options)}) {}
+
+  ~World() override;
 
   World(const World&) = delete;
   World& operator=(const World&) = delete;
@@ -132,12 +175,12 @@ class World {
   /// trace.path as Chrome JSON when the path is set). One-shot per World.
   RunResult run_job(const std::function<void(Comm&)>& fn);
 
-  /// Legacy form of run_job; prefer run_job, which also reports *why* a
-  /// run failed. Returns true when every rank reached the end of
-  /// MPI_Finalize within the virtual deadline (i.e. status is not
+  /// Legacy form of run_job. Returns true when every rank reached the end
+  /// of MPI_Finalize within the virtual deadline (i.e. status is not
   /// kDeadline — kRankFailed still returns true, matching the historic
   /// contract where fault-injected runs "succeed" once every rank
   /// observes its failures and finalizes).
+  [[deprecated("use run_job(); it also reports *why* a run failed")]]
   bool run(const std::function<void(Comm&)>& fn) {
     return run_job(fn).status != RunStatus::kDeadline;
   }
@@ -151,16 +194,23 @@ class World {
   /// Virtual time when the last rank finished its user function.
   [[nodiscard]] sim::SimTime completion_time() const;
 
-  /// Mean MPI_Init duration across ranks (Figure 8's metric).
-  [[nodiscard]] double mean_init_us() const;
+  /// Cross-rank aggregates of the per-rank reports: the paper's figure
+  /// and table metrics in one read.
+  [[nodiscard]] WorldMetrics metrics() const;
 
-  /// Mean VIs created per process (Table 2's metric).
-  [[nodiscard]] double mean_vis_per_process() const;
-
-  /// Mean peak simultaneously-open VIs per process. The capped-mode
-  /// Table-2 column: under a VI budget this stays <= max_vis while
-  /// mean_vis_per_process() also counts eviction reconnects.
-  [[nodiscard]] double mean_peak_vis_per_process() const;
+  /// Legacy per-metric getters; each is one field of metrics().
+  [[deprecated("use metrics().mean_init_us")]]
+  [[nodiscard]] double mean_init_us() const {
+    return metrics().mean_init_us;
+  }
+  [[deprecated("use metrics().mean_vis_per_process")]]
+  [[nodiscard]] double mean_vis_per_process() const {
+    return metrics().mean_vis_per_process;
+  }
+  [[deprecated("use metrics().mean_peak_vis_per_process")]]
+  [[nodiscard]] double mean_peak_vis_per_process() const {
+    return metrics().mean_peak_vis_per_process;
+  }
 
   /// Aggregate device+NIC statistics across all ranks.
   [[nodiscard]] sim::Stats aggregate_stats();
@@ -169,12 +219,26 @@ class World {
   /// useful after run_job to walk events or write exports by hand.
   [[nodiscard]] const sim::Tracer& tracer() const { return *tracer_; }
 
-  /// Out-of-band barrier over the management network: used by MPI_Init /
-  /// MPI_Finalize bookkeeping, never by application traffic.
-  void oob_barrier();
+  // --- OobExchange (the management-network bootstrap hub) -----------------
+  // Implemented on the World's shared address space; each collective call
+  // charges the aggregated-exchange cost model from JobOptions and parks
+  // the caller on the job-wide out-of-band barrier.
+
+  void publish_vi_table(Rank rank, std::vector<via::ViId> table) override;
+  [[nodiscard]] via::ViId lookup_vi(Rank owner, Rank peer) const override;
+  void oob_fence(Rank rank) override;
 
  private:
   void rank_main(int rank, const std::function<void(Comm&)>& fn);
+
+  /// Builds the cluster (one NIC per node) and attaches the tracer.
+  /// Deferred to run_job so an unrun World never pays O(N) resources.
+  void materialize_cluster();
+
+  /// Out-of-band barrier over the management network: used by MPI_Init /
+  /// MPI_Finalize bookkeeping and the OobExchange collectives, never by
+  /// application traffic.
+  void oob_barrier();
 
   /// Engine-context kill event (FaultConfig::rank_kills): halts the
   /// rank's fiber, blacks out its NIC in the fault plan, and releases any
@@ -191,11 +255,16 @@ class World {
   JobOptions options_;
   sim::Engine engine_;
   std::unique_ptr<sim::Tracer> tracer_;  // stable address; cluster points in
-  via::Cluster cluster_;
+  std::unique_ptr<via::Cluster> cluster_;  // lazily built; see run_job
   std::vector<std::unique_ptr<sim::Process>> processes_;
   std::vector<std::unique_ptr<RankContext>> contexts_;
   std::vector<std::unique_ptr<Device>> devices_;
   std::vector<RankReport> reports_;
+
+  // OobExchange table store: oob_tables_[owner][peer] once every rank has
+  // published. Only allocated when a bootstrap actually exchanges tables
+  // (static-tree); on-demand jobs never touch it.
+  std::vector<std::vector<via::ViId>> oob_tables_;
 
   // oob barrier state (sense-reversing; see the .cpp). Barriers release
   // when every *alive* rank has arrived; kill_rank shrinks alive_ and
@@ -208,6 +277,75 @@ class World {
   bool ran_ = false;
 };
 
+/// Fluent sessions-style builder over SessionConfig. Every setter returns
+/// *this*, so a job reads as one expression:
+///
+///   auto result = WorldBuilder()
+///                     .ranks(1024)
+///                     .connection_model(ConnectionModel::kOnDemand)
+///                     .run_job(body);
+class WorldBuilder {
+ public:
+  WorldBuilder() = default;
+  explicit WorldBuilder(SessionConfig session) : session_(std::move(session)) {}
+
+  WorldBuilder& ranks(int n) {
+    session_.nranks = n;
+    return *this;
+  }
+  WorldBuilder& options(JobOptions opts) {
+    session_.options = std::move(opts);
+    return *this;
+  }
+  WorldBuilder& profile(via::DeviceProfile p) {
+    session_.options.profile = std::move(p);
+    return *this;
+  }
+  WorldBuilder& device(DeviceConfig d) {
+    session_.options.device = d;
+    return *this;
+  }
+  WorldBuilder& connection_model(ConnectionModel m) {
+    session_.options.device.connection_model = m;
+    return *this;
+  }
+  WorldBuilder& deadline(sim::SimTime t) {
+    session_.options.deadline = t;
+    return *this;
+  }
+  WorldBuilder& seed(std::uint64_t s) {
+    session_.options.seed = s;
+    return *this;
+  }
+  WorldBuilder& fault(sim::FaultConfig f) {
+    session_.options.fault = std::move(f);
+    return *this;
+  }
+  WorldBuilder& trace(sim::TraceConfig t) {
+    session_.options.trace = std::move(t);
+    return *this;
+  }
+
+  [[nodiscard]] const SessionConfig& session() const { return session_; }
+
+  /// Materializes a World for this session (heap — World is pinned: the
+  /// engine, fibers and barrier state record its address).
+  [[nodiscard]] std::unique_ptr<World> build() const {
+    return std::make_unique<World>(session_);
+  }
+
+  /// One-shot convenience: build, run, report. The World (and thus
+  /// RunResult::trace) dies before this returns.
+  RunResult run_job(const std::function<void(Comm&)>& fn) const {
+    RunResult result = build()->run_job(fn);
+    result.trace = nullptr;
+    return result;
+  }
+
+ private:
+  SessionConfig session_;
+};
+
 /// One-call convenience: run `fn` on `nranks` ranks with `options`.
 /// Note the World (and thus RunResult::trace) dies before this returns;
 /// build a World directly when the trace must outlive the run.
@@ -215,6 +353,7 @@ RunResult run_world_job(int nranks, const JobOptions& options,
                         const std::function<void(Comm&)>& fn);
 
 /// Legacy form of run_world_job; see World::run for the bool contract.
+[[deprecated("use run_world_job(), which also reports *why* a run failed")]]
 bool run_world(int nranks, const JobOptions& options,
                const std::function<void(Comm&)>& fn);
 

@@ -37,6 +37,7 @@ enum class SendMode : std::uint8_t {
 enum class ConnectionModel : std::uint8_t {
   kStaticClientServer,  // fully connected in MPI_Init, serialized C/S
   kStaticPeerToPeer,    // fully connected in MPI_Init, parallel P2P
+  kStaticTree,          // fully connected in MPI_Init, bulk OOB exchange
   kOnDemand,            // the paper's contribution
 };
 
@@ -44,6 +45,7 @@ enum class ConnectionModel : std::uint8_t {
   switch (m) {
     case ConnectionModel::kStaticClientServer: return "static-cs";
     case ConnectionModel::kStaticPeerToPeer: return "static-p2p";
+    case ConnectionModel::kStaticTree: return "static-tree";
     case ConnectionModel::kOnDemand: return "on-demand";
   }
   return "unknown";

@@ -15,7 +15,7 @@
 //   opt.profile = via::DeviceProfile::clan();
 //   opt.device.connection_model = mpi::ConnectionModel::kOnDemand;
 //   mpi::World world(8, opt);
-//   world.run([](mpi::Comm& comm) {
+//   world.run_job([](mpi::Comm& comm) {
 //     double x = comm.rank(), sum = 0;
 //     comm.allreduce(&x, &sum, 1, mpi::kDouble, mpi::Op::kSum);
 //   });

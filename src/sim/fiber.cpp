@@ -41,7 +41,9 @@ void* tsan_this_fiber() { return nullptr; }
 }  // namespace
 
 Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
-    : body_(std::move(body)), stack_((stack_bytes + 15) & ~std::size_t{15}) {}
+    : body_(std::move(body)),
+      stack_(new std::byte[(stack_bytes + 15) & ~std::size_t{15}]),
+      stack_bytes_((stack_bytes + 15) & ~std::size_t{15}) {}
 
 Fiber::~Fiber() {
   // A fiber destroyed mid-flight simply abandons its stack; the simulation
@@ -70,8 +72,8 @@ void Fiber::resume() {
   if (!started_) {
     started_ = true;
     getcontext(&context_);
-    context_.uc_stack.ss_sp = stack_.data();
-    context_.uc_stack.ss_size = stack_.size();
+    context_.uc_stack.ss_sp = stack_.get();
+    context_.uc_stack.ss_size = stack_bytes_;
     context_.uc_link = nullptr;
     makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
     tsan_fiber_ = tsan_make_fiber();

@@ -51,7 +51,13 @@ class Fiber {
   static void trampoline();
 
   std::function<void()> body_;
-  std::vector<std::byte> stack_;
+  // Default-initialized (not value-initialized) so no page of a stack is
+  // touched until the fiber actually grows into it: a 16k-rank World
+  // allocates gigabytes of stack address space but only resident-faults
+  // the few KiB each fiber uses. A vector here would zero-fill — and
+  // therefore resident — every page up front.
+  std::unique_ptr<std::byte[]> stack_;
+  std::size_t stack_bytes_ = 0;
   ucontext_t context_{};
   ucontext_t scheduler_context_{};
   bool started_ = false;

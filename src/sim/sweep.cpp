@@ -31,8 +31,9 @@ void execute(const SweepConfig& cfg, int worker, SweepItemResult& out) {
     mpi::World world(cfg.nranks, cfg.options);
     out.result = world.run_job(cfg.body);
     out.result.trace = nullptr;  // dies with the World below
-    out.mean_init_us = world.mean_init_us();
-    out.mean_vis_per_process = world.mean_vis_per_process();
+    out.metrics = world.metrics();
+    out.mean_init_us = out.metrics.mean_init_us;
+    out.mean_vis_per_process = out.metrics.mean_vis_per_process;
     if (cfg.collect_stats) out.stats = world.aggregate_stats();
     if (cfg.collect_digest) out.digest = world.tracer().digest();
     if (cfg.collect_reports) {

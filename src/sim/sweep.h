@@ -61,6 +61,10 @@ struct SweepConfig {
 struct SweepItemResult {
   std::string label;
   mpi::RunResult result;
+  /// The World's cross-rank aggregates, captured before teardown.
+  mpi::WorldMetrics metrics;
+  /// Convenience copies of the two most-read metrics fields (kept for the
+  /// many sweep consumers that only ever chart these).
   double mean_init_us = 0;
   double mean_vis_per_process = 0;
   Stats stats;          ///< aggregate device stats (collect_stats)

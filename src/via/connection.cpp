@@ -30,6 +30,10 @@ const sim::Stats::Counter kCsQueued =
 const sim::Stats::Counter kRejected = sim::Stats::counter("conn.rejected");
 const sim::Stats::Counter kDisconnected =
     sim::Stats::counter("conn.disconnected");
+const sim::Stats::Counter kBound = sim::Stats::counter("conn.bound");
+const sim::Stats::Counter kBusySent = sim::Stats::counter("conn.busy_sent");
+const sim::Stats::Counter kBusyDeferred =
+    sim::Stats::counter("conn.busy_deferred");
 
 // Trace event names: the per-VI state machine timeline
 // (request_sent -> request_rx -> established, with retry/timeout/reject).
@@ -46,6 +50,8 @@ const sim::Stats::Counter kTrRejected =
     sim::Stats::counter("via.conn.rejected");
 const sim::Stats::Counter kTrDisconnect =
     sim::Stats::counter("via.conn.disconnect");
+const sim::Stats::Counter kTrBound = sim::Stats::counter("via.conn.bound");
+const sim::Stats::Counter kTrBusy = sim::Stats::counter("via.conn.busy");
 
 // Liveness-probe stats and trace names (rank-death detection only).
 const sim::Stats::Counter kProbes = sim::Stats::counter("conn.probes");
@@ -124,17 +130,22 @@ Status ConnectionService::connect_peer(Vi& vi, NodeId remote_node,
   nic_.stats().add(kPeerInitiated);
 
   // A matching request may already have arrived (the remote side called
-  // connect_peer first): claim it and complete the connection now.
-  auto it = std::find_if(unmatched_.begin(), unmatched_.end(),
-                         [&](const IncomingRequest& r) {
-                           return r.discriminator == disc &&
-                                  r.src_node == remote_node;
-                         });
+  // connect_peer first): claim it and complete the connection now. The
+  // index makes the miss (the common case) O(log) instead of a scan of a
+  // backlog that can be thousands deep under a connect storm.
+  auto it = unmatched_.end();
+  if (has_unmatched_for(disc)) {
+    it = std::find_if(unmatched_.begin(), unmatched_.end(),
+                      [&](const IncomingRequest& r) {
+                        return r.discriminator == disc &&
+                               r.src_node == remote_node;
+                      });
+  }
   if (it != unmatched_.end()) {
     const IncomingRequest req = *it;
     // Retransmitted copies of the same request may be queued behind it;
     // claim them all.
-    std::erase_if(unmatched_, [&](const IncomingRequest& r) {
+    unmatched_erase_if([&](const IncomingRequest& r) {
       return r.discriminator == disc && r.src_node == remote_node;
     });
     establish(vi, req.src_node, req.src_vi);
@@ -159,6 +170,19 @@ Status ConnectionService::connect_peer(Vi& vi, NodeId remote_node,
   return Status::kSuccess;
 }
 
+Status ConnectionService::bind_peer(Vi& vi, NodeId remote_node,
+                                    ViId remote_vi) {
+  if (vi.state() != ViState::kIdle && vi.state() != ViState::kError) {
+    return Status::kInvalidState;
+  }
+  vi.state_ = ViState::kIdle;
+  Nic::charge_host(nic_.profile().conn_bind_cost);
+  nic_.stats().add(kBound);
+  trace_conn(kTrBound, remote_node, vi.id(), remote_vi);
+  establish(vi, remote_node, remote_vi);
+  return Status::kSuccess;
+}
+
 void ConnectionService::resend_peer_request(const PendingPeer& pending) {
   const IncomingRequest req{nic_.node(), pending.vi->id(), pending.disc};
   send_control(pending.remote_node, [req](Nic& remote) {
@@ -166,7 +190,8 @@ void ConnectionService::resend_peer_request(const PendingPeer& pending) {
   });
 }
 
-void ConnectionService::arm_peer_timer(Discriminator disc) {
+void ConnectionService::arm_peer_timer(Discriminator disc,
+                                       sim::SimTime extra_wait) {
   auto it = pending_peer_.find(disc);
   if (it == pending_peer_.end()) return;
   PendingPeer& pending = it->second;
@@ -176,7 +201,7 @@ void ConnectionService::arm_peer_timer(Discriminator disc) {
   cluster.engine().schedule_at(
       sim::Process::current_time(cluster.engine()) +
           retry_wait(pending.attempts) +
-          congestion_allowance(pending.remote_node),
+          congestion_allowance(pending.remote_node) + extra_wait,
       [this, disc, gen] { on_peer_timer(disc, gen); });
 }
 
@@ -240,24 +265,64 @@ void ConnectionService::on_peer_request(const IncomingRequest& request) {
         return;
       }
     }
-    // Retransmission of a request already sitting unmatched: keep one copy.
-    const bool dup = std::any_of(
-        unmatched_.begin(), unmatched_.end(), [&](const IncomingRequest& r) {
-          return r.discriminator == request.discriminator &&
-                 r.src_node == request.src_node && r.src_vi == request.src_vi;
-        });
+    // Retransmission of a request already sitting unmatched: keep one
+    // copy. The index prunes the scan to storms of the same pair.
+    const bool dup =
+        has_unmatched_for(request.discriminator) &&
+        std::any_of(
+            unmatched_.begin(), unmatched_.end(),
+            [&](const IncomingRequest& r) {
+              return r.discriminator == request.discriminator &&
+                     r.src_node == request.src_node &&
+                     r.src_vi == request.src_vi;
+            });
     if (dup) {
       nic_.stats().add(kDupSuppressed);
+      // A retransmit arriving while the original still waits means the
+      // initiator's timer beat our admission backlog: tell it to back off
+      // past the estimated drain time instead of burning retries.
+      send_busy(request);
       return;
     }
   }
   // No local request yet: queue it for the host's progress loop (the
   // on-demand connection manager polls these in device_check).
-  unmatched_.push_back(request);
+  unmatched_push(request);
   nic_.stats().add(kUnmatchedQueued);
   trace_conn(kTrRequestRx, request.src_node,
              static_cast<std::int64_t>(request.discriminator));
+  if (fault_active() &&
+      static_cast<int>(unmatched_.size()) > busy_watermark_) {
+    // Deep admission backlog: the host will take a while to answer this
+    // request. Push the initiator's retransmit horizon out so the wait
+    // does not read as loss (fault-free runs arm no timers, so there is
+    // nothing to defer there).
+    send_busy(request);
+  }
   nic_.notify_host();
+}
+
+void ConnectionService::send_busy(const IncomingRequest& request) {
+  nic_.stats().add(kBusySent);
+  const auto backlog = static_cast<std::int64_t>(unmatched_.size());
+  const Discriminator disc = request.discriminator;
+  trace_conn(kTrBusy, request.src_node, static_cast<std::int64_t>(disc),
+             backlog);
+  send_control(request.src_node, [disc, backlog](Nic& remote) {
+    remote.connections().on_peer_busy(disc, backlog);
+  });
+}
+
+void ConnectionService::on_peer_busy(Discriminator disc,
+                                     std::int64_t backlog) {
+  auto it = pending_peer_.find(disc);
+  if (it == pending_peer_.end()) return;  // established or torn down
+  nic_.stats().add(kBusyDeferred);
+  // Re-arm (generation bump supersedes the old timer) with the remote
+  // backlog's estimated serial drain time on top of the usual schedule;
+  // deliberately does NOT consume one of the initiator's retry attempts —
+  // the peer is alive and slow, not lost.
+  arm_peer_timer(disc, nic_.profile().conn_os_cost * backlog);
 }
 
 void ConnectionService::on_peer_ack(ViId local_vi, NodeId remote_node,
@@ -278,15 +343,30 @@ void ConnectionService::on_peer_ack(ViId local_vi, NodeId remote_node,
   // Already connected (crossing requests): the ack is redundant.
 }
 
-std::vector<IncomingRequest> ConnectionService::poll_incoming() {
+std::vector<IncomingRequest> ConnectionService::poll_incoming(
+    std::size_t max_batch) {
   Nic::charge_host(nic_.profile().cq_poll_cost);
-  return {unmatched_.begin(), unmatched_.end()};
+  const std::size_t n = (max_batch == 0 || max_batch > unmatched_.size())
+                            ? unmatched_.size()
+                            : max_batch;
+  return {unmatched_.begin(),
+          unmatched_.begin() + static_cast<std::ptrdiff_t>(n)};
 }
 
 void ConnectionService::drop_unmatched_from(NodeId src) {
-  for (auto it = unmatched_.begin(); it != unmatched_.end();) {
-    it = (it->src_node == src) ? unmatched_.erase(it) : std::next(it);
-  }
+  unmatched_erase_if(
+      [src](const IncomingRequest& r) { return r.src_node == src; });
+}
+
+void ConnectionService::unmatched_push(const IncomingRequest& request) {
+  unmatched_.push_back(request);
+  ++unmatched_by_disc_[request.discriminator];
+}
+
+void ConnectionService::unmatched_index_remove(Discriminator disc) {
+  auto it = unmatched_by_disc_.find(disc);
+  if (it == unmatched_by_disc_.end()) return;
+  if (--it->second <= 0) unmatched_by_disc_.erase(it);
 }
 
 // --- Client/server model ----------------------------------------------------

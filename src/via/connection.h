@@ -51,10 +51,21 @@ class ConnectionService {
   /// Completion is observable via vi.state() == kConnected.
   Status connect_peer(Vi& vi, NodeId remote_node, Discriminator disc);
 
-  /// Unmatched incoming peer requests (charges one poll cost). Entries
-  /// remain queued until a local connect_peer with the same discriminator
-  /// claims them.
-  std::vector<IncomingRequest> poll_incoming();
+  /// Connects `vi` straight to a remote endpoint whose id is already
+  /// known — learned through an out-of-band bulk exchange — with a local
+  /// driver transition only: no handshake packet, no kernel rendezvous
+  /// (charges conn_bind_cost instead of conn_os_cost). Both sides must
+  /// bind symmetrically or the pair is half-open; the static-tree
+  /// bootstrap guarantees this with a barrier between exchange and bind.
+  Status bind_peer(Vi& vi, NodeId remote_node, ViId remote_vi);
+
+  /// Unmatched incoming peer requests in arrival order (charges one poll
+  /// cost). Entries remain queued until a local connect_peer with the
+  /// same discriminator claims them. `max_batch` bounds how many entries
+  /// one poll reports (0 = no bound): under a connect storm the host
+  /// admits requests in batched rounds instead of walking — and copying —
+  /// an O(N) backlog on every progress pass.
+  std::vector<IncomingRequest> poll_incoming(std::size_t max_batch = 0);
 
   /// True if any unmatched incoming request is queued (no cost; cheap
   /// host-memory check used by progress loops).
@@ -70,14 +81,21 @@ class ConnectionService {
   /// True if an unmatched incoming request with `disc` is queued — i.e. a
   /// local connect_peer with that discriminator would match synchronously
   /// instead of waiting for the remote side. The on-demand manager's VI
-  /// budget uses this to tell limbo-free admissions apart (no cost; the
-  /// queue is never more than a handful deep).
+  /// budget uses this to tell limbo-free admissions apart. Indexed: a
+  /// connect storm can queue thousands of requests, so a linear scan here
+  /// would turn every admission check into O(backlog).
   [[nodiscard]] bool has_unmatched_for(Discriminator disc) const {
-    for (const IncomingRequest& r : unmatched_) {
-      if (r.discriminator == disc) return true;
-    }
-    return false;
+    return unmatched_by_disc_.find(disc) != unmatched_by_disc_.end();
   }
+
+  /// Backpressure watermark: under fault injection, a peer request that
+  /// arrives while more than this many requests are already queued is
+  /// answered with a busy notice telling the initiator to defer its
+  /// retransmit timer past the estimated drain time (without consuming a
+  /// retry attempt). Prevents an admission backlog from masquerading as
+  /// loss and collapsing into a retry storm. No effect on fault-free
+  /// runs, which arm no handshake timers at all.
+  void set_busy_watermark(int depth) { busy_watermark_ = depth; }
 
   // --- Client/server model ------------------------------------------------
 
@@ -133,6 +151,7 @@ class ConnectionService {
 
   void on_peer_request(const IncomingRequest& request);
   void on_peer_ack(ViId local_vi, NodeId remote_node, ViId remote_vi);
+  void on_peer_busy(Discriminator disc, std::int64_t backlog);
   void on_cs_request(const IncomingRequest& request);
   void on_cs_response(ViId local_vi, bool accepted, NodeId remote_node,
                       ViId remote_vi);
@@ -175,6 +194,26 @@ class ConnectionService {
   void send_control(NodeId dst, std::function<void(Nic&)> handler);
   void establish(Vi& vi, NodeId remote_node, ViId remote_vi);
 
+  // unmatched_ bookkeeping: every insert/erase goes through these so the
+  // per-discriminator index stays consistent with the arrival-order queue.
+  void unmatched_push(const IncomingRequest& request);
+  template <typename Pred>
+  void unmatched_erase_if(Pred pred) {
+    for (auto it = unmatched_.begin(); it != unmatched_.end();) {
+      if (pred(*it)) {
+        unmatched_index_remove(it->discriminator);
+        it = unmatched_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  void unmatched_index_remove(Discriminator disc);
+
+  /// Tells `request`'s initiator to defer its retransmit timer past our
+  /// admission backlog's estimated drain time (fault mode only).
+  void send_busy(const IncomingRequest& request);
+
   /// Drops fault-mode idempotency entries that reference `vi` once it
   /// leaves the connected state (disconnect, either side).
   void forget_established(const Vi& vi);
@@ -190,7 +229,7 @@ class ConnectionService {
   [[nodiscard]] bool fault_active() const;
   [[nodiscard]] sim::SimTime retry_wait(int attempts) const;
   [[nodiscard]] sim::SimTime congestion_allowance(NodeId remote) const;
-  void arm_peer_timer(Discriminator disc);
+  void arm_peer_timer(Discriminator disc, sim::SimTime extra_wait = 0);
   void on_peer_timer(Discriminator disc, std::uint64_t gen);
   void resend_peer_request(const PendingPeer& pending);
   void arm_cs_timer(ViId vi_id);
@@ -209,6 +248,10 @@ class ConnectionService {
   std::map<NodeId, Probe> probes_;  // liveness probes awaiting a pong
   std::function<void(NodeId)> peer_failed_handler_;
   std::deque<IncomingRequest> unmatched_;        // peer reqs with no match
+  // Entries queued in unmatched_ per discriminator: O(log) membership for
+  // the admission fast path and duplicate suppression under storms.
+  std::map<Discriminator, int> unmatched_by_disc_;
+  int busy_watermark_ = 64;
   std::deque<IncomingRequest> cs_pending_;       // client reqs awaiting wait
   std::vector<CsWaiter> cs_waiters_;
   std::map<ViId, CsClient> cs_clients_;

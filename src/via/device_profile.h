@@ -40,6 +40,11 @@ struct DeviceProfile {
   sim::SimTime vi_create_cost;        // VipCreateVi (driver call)
   sim::SimTime conn_os_cost;          // kernel involvement per endpoint
   sim::SimTime conn_handshake_bytes;  // handshake packet size (bytes)
+  // Transitioning an endpoint pair straight to connected when both sides
+  // already know each other's VI id (the bulk-OOB-exchange bootstrap):
+  // local driver work only, no wire handshake and no kernel rendezvous,
+  // hence much cheaper than conn_os_cost.
+  sim::SimTime conn_bind_cost;
   bool supports_client_server;        // cLAN: both models; BVIA: P2P only
 
   // --- Reliability / retry calibration (only exercised under an active
@@ -89,6 +94,7 @@ struct DeviceProfile {
     p.vi_create_cost = sim::microseconds(35);
     p.conn_os_cost = sim::microseconds(180);
     p.conn_handshake_bytes = 64;
+    p.conn_bind_cost = sim::microseconds(20);
     p.supports_client_server = true;
     // ~12 us one-way handshake latency: time out at ~12x that, back off
     // in 100 us steps (cLAN's kernel-mediated connects are expensive, so
@@ -122,6 +128,7 @@ struct DeviceProfile {
     p.vi_create_cost = sim::microseconds(60);
     p.conn_os_cost = sim::microseconds(420);
     p.conn_handshake_bytes = 64;
+    p.conn_bind_cost = sim::microseconds(45);
     p.supports_client_server = false;
     // ~29 us one-way handshake latency and a 420 us kernel connect cost:
     // both the base timeout and the backoff are scaled up accordingly.

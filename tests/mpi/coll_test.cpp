@@ -219,13 +219,13 @@ INSTANTIATE_TEST_SUITE_P(AllConfigs, CollectiveMatrix,
 TEST(CollectivePartners, BarrierTouchesLog2Peers) {
   // Table 2's Barrier row: recursive doubling at np=16 -> 4 VIs per rank.
   World w(16, make_options(ConnectionModel::kOnDemand));
-  ASSERT_TRUE(w.run([](Comm& c) { c.barrier(); }));
+  ASSERT_TRUE(w.run_job([](Comm& c) { c.barrier(); }));
   for (int r = 0; r < 16; ++r) EXPECT_EQ(w.report(r).vis_created, 4);
 }
 
 TEST(CollectivePartners, AlltoallTouchesAllPeers) {
   World w(8, make_options(ConnectionModel::kOnDemand));
-  ASSERT_TRUE(w.run([](Comm& c) {
+  ASSERT_TRUE(w.run_job([](Comm& c) {
     std::vector<std::int32_t> a(8, c.rank()), b(8);
     c.alltoall(a.data(), 1, b.data(), kInt32);
   }));

@@ -92,7 +92,7 @@ TEST(CommMgmt, AnySourceInSubCommOnlyConnectsGroup) {
   // The on-demand wildcard rule is scoped to the communicator (paper
   // section 3.5: "all other processes in the specified communicator").
   World w(8, make_options(ConnectionModel::kOnDemand));
-  ASSERT_TRUE(w.run([](Comm& c) {
+  ASSERT_TRUE(w.run_job([](Comm& c) {
     Comm sub = c.split(c.rank() < 4 ? 0 : 1, c.rank());
     ASSERT_TRUE(sub.valid());
     sub.barrier();  // establish some membership traffic

@@ -15,7 +15,7 @@ TEST(StaticConn, FullyConnectedAfterInit) {
   for (ConnectionModel m : {ConnectionModel::kStaticPeerToPeer,
                             ConnectionModel::kStaticClientServer}) {
     World w(6, make_options(m));
-    ASSERT_TRUE(w.run([](Comm&) { /* no communication at all */ }));
+    ASSERT_TRUE(w.run_job([](Comm&) { /* no communication at all */ }));
     for (int r = 0; r < 6; ++r) {
       EXPECT_EQ(w.report(r).vis_created, 5)
           << "static init must create N-1 VIs on rank " << r;
@@ -25,7 +25,7 @@ TEST(StaticConn, FullyConnectedAfterInit) {
 
 TEST(OnDemandConn, NoViWithoutCommunication) {
   World w(6, make_options(ConnectionModel::kOnDemand));
-  ASSERT_TRUE(w.run([](Comm&) {}));
+  ASSERT_TRUE(w.run_job([](Comm&) {}));
   for (int r = 0; r < 6; ++r) {
     EXPECT_EQ(w.report(r).vis_created, 0)
         << "on-demand must create nothing for a silent application";
@@ -35,7 +35,7 @@ TEST(OnDemandConn, NoViWithoutCommunication) {
 TEST(OnDemandConn, RingCreatesExactlyTwoVisPerRank) {
   // Table 2's Ring row: each rank talks to left+right only.
   World w(8, make_options(ConnectionModel::kOnDemand));
-  ASSERT_TRUE(w.run([](Comm& c) {
+  ASSERT_TRUE(w.run_job([](Comm& c) {
     const int right = (c.rank() + 1) % c.size();
     const int left = (c.rank() - 1 + c.size()) % c.size();
     std::int32_t tok = c.rank(), in = -1;
@@ -47,7 +47,7 @@ TEST(OnDemandConn, RingCreatesExactlyTwoVisPerRank) {
 
 TEST(OnDemandConn, PairTalkCreatesOneViEachSide) {
   World w(8, make_options(ConnectionModel::kOnDemand));
-  ASSERT_TRUE(w.run([](Comm& c) {
+  ASSERT_TRUE(w.run_job([](Comm& c) {
     if (c.rank() >= 2) return;  // only ranks 0 and 1 talk
     std::int32_t v = c.rank();
     const int other = 1 - c.rank();
@@ -72,7 +72,7 @@ TEST(OnDemandConn, ViCountEqualsDistinctPeersUnderRandomTraffic) {
     touches[a][b] = touches[b][a] = true;
   }
   World w(kN, make_options(ConnectionModel::kOnDemand));
-  ASSERT_TRUE(w.run([&](Comm& c) {
+  ASSERT_TRUE(w.run_job([&](Comm& c) {
     for (auto [a, b] : pairs) {
       std::int32_t v = 1;
       if (c.rank() == a) c.send(&v, 1, kInt32, b, 3);
@@ -114,7 +114,7 @@ TEST(OnDemandConn, ParkedSendsDrainInOrder) {
 
 TEST(OnDemandConn, ParkedSendsCountedInStats) {
   World w(2, make_options(ConnectionModel::kOnDemand));
-  ASSERT_TRUE(w.run([](Comm& c) {
+  ASSERT_TRUE(w.run_job([](Comm& c) {
     if (c.rank() == 0) {
       std::int32_t v = 1;
       Request r1 = c.isend(&v, 1, kInt32, 1, 1);
@@ -137,7 +137,7 @@ TEST(OnDemandConn, AnySourceConnectsToWholeCommunicator) {
   // peers, so the receiver ends with N-1 VIs even though only one sender
   // ever transmits.
   World w(6, make_options(ConnectionModel::kOnDemand));
-  ASSERT_TRUE(w.run([](Comm& c) {
+  ASSERT_TRUE(w.run_job([](Comm& c) {
     if (c.rank() == 0) {
       std::int32_t v = -1;
       MsgStatus st = c.recv(&v, 1, kInt32, kAnySource, 1);
@@ -173,7 +173,7 @@ TEST(OnDemandConn, ReceiverInitiatedConnection) {
   // receiver that posts early lets the (late) sender find the connection
   // already established.
   World w(2, make_options(ConnectionModel::kOnDemand));
-  ASSERT_TRUE(w.run([](Comm& c) {
+  ASSERT_TRUE(w.run_job([](Comm& c) {
     if (c.rank() == 0) {
       std::int32_t v = -1;
       c.recv(&v, 1, kInt32, 1, 1);  // posted immediately
@@ -189,23 +189,66 @@ TEST(OnDemandConn, ReceiverInitiatedConnection) {
   EXPECT_EQ(w.report(0).device_stats.get("mpi.parked_sends"), 0);
 }
 
+TEST(StaticTreeConn, FullyConnectedAfterInitAndDataFlows) {
+  // The fair static baseline: one aggregated OOB exchange, then local
+  // binds — fully connected at init like the other static models, with
+  // zero per-pair wire handshakes.
+  World w(6, make_options(ConnectionModel::kStaticTree));
+  ASSERT_TRUE(w.run_job([](Comm& c) {
+    // All-pairs traffic over the pre-bound mesh.
+    for (int peer = 0; peer < c.size(); ++peer) {
+      if (peer == c.rank()) continue;
+      std::int32_t out = c.rank(), in = -1;
+      c.sendrecv(&out, 1, kInt32, peer, 3, &in, 1, kInt32, peer, 3);
+      EXPECT_EQ(in, peer);
+    }
+  }));
+  for (int r = 0; r < 6; ++r) {
+    EXPECT_EQ(w.report(r).vis_created, 5)
+        << "tree init must create N-1 VIs on rank " << r;
+    EXPECT_EQ(w.report(r).device_stats.get("mpi.parked_sends"), 0)
+        << "every channel must be bound before user code on rank " << r;
+  }
+  // No wire handshakes at all: the OOB exchange replaces them.
+  EXPECT_EQ(w.aggregate_stats().get("mpi.ondemand_connects"), 0);
+}
+
+TEST(StaticTreeConn, InitBeatsPairwiseStaticAtScale) {
+  // The reason the extended Figure 8 uses it as the static baseline: the
+  // aggregated exchange costs O(log N) hops + O(N) marshalling per rank
+  // versus the O(N) serialized wire handshakes of pairwise static.
+  double init_tree = 0, init_p2p = 0;
+  {
+    World w(16, make_options(ConnectionModel::kStaticTree));
+    ASSERT_TRUE(w.run_job([](Comm&) {}));
+    init_tree = w.metrics().mean_init_us;
+  }
+  {
+    World w(16, make_options(ConnectionModel::kStaticPeerToPeer));
+    ASSERT_TRUE(w.run_job([](Comm&) {}));
+    init_p2p = w.metrics().mean_init_us;
+  }
+  EXPECT_LT(init_tree, init_p2p)
+      << "bulk OOB exchange must beat per-pair wire handshakes";
+}
+
 TEST(InitTime, OnDemandInitBeatsStaticAndCsIsWorst) {
   // Figure 8's ordering at 8 processes on cLAN.
   double init_cs = 0, init_p2p = 0, init_od = 0;
   {
     World w(8, make_options(ConnectionModel::kStaticClientServer));
-    ASSERT_TRUE(w.run([](Comm&) {}));
-    init_cs = w.mean_init_us();
+    ASSERT_TRUE(w.run_job([](Comm&) {}));
+    init_cs = w.metrics().mean_init_us;
   }
   {
     World w(8, make_options(ConnectionModel::kStaticPeerToPeer));
-    ASSERT_TRUE(w.run([](Comm&) {}));
-    init_p2p = w.mean_init_us();
+    ASSERT_TRUE(w.run_job([](Comm&) {}));
+    init_p2p = w.metrics().mean_init_us;
   }
   {
     World w(8, make_options(ConnectionModel::kOnDemand));
-    ASSERT_TRUE(w.run([](Comm&) {}));
-    init_od = w.mean_init_us();
+    ASSERT_TRUE(w.run_job([](Comm&) {}));
+    init_od = w.metrics().mean_init_us;
   }
   EXPECT_GT(init_cs, init_p2p) << "serialized client/server must be slowest";
   EXPECT_GT(init_p2p, init_od) << "full-mesh init must cost more than none";
@@ -214,7 +257,7 @@ TEST(InitTime, OnDemandInitBeatsStaticAndCsIsWorst) {
 TEST(PinnedMemory, StaticPinsFullMeshOnDemandPinsUsage) {
   const auto run_ring = [](ConnectionModel m) {
     World w(8, make_options(m));
-    EXPECT_TRUE(w.run([](Comm& c) {
+    EXPECT_TRUE(w.run_job([](Comm& c) {
       const int right = (c.rank() + 1) % c.size();
       const int left = (c.rank() - 1 + c.size()) % c.size();
       std::int32_t t = 0;
@@ -250,7 +293,7 @@ TEST(DynamicCredits, GrowsWindowAndDeliversEverything) {
   opt.device.dynamic_credits = true;
   opt.device.initial_dynamic_credits = 4;
   World w(2, opt);
-  ASSERT_TRUE(w.run([](Comm& c) {
+  ASSERT_TRUE(w.run_job([](Comm& c) {
     constexpr int kN = 100;
     if (c.rank() == 0) {
       for (std::int32_t i = 0; i < kN; ++i) c.send(&i, 1, kInt32, 1, 1);

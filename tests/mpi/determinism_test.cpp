@@ -23,7 +23,7 @@ RunDigest run_mixed_workload(ConnectionModel model, bool bvia) {
   JobOptions opt = make_options(
       model, bvia ? via::DeviceProfile::bvia() : via::DeviceProfile::clan());
   World w(6, opt);
-  EXPECT_TRUE(w.run([](Comm& c) {
+  EXPECT_TRUE(w.run_job([](Comm& c) {
     sim::Rng rng(99, static_cast<std::uint64_t>(c.rank()));
     std::vector<std::int32_t> buf(512);
     for (int iter = 0; iter < 5; ++iter) {
@@ -75,7 +75,7 @@ TEST(Calibration, PingPongLatencyMatchesPaperRegime) {
                                   WaitPolicy::polling());
     double result_us = 0;
     World w(2, opt);
-    EXPECT_TRUE(w.run([&result_us](Comm& c) {
+    EXPECT_TRUE(w.run_job([&result_us](Comm& c) {
       std::int32_t buf = 0;
       constexpr int kIters = 200;
       // Warmup.
@@ -118,7 +118,7 @@ TEST(Calibration, BandwidthApproachesProfilePeak) {
                                 WaitPolicy::polling());
   double mbps = 0;
   World w(2, opt);
-  ASSERT_TRUE(w.run([&mbps](Comm& c) {
+  ASSERT_TRUE(w.run_job([&mbps](Comm& c) {
     constexpr std::size_t kBytes = 256 * 1024;
     constexpr int kIters = 20;
     std::vector<std::byte> buf(kBytes);
@@ -151,7 +151,7 @@ TEST(Calibration, SpinwaitPenaltyCompoundsAlongDependencyChains) {
                                   via::DeviceProfile::clan(), policy);
     double us = 0;
     World w(2, opt);
-    EXPECT_TRUE(w.run([&us](Comm& c) {
+    EXPECT_TRUE(w.run_job([&us](Comm& c) {
       // Token passing: while one rank computes for 100 us (far beyond the
       // ~30 us spin window), the other waits idle — so under spinwait the
       // waiter really sleeps and pays the kernel wake-up, which delays

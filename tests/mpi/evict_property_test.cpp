@@ -70,7 +70,7 @@ TEST(EvictProperty, RotatingChurn64RanksStaysUnderBudget) {
   constexpr int kBudget = 4;
   constexpr int kCount = 48;
   World world(kP, capped_options(kBudget));
-  ASSERT_TRUE(world.run([&](Comm& comm) {
+  ASSERT_TRUE(world.run_job([&](Comm& comm) {
     const int r = comm.rank();
     std::vector<double> sbuf(kCount), rbuf(kCount);
     for (int t = 1; t < kP; ++t) {
@@ -105,7 +105,7 @@ TEST(EvictProperty, BudgetHeldAtEveryProgressStep) {
   constexpr int kP = 12;
   constexpr int kBudget = 3;
   World world(kP, capped_options(kBudget));
-  ASSERT_TRUE(world.run([&](Comm& comm) {
+  ASSERT_TRUE(world.run_job([&](Comm& comm) {
     const int r = comm.rank();
     std::vector<double> rvals(kP, -1.0), svals(kP, 0.0);
     std::vector<Request> reqs;
@@ -148,7 +148,7 @@ TEST(EvictProperty, SamePairOrderingSurvivesEvictReconnectCycles) {
   constexpr int kBudget = 2;
   constexpr int kEpochs = 4;
   World world(kP, capped_options(kBudget));
-  ASSERT_TRUE(world.run([&](Comm& comm) {
+  ASSERT_TRUE(world.run_job([&](Comm& comm) {
     const int r = comm.rank();
     std::vector<int> seq_out(kP, 0), seq_in(kP, 0);
     for (int e = 0; e < kEpochs; ++e) {
@@ -182,7 +182,7 @@ TEST(EvictProperty, AnySourceFanInUnderCap) {
   constexpr int kBudget = 3;
   constexpr int kRounds = 3;
   World world(kP, capped_options(kBudget));
-  ASSERT_TRUE(world.run([&](Comm& comm) {
+  ASSERT_TRUE(world.run_job([&](Comm& comm) {
     const int r = comm.rank();
     for (int t = 0; t < kRounds; ++t) {
       const int root = t % kP;
@@ -224,7 +224,7 @@ TEST(EvictProperty, RendezvousSurvivesChurn) {
   constexpr int kBudget = 3;
   constexpr int kBig = 20000;  // bytes, well above the 5000 B threshold
   World world(kP, capped_options(kBudget));
-  ASSERT_TRUE(world.run([&](Comm& comm) {
+  ASSERT_TRUE(world.run_job([&](Comm& comm) {
     const int r = comm.rank();
     const int n = kBig / static_cast<int>(sizeof(double));
     std::vector<double> sbuf(static_cast<std::size_t>(n)),
@@ -253,7 +253,7 @@ TEST(EvictProperty, RendezvousSurvivesChurn) {
 TEST(EvictProperty, UnlimitedBudgetNeverEvicts) {
   constexpr int kP = 8;
   World world(kP, capped_options(0));
-  ASSERT_TRUE(world.run([&](Comm& comm) {
+  ASSERT_TRUE(world.run_job([&](Comm& comm) {
     const int r = comm.rank();
     for (int t = 1; t < kP; ++t) {
       const int dst = (r + t) % kP;
@@ -278,7 +278,7 @@ TEST(EvictProperty, UnlimitedBudgetNeverEvicts) {
 TEST(EvictProperty, CappedRunReplaysBitForBit) {
   auto run_once = [](sim::SimTime* when) {
     World world(8, capped_options(2));
-    EXPECT_TRUE(world.run([&](Comm& comm) {
+    EXPECT_TRUE(world.run_job([&](Comm& comm) {
       const int r = comm.rank();
       const int kP = comm.size();
       for (int e = 0; e < 3; ++e) {
@@ -324,7 +324,7 @@ TEST_P(EvictFaultMatrix, ChurnKeepsInvariantsUnderLoss) {
   opt.fault.control_drop_rate = p.control_drop;
   opt.fault.data_drop_rate = p.data_drop;
   World world(kP, opt);
-  ASSERT_TRUE(world.run([&](Comm& comm) {
+  ASSERT_TRUE(world.run_job([&](Comm& comm) {
     const int r = comm.rank();
     std::vector<int> seq_out(kP, 0), seq_in(kP, 0);
     for (int e = 0; e < kEpochs; ++e) {

@@ -46,7 +46,7 @@ KernelResult run_kernel_with_faults(const char* kernel, int nprocs,
                                     const JobOptions& opt) {
   World world(nprocs, opt);
   KernelResult result;
-  EXPECT_TRUE(world.run([&](Comm& comm) {
+  EXPECT_TRUE(world.run_job([&](Comm& comm) {
     KernelResult r = nas::kernel_by_name(kernel)(comm, nas::Class::S);
     if (comm.rank() == 0) result = r;
   })) << kernel << " deadlocked under faults";
@@ -114,7 +114,7 @@ TEST(FaultConn, EagerDataLossIsRecoveredByReliableDelivery) {
   World world(2, opt);
   constexpr int kRounds = 100;
   constexpr int kCount = 256;
-  ASSERT_TRUE(world.run([&](Comm& comm) {
+  ASSERT_TRUE(world.run_job([&](Comm& comm) {
     std::vector<double> buf(kCount);
     for (int r = 0; r < kRounds; ++r) {
       if (comm.rank() == 0) {
@@ -149,7 +149,9 @@ TEST(FaultConn, UnreachablePeerFailsRequestsInsteadOfHanging) {
   opt.fault.seed = fault_seed();
   opt.fault.block_pair(0, 1);
   World world(2, opt);
-  ASSERT_TRUE(world.run([&](Comm& comm) {
+  // The run finishes degraded (kRankFailed: both ranks saw the dead
+  // channel); only a deadline means the dead link hung somebody.
+  const RunResult dead_link = world.run_job([&](Comm& comm) {
     double x = comm.rank();
     if (comm.rank() == 0) {
       Request req = comm.isend(&x, 1, kDouble, 1, 7);
@@ -166,7 +168,10 @@ TEST(FaultConn, UnreachablePeerFailsRequestsInsteadOfHanging) {
       EXPECT_TRUE(req.failed()) << "recv from unreachable peer must fail";
       EXPECT_EQ(req.error(), via::Status::kTimeout);
     }
-  })) << "dead link must surface errors, not deadlock";
+  });
+  ASSERT_NE(dead_link.status, RunStatus::kDeadline)
+      << "dead link must surface errors, not deadlock: "
+      << dead_link.summary();
   auto stats = world.aggregate_stats();
   EXPECT_GE(stats.get("mpi.channel_failures"), 2);
   EXPECT_GE(stats.get("conn.timeouts"), 1);
@@ -177,7 +182,10 @@ TEST(FaultConn, UnreachablePeerFailsRequestsInsteadOfHanging) {
 TEST(FaultConn, TotalHandshakeLossTimesOutCleanly) {
   JobOptions opt = faulty_options(/*control_drop=*/1.0);
   World world(2, opt);
-  ASSERT_TRUE(world.run([&](Comm& comm) {
+  // Finishes kRankFailed — the handshake can never complete, so both
+  // ranks time out their requests and finalize; a deadline is the hang
+  // this test exists to rule out.
+  const RunResult lost = world.run_job([&](Comm& comm) {
     double x = 42.0;
     if (comm.rank() == 0) {
       Request req = comm.isend(&x, 1, kDouble, 1, 1);
@@ -189,7 +197,8 @@ TEST(FaultConn, TotalHandshakeLossTimesOutCleanly) {
       req.wait();
       EXPECT_TRUE(req.failed());
     }
-  }));
+  });
+  ASSERT_NE(lost.status, RunStatus::kDeadline) << lost.summary();
   auto stats = world.aggregate_stats();
   // Both on-demand attempts burned the full VIA retry budget repeatedly.
   EXPECT_GE(stats.get("mpi.connect_reattempts"), 1);
@@ -210,7 +219,7 @@ TEST(FaultConn, FaultedRunReplaysBitForBit) {
     opt.fault.delay_rate = 0.1;
     World world(4, opt);
     KernelResult result;
-    EXPECT_TRUE(world.run([&](Comm& comm) {
+    EXPECT_TRUE(world.run_job([&](Comm& comm) {
       KernelResult r = nas::kernel_by_name("CG")(comm, nas::Class::S);
       if (comm.rank() == 0) result = r;
     }));

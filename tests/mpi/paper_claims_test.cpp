@@ -19,7 +19,7 @@ double barrier_us(ConnectionModel model, WaitPolicy policy, bool bvia,
       policy);
   double result = -1;
   World w(nprocs, opt);
-  EXPECT_TRUE(w.run([&](Comm& c) {
+  EXPECT_TRUE(w.run_job([&](Comm& c) {
     for (int i = 0; i < 5; ++i) c.barrier();
     const double t0 = c.wtime();
     for (int i = 0; i < 200; ++i) c.barrier();
@@ -36,7 +36,7 @@ double pingpong_us(std::size_t bytes, WaitPolicy policy) {
                                 via::DeviceProfile::clan(), policy);
   double result = -1;
   World w(2, opt);
-  EXPECT_TRUE(w.run([&](Comm& c) {
+  EXPECT_TRUE(w.run_job([&](Comm& c) {
     std::vector<std::byte> buf(bytes);
     const auto round = [&] {
       if (c.rank() == 0) {
@@ -111,13 +111,13 @@ TEST(PaperClaims, OnDemandResourceUsageScalesWithApplicationNotSystem) {
   // application at three system sizes: on-demand VI count is constant.
   for (int np : {8, 16, 32}) {
     World w(np, make_options(ConnectionModel::kOnDemand));
-    ASSERT_TRUE(w.run([](Comm& c) {
+    ASSERT_TRUE(w.run_job([](Comm& c) {
       const int right = (c.rank() + 1) % c.size();
       const int left = (c.rank() - 1 + c.size()) % c.size();
       std::int32_t t = 0;
       c.sendrecv(&t, 1, kInt32, right, 1, &t, 1, kInt32, left, 1);
     }));
-    EXPECT_DOUBLE_EQ(w.mean_vis_per_process(), 2.0)
+    EXPECT_DOUBLE_EQ(w.metrics().mean_vis_per_process, 2.0)
         << "ring VI count must not depend on the system size (np=" << np
         << ")";
   }
@@ -132,7 +132,7 @@ TEST(PaperClaims, ConnectionTimeAmortizesWithTraffic) {
                                   WaitPolicy::polling());
     double secs = -1;
     World w(2, opt);
-    EXPECT_TRUE(w.run([&](Comm& c) {
+    EXPECT_TRUE(w.run_job([&](Comm& c) {
       std::int32_t v = 0;
       const double t0 = c.wtime();
       for (int i = 0; i < msgs; ++i) {

@@ -58,7 +58,7 @@ std::vector<std::uint64_t> run_plan(int nprocs, std::uint64_t seed, int count,
   JobOptions opt = make_options(
       model, bvia ? via::DeviceProfile::bvia() : via::DeviceProfile::clan());
   World world(nprocs, opt);
-  EXPECT_TRUE(world.run([&](Comm& c) {
+  EXPECT_TRUE(world.run_job([&](Comm& c) {
     const int me = c.rank();
     // Post all my receives (in plan order per source, preserving the
     // non-overtaking requirement), then fire all my sends.
@@ -138,7 +138,7 @@ TEST_P(TrafficSoup, ContentIntegrityAgainstThePlan) {
   const auto plan = make_plan(nprocs, seed, count);
   JobOptions opt = make_options();
   World world(nprocs, opt);
-  ASSERT_TRUE(world.run([&](Comm& c) {
+  ASSERT_TRUE(world.run_job([&](Comm& c) {
     const int me = c.rank();
     std::vector<Request> sends;
     std::vector<std::vector<std::byte>> send_bufs;
@@ -201,7 +201,7 @@ TEST_P(RandomCollectives, MatchSerialReference) {
   }
   JobOptions opt = make_options();
   World world(kN, opt);
-  ASSERT_TRUE(world.run([&](Comm& c) {
+  ASSERT_TRUE(world.run_job([&](Comm& c) {
     const auto& mine = inputs[static_cast<std::size_t>(c.rank())];
     std::vector<std::int64_t> out(8);
     c.allreduce(mine.data(), out.data(), 8, kInt64, Op::kSum);
@@ -237,7 +237,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RandomCollectives,
 TEST(Scale, RingAt64RanksOnDemand) {
   JobOptions opt = make_options();
   World world(64, opt);
-  ASSERT_TRUE(world.run([](Comm& c) {
+  ASSERT_TRUE(world.run_job([](Comm& c) {
     const int right = (c.rank() + 1) % c.size();
     const int left = (c.rank() - 1 + c.size()) % c.size();
     std::int32_t tok = c.rank(), in = -1;
@@ -248,13 +248,13 @@ TEST(Scale, RingAt64RanksOnDemand) {
     EXPECT_EQ(sum, 64 * 63 / 2);
   }));
   // Ring + allreduce partners only: far below the 63 a static mesh pins.
-  EXPECT_LT(world.mean_vis_per_process(), 9.0);
+  EXPECT_LT(world.metrics().mean_vis_per_process, 9.0);
 }
 
 TEST(Scale, StaticFullMeshAt48Ranks) {
   JobOptions opt = make_options(ConnectionModel::kStaticPeerToPeer);
   World world(48, opt);
-  ASSERT_TRUE(world.run([](Comm& c) { c.barrier(); }));
+  ASSERT_TRUE(world.run_job([](Comm& c) { c.barrier(); }));
   for (int r = 0; r < 48; ++r)
     ASSERT_EQ(world.report(r).vis_created, 47);
 }
@@ -262,7 +262,7 @@ TEST(Scale, StaticFullMeshAt48Ranks) {
 TEST(Stress, ConcurrentTrafficOnManyCommunicators) {
   JobOptions opt = make_options();
   World world(8, opt);
-  ASSERT_TRUE(world.run([](Comm& c) {
+  ASSERT_TRUE(world.run_job([](Comm& c) {
     Comm a = c.dup();
     Comm b = c.split(c.rank() % 2, c.rank());
     // Interleave collectives across the three communicators.
@@ -283,7 +283,7 @@ TEST(Stress, ManySmallUnexpectedMessages) {
   // unexpected queue, exercising its ordering and memory handling.
   JobOptions opt = make_options();
   World world(4, opt);
-  ASSERT_TRUE(world.run([](Comm& c) {
+  ASSERT_TRUE(world.run_job([](Comm& c) {
     constexpr int kMsgs = 64;
     if (c.rank() != 0) {
       for (std::int32_t i = 0; i < kMsgs; ++i) {

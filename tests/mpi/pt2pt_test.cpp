@@ -381,7 +381,7 @@ TEST(Pt2Pt, CreditExhaustionRecoversUnderFlood) {
 TEST(Pt2Pt, NoViaLevelDropsInCorrectPrograms) {
   JobOptions opt = make_options();
   World w(4, opt);
-  ASSERT_TRUE(w.run([](Comm& c) {
+  ASSERT_TRUE(w.run_job([](Comm& c) {
     // A little of everything.
     std::vector<std::int32_t> data(2000, c.rank());
     const int right = (c.rank() + 1) % c.size();

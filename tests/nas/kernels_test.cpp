@@ -26,11 +26,11 @@ KernelResult run_kernel(const char* kernel, int nprocs,
       bvia ? via::DeviceProfile::bvia() : via::DeviceProfile::clan());
   mpi::World world(nprocs, opt);
   KernelResult result;
-  EXPECT_TRUE(world.run([&](mpi::Comm& comm) {
+  EXPECT_TRUE(world.run_job([&](mpi::Comm& comm) {
     KernelResult r = kernel_by_name(kernel)(comm, Class::S);
     if (comm.rank() == 0) result = r;
   })) << kernel << " deadlocked";
-  if (vis_avg != nullptr) *vis_avg = world.mean_vis_per_process();
+  if (vis_avg != nullptr) *vis_avg = world.metrics().mean_vis_per_process;
   return result;
 }
 
