@@ -79,9 +79,9 @@ int main(int argc, char** argv) {
                           : std::vector<int>{0, 2, 4, 8, 12, 16, 24, 32, 48};
   const std::size_t sizes[] = {8, 16, 32, 64};
 
-  for (bool bvia : {true, false}) {
-    const via::DeviceProfile profile =
-        bvia ? via::DeviceProfile::bvia() : via::DeviceProfile::clan();
+  for (const via::DeviceProfile& profile :
+       {via::DeviceProfile::bvia(), via::DeviceProfile::clan(),
+        via::DeviceProfile::rdma()}) {
     std::printf("\n%s one-way latency (us):\n", profile.name.c_str());
     std::printf("%10s", "#VIs");
     for (std::size_t s : sizes) std::printf("  %6zuB", s);
@@ -97,6 +97,7 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper shape: BVIA latency grows ~linearly with open VIs at every\n"
       "message size; cLAN is flat. This is the mechanism behind on-demand's\n"
-      "outright wins on Berkeley VIA (Figures 4b, 5b, 7).\n");
+      "outright wins on Berkeley VIA (Figures 4b, 5b, 7). The rdma profile\n"
+      "(post-paper hardware tier) is flat like cLAN with a longer wire.\n");
   return 0;
 }

@@ -2,10 +2,21 @@
 // utilization (used / created) under static and on-demand connection
 // management, for the microbenchmark programs and the NAS kernels.
 //
-// 24 (app, size) rows x 3 connection configurations = 72 independent
+// 24 (app, size) rows x 4 connection configurations = 96 independent
 // Worlds: submitted as one SweepRunner batch so the table costs the
-// wall-clock of the slowest cell, not the sum of all of them.
+// wall-clock of the slowest cell, not the sum of all of them. The
+// fourth configuration is the XRC-style shared receive endpoint on the
+// rdma profile: one receive pool per process instead of a pinned
+// per-peer credit window, with the pinned-memory column to show it.
+//
+// A dedicated 64-rank study then compares pinned eager-buffer memory
+// between per-peer windows and the shared pool on the same on-demand
+// rdma configuration, hard-failing if sharing does not strictly reduce
+// it. --json=<file> writes google-benchmark-style JSON of that study
+// (items_per_second = pinned-memory reduction ratio) for the
+// BENCH_rdma.json floor gate in CI.
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <utility>
@@ -38,19 +49,26 @@ std::function<void(mpi::Comm&)> coll_bench(
 }
 
 struct VisFigures {
-  double created = -1;  // mean VIs created per process (Table 2's metric)
-  double peak = -1;     // mean peak simultaneously-open VIs per process
+  double created = -1;    // mean VIs created per process (Table 2's metric)
+  double peak = -1;       // mean peak simultaneously-open VIs per process
+  double pinned_kb = -1;  // mean peak pinned NIC memory per process, KB
 };
 
 sim::SweepConfig vis_cfg(const Workload& w, int nprocs,
-                         mpi::ConnectionModel model, int max_vis = 0) {
+                         mpi::ConnectionModel model, int max_vis = 0,
+                         bool xrc_shared = false) {
   sim::SweepConfig cfg;
   cfg.label = w.name + "." + std::to_string(nprocs) + "/" +
               std::string(mpi::to_string(model)) +
-              (max_vis > 0 ? "/cap" + std::to_string(max_vis) : "");
+              (max_vis > 0 ? "/cap" + std::to_string(max_vis) : "") +
+              (xrc_shared ? "/xrc" : "");
   cfg.nranks = nprocs;
   cfg.options.device.connection_model = model;
   cfg.options.device.max_vis = max_vis;
+  if (xrc_shared) {
+    cfg.options.profile = via::DeviceProfile::rdma();
+    cfg.options.device.shared_recv_endpoint = true;
+  }
   cfg.options.trace = bench::next_trace_config();
   cfg.body = w.body;
   cfg.collect_reports = true;  // per-rank vis_open_peak for the peak column
@@ -62,12 +80,86 @@ VisFigures vis_figures(const sim::SweepItemResult& item) {
     std::fprintf(stderr, "%s deadlocked!\n", item.label.c_str());
     return {};
   }
-  double peak = 0;
+  double peak = 0, pinned = 0;
   for (const mpi::RankReport& r : item.reports) {
     peak += static_cast<double>(r.vis_open_peak);
+    pinned += static_cast<double>(r.pinned_bytes_peak);
   }
-  return {item.mean_vis_per_process,
-          item.reports.empty() ? 0 : peak / item.reports.size()};
+  const double n =
+      item.reports.empty() ? 1 : static_cast<double>(item.reports.size());
+  return {item.mean_vis_per_process, peak / n, pinned / n / 1024.0};
+}
+
+// ---- 64-rank pinned-memory study: per-peer windows vs XRC sharing ------
+
+struct PinnedStudy {
+  double per_peer_kb = 0;  // mean peak pinned bytes/rank, per-peer windows
+  double shared_kb = 0;    // same, one shared receive pool per process
+  double reduction = 0;    // per_peer / shared — the Table-2-style win
+};
+
+/// All-to-all on-demand traffic at `nprocs` ranks: every process ends up
+/// connected to every peer, the worst case for per-peer pinned windows
+/// and exactly where the shared receive pool pays off.
+PinnedStudy pinned_study(int nprocs) {
+  const auto body = [](mpi::Comm& c) {
+    std::vector<std::int32_t> a(static_cast<std::size_t>(c.size())),
+        b(static_cast<std::size_t>(c.size()));
+    for (int i = 0; i < 4; ++i) {
+      c.alltoall(a.data(), 1, b.data(), mpi::kInt32);
+      c.barrier();
+    }
+  };
+  std::vector<sim::SweepConfig> configs;
+  for (const bool shared : {false, true}) {
+    sim::SweepConfig cfg;
+    cfg.label = std::string("pinned64/") + (shared ? "xrc" : "per-peer");
+    cfg.nranks = nprocs;
+    cfg.options.profile = via::DeviceProfile::rdma();
+    cfg.options.device.connection_model = mpi::ConnectionModel::kOnDemand;
+    cfg.options.device.shared_recv_endpoint = shared;
+    cfg.options.trace = bench::next_trace_config();
+    cfg.body = body;
+    cfg.collect_reports = true;
+    configs.push_back(std::move(cfg));
+  }
+  const sim::SweepReport rep = sim::SweepRunner::run_all(std::move(configs), 0);
+  PinnedStudy study;
+  for (const sim::SweepItemResult& item : rep.items) {
+    if (!item.ok() || item.reports.empty()) {
+      std::fprintf(stderr, "%s failed!\n", item.label.c_str());
+      std::exit(1);
+    }
+    double pinned = 0;
+    for (const mpi::RankReport& r : item.reports) {
+      pinned += static_cast<double>(r.pinned_bytes_peak);
+    }
+    pinned /= static_cast<double>(item.reports.size()) * 1024.0;
+    (item.label.ends_with("xrc") ? study.shared_kb : study.per_peer_kb) =
+        pinned;
+  }
+  study.reduction =
+      study.shared_kb > 0 ? study.per_peer_kb / study.shared_kb : 0;
+  return study;
+}
+
+void write_json(const std::string& path, const PinnedStudy& s, int nprocs) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "tab2: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\n  \"context\": {\"bench\": \"bench_tab2_resources\"},\n"
+                "  \"benchmarks\": [\n"
+                "    {\"name\": \"tab2_pinned/xrc_reduction/%d\", "
+                "\"run_type\": \"iteration\", "
+                "\"real_time\": %.1f, \"time_unit\": \"kb\", "
+                "\"items_per_second\": %.3f, "
+                "\"per_peer_kb\": %.1f, \"shared_kb\": %.1f}\n  ]\n}\n",
+                nprocs, s.shared_kb, s.reduction, s.per_peer_kb, s.shared_kb);
+  out << buf;
 }
 
 }  // namespace
@@ -126,8 +218,9 @@ int main(int argc, char** argv) {
   // created counts every eviction reconnect too.
   constexpr int kCap = 4;
 
-  // Submit every (workload, size) row's three configurations — static,
-  // on-demand, capped — as one sweep; cells stay submission-ordered.
+  // Submit every (workload, size) row's four configurations — static,
+  // on-demand, capped, XRC-shared — as one sweep; cells stay
+  // submission-ordered.
   std::vector<sim::SweepConfig> configs;
   for (const Workload& w : workloads) {
     for (int size : w.sizes) {
@@ -136,25 +229,33 @@ int main(int argc, char** argv) {
       configs.push_back(vis_cfg(w, size, mpi::ConnectionModel::kOnDemand));
       configs.push_back(
           vis_cfg(w, size, mpi::ConnectionModel::kOnDemand, kCap));
+      configs.push_back(vis_cfg(w, size, mpi::ConnectionModel::kOnDemand, 0,
+                                /*xrc_shared=*/true));
     }
   }
   const sim::SweepReport rep = sim::SweepRunner::run_all(std::move(configs), 0);
 
-  std::printf("%-10s %5s | %8s %10s | %8s %10s | %9s\n", "App", "Size",
-              "VIs-stat", "util-stat", "VIs-od", "util-od", "peak-cap4");
+  std::printf("%-10s %5s | %8s %10s | %8s %10s | %9s | %8s %8s\n", "App",
+              "Size", "VIs-stat", "util-stat", "VIs-od", "util-od",
+              "peak-cap4", "pin-od", "pin-xrc");
   std::size_t cell = 0;
   for (const Workload& w : workloads) {
     for (int size : w.sizes) {
       const VisFigures st = vis_figures(rep.items[cell++]);
       const VisFigures od = vis_figures(rep.items[cell++]);
       const VisFigures capped = vis_figures(rep.items[cell++]);
-      if (st.created < 0 || od.created < 0 || capped.created < 0) continue;
+      const VisFigures xrc = vis_figures(rep.items[cell++]);
+      if (st.created < 0 || od.created < 0 || capped.created < 0 ||
+          xrc.created < 0) {
+        continue;
+      }
       // Utilization: VIs actually used / VIs created. On-demand only
       // creates what it uses (1.0 by construction); static creates N-1.
       const double util_static = od.created / st.created;
-      std::printf("%-10s %5d | %8.2f %10.2f | %8.2f %10.2f | %9.2f\n",
-                  w.name.c_str(), size, st.created, util_static, od.created,
-                  1.0, capped.peak);
+      std::printf(
+          "%-10s %5d | %8.2f %10.2f | %8.2f %10.2f | %9.2f | %7.0fK %7.0fK\n",
+          w.name.c_str(), size, st.created, util_static, od.created, 1.0,
+          capped.peak, od.pinned_kb, xrc.pinned_kb);
       if (capped.peak > kCap + 1e-9) {
         std::fprintf(stderr, "%s.%d: capped peak %.2f exceeds budget %d!\n",
                      w.name.c_str(), size, capped.peak, kCap);
@@ -172,7 +273,32 @@ int main(int argc, char** argv) {
       "\npaper shape: utilization well below 1 for everything except the\n"
       "alltoall-style workloads (IS, Alltoall); on-demand pins exactly\n"
       "what the application touches, and a VI budget (max_vis=%d) bounds\n"
-      "the peak at min(budget, working set) — capped <= uncapped << static.\n",
+      "the peak at min(budget, working set) — capped <= uncapped << static.\n"
+      "pin-od / pin-xrc: mean peak pinned NIC memory per process with\n"
+      "per-peer credit windows vs one shared receive pool (rdma profile).\n",
       kCap);
+
+  // ---- The XRC headline number: pinned memory at 64 ranks ----------------
+  constexpr int kPinRanks = 64;
+  bench::heading(
+      "Pinned eager-receive memory at 64 ranks — per-peer vs XRC-shared");
+  const PinnedStudy study = pinned_study(kPinRanks);
+  std::printf("%-28s %12s\n", "configuration", "pinned/rank");
+  std::printf("%-28s %11.1fK\n", "on-demand, per-peer windows",
+              study.per_peer_kb);
+  std::printf("%-28s %11.1fK\n", "on-demand, XRC shared pool",
+              study.shared_kb);
+  std::printf("reduction: %.2fx\n", study.reduction);
+  if (study.shared_kb >= study.per_peer_kb) {
+    std::fprintf(stderr,
+                 "XRC-shared pinned memory (%.1fK) is not below per-peer "
+                 "(%.1fK) at %d ranks!\n",
+                 study.shared_kb, study.per_peer_kb, kPinRanks);
+    return 1;
+  }
+  if (!bench::json_path().empty()) {
+    write_json(bench::json_path(), study, kPinRanks);
+    std::printf("wrote %s\n", bench::json_path().c_str());
+  }
   return 0;
 }

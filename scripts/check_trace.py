@@ -20,6 +20,13 @@ on a bench run with --trace=<file>:
     preceding evict is impossible (the first connect is never traced as
     a reconnect), and a trailing evict with no reconnect is a clean
     shutdown, which is fine;
+  * with --check-rendezvous, every rendezvous handshake traced in the
+    msg lane is causally ordered: correlating the via.rdma.* instants
+    by (sender rank, sender cookie), each transfer must run
+    rts -> cts -> write -> fin (write mode) or rts -> read -> fin
+    (read mode, where the receiver pulls and the fin travels back to
+    the sender), with no mode mixing, exactly one rts and one fin per
+    transfer, and non-decreasing timestamps along the chain;
   * with --check-failures, the rank-death cascade is causally ordered:
     every survivor event about a dead rank (mpi.conn.peer_failed
     learnings, kPeerFailed-labelled mpi.conn.failed channel failures,
@@ -31,6 +38,7 @@ on a bench run with --trace=<file>:
 Usage:
     check_trace.py <trace.json> [--require-cat fabric,conn,msg]
                    [--check-evictions] [--min-evictions N]
+                   [--check-rendezvous] [--min-rendezvous N]
                    [--check-failures] [--min-deaths N]
 
 Exits non-zero listing every violation.
@@ -148,6 +156,111 @@ def check_evictions(path: pathlib.Path, min_evictions: int) -> list:
         errors.append(
             f"only {n_evict} eviction(s) traced, expected at least "
             f"{min_evictions} — the capped run did not actually churn"
+        )
+    return errors
+
+
+def check_rendezvous(path: pathlib.Path, min_rendezvous: int) -> list:
+    """Validates the rendezvous protocol ordering in a trace.
+
+    The device emits one msg-lane instant per protocol step, all
+    correlated by the *sender's* cookie (args.a0):
+
+      * ``via.rdma.rts``   on the sender's pid (args.peer = receiver);
+      * ``via.rdma.cts``   on the receiver's pid (args.peer = sender);
+      * ``via.rdma.write`` on the sender's pid — the RDMA write posts;
+      * ``via.rdma.read``  on the receiver's pid (args.peer = sender) —
+        the read-rendezvous pull posts instead of cts/write;
+      * ``via.rdma.fin``   with args.a1 = 0 on the receiver's pid
+        (write mode: the fin packet notifies the receiver) or
+        args.a1 = 1 on the sender's pid (read mode: the reverse fin
+        releases the sender).
+
+    So the correlation key is (sender rank, cookie) where the sender
+    rank is the pid for rts/write/fin-a1=1 and args.peer for
+    cts/read/fin-a1=0.  Per key the chain must be causally ordered
+    rts <= cts <= write <= fin or rts <= read <= fin, with exactly one
+    rts and one fin and no mixing of the two modes.  (A zero-byte write
+    rendezvous legitimately has no write instant: there is nothing to
+    RDMA.)
+    """
+    errors = []
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable or invalid JSON: {exc}"]
+
+    STEPS = {
+        "via.rdma.rts": "rts",
+        "via.rdma.cts": "cts",
+        "via.rdma.write": "write",
+        "via.rdma.read": "read",
+        "via.rdma.fin": "fin",
+    }
+    chains = {}  # (sender, cookie) -> {step: [(ts, event index)]}
+    for i, e in enumerate(doc.get("traceEvents", [])):
+        step = STEPS.get(e.get("name"))
+        if step is None:
+            continue
+        args = e.get("args", {})
+        cookie = args.get("a0")
+        if cookie is None:
+            errors.append(f"event {i}: {e.get('name')} without args.a0")
+            continue
+        if step in ("rts", "write"):
+            sender = e.get("pid")
+        elif step == "fin":
+            sender = e.get("pid") if args.get("a1") == 1 else args.get(
+                "peer", -1)
+        else:  # cts, read — emitted at the receiver, peer names the sender
+            sender = args.get("peer", -1)
+        if not isinstance(sender, int) or sender < 0:
+            errors.append(
+                f"event {i}: {e.get('name')} without a resolvable sender"
+            )
+            continue
+        chain = chains.setdefault((sender, cookie), {})
+        chain.setdefault(step, []).append((float(e.get("ts", 0)), i))
+
+    n_complete = 0
+    for (sender, cookie), chain in sorted(chains.items()):
+        where = f"rendezvous (sender {sender}, cookie {cookie})"
+        for step in ("rts", "fin"):
+            if len(chain.get(step, [])) > 1:
+                errors.append(f"{where}: {len(chain[step])} {step} instants")
+        if "rts" not in chain:
+            errors.append(f"{where}: no rts — the handshake has no start")
+            continue
+        if "fin" not in chain:
+            errors.append(f"{where}: no fin — the transfer never completed")
+            continue
+        is_read = "read" in chain
+        if is_read and ("cts" in chain or "write" in chain):
+            errors.append(f"{where}: mixes read and write protocol steps")
+            continue
+        order = ["rts", "read", "fin"] if is_read else [
+            "rts", "cts", "write", "fin"]
+        prev_ts, prev_step = None, None
+        ok = True
+        for step in order:
+            if step not in chain:
+                continue  # zero-byte write rendezvous: no write instant
+            ts = min(t for t, _ in chain[step])
+            if prev_ts is not None and ts < prev_ts:
+                errors.append(
+                    f"{where}: {step} at ts={ts} precedes {prev_step} at "
+                    f"ts={prev_ts} — protocol steps out of causal order"
+                )
+                ok = False
+                break
+            prev_ts, prev_step = ts, step
+        if ok:
+            n_complete += 1
+
+    if n_complete < min_rendezvous:
+        errors.append(
+            f"only {n_complete} complete rendezvous traced, expected at "
+            f"least {min_rendezvous} — the run never left the eager path"
         )
     return errors
 
@@ -295,6 +408,19 @@ def main(argv: list) -> int:
         "least this many evictions",
     )
     parser.add_argument(
+        "--check-rendezvous",
+        action="store_true",
+        help="validate the via.rdma.* rendezvous handshake ordering "
+        "(rts/cts/write/fin or rts/read/fin per transfer)",
+    )
+    parser.add_argument(
+        "--min-rendezvous",
+        type=int,
+        default=0,
+        help="with --check-rendezvous, fail unless the trace shows at "
+        "least this many completed rendezvous transfers",
+    )
+    parser.add_argument(
         "--check-failures",
         action="store_true",
         help="validate the rank-death cascade ordering "
@@ -318,6 +444,8 @@ def main(argv: list) -> int:
     errors = check(args.trace, require)
     if args.check_evictions or args.min_evictions:
         errors += check_evictions(args.trace, args.min_evictions)
+    if args.check_rendezvous or args.min_rendezvous:
+        errors += check_rendezvous(args.trace, args.min_rendezvous)
     if args.check_failures or args.min_deaths:
         errors += check_failures(args.trace, args.min_deaths)
     if errors:

@@ -15,6 +15,10 @@ namespace {
 // windows simultaneously.
 constexpr int kDataCreditFloor = 2;   // data/control packets need >= this
 constexpr int kCreditCreditFloor = 1; // kCredit packets may use the last
+// Smallest shared-receive-endpoint window grant (see channel bootstrap in
+// create_channel_vi): below this, the half-window return threshold hits 1
+// and idle peers ping-pong credit messages.
+constexpr int kMinSrqGrant = 2 * kDataCreditFloor;
 
 // Interned stat handles for the device's cold-path counters (hot-path
 // totals live in HotCounters and are folded into Stats at finalize).
@@ -74,6 +78,18 @@ const sim::Stats::Counter kTrPeerFailed =
     sim::Stats::counter("mpi.conn.peer_failed");
 const sim::Stats::Counter kTrMsgAborted =
     sim::Stats::counter("mpi.msg.aborted");
+// RDMA rendezvous lifecycle instants (TraceCat::kMsg). a0 always carries
+// the *sender-side* cookie so scripts/check_trace.py --check-rendezvous
+// can stitch RTS -> (CTS -> write | read) -> FIN into one causal chain
+// per transfer; rts/write are emitted at the sender, cts/read at the
+// receiver (whose args.peer names the sender), and fin at whichever side
+// completes last — a1 = 1 when that side is the sender (read mode),
+// 0 when it is the receiver (write mode).
+const sim::Stats::Counter kTrRdmaRts = sim::Stats::counter("via.rdma.rts");
+const sim::Stats::Counter kTrRdmaCts = sim::Stats::counter("via.rdma.cts");
+const sim::Stats::Counter kTrRdmaWrite = sim::Stats::counter("via.rdma.write");
+const sim::Stats::Counter kTrRdmaRead = sim::Stats::counter("via.rdma.read");
+const sim::Stats::Counter kTrRdmaFin = sim::Stats::counter("via.rdma.fin");
 
 RequestPtr make_completed_request(ReqKind kind) {
   auto req = std::make_shared<RequestState>();
@@ -98,6 +114,12 @@ Device::Device(via::Cluster& cluster, Rank rank, int size, DeviceConfig config,
       oob_(oob) {
   assert(rank >= 0 && rank < size);
   assert(config_.eager_buf_bytes > kHeaderBytes);
+  assert((config_.rndv_mode == RndvMode::kWrite ||
+          nic_.profile().supports_rdma_read) &&
+         "read rendezvous requires a profile with RDMA read support");
+  assert((!config_.shared_recv_endpoint ||
+          nic_.profile().supports_shared_recv) &&
+         "shared_recv_endpoint requires a profile with shared receive");
   send_cq_ = nic_.create_cq();
   recv_cq_ = nic_.create_cq();
 
@@ -207,32 +229,57 @@ void Device::prepare_channel(Channel& ch) {
   }
   vi_to_channel_[ch.vi] = &ch;
 
-  const int window = config_.dynamic_credits
-                         ? std::min(config_.initial_dynamic_credits,
-                                    config_.credits)
-                         : config_.credits;
-  ch.credit_limit = window;
-  ch.credits = window;
-  ch.recv_bufs.reserve(static_cast<std::size_t>(config_.credits));
-  for (int i = 0; i < window; ++i) {
-    auto buf = std::make_unique<EagerBuf>();
-    buf->mem.resize(config_.eager_buf_bytes);
-    buf->handle = nic_.register_memory(buf->mem.data(), buf->mem.size());
-    buf->desc.op = via::DescOp::kReceive;
-    buf->desc.addr = buf->mem.data();
-    buf->desc.length = buf->mem.size();
-    buf->desc.mem_handle = buf->handle;
-    buf->desc.user_context = buf.get();
-    // Preposting before the connection is established is legal VIA and
-    // closes the race where the peer's first eager packet beats our
-    // discovery of the established connection.
-    [[maybe_unused]] via::Status st = ch.vi->post_recv(&buf->desc);
-    assert(st == via::Status::kSuccess);
-    ch.recv_bufs.push_back(std::move(buf));
+  if (config_.shared_recv_endpoint) {
+    // XRC-style sharing: the VI consumes from the device-global SRQ pool
+    // instead of a private preposted window, so a new peer pins zero
+    // additional receive memory. Its window is a *grant* debited from
+    // the pool, topped up to the full configured window in
+    // channel_connected(), budget permitting. The bootstrap grant is
+    // twice the data-credit floor, never less: the explicit-return
+    // threshold is half the window, and at a window of 2 a lone credit
+    // message (which itself consumes a slot on arrival) would meet the
+    // threshold and provoke a credit message in reply — two idle peers
+    // bouncing returns forever.
+    srq_ensure();
+    ch.vi->bind_shared_recv(srq_);
+    if (srq_credit_budget_ < kMinSrqGrant) {
+      srq_add_buffers(std::max(config_.srq_grow, kMinSrqGrant));
+    }
+    srq_credit_budget_ -= kMinSrqGrant;
+    ch.srq_granted = kMinSrqGrant;
+    ch.credit_limit = kMinSrqGrant;
+    // The peer runs the same configuration, so its bootstrap grant to us
+    // is symmetric — no wire exchange needed to agree on it.
+    ch.credits = kMinSrqGrant;
+    stats_.add(kVisCreated);
+  } else {
+    const int window = config_.dynamic_credits
+                           ? std::min(config_.initial_dynamic_credits,
+                                      config_.credits)
+                           : config_.credits;
+    ch.credit_limit = window;
+    ch.credits = window;
+    ch.recv_bufs.reserve(static_cast<std::size_t>(config_.credits));
+    for (int i = 0; i < window; ++i) {
+      auto buf = std::make_unique<EagerBuf>();
+      buf->mem.resize(config_.eager_buf_bytes);
+      buf->handle = nic_.register_memory(buf->mem.data(), buf->mem.size());
+      buf->desc.op = via::DescOp::kReceive;
+      buf->desc.addr = buf->mem.data();
+      buf->desc.length = buf->mem.size();
+      buf->desc.mem_handle = buf->handle;
+      buf->desc.user_context = buf.get();
+      // Preposting before the connection is established is legal VIA and
+      // closes the race where the peer's first eager packet beats our
+      // discovery of the established connection.
+      [[maybe_unused]] via::Status st = ch.vi->post_recv(&buf->desc);
+      assert(st == via::Status::kSuccess);
+      ch.recv_bufs.push_back(std::move(buf));
+    }
+    stats_.add(kVisCreated);
+    stats_.add(kPinnedRecvBytes,
+               static_cast<std::int64_t>(window * config_.eager_buf_bytes));
   }
-  stats_.add(kVisCreated);
-  stats_.add(kPinnedRecvBytes,
-             static_cast<std::int64_t>(window * config_.eager_buf_bytes));
   if (tracer_ != nullptr && ch.conn_span == 0) {
     // Spans the whole handshake saga, fault retries included; closed in
     // channel_connected() or fail_channel().
@@ -272,6 +319,28 @@ void Device::channel_connected(Channel& ch) {
       h.src_rank = rank_;
       h.tag = d;
       enqueue_control(ch, h);
+    }
+  }
+  // Shared-receive mode: top the peer's bootstrap window up to the full
+  // configured credit window, bounded by what the shared pool still has
+  // ungranted (the invariant "sum of grants <= posted pool depth" is
+  // what preserves the no-descriptor-drop guarantee). The grant rides an
+  // explicit kCredit — or piggybacks, if data beats it out of the queue.
+  if (srq_ != nullptr) {
+    const int extra =
+        std::min(config_.credits - ch.credit_limit, srq_credit_budget_);
+    if (extra > 0) {
+      srq_credit_budget_ -= extra;
+      ch.srq_granted += extra;
+      ch.credit_limit += extra;
+      ch.grant_pending += extra;
+      if (!ch.credit_msg_queued) {
+        PacketHeader h;
+        h.type = PacketType::kCredit;
+        h.src_rank = rank_;
+        ch.credit_msg_queued = true;
+        enqueue_control(ch, h);
+      }
     }
   }
   // Drain the paper's pre-posted send FIFO strictly in order (MPI
@@ -336,6 +405,15 @@ void Device::fail_channel(Channel& ch, via::Status error) {
   auto fail_req = [this, error, &ch](const RequestPtr& req) {
     abort_request(req, error, ch.peer);
   };
+
+  // Shared-receive mode: the dead pair's window grant returns to the
+  // pool (its consumed buffers were reposted on arrival, so pool depth
+  // is intact and the invariant sum(grants) <= depth still holds).
+  if (srq_ != nullptr && ch.srq_granted > 0) {
+    srq_credit_budget_ += ch.srq_granted;
+    ch.srq_granted = 0;
+    ch.grant_pending = 0;
+  }
 
   // Sends parked waiting for the connection that will never come.
   while (!ch.park_fifo.empty()) {
@@ -528,7 +606,19 @@ void Device::start_protocol(const RequestPtr& req) {
   h.context = req->context;
   h.total_bytes = req->bytes;
   h.cookie = req->cookie;
+  if (config_.rndv_mode == RndvMode::kRead && req->bytes > 0) {
+    // Read mode: the RTS itself exports the source buffer, so the
+    // receiver can pull the payload directly — no CTS round trip.
+    h.remote_addr = reinterpret_cast<std::uint64_t>(req->payload());
+    const via::MemoryHandle mh = register_cached(req->payload(), req->bytes);
+    h.rkey = nic_.memory().export_rkey(mh);
+  }
   req->rts_sent = true;
+  if (tracer_ != nullptr && tracer_->on(sim::TraceCat::kMsg)) {
+    tracer_->instant(sim::TraceCat::kMsg, kTrRdmaRts, rank_, req->dst,
+                     static_cast<std::int64_t>(req->cookie),
+                     static_cast<std::int64_t>(req->bytes));
+  }
   enqueue_control(ch, h);
 }
 
@@ -565,9 +655,14 @@ void Device::enqueue_control(Channel& ch, PacketHeader header) {
 }
 
 void Device::take_credits(Channel& ch, PacketHeader& header) {
-  const int take = std::min(ch.unreturned, 255);
+  // A window grant awaiting announcement (shared-receive mode) rides the
+  // same piggyback field as ordinary credit returns; the peer cannot and
+  // need not distinguish them.
+  const int take = std::min(ch.unreturned + ch.grant_pending, 255);
   header.credits = static_cast<std::uint8_t>(take);
-  ch.unreturned -= take;
+  const int from_grant = std::min(ch.grant_pending, take);
+  ch.grant_pending -= from_grant;
+  ch.unreturned -= take - from_grant;
 }
 
 bool Device::drain_outq(Channel& ch) {
@@ -575,9 +670,14 @@ bool Device::drain_outq(Channel& ch) {
   while (!ch.outq.empty() && ch.transport_active()) {
     OutPacket& pkt = ch.outq.front();
     const bool is_credit = pkt.header.type == PacketType::kCredit;
-    if (is_credit && ch.unreturned == 0) {
+    if (is_credit && ch.unreturned == 0 && ch.grant_pending == 0) {
       // A data packet already piggybacked everything; drop the explicit
-      // return instead of wasting a wire message.
+      // return instead of wasting a wire message. The queued-flag must be
+      // cleared here: normally poll_send_cq() clears it when the wire
+      // message completes, but this packet never reaches the NIC, and a
+      // stale flag would suppress every future credit return on the
+      // channel (fatal for narrow shared-receive grants).
+      ch.credit_msg_queued = false;
       ch.outq.pop_front();
       progressed = true;
       continue;
@@ -589,7 +689,25 @@ bool Device::drain_outq(Channel& ch) {
     const bool reserve_ok =
         is_credit || pkt.header.type == PacketType::kEvictAck;
     const int floor = reserve_ok ? kCreditCreditFloor : kDataCreditFloor;
-    if (ch.credits < floor) break;
+    if (ch.credits < floor) {
+      // A data packet stalled on the window must not pin a credit return
+      // queued behind it: with narrow shared-receive grants two peers can
+      // hold each other's last data credit hostage exactly this way. The
+      // explicit return is order-independent — credits are piggybacked at
+      // post time, not enqueue time — so let it jump the line through its
+      // reserved credit.
+      if (!reserve_ok && ch.credits >= kCreditCreditFloor) {
+        auto cit = std::find_if(
+            ch.outq.begin(), ch.outq.end(), [](const OutPacket& p) {
+              return p.header.type == PacketType::kCredit;
+            });
+        if (cit != ch.outq.end()) {
+          std::rotate(ch.outq.begin(), cit, cit + 1);
+          continue;
+        }
+      }
+      break;
+    }
     EagerBuf* buf = acquire_send_buf();
     if (buf == nullptr) {
       if (std::find(starved_channels_.begin(), starved_channels_.end(), &ch) ==
@@ -614,10 +732,22 @@ bool Device::drain_outq(Channel& ch) {
     buf->desc.reset_for_repost();
     via::Status st = ch.vi->post_send(&buf->desc);
     if (st != via::Status::kSuccess) {
+      release_send_buf(buf);
+      if (ch.state == Channel::State::kDraining &&
+          ch.vi->state() == via::ViState::kDisconnected &&
+          out.req == nullptr) {
+        // Benign teardown race, not a transport fault: the peer finished
+        // the eviction handshake and disconnected while a queued control
+        // packet — typically the credit return for its final in-flight
+        // data — was still waiting here. An orderly disconnect proves the
+        // peer needs nothing more from us, and the flow-control state
+        // dies with the VI anyway; drop the packet and keep draining.
+        progressed = true;
+        continue;
+      }
       // The VI failed underneath us (reliable-send retries exhausted): the
       // descriptor was discarded synchronously without a CQ entry, so the
       // buffer is still ours to reclaim. Fail the channel terminally.
-      release_send_buf(buf);
       abort_request(out.req, peer_error(ch.peer), ch.peer);
       fail_channel(ch, via::Status::kTimeout);
       return true;
@@ -765,7 +895,12 @@ RequestPtr Device::post_recv(void* buf, std::size_t capacity, Rank src_world,
   }
   if (m->is_rendezvous) {
     req->status = MsgStatus{m->src, m->tag, m->total_bytes};
-    send_cts(channel(m->src), req, m->total_bytes, m->sender_cookie);
+    if (config_.rndv_mode == RndvMode::kRead) {
+      start_read_rndv(channel(m->src), req, m->total_bytes, m->sender_cookie,
+                      m->remote_addr, m->rkey);
+    } else {
+      send_cts(channel(m->src), req, m->total_bytes, m->sender_cookie);
+    }
     matching_.remove_unexpected(m);
     trace_unexpected_depth();
     return req;
@@ -807,7 +942,64 @@ void Device::send_cts(Channel& ch, const RequestPtr& recv,
   }
   rndv_receivers_[h.recv_cookie] = recv;
   recv->bytes_received = total_bytes;
+  if (tracer_ != nullptr && tracer_->on(sim::TraceCat::kMsg)) {
+    tracer_->instant(sim::TraceCat::kMsg, kTrRdmaCts, rank_, ch.peer,
+                     static_cast<std::int64_t>(sender_cookie),
+                     static_cast<std::int64_t>(total_bytes));
+  }
   enqueue_control(ch, h);
+}
+
+void Device::start_read_rndv(Channel& ch, const RequestPtr& recv,
+                             std::size_t total_bytes,
+                             std::uint64_t sender_cookie,
+                             std::uint64_t remote_addr, std::uint32_t rkey) {
+  assert(config_.rndv_mode == RndvMode::kRead);
+  assert(recv->capacity >= total_bytes &&
+         "rendezvous truncation is not supported: receive buffer too small");
+  recv->bytes_received = total_bytes;
+  if (tracer_ != nullptr && tracer_->on(sim::TraceCat::kMsg)) {
+    tracer_->instant(sim::TraceCat::kMsg, kTrRdmaRead, rank_, ch.peer,
+                     static_cast<std::int64_t>(sender_cookie),
+                     static_cast<std::int64_t>(total_bytes));
+  }
+  if (total_bytes == 0) {
+    // Nothing to pull: complete locally and release the sender now.
+    recv->done = true;
+    trace_msg_done(*recv);
+    PacketHeader fin;
+    fin.type = PacketType::kFinRead;
+    fin.src_rank = rank_;
+    fin.cookie = sender_cookie;
+    enqueue_control(ch, fin);
+    return;
+  }
+  if (ch.vi == nullptr || !ch.transport_active()) {
+    // The channel failed between the RTS arriving and this receive being
+    // posted; the sender side was (or will be) swept by its own failover.
+    abort_request(recv, peer_error(ch.peer), ch.peer);
+    return;
+  }
+  auto d = std::make_unique<via::Descriptor>();
+  d->op = via::DescOp::kRdmaRead;
+  d->addr = recv->recv_buf;
+  d->length = total_bytes;
+  d->mem_handle = register_cached(recv->recv_buf, total_bytes);
+  d->remote_addr = reinterpret_cast<std::byte*>(remote_addr);
+  d->remote_rkey = rkey;
+  d->user_context = d.get();
+  via::Status st = ch.vi->post_send(d.get());
+  if (st != via::Status::kSuccess) {
+    abort_request(recv, peer_error(ch.peer), ch.peer);
+    fail_channel(ch, via::Status::kTimeout);
+    return;
+  }
+  const std::uint64_t rcookie = next_cookie_++;
+  rndv_receivers_[rcookie] = recv;
+  read_rndv_[d.get()] = ReadRndv{rcookie, sender_cookie, ch.peer};
+  hot_.rndv_bytes += static_cast<std::int64_t>(total_bytes);
+  touch_channel(ch);  // the read descriptor is in-flight work on this VI
+  rdma_in_flight_.push_back(std::move(d));
 }
 
 bool Device::poll_recv_cq() {
@@ -816,18 +1008,39 @@ bool Device::poll_recv_cq() {
     progressed = true;
     auto* buf = static_cast<EagerBuf*>(c->descriptor->user_context);
     auto it = vi_to_channel_.find(c->vi);
-    assert(it != vi_to_channel_.end());
+    if (it == vi_to_channel_.end()) {
+      // Fault mode can delay a control packet (e.g. a credit return) past
+      // the eviction handshake: its completion was already queued when the
+      // host woke, but the peer's disconnect in the same wake-up finished
+      // the teardown first, so the VI is gone. The packet is moot — the
+      // flow-control state died with the VI. Shared-pool buffers must
+      // still go back to the SRQ so the pool does not leak.
+      if (srq_ != nullptr) {
+        buf->desc.reset_for_repost();
+        (void)srq_->post(&buf->desc);
+      }
+      continue;
+    }
     Channel& ch = *it->second;
     if (c->descriptor->status != via::Status::kSuccess) {
       // Disconnect teardown can flush descriptors; nothing to deliver.
+      // Shared-mode pool buffers go straight back to the SRQ regardless —
+      // the pool must not shrink underneath the granted windows.
+      if (srq_ != nullptr) {
+        buf->desc.reset_for_repost();
+        (void)srq_->post(&buf->desc);
+      }
       continue;
     }
     via::Nic::charge_host(nic_.profile().recv_handling_overhead);
     handle_packet(ch, buf->mem.data(), c->descriptor->bytes_transferred);
 
-    // Repost the descriptor and account a credit to return.
+    // Repost the descriptor and account a credit to return. In shared
+    // mode the buffer belongs to the device-global pool, not the channel,
+    // so it reposts to the SRQ even if this particular VI has errored.
     buf->desc.reset_for_repost();
-    via::Status st = ch.vi->post_recv(&buf->desc);
+    via::Status st = srq_ != nullptr ? srq_->post(&buf->desc)
+                                     : ch.vi->post_recv(&buf->desc);
     if (st != via::Status::kSuccess) {
       // VI in error state (terminal transport failure): stop recycling.
       continue;
@@ -836,7 +1049,10 @@ bool Device::poll_recv_cq() {
     ++ch.msgs_received;
     ++hot_.packets_received;
 
-    if (config_.dynamic_credits && ch.credit_limit < config_.credits &&
+    // (Dynamic growth is a per-peer-window concept; in shared mode the
+    // window is a grant from the fixed pool, sized at connect time.)
+    if (config_.dynamic_credits && srq_ == nullptr &&
+        ch.credit_limit < config_.credits &&
         ch.msgs_received >= ch.credit_limit) {
       // Paper future work: grow the window with observed traffic.
       const int new_limit = std::min(2 * ch.credit_limit, config_.credits);
@@ -889,6 +1105,9 @@ void Device::handle_packet(Channel& ch, const std::byte* data,
       return;
     case PacketType::kFin:
       handle_fin(h);
+      return;
+    case PacketType::kFinRead:
+      handle_fin_read(h);
       return;
     case PacketType::kCredit:
       return;  // piggyback already harvested above
@@ -1004,7 +1223,11 @@ void Device::handle_rts(Channel& ch, const PacketHeader& h) {
   RequestPtr r = matching_.match_arrival(h.context, h.src_rank, h.tag);
   if (r != nullptr) {
     r->status = MsgStatus{h.src_rank, h.tag, h.total_bytes};
-    send_cts(ch, r, h.total_bytes, h.cookie);
+    if (config_.rndv_mode == RndvMode::kRead) {
+      start_read_rndv(ch, r, h.total_bytes, h.cookie, h.remote_addr, h.rkey);
+    } else {
+      send_cts(ch, r, h.total_bytes, h.cookie);
+    }
     return;
   }
   auto owned = std::make_unique<UnexpectedMsg>();
@@ -1014,6 +1237,8 @@ void Device::handle_rts(Channel& ch, const PacketHeader& h) {
   owned->total_bytes = h.total_bytes;
   owned->is_rendezvous = true;
   owned->sender_cookie = h.cookie;
+  owned->remote_addr = h.remote_addr;
+  owned->rkey = h.rkey;
   matching_.add_unexpected(std::move(owned));
   stats_.add(kUnexpectedRts);
   if (tracer_ != nullptr) {
@@ -1045,12 +1270,20 @@ void Device::handle_cts(const PacketHeader& h) {
     assert(st == via::Status::kSuccess);
     rdma_in_flight_.push_back(std::move(d));
     hot_.rndv_bytes += static_cast<std::int64_t>(req->bytes);
+    if (tracer_ != nullptr && tracer_->on(sim::TraceCat::kMsg)) {
+      tracer_->instant(sim::TraceCat::kMsg, kTrRdmaWrite, rank_, req->dst,
+                       static_cast<std::int64_t>(req->cookie),
+                       static_cast<std::int64_t>(req->bytes));
+    }
   }
   // FIN follows the RDMA data on the same (ordered) connection, so the
-  // receiver's completion implies the data has landed.
+  // receiver's completion implies the data has landed. It echoes the
+  // sender cookie so the receiver's completion instant can be correlated
+  // back to the RTS that started the transfer.
   PacketHeader fin;
   fin.type = PacketType::kFin;
   fin.src_rank = rank_;
+  fin.cookie = h.cookie;
   fin.recv_cookie = h.recv_cookie;
   OutPacket pkt;
   pkt.header = fin;
@@ -1068,11 +1301,40 @@ void Device::handle_fin(const PacketHeader& h) {
   rndv_receivers_.erase(it);
   req->done = true;
   trace_msg_done(*req);
+  if (tracer_ != nullptr && tracer_->on(sim::TraceCat::kMsg)) {
+    tracer_->instant(sim::TraceCat::kMsg, kTrRdmaFin, rank_, h.src_rank,
+                     static_cast<std::int64_t>(h.cookie), 0);
+  }
+}
+
+void Device::handle_fin_read(const PacketHeader& h) {
+  // Tolerant lookup (unlike handle_fin): under fault injection the
+  // sender's channel can fail over — sweeping rndv_senders_ — while the
+  // receiver's kFinRead is already on the wire.
+  auto it = rndv_senders_.find(h.cookie);
+  if (it == rndv_senders_.end()) return;
+  RequestPtr req = it->second;
+  rndv_senders_.erase(it);
+  req->cts_received = true;  // read mode: the FIN is the only response
+  req->done = true;
+  trace_msg_done(*req);
+  if (tracer_ != nullptr && tracer_->on(sim::TraceCat::kMsg)) {
+    tracer_->instant(sim::TraceCat::kMsg, kTrRdmaFin, rank_, h.src_rank,
+                     static_cast<std::int64_t>(h.cookie), 1);
+  }
 }
 
 void Device::maybe_return_credits(Channel& ch) {
   if (ch.unreturned < std::max(1, ch.credit_limit / 2)) return;
   if (ch.credit_msg_queued) return;
+  // Returns keep flowing through an eviction drain — the peer may need
+  // its window back to finish its half of the handshake — but once both
+  // sides have agreed to tear down, nothing the peer does depends on our
+  // credits, and a fresh wire message would race VI destruction.
+  if (ch.state == Channel::State::kDraining && ch.evict_teardown_ready) {
+    return;
+  }
+  if (!ch.transport_active()) return;
   PacketHeader h;
   h.type = PacketType::kCredit;
   h.src_rank = rank_;
@@ -1116,6 +1378,33 @@ void Device::release_send_buf(EagerBuf* buf) {
   }
 }
 
+void Device::srq_ensure() {
+  if (srq_ != nullptr) return;
+  srq_ = nic_.create_shared_recv_queue();
+  srq_add_buffers(std::max(config_.srq_depth, kDataCreditFloor));
+}
+
+void Device::srq_add_buffers(int n) {
+  assert(srq_ != nullptr);
+  for (int i = 0; i < n; ++i) {
+    auto buf = std::make_unique<EagerBuf>();
+    buf->mem.resize(config_.eager_buf_bytes);
+    buf->handle = nic_.register_memory(buf->mem.data(), buf->mem.size());
+    buf->desc.op = via::DescOp::kReceive;
+    buf->desc.addr = buf->mem.data();
+    buf->desc.length = buf->mem.size();
+    buf->desc.mem_handle = buf->handle;
+    buf->desc.user_context = buf.get();
+    [[maybe_unused]] via::Status st = srq_->post(&buf->desc);
+    assert(st == via::Status::kSuccess);
+    srq_bufs_.push_back(std::move(buf));
+  }
+  srq_credit_budget_ += n;
+  stats_.add(kPinnedRecvBytes,
+             static_cast<std::int64_t>(n) *
+                 static_cast<std::int64_t>(config_.eager_buf_bytes));
+}
+
 via::MemoryHandle Device::register_cached(const std::byte* addr,
                                           std::size_t bytes) {
   auto it = reg_cache_.upper_bound(addr);
@@ -1143,12 +1432,46 @@ bool Device::poll_send_cq() {
     // fails the whole channel; resources are still reclaimed below.
     const bool send_failed = desc->status != via::Status::kSuccess &&
                              !finalized_ && cluster_.fault_active();
-    if (desc->op == via::DescOp::kRdmaWrite) {
+    if (desc->op == via::DescOp::kRdmaWrite ||
+        desc->op == via::DescOp::kRdmaRead) {
       auto it = std::find_if(
           rdma_in_flight_.begin(), rdma_in_flight_.end(),
           [desc](const auto& d) { return d.get() == desc; });
       assert(it != rdma_in_flight_.end());
+      // Keep the descriptor alive for the rest of this iteration: erase()
+      // alone would free it while `desc` is still read below.
+      std::unique_ptr<via::Descriptor> owned = std::move(*it);
       rdma_in_flight_.erase(it);
+      if (desc->op == via::DescOp::kRdmaRead) {
+        // Read-rendezvous: the pulled data has landed in the receive
+        // buffer — finish the receive and release the sender's pinned
+        // buffer with the reverse FIN.
+        const auto info_it = read_rndv_.find(desc);
+        assert(info_it != read_rndv_.end());
+        const ReadRndv info = info_it->second;
+        read_rndv_.erase(info_it);
+        auto recv_it = rndv_receivers_.find(info.recv_cookie);
+        if (desc->status == via::Status::kSuccess) {
+          if (recv_it != rndv_receivers_.end()) {
+            RequestPtr recv = recv_it->second;
+            rndv_receivers_.erase(recv_it);
+            recv->done = true;
+            trace_msg_done(*recv);
+          }
+          Channel& rch = channel(info.peer);
+          if (rch.transport_active()) {
+            PacketHeader fin;
+            fin.type = PacketType::kFinRead;
+            fin.src_rank = rank_;
+            fin.cookie = info.sender_cookie;
+            enqueue_control(rch, fin);
+          }
+        } else if (recv_it != rndv_receivers_.end()) {
+          RequestPtr recv = recv_it->second;
+          rndv_receivers_.erase(recv_it);
+          abort_request(recv, peer_error(info.peer), info.peer);
+        }
+      }
       if (send_failed) {
         auto ch_it = vi_to_channel_.find(c->vi);
         if (ch_it != vi_to_channel_.end()) {
@@ -1162,7 +1485,16 @@ bool Device::poll_send_cq() {
     const PacketHeader h = read_header(buf->mem.data());
     if (h.type == PacketType::kCredit) {
       auto it = vi_to_channel_.find(c->vi);
-      if (it != vi_to_channel_.end()) it->second->credit_msg_queued = false;
+      if (it != vi_to_channel_.end()) {
+        it->second->credit_msg_queued = false;
+        // Re-arm immediately: returns that accrued while this message was
+        // in flight were skipped by the queued-flag check, and if the peer
+        // is stalled on its last data credit no further arrival will ever
+        // trigger them (narrow shared-receive grants wedge exactly here).
+        if (it->second->transport_active()) {
+          maybe_return_credits(*it->second);
+        }
+      }
     }
     release_send_buf(buf);
     if (send_failed) {
@@ -1309,6 +1641,17 @@ bool Device::progress_evictions() {
       enqueue_control(ch, h);
       progressed = true;
     }
+    if (ch.evict_teardown_ready &&
+        ch.vi->state() == via::ViState::kDisconnected) {
+      // The peer already tore its side down; any control packets still
+      // queued (credit returns for its final data) are moot and would
+      // otherwise hold the outq non-empty forever if the credit floor
+      // blocks them from even being attempted.
+      while (!ch.outq.empty() && ch.outq.front().req == nullptr) {
+        ch.outq.pop_front();
+        progressed = true;
+      }
+    }
     if (ch.evict_teardown_ready && ch.outq.empty()) {
       if (ch.vi->state() == via::ViState::kDisconnected &&
           ch.vi->sends_in_flight() > 0) {
@@ -1335,9 +1678,13 @@ void Device::finish_evict(Channel& ch) {
   assert(ch.vi != nullptr && ch.vi->sends_in_flight() == 0);
   assert(ch.outq.empty());
   assert(ch.in_req == nullptr && ch.in_unexp == nullptr && ch.in_total == 0);
-  // Send completions for this VI may still sit unpolled in the CQ; drain
-  // them now so no completion outlives its VI.
+  // Completions for this VI may still sit unpolled in either CQ; drain
+  // them now so no completion outlives its VI. The recv side matters in
+  // fault mode: a delayed control packet can land during the final
+  // handshake wake-up, and its queued completion must be consumed while
+  // the VI->channel mapping is still intact.
   poll_send_cq();
+  poll_recv_cq();
   if (ch.vi->state() == via::ViState::kConnected) {
     nic_.connections().disconnect(*ch.vi);
   }
@@ -1345,13 +1692,22 @@ void Device::finish_evict(Channel& ch) {
   nic_.destroy_vi(ch.vi);
   ch.vi = nullptr;
   // Release the pinned eager receive window — the paper's ~120 kB per VI.
+  // In shared mode there is no per-peer window to release (the pool
+  // persists; that is the resource win): only the grant returns to the
+  // budget, ready for the next peer.
   std::int64_t released = 0;
-  for (const auto& buf : ch.recv_bufs) {
-    released += static_cast<std::int64_t>(buf->mem.size());
-    nic_.deregister_memory(buf->handle);
+  if (srq_ != nullptr) {
+    srq_credit_budget_ += ch.srq_granted;
+    ch.srq_granted = 0;
+    ch.grant_pending = 0;
+  } else {
+    for (const auto& buf : ch.recv_bufs) {
+      released += static_cast<std::int64_t>(buf->mem.size());
+      nic_.deregister_memory(buf->handle);
+    }
+    ch.recv_bufs.clear();
+    stats_.add(kPinnedRecvBytes, -released);
   }
-  ch.recv_bufs.clear();
-  stats_.add(kPinnedRecvBytes, -released);
   ch.credits = 0;
   ch.credit_limit = 0;
   ch.unreturned = 0;
@@ -1462,6 +1818,15 @@ void Device::finalize_teardown() {
     Channel& ch = *chp;
     if (ch.vi == nullptr) continue;
     if (ch.vi->state() == via::ViState::kConnected) ch.vi->disconnect();
+    if (ch.vi->state() == via::ViState::kDisconnected &&
+        ch.vi->sends_in_flight() > 0) {
+      // The peer finalized first and its orderly disconnect raced our
+      // trailing control traffic (fault mode can delay a credit return
+      // past the peer's last receive). The disconnect proves the peer
+      // needs nothing more; flush the reliable-send bookkeeping exactly
+      // as the eviction drain does so the VI can be destroyed.
+      nic_.complete_sends_on_disconnect(*ch.vi);
+    }
     nic_.destroy_vi(ch.vi);
     ch.vi = nullptr;
     ch.state = Channel::State::kUnconnected;

@@ -70,6 +70,27 @@ struct DeviceConfig {
   // peer unreachable and failing the channel. Only reachable under fault
   // injection — a loss-free fabric always connects on the first try.
   int max_connect_attempts = 3;
+  // Rendezvous data-movement protocol. kWrite (default) is the paper's
+  // CTS-carries-target / sender-writes protocol and works on every
+  // profile. kRead requires a DeviceProfile with supports_rdma_read (the
+  // "rdma" profile): the RTS carries the sender's registered buffer and
+  // rkey, the receiver pulls the payload with one RDMA read and notifies
+  // the sender with kFinRead — one fewer control hop on the critical
+  // path, and the receiver controls when its memory is written.
+  RndvMode rndv_mode = RndvMode::kWrite;
+  // XRC-style shared receive endpoint mode (requires a profile with
+  // supports_shared_recv). Instead of pinning a full `credits`-deep
+  // window of eager buffers per peer — the paper's 120 kB-per-VI cost
+  // that motivates on-demand management in the first place — all VIs
+  // bind to one SharedRecvQueue holding `srq_depth` buffers total, and
+  // the per-peer credit window becomes a *grant* debited from that
+  // shared pool. Per-peer receive state drops from O(peers) to O(1);
+  // the invariant "sum of granted windows <= posted SRQ depth" keeps
+  // the no-descriptor-drop guarantee of the per-peer design. Off by
+  // default: the per-peer window is the paper's configuration.
+  bool shared_recv_endpoint = false;
+  int srq_depth = 64;  // initial shared pool, in buffers
+  int srq_grow = 8;    // pool growth when a new peer cannot get a grant
   // Per-process VI budget for on-demand management (paper section 6's
   // "dynamic teardown under resource pressure"). 0 = unlimited, which is
   // today's behaviour and the default: no eviction code path runs and
@@ -126,6 +147,12 @@ struct Channel {
   int unreturned = 0;    // arrivals not yet credited back to the peer
   std::int64_t msgs_received = 0;
   bool credit_msg_queued = false;  // explicit kCredit packet outstanding
+  // Shared-receive mode only: window grant awaiting announcement to the
+  // peer (rides the next packet's piggyback field, or an explicit
+  // kCredit), and the total grant debited from the device's SRQ budget
+  // (returned on eviction / failure).
+  int grant_pending = 0;
+  int srq_granted = 0;
   std::deque<OutPacket> outq;       // wire packets awaiting credits/buffers
   std::deque<RequestPtr> park_fifo;  // the paper's pre-posted send FIFO
   std::vector<std::unique_ptr<EagerBuf>> recv_bufs;
@@ -389,6 +416,12 @@ class Device {
   void handle_rts(Channel& ch, const PacketHeader& h);
   void handle_cts(const PacketHeader& h);
   void handle_fin(const PacketHeader& h);
+  void handle_fin_read(const PacketHeader& h);
+  /// Read-rendezvous receive path: posts the RDMA read of the sender's
+  /// buffer (or completes immediately for zero-byte payloads).
+  void start_read_rndv(Channel& ch, const RequestPtr& recv,
+                       std::size_t total_bytes, std::uint64_t sender_cookie,
+                       std::uint64_t remote_addr, std::uint32_t rkey);
   void finish_eager_recv(Channel& ch);
   void send_cts(Channel& ch, const RequestPtr& recv, std::size_t total_bytes,
                 std::uint64_t sender_cookie);
@@ -460,6 +493,10 @@ class Device {
   void release_send_buf(EagerBuf* buf);
   via::MemoryHandle register_cached(const std::byte* addr, std::size_t bytes);
 
+  // Shared-receive (XRC) mode internals.
+  void srq_ensure();            // lazily creates the SRQ + initial pool
+  void srq_add_buffers(int n);  // registers and posts n more pool buffers
+
   via::Cluster& cluster_;
   via::Nic& nic_;
   sim::Tracer* tracer_;  // from the cluster; nullptr when not tracing
@@ -490,6 +527,24 @@ class Device {
 
   // Rendezvous RDMA descriptors in flight (returned via user_context).
   std::vector<std::unique_ptr<via::Descriptor>> rdma_in_flight_;
+
+  // Read-rendezvous bookkeeping: in-flight RDMA read descriptor -> what
+  // to do when it completes (which receive to finish, which sender
+  // cookie to name in the kFinRead, which peer to send it to).
+  struct ReadRndv {
+    std::uint64_t recv_cookie = 0;
+    std::uint64_t sender_cookie = 0;
+    Rank peer = -1;
+  };
+  std::unordered_map<via::Descriptor*, ReadRndv> read_rndv_;
+
+  // Shared-receive (XRC) mode state. The SRQ and its buffer pool are
+  // device-global (that is the point); srq_credit_budget_ tracks how
+  // many posted-but-ungranted buffers remain, maintaining the invariant
+  // sum(channel.srq_granted) + srq_credit_budget_ == buffers posted.
+  via::SharedRecvQueue* srq_ = nullptr;
+  std::vector<std::unique_ptr<EagerBuf>> srq_bufs_;
+  int srq_credit_budget_ = 0;
 
   // Registration cache: base address -> (handle, length).
   std::map<const std::byte*, std::pair<via::MemoryHandle, std::size_t>>

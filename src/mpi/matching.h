@@ -35,6 +35,10 @@ struct UnexpectedMsg {
   std::size_t arrived_bytes = 0;
   bool is_rendezvous = false;
   std::uint64_t sender_cookie = 0;     // RTS cookie (rendezvous only)
+  // Read-rendezvous only: the sender's registered buffer, carried by the
+  // RTS so a late-posted receive can issue the RDMA read directly.
+  std::uint64_t remote_addr = 0;
+  std::uint32_t rkey = 0;
   std::vector<std::byte> payload;      // accumulated eager data
   RequestPtr claimed;                  // receive bound to this entry
   RequestState* self_send = nullptr;   // pending self-ssend to complete

@@ -18,6 +18,10 @@ enum class PacketType : std::uint8_t {
   kRts,             // rendezvous request-to-send
   kCts,             // clear-to-send: target address + memory handle
   kFin,             // rendezvous completion notification
+  // Read-rendezvous completion (DeviceConfig::rndv_mode == kRead):
+  // receiver -> sender, "my RDMA read of your buffer finished, release
+  // it". The mirror image of kFin, which flows sender -> receiver.
+  kFinRead,
   kCredit,          // explicit flow-control credit return
   // Resource-capped eviction handshake (DeviceConfig::max_vis > 0 only).
   // Both ride the ordered eager channel, which is what makes the
@@ -44,9 +48,10 @@ struct PacketHeader {
   std::uint64_t total_bytes = 0;    // full message length (first/RTS)
   std::uint64_t cookie = 0;         // sender-side rendezvous id
   std::uint64_t recv_cookie = 0;    // receiver-side rendezvous id (CTS/FIN)
-  std::uint64_t remote_addr = 0;    // CTS: target buffer address
+  std::uint64_t remote_addr = 0;    // CTS: target buffer address;
+                                    // RTS (read mode): source buffer address
   std::uint32_t remote_handle = 0;  // CTS: target memory handle
-  std::uint32_t pad = 0;
+  std::uint32_t rkey = 0;           // RTS (read mode): source buffer rkey
 };
 
 inline constexpr std::size_t kHeaderBytes = 64;

@@ -51,6 +51,27 @@ enum class ConnectionModel : std::uint8_t {
   return "unknown";
 }
 
+/// How rendezvous data moves once the envelope handshake matches
+/// (messages above the eager threshold, and synchronous sends):
+///  * kWrite — the paper-era protocol: receiver's CTS carries its
+///    registered buffer, sender RDMA-writes into it, FIN notifies;
+///  * kRead — the MPICH2-over-InfiniBand protocol: the RTS itself
+///    carries the sender's registered buffer + rkey, the receiver
+///    RDMA-reads it and notifies with a reverse FIN. One fewer
+///    control-packet round trip; requires a profile with RDMA read.
+enum class RndvMode : std::uint8_t {
+  kWrite,
+  kRead,
+};
+
+[[nodiscard]] inline const char* to_string(RndvMode m) {
+  switch (m) {
+    case RndvMode::kWrite: return "rndv-write";
+    case RndvMode::kRead: return "rndv-read";
+  }
+  return "unknown";
+}
+
 /// Completion-wait policy (paper section 5.3): MVICH's default spins
 /// `spin_count` times then falls through to the kernel wait ("spinwait");
 /// raising the spin count to effectively infinity gives "polling".

@@ -15,6 +15,7 @@ enum class DescOp : std::uint8_t {
   kSend,
   kReceive,
   kRdmaWrite,
+  kRdmaRead,
 };
 
 struct Descriptor {
@@ -25,9 +26,12 @@ struct Descriptor {
   std::size_t length = 0;
   MemoryHandle mem_handle = kInvalidMemoryHandle;
 
-  // RDMA-write target (ignored for send/receive).
+  // RDMA target (ignored for send/receive). Writes name the remote region
+  // by handle (the CTS hands it over directly); reads present the rkey the
+  // region's owner exported, validated by the remote NIC.
   std::byte* remote_addr = nullptr;
   MemoryHandle remote_mem_handle = kInvalidMemoryHandle;
+  RKey remote_rkey = kInvalidRKey;
 
   // Filled in on completion.
   Status status = Status::kInProgress;

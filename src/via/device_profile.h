@@ -47,6 +47,17 @@ struct DeviceProfile {
   sim::SimTime conn_bind_cost;
   bool supports_client_server;        // cLAN: both models; BVIA: P2P only
 
+  // --- One-sided capabilities (the post-VIA generation). ---
+  // RDMA read (target-side memory fetched by the initiator) and shared
+  // receive contexts (one receive queue serving many peers, InfiniBand
+  // SRQ/XRC style) arrived with the InfiniBand HCAs that succeeded VIA
+  // NICs. The cLAN and Berkeley VIA profiles advertise neither; the rdma()
+  // profile advertises both. The simulation itself can execute the ops on
+  // any profile — these flags record what the modelled hardware offered,
+  // and benches/tests use them to pick honest configurations.
+  bool supports_rdma_read;
+  bool supports_shared_recv;
+
   // --- Reliability / retry calibration (only exercised under an active
   // FaultPlan; the loss-free wire never arms a timer). ---
   // VipConnectPeerRequest / VipConnectRequest timeout before the
@@ -96,6 +107,8 @@ struct DeviceProfile {
     p.conn_handshake_bytes = 64;
     p.conn_bind_cost = sim::microseconds(20);
     p.supports_client_server = true;
+    p.supports_rdma_read = false;
+    p.supports_shared_recv = false;
     // ~12 us one-way handshake latency: time out at ~12x that, back off
     // in 100 us steps (cLAN's kernel-mediated connects are expensive, so
     // retries are spaced generously).
@@ -130,6 +143,8 @@ struct DeviceProfile {
     p.conn_handshake_bytes = 64;
     p.conn_bind_cost = sim::microseconds(45);
     p.supports_client_server = false;
+    p.supports_rdma_read = false;
+    p.supports_shared_recv = false;
     // ~29 us one-way handshake latency and a 420 us kernel connect cost:
     // both the base timeout and the backoff are scaled up accordingly.
     p.conn_timeout = sim::microseconds(400);
@@ -138,6 +153,43 @@ struct DeviceProfile {
     p.retransmit_timeout = sim::microseconds(300);
     p.max_retransmits = 8;
     p.mem_reg_cost_per_page = sim::nanoseconds(150);
+    return p;
+  }
+
+  /// First-generation InfiniBand 4X HCA (the "MPICH2 over InfiniBand with
+  /// RDMA support" era that followed the paper's testbeds). Targets: ~6 us
+  /// small-message MPI latency, ~840 MB/s bandwidth, latency flat in the
+  /// number of open endpoints (RC queue pairs live in HCA context memory,
+  /// no firmware doorbell scan), cheap polling, and native one-sided ops:
+  /// RDMA read and SRQ/XRC-style shared receive contexts.
+  static DeviceProfile rdma() {
+    DeviceProfile p;
+    p.name = "rdma";
+    p.send_post_overhead = sim::nanoseconds(400);
+    p.recv_post_overhead = sim::nanoseconds(250);
+    p.cq_poll_cost = sim::nanoseconds(90);
+    p.recv_handling_overhead = sim::nanoseconds(600);
+    p.blocking_wait_wakeup = sim::microseconds(12);
+    p.wait_is_poll = false;
+    p.nic_base_cost = sim::nanoseconds(1300);
+    p.nic_per_vi_cost = sim::nanoseconds(0);
+    p.per_byte_ns = 1.2;  // ~840 MB/s
+    p.wire_latency = sim::nanoseconds(3400);
+    p.vi_create_cost = sim::microseconds(18);
+    p.conn_os_cost = sim::microseconds(95);
+    p.conn_handshake_bytes = 64;
+    p.conn_bind_cost = sim::microseconds(9);
+    p.supports_client_server = true;
+    p.supports_rdma_read = true;
+    p.supports_shared_recv = true;
+    // ~5 us one-way handshake: tighter timeouts than the VIA NICs, same
+    // retry discipline.
+    p.conn_timeout = sim::microseconds(60);
+    p.conn_retry_backoff_base = sim::microseconds(40);
+    p.max_conn_retries = 6;
+    p.retransmit_timeout = sim::microseconds(50);
+    p.max_retransmits = 8;
+    p.mem_reg_cost_per_page = sim::nanoseconds(60);
     return p;
   }
 };

@@ -7,7 +7,9 @@ namespace odmpi::via {
 MemoryHandle MemoryRegistry::register_region(const std::byte* base,
                                              std::size_t length) {
   const MemoryHandle handle = next_handle_++;
-  regions_.emplace(handle, Region{base, length});
+  const RKey rkey = next_rkey_++;
+  regions_.emplace(handle, Region{base, length, rkey});
+  rkey_to_handle_.emplace(rkey, handle);
   pinned_bytes_ += static_cast<std::int64_t>(length);
   peak_pinned_bytes_ = std::max(peak_pinned_bytes_, pinned_bytes_);
   return handle;
@@ -17,6 +19,7 @@ bool MemoryRegistry::deregister(MemoryHandle handle) {
   auto it = regions_.find(handle);
   if (it == regions_.end()) return false;
   pinned_bytes_ -= static_cast<std::int64_t>(it->second.length);
+  rkey_to_handle_.erase(it->second.rkey);
   regions_.erase(it);
   return true;
 }
@@ -27,6 +30,18 @@ bool MemoryRegistry::covers(MemoryHandle handle, const std::byte* addr,
   if (it == regions_.end()) return false;
   const Region& r = it->second;
   return addr >= r.base && addr + length <= r.base + r.length;
+}
+
+RKey MemoryRegistry::export_rkey(MemoryHandle handle) const {
+  auto it = regions_.find(handle);
+  return it == regions_.end() ? kInvalidRKey : it->second.rkey;
+}
+
+bool MemoryRegistry::covers_rkey(RKey rkey, const std::byte* addr,
+                                 std::size_t length) const {
+  auto it = rkey_to_handle_.find(rkey);
+  if (it == rkey_to_handle_.end()) return false;
+  return covers(it->second, addr, length);
 }
 
 }  // namespace odmpi::via

@@ -26,6 +26,17 @@ class MemoryRegistry {
   [[nodiscard]] bool covers(MemoryHandle handle, const std::byte* addr,
                             std::size_t length) const;
 
+  /// Remote key of a registered region, for export to peers that will
+  /// target it with one-sided operations; kInvalidRKey for an unknown
+  /// handle. Every region gets a distinct rkey at registration.
+  [[nodiscard]] RKey export_rkey(MemoryHandle handle) const;
+
+  /// Validates a one-sided access: true if `rkey` names a live region
+  /// containing [addr, addr+length). This is the check the *target* NIC
+  /// runs on an incoming RDMA read/write that presents an rkey.
+  [[nodiscard]] bool covers_rkey(RKey rkey, const std::byte* addr,
+                                 std::size_t length) const;
+
   /// Bytes currently pinned on this node.
   [[nodiscard]] std::int64_t pinned_bytes() const { return pinned_bytes_; }
 
@@ -40,9 +51,12 @@ class MemoryRegistry {
   struct Region {
     const std::byte* base;
     std::size_t length;
+    RKey rkey;
   };
   std::map<MemoryHandle, Region> regions_;
+  std::map<RKey, MemoryHandle> rkey_to_handle_;
   MemoryHandle next_handle_ = 1;
+  RKey next_rkey_ = 1;
   std::int64_t pinned_bytes_ = 0;
   std::int64_t peak_pinned_bytes_ = 0;
 };

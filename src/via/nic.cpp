@@ -93,6 +93,12 @@ CompletionQueue* Nic::create_cq() {
   return cqs_.back().get();
 }
 
+SharedRecvQueue* Nic::create_shared_recv_queue() {
+  srqs_.push_back(std::make_unique<SharedRecvQueue>(
+      *this, static_cast<int>(srqs_.size())));
+  return srqs_.back().get();
+}
+
 MemoryHandle Nic::register_memory(const std::byte* base, std::size_t length) {
   const auto pages =
       (length + DeviceProfile::kPageBytes - 1) / DeviceProfile::kPageBytes;
@@ -185,15 +191,29 @@ void Nic::on_message(ViId target_vi, const std::vector<std::byte>& payload) {
     stats_.add(kDroppedNoVi);
     return;
   }
-  if (vi->recv_queue_.empty()) {
-    // VIA semantics: no preposted receive descriptor => the message is
-    // dropped. The MPI credit scheme makes this unreachable from MPI.
-    ++vi->drops_;
-    stats_.add(kDroppedNoDesc);
-    return;
+  Descriptor* desc = nullptr;
+  if (vi->shared_recv_ != nullptr) {
+    // XRC-style shared receive context: the arrival consumes from the
+    // pool every bound VI shares. The completion still names this VI, so
+    // the layer above can attribute the message to its peer.
+    desc = vi->shared_recv_->pop();
+    if (desc == nullptr) {
+      ++vi->shared_recv_->drops_;
+      ++vi->drops_;
+      stats_.add(kDroppedNoDesc);
+      return;
+    }
+  } else {
+    if (vi->recv_queue_.empty()) {
+      // VIA semantics: no preposted receive descriptor => the message is
+      // dropped. The MPI credit scheme makes this unreachable from MPI.
+      ++vi->drops_;
+      stats_.add(kDroppedNoDesc);
+      return;
+    }
+    desc = vi->recv_queue_.front();
+    vi->recv_queue_.pop_front();
   }
-  Descriptor* desc = vi->recv_queue_.front();
-  vi->recv_queue_.pop_front();
   if (payload.size() > desc->length) {
     complete(*vi, desc, Status::kLengthError, 0, /*is_receive=*/true);
     stats_.add(kLengthError);
@@ -256,6 +276,144 @@ void Nic::on_rdma_write(std::byte* remote_addr, MemoryHandle /*handle*/,
     std::memcpy(remote_addr, payload.data(), payload.size());
   }
   ++hot_.rdma_write_received;
+}
+
+// --- RDMA read --------------------------------------------------------------
+// Two fabric trips: a header-sized request to the target, a data-sized
+// response back. The initiator's descriptor completes on its send CQ when
+// the response lands; the target consumes no receive descriptor and sees
+// no completion (IB read semantics — the HCA serves the read without host
+// involvement). Reads are inherently idempotent, so fault recovery is
+// at-least-once request retransmission on a seeded timer: a duplicate
+// response finds its pending-read id already gone and is dropped. (Real
+// RDMA reads exist only on reliable connections; the simulation likewise
+// retries reads regardless of the VI's nominal reliability level.)
+
+Status Nic::start_rdma_read(Vi& vi, Descriptor* desc) {
+  assert(vi.state() == ViState::kConnected);
+  Nic& remote = cluster_.nic(vi.remote_node());
+  // As with writes, the target-side protection check happens eagerly —
+  // here against the rkey the region's owner exported.
+  if (!remote.memory().covers_rkey(desc->remote_rkey, desc->remote_addr,
+                                   desc->length)) {
+    complete(vi, desc, Status::kProtectionError, 0, /*is_receive=*/false);
+    stats_.add(kProtectionError);
+    return Status::kProtectionError;
+  }
+  ++hot_.rdma_read;
+  hot_.rdma_read_bytes += static_cast<std::int64_t>(desc->length);
+  trace_doorbell(vi);
+  ++vi.sends_in_flight_;
+  const std::uint64_t read_id = next_read_id_++;
+  PendingRead& pr = pending_reads_[read_id];
+  pr.vi_id = vi.id();
+  pr.desc = desc;
+  transmit_read(read_id, pr);
+  return Status::kSuccess;
+}
+
+void Nic::transmit_read(std::uint64_t read_id, PendingRead& pr) {
+  Vi* vi = find_vi(pr.vi_id);
+  if (vi == nullptr || vi->state() != ViState::kConnected) return;
+  const NodeId dst = vi->remote_node();
+  const ViId dst_vi = vi->remote_vi();
+  Nic& remote = cluster_.nic(dst);
+  Descriptor* desc = pr.desc;
+  const sim::SimTime now = sim::Process::current_time(cluster_.engine());
+  cluster_.fabric().deliver(
+      node_, dst, kWireHeaderBytes, sim::FaultClass::kControl, now,
+      send_nic_delay(),
+      /*dst_nic_delay=*/0,
+      /*on_tx_done=*/[] {},
+      /*on_arrival=*/
+      [&remote, dst_vi, read_id, addr = desc->remote_addr,
+       len = desc->length] { remote.serve_rdma_read(dst_vi, read_id, addr,
+                                                    len); });
+  if (!cluster_.fault_active()) return;
+  // Arm the retry timer: the round trip covers both wire directions and
+  // the data-sized response, so the congestion-aware RTO of the reliable
+  // path fits unchanged.
+  const std::uint64_t gen = ++pr.timer_generation;
+  const int shift = pr.retries < 6 ? pr.retries : 6;
+  Fabric& fabric = cluster_.fabric();
+  const sim::SimTime rto =
+      (profile().retransmit_timeout << shift) +
+      fabric.egress_backlog(node_, now) + fabric.egress_backlog(dst, now) +
+      2 * profile().wire_latency;
+  cluster_.engine().schedule_at(now + rto, [this, read_id, gen] {
+    on_read_retry_timer(read_id, gen);
+  });
+}
+
+void Nic::serve_rdma_read(ViId target_vi, std::uint64_t read_id,
+                          std::byte* remote_addr, std::size_t length) {
+  if (dead_) return;
+  Vi* vi = find_vi(target_vi);
+  if (vi == nullptr || vi->state() != ViState::kConnected) {
+    stats_.add(kDroppedNoVi);
+    return;
+  }
+  ++hot_.rdma_read_served;
+  std::vector<std::byte> payload(remote_addr, remote_addr + length);
+  const NodeId dst = vi->remote_node();
+  Nic& initiator = cluster_.nic(dst);
+  cluster_.fabric().deliver(
+      node_, dst, length + kWireHeaderBytes, sim::FaultClass::kData,
+      sim::Process::current_time(cluster_.engine()), send_nic_delay(),
+      /*dst_nic_delay=*/0,
+      /*on_tx_done=*/[] {},
+      /*on_arrival=*/
+      [&initiator, read_id, payload = std::move(payload)] {
+        initiator.on_rdma_read_response(read_id, payload);
+      });
+}
+
+void Nic::on_rdma_read_response(std::uint64_t read_id,
+                                const std::vector<std::byte>& payload) {
+  auto it = pending_reads_.find(read_id);
+  if (it == pending_reads_.end()) {
+    // Duplicate response from a retransmitted request.
+    stats_.add(kDupSuppressed);
+    return;
+  }
+  const PendingRead pr = it->second;
+  pending_reads_.erase(it);
+  Vi* vi = find_vi(pr.vi_id);
+  if (vi == nullptr) return;
+  // A response is liveness evidence for the peer, exactly like an ack.
+  vi->last_ack_time_ = sim::Process::current_time(cluster_.engine());
+  if (!payload.empty()) {
+    std::memcpy(pr.desc->addr, payload.data(), payload.size());
+  }
+  --vi->sends_in_flight_;
+  complete(*vi, pr.desc, Status::kSuccess, payload.size(),
+           /*is_receive=*/false);
+}
+
+void Nic::on_read_retry_timer(std::uint64_t read_id, std::uint64_t gen) {
+  if (dead_) return;
+  auto it = pending_reads_.find(read_id);
+  if (it == pending_reads_.end()) return;  // response arrived meanwhile
+  PendingRead& pr = it->second;
+  if (pr.timer_generation != gen) return;  // superseded timer
+  Vi* vi = find_vi(pr.vi_id);
+  if (vi == nullptr || vi->state() != ViState::kConnected) return;
+  if (pr.retries >= profile().max_retransmits) {
+    Descriptor* desc = pr.desc;
+    pending_reads_.erase(it);
+    --vi->sends_in_flight_;
+    complete(*vi, desc, Status::kTimeout, 0, /*is_receive=*/false);
+    fail_reliable_sends(*vi);  // error state + flush everything else queued
+    return;
+  }
+  ++pr.retries;
+  stats_.add(kRetransmits);
+  if (sim::Tracer* tr = cluster_.tracer()) {
+    tr->instant(sim::TraceCat::kFabric, kTrRetransmit, node_,
+                vi->remote_node(), static_cast<std::int64_t>(read_id),
+                pr.retries);
+  }
+  transmit_read(read_id, pr);
 }
 
 // --- Unreliable delivery under faults ---------------------------------------
@@ -410,6 +568,19 @@ void Nic::fail_reliable_sends(Vi& vi) {
                 static_cast<std::int64_t>(vi.unacked_.size()));
   }
   vi.state_ = ViState::kError;
+  // Pending RDMA reads on this VI will never see their response; flush
+  // them first (in issue order — the map key is the monotonic read id) so
+  // sends_in_flight_ reaches zero.
+  for (auto it = pending_reads_.begin(); it != pending_reads_.end();) {
+    if (it->second.vi_id == vi.id()) {
+      Descriptor* desc = it->second.desc;
+      it = pending_reads_.erase(it);
+      --vi.sends_in_flight_;
+      complete(vi, desc, Status::kTimeout, 0, /*is_receive=*/false);
+    } else {
+      ++it;
+    }
+  }
   // Complete every outstanding packet in sequence order with kTimeout;
   // std::map iterates in ascending seq order already.
   while (!vi.unacked_.empty()) {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "src/via/descriptor.h"
 #include "src/via/device_profile.h"
 #include "src/via/memory.h"
+#include "src/via/srq.h"
 #include "src/via/types.h"
 #include "src/via/vi.h"
 
@@ -45,6 +47,11 @@ class Nic {
 
   /// VipCreateCQ.
   CompletionQueue* create_cq();
+
+  /// Creates a shared receive queue (InfiniBand SRQ / XRC shared receive
+  /// context). VIs opt in with Vi::bind_shared_recv; the queue lives as
+  /// long as the NIC.
+  SharedRecvQueue* create_shared_recv_queue();
 
   /// VipRegisterMem: pins the pages and charges the per-page cost.
   MemoryHandle register_memory(const std::byte* base, std::size_t length);
@@ -73,12 +80,21 @@ class Nic {
         sim::Stats::counter("rdma.write_bytes");
     static const sim::Stats::Counter kRdmaWriteReceived =
         sim::Stats::counter("rdma.write_received");
+    static const sim::Stats::Counter kRdmaRead =
+        sim::Stats::counter("rdma.read");
+    static const sim::Stats::Counter kRdmaReadBytes =
+        sim::Stats::counter("rdma.read_bytes");
+    static const sim::Stats::Counter kRdmaReadServed =
+        sim::Stats::counter("rdma.read_served");
     stats_.set(kSent, hot_.msg_sent);
     stats_.set(kSentBytes, hot_.msg_sent_bytes);
     stats_.set(kReceived, hot_.msg_received);
     stats_.set(kRdmaWrite, hot_.rdma_write);
     stats_.set(kRdmaWriteBytes, hot_.rdma_write_bytes);
     stats_.set(kRdmaWriteReceived, hot_.rdma_write_received);
+    stats_.set(kRdmaRead, hot_.rdma_read);
+    stats_.set(kRdmaReadBytes, hot_.rdma_read_bytes);
+    stats_.set(kRdmaReadServed, hot_.rdma_read_served);
     return stats_;
   }
 
@@ -106,9 +122,24 @@ class Nic {
 
   Status start_send(Vi& vi, Descriptor* desc);
   Status start_rdma_write(Vi& vi, Descriptor* desc);
+  /// One-sided read: fetches [remote_addr, remote_addr+length) from the
+  /// peer's memory into the local buffer. The target validates the
+  /// descriptor's rkey against its registry; no receive descriptor is
+  /// consumed and no completion is generated at the target — the
+  /// initiator's descriptor completes on its *send* CQ when the response
+  /// lands (IB read semantics). Under faults the request/response pair is
+  /// retried on a seeded timer; exhausted retries fail the VI.
+  Status start_rdma_read(Vi& vi, Descriptor* desc);
   void on_message(ViId target_vi, const std::vector<std::byte>& payload);
   void on_rdma_write(std::byte* remote_addr, MemoryHandle remote_handle,
                      const std::vector<std::byte>& payload);
+  /// Target side of an RDMA read: copies the requested bytes and sends
+  /// the data response back to the initiator.
+  void serve_rdma_read(ViId target_vi, std::uint64_t read_id,
+                       std::byte* remote_addr, std::size_t length);
+  /// Initiator side: response arrived, land the data and complete.
+  void on_rdma_read_response(std::uint64_t read_id,
+                             const std::vector<std::byte>& payload);
   [[nodiscard]] Vi* find_vi(ViId id);
 
   // --- Reliable delivery (active only under a FaultPlan) -------------------
@@ -163,12 +194,28 @@ class Nic {
   // Unreliable delivery under faults: loss surfaces as kTransportError.
   Status start_unreliable_lossy(Vi& vi, Descriptor* desc, bool is_rdma);
 
+  // RDMA-read internals. A pending read is request/response state on the
+  // *initiator*: the request names it by id, duplicate responses (from
+  // retransmitted requests) find the id gone and are ignored — reads are
+  // idempotent, so at-least-once request delivery is enough.
+  struct PendingRead {
+    ViId vi_id = -1;
+    Descriptor* desc = nullptr;
+    int retries = 0;
+    std::uint64_t timer_generation = 0;
+  };
+  void transmit_read(std::uint64_t read_id, PendingRead& pr);
+  void on_read_retry_timer(std::uint64_t read_id, std::uint64_t gen);
+
   Cluster& cluster_;
   NodeId node_;
   MemoryRegistry memory_;
   ConnectionService connections_;
   std::vector<std::unique_ptr<Vi>> vis_;
   std::vector<std::unique_ptr<CompletionQueue>> cqs_;
+  std::vector<std::unique_ptr<SharedRecvQueue>> srqs_;
+  std::map<std::uint64_t, PendingRead> pending_reads_;
+  std::uint64_t next_read_id_ = 1;
   int open_vi_count_ = 0;
   int vis_ever_created_ = 0;
   bool dead_ = false;
@@ -178,6 +225,7 @@ class Nic {
     std::int64_t msg_sent = 0, msg_sent_bytes = 0, msg_received = 0;
     std::int64_t rdma_write = 0, rdma_write_bytes = 0,
                  rdma_write_received = 0;
+    std::int64_t rdma_read = 0, rdma_read_bytes = 0, rdma_read_served = 0;
   };
   HotCounters hot_;
   sim::Stats stats_;

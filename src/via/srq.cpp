@@ -1,0 +1,28 @@
+#include "src/via/srq.h"
+
+#include "src/via/nic.h"
+
+namespace odmpi::via {
+
+Status SharedRecvQueue::post(Descriptor* desc) {
+  Nic::charge_host(nic_.profile().recv_post_overhead);
+  if (!nic_.memory().covers(desc->mem_handle, desc->addr, desc->length)) {
+    desc->status = Status::kNotRegistered;
+    desc->done = true;
+    return Status::kNotRegistered;
+  }
+  desc->reset_for_repost();
+  desc->op = DescOp::kReceive;
+  queue_.push_back(desc);
+  ++posted_total_;
+  return Status::kSuccess;
+}
+
+Descriptor* SharedRecvQueue::pop() {
+  if (queue_.empty()) return nullptr;
+  Descriptor* desc = queue_.front();
+  queue_.pop_front();
+  return desc;
+}
+
+}  // namespace odmpi::via

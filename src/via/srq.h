@@ -1,0 +1,63 @@
+// Shared receive queue: one pool of receive descriptors serving every VI
+// bound to it, modelled on InfiniBand SRQ / XRC shared receive contexts.
+//
+// The resource argument is the paper's Table 2 sharpened for the NIC
+// generation that followed VIA: with per-VI receive queues, a rank must
+// prepost a full credit window of pinned buffers per connected peer —
+// O(peers) pinned memory even when most peers are idle. A shared receive
+// queue preposts one pool sized to the *aggregate* inflow, so per-peer
+// receive-side state collapses to O(1); the flow-control invariant that
+// makes this safe (the sum of credit windows granted to peers never
+// exceeds the pool depth) lives in mpi::Device.
+//
+// Semantics mirror the per-VI queue: arrivals consume descriptors in
+// FIFO order, and an arrival that finds the pool empty is dropped (a
+// hard application error, made unreachable by the credit scheme).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "src/via/descriptor.h"
+#include "src/via/types.h"
+
+namespace odmpi::via {
+
+class Nic;
+
+class SharedRecvQueue {
+ public:
+  SharedRecvQueue(Nic& nic, int id) : nic_(nic), id_(id) {}
+
+  SharedRecvQueue(const SharedRecvQueue&) = delete;
+  SharedRecvQueue& operator=(const SharedRecvQueue&) = delete;
+
+  /// Posts a receive descriptor to the shared pool. Same contract as
+  /// Vi::post_recv: the buffer must lie in registered memory, and the
+  /// caller is charged the per-post host overhead.
+  Status post(Descriptor* desc);
+
+  /// Takes the oldest posted descriptor, or null when the pool is empty.
+  Descriptor* pop();
+
+  [[nodiscard]] std::size_t depth() const { return queue_.size(); }
+  [[nodiscard]] int id() const { return id_; }
+
+  /// Arrivals dropped because the pool was empty.
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+
+  /// Total descriptors ever posted (observability for tests/benches).
+  [[nodiscard]] std::uint64_t posted_total() const { return posted_total_; }
+
+ private:
+  friend class Nic;  // drop accounting on empty-pool arrivals
+
+  Nic& nic_;
+  int id_;
+  std::deque<Descriptor*> queue_;
+  std::uint64_t drops_ = 0;
+  std::uint64_t posted_total_ = 0;
+};
+
+}  // namespace odmpi::via

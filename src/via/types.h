@@ -20,6 +20,14 @@ using ViId = int;
 using MemoryHandle = std::uint32_t;
 inline constexpr MemoryHandle kInvalidMemoryHandle = 0;
 
+/// Remote key for one-sided access, InfiniBand-style: a token the owner
+/// of a registered region exports to peers, who present it with RDMA
+/// read/write descriptors. Unlike a MemoryHandle (a local name for a
+/// region), an rkey is meaningful to the *remote* NIC, which validates
+/// the {rkey, address, length} triple against its own registry.
+using RKey = std::uint32_t;
+inline constexpr RKey kInvalidRKey = 0;
+
 /// VIA connection discriminator: the rendezvous token that matches two
 /// connection requests. MPI uses one discriminator per process pair.
 using Discriminator = std::uint64_t;

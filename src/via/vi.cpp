@@ -1,6 +1,7 @@
 #include "src/via/vi.h"
 
 #include "src/via/nic.h"
+#include "src/via/srq.h"
 
 namespace odmpi::via {
 
@@ -23,10 +24,18 @@ Status Vi::post_send(Descriptor* desc) {
   if (desc->op == DescOp::kRdmaWrite) {
     return nic_.start_rdma_write(*this, desc);
   }
+  if (desc->op == DescOp::kRdmaRead) {
+    return nic_.start_rdma_read(*this, desc);
+  }
   return nic_.start_send(*this, desc);
 }
 
 Status Vi::post_recv(Descriptor* desc) {
+  if (shared_recv_ != nullptr && state_ != ViState::kError) {
+    // SharedRecvQueue::post levies the post charge and runs the same
+    // covers validation, so delegate before charging here.
+    return shared_recv_->post(desc);
+  }
   Nic::charge_host(nic_.profile().recv_post_overhead);
   if (state_ == ViState::kError) {
     desc->status = Status::kInvalidState;

@@ -20,6 +20,7 @@
 namespace odmpi::via {
 
 class Nic;
+class SharedRecvQueue;
 
 class Vi {
  public:
@@ -35,8 +36,15 @@ class Vi {
   Status post_send(Descriptor* desc);
 
   /// Posts a receive descriptor. Legal in any non-error state, including
-  /// before the connection is established.
+  /// before the connection is established. On a VI bound to a shared
+  /// receive queue the descriptor joins the shared pool.
   Status post_recv(Descriptor* desc);
+
+  /// Binds this VI's receive side to a shared receive queue (XRC-style):
+  /// arrivals consume descriptors from the shared pool instead of the
+  /// per-VI queue. Must be done before the first arrival; null unbinds.
+  void bind_shared_recv(SharedRecvQueue* srq) { shared_recv_ = srq; }
+  [[nodiscard]] SharedRecvQueue* shared_recv() const { return shared_recv_; }
 
   /// Initiates an orderly disconnect (VipDisconnect).
   void disconnect();
@@ -103,6 +111,7 @@ class Vi {
   ViId remote_vi_ = -1;
   CompletionQueue* send_cq_;
   CompletionQueue* recv_cq_;
+  SharedRecvQueue* shared_recv_ = nullptr;
   std::deque<Descriptor*> recv_queue_;
   std::size_t sends_in_flight_ = 0;
   std::uint64_t drops_ = 0;

@@ -1,0 +1,260 @@
+// RDMA transport tier tests: rkey export / protection coverage, RDMA
+// read data movement with initiator-only completion semantics, the
+// shared receive queue (XRC-style endpoint sharing), and read recovery
+// under fault injection.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/via/device_profile.h"
+#include "src/via/memory.h"
+#include "src/via/nic.h"
+#include "src/via/provider.h"
+#include "src/via/srq.h"
+#include "src/via/vi.h"
+#include "tests/via/via_test_util.h"
+
+namespace odmpi::via {
+namespace {
+
+using testing::MiniCluster;
+using testing::PinnedBuffer;
+
+void spin_until(const bool& flag) {
+  auto* p = sim::Process::current();
+  while (!flag) {
+    p->advance(sim::nanoseconds(100));
+    p->yield();
+  }
+}
+
+struct ConnectedPair {
+  Vi* vi0 = nullptr;
+  Vi* vi1 = nullptr;
+};
+
+void connect_pair(MiniCluster& mc, ConnectedPair& pair) {
+  pair.vi0 = mc.nic(0).create_vi(nullptr, nullptr);
+  pair.vi1 = mc.nic(1).create_vi(nullptr, nullptr);
+  mc.nic(0).connections().connect_peer(*pair.vi0, 1, 1);
+  mc.nic(1).connections().connect_peer(*pair.vi1, 0, 1);
+  auto* p = sim::Process::current();
+  while (pair.vi0->state() != ViState::kConnected ||
+         pair.vi1->state() != ViState::kConnected) {
+    p->advance(sim::nanoseconds(100));
+    p->yield();
+  }
+}
+
+TEST(Rdma, ProfileCapabilities) {
+  const DeviceProfile rdma = DeviceProfile::rdma();
+  EXPECT_EQ(rdma.name, "rdma");
+  EXPECT_TRUE(rdma.supports_rdma_read);
+  EXPECT_TRUE(rdma.supports_shared_recv);
+  EXPECT_TRUE(rdma.supports_client_server);
+  // The paper-era profiles predate both capabilities.
+  EXPECT_FALSE(DeviceProfile::clan().supports_rdma_read);
+  EXPECT_FALSE(DeviceProfile::clan().supports_shared_recv);
+  EXPECT_FALSE(DeviceProfile::bvia().supports_rdma_read);
+  EXPECT_FALSE(DeviceProfile::bvia().supports_shared_recv);
+}
+
+TEST(Rdma, RKeyExportAndCoverage) {
+  MiniCluster mc(1, DeviceProfile::rdma());
+  mc.spawn(0, [&] {
+    PinnedBuffer buf(mc.nic(0), 256);
+    MemoryRegistry& mem = mc.nic(0).memory();
+    const RKey rkey = mem.export_rkey(buf.handle);
+    EXPECT_NE(rkey, kInvalidRKey);
+    EXPECT_TRUE(mem.covers_rkey(rkey, buf.data(), 256));
+    EXPECT_TRUE(mem.covers_rkey(rkey, buf.data() + 128, 128));
+    EXPECT_FALSE(mem.covers_rkey(rkey, buf.data() + 128, 256));
+    EXPECT_FALSE(mem.covers_rkey(rkey + 7, buf.data(), 1));
+    EXPECT_EQ(mem.export_rkey(buf.handle + 99), kInvalidRKey);
+    mc.nic(0).deregister_memory(buf.handle);
+    EXPECT_FALSE(mem.covers_rkey(rkey, buf.data(), 1));
+  });
+  ASSERT_TRUE(mc.run());
+}
+
+TEST(Rdma, ReadPullsDataWithInitiatorOnlyCompletion) {
+  MiniCluster mc(2, DeviceProfile::rdma());
+  mc.spawn(0, [&] {
+    ConnectedPair pair;
+    connect_pair(mc, pair);
+    PinnedBuffer dst(mc.nic(0), 512), src(mc.nic(1), 512);
+    src.fill(0x5C);
+    dst.fill(0x00);
+    const RKey rkey = mc.nic(1).memory().export_rkey(src.handle);
+
+    Descriptor read;
+    read.op = DescOp::kRdmaRead;
+    read.addr = dst.data();
+    read.length = 512;
+    read.mem_handle = dst.handle;
+    read.remote_addr = src.data();
+    read.remote_rkey = rkey;
+    ASSERT_EQ(pair.vi0->post_send(&read), Status::kSuccess);
+    EXPECT_EQ(pair.vi0->sends_in_flight(), 1);
+    spin_until(read.done);
+    EXPECT_EQ(read.status, Status::kSuccess);
+    EXPECT_EQ(read.bytes_transferred, 512u);
+    EXPECT_EQ(std::memcmp(src.data(), dst.data(), 512), 0);
+    EXPECT_EQ(pair.vi0->sends_in_flight(), 0);
+
+    // IB read semantics: the target's host is never involved — no
+    // receive descriptor consumed, no completion, no drop recorded.
+    EXPECT_EQ(mc.nic(0).stats().get("rdma.read"), 1);
+    EXPECT_EQ(mc.nic(0).stats().get("rdma.read_bytes"), 512);
+    EXPECT_EQ(mc.nic(1).stats().get("rdma.read_served"), 1);
+    EXPECT_EQ(pair.vi1->drops(), 0u);
+    EXPECT_EQ(mc.nic(1).stats().get("msg.dropped_no_desc"), 0);
+  });
+  ASSERT_TRUE(mc.run());
+}
+
+TEST(Rdma, ReadOutsideExportedRegionFailsProtection) {
+  MiniCluster mc(2, DeviceProfile::rdma());
+  mc.spawn(0, [&] {
+    ConnectedPair pair;
+    connect_pair(mc, pair);
+    PinnedBuffer dst(mc.nic(0), 64), src(mc.nic(1), 64);
+    const RKey rkey = mc.nic(1).memory().export_rkey(src.handle);
+
+    Descriptor read;
+    read.op = DescOp::kRdmaRead;
+    read.addr = dst.data();
+    read.length = 64;
+    read.mem_handle = dst.handle;
+    read.remote_addr = src.data() + 32;  // runs 32 bytes past the region
+    read.remote_rkey = rkey;
+    EXPECT_EQ(pair.vi0->post_send(&read), Status::kProtectionError);
+    EXPECT_TRUE(read.done);
+    EXPECT_EQ(read.status, Status::kProtectionError);
+
+    Descriptor bogus;
+    bogus.op = DescOp::kRdmaRead;
+    bogus.addr = dst.data();
+    bogus.length = 64;
+    bogus.mem_handle = dst.handle;
+    bogus.remote_addr = src.data();
+    bogus.remote_rkey = kInvalidRKey;
+    EXPECT_EQ(pair.vi0->post_send(&bogus), Status::kProtectionError);
+    EXPECT_EQ(mc.nic(0).stats().get("rdma.protection_error"), 2);
+  });
+  ASSERT_TRUE(mc.run());
+}
+
+TEST(Rdma, SharedRecvQueueServesManyPeers) {
+  MiniCluster mc(3, DeviceProfile::rdma());
+  mc.spawn(0, [&] {
+    // One shared receive context on node 0 feeding VIs to two peers.
+    SharedRecvQueue* srq = mc.nic(0).create_shared_recv_queue();
+    Vi* to1 = mc.nic(0).create_vi(nullptr, nullptr);
+    Vi* to2 = mc.nic(0).create_vi(nullptr, nullptr);
+    to1->bind_shared_recv(srq);
+    to2->bind_shared_recv(srq);
+    EXPECT_EQ(to1->shared_recv(), srq);
+    EXPECT_EQ(to2->shared_recv(), srq);
+
+    Vi* from1 = mc.nic(1).create_vi(nullptr, nullptr);
+    Vi* from2 = mc.nic(2).create_vi(nullptr, nullptr);
+    mc.nic(0).connections().connect_peer(*to1, 1, 1);
+    mc.nic(1).connections().connect_peer(*from1, 0, 1);
+    mc.nic(0).connections().connect_peer(*to2, 2, 2);
+    mc.nic(2).connections().connect_peer(*from2, 0, 2);
+    auto* p = sim::Process::current();
+    while (to1->state() != ViState::kConnected ||
+           to2->state() != ViState::kConnected) {
+      p->advance(sim::nanoseconds(100));
+      p->yield();
+    }
+
+    // Pool of 2 buffers; a post through a bound VI also lands in the SRQ.
+    PinnedBuffer pool0(mc.nic(0), 64), pool1(mc.nic(0), 64);
+    Descriptor r0, r1;
+    r0.addr = pool0.data();
+    r0.length = 64;
+    r0.mem_handle = pool0.handle;
+    ASSERT_EQ(srq->post(&r0), Status::kSuccess);
+    r1.addr = pool1.data();
+    r1.length = 64;
+    r1.mem_handle = pool1.handle;
+    ASSERT_EQ(to2->post_recv(&r1), Status::kSuccess);  // delegates to SRQ
+    EXPECT_EQ(srq->depth(), 2u);
+    EXPECT_EQ(srq->posted_total(), 2u);
+
+    PinnedBuffer s1(mc.nic(1), 64), s2(mc.nic(2), 64);
+    s1.fill(0x11);
+    s2.fill(0x22);
+    Descriptor send1, send2;
+    send1.op = DescOp::kSend;
+    send1.addr = s1.data();
+    send1.length = 64;
+    send1.mem_handle = s1.handle;
+    ASSERT_EQ(from1->post_send(&send1), Status::kSuccess);
+    spin_until(r0.done);
+    EXPECT_EQ(std::memcmp(r0.addr, s1.data(), 64), 0);
+    send2.op = DescOp::kSend;
+    send2.addr = s2.data();
+    send2.length = 64;
+    send2.mem_handle = s2.handle;
+    ASSERT_EQ(from2->post_send(&send2), Status::kSuccess);
+    spin_until(r1.done);
+    EXPECT_EQ(std::memcmp(r1.addr, s2.data(), 64), 0);
+    EXPECT_EQ(srq->depth(), 0u);
+
+    // Pool exhausted: the next arrival drops, attributed to the SRQ and
+    // to the VI it arrived on.
+    Descriptor send3;
+    send3.op = DescOp::kSend;
+    send3.addr = s1.data();
+    send3.length = 64;
+    send3.mem_handle = s1.handle;
+    ASSERT_EQ(from1->post_send(&send3), Status::kSuccess);
+    spin_until(send3.done);
+    sim::Process::current()->sleep(sim::milliseconds(1));
+    EXPECT_EQ(srq->drops(), 1u);
+    EXPECT_EQ(to1->drops(), 1u);
+    EXPECT_EQ(mc.nic(0).stats().get("msg.dropped_no_desc"), 1);
+  });
+  ASSERT_TRUE(mc.run());
+}
+
+TEST(Rdma, ReadSurvivesRequestAndResponseLoss) {
+  sim::FaultConfig fault;
+  fault.enabled = true;
+  fault.seed = 0xFA417;
+  fault.control_drop_rate = 0.25;  // read requests travel as control
+  fault.data_drop_rate = 0.15;     // read responses travel as data
+  MiniCluster mc(2, DeviceProfile::rdma(), fault);
+  mc.spawn(0, [&] {
+    ConnectedPair pair;
+    connect_pair(mc, pair);
+    PinnedBuffer dst(mc.nic(0), 256), src(mc.nic(1), 256);
+    const RKey rkey = mc.nic(1).memory().export_rkey(src.handle);
+    for (int round = 0; round < 8; ++round) {
+      src.fill(static_cast<unsigned char>(0xA0 + round));
+      dst.fill(0x00);
+      Descriptor read;
+      read.op = DescOp::kRdmaRead;
+      read.addr = dst.data();
+      read.length = 256;
+      read.mem_handle = dst.handle;
+      read.remote_addr = src.data();
+      read.remote_rkey = rkey;
+      ASSERT_EQ(pair.vi0->post_send(&read), Status::kSuccess);
+      spin_until(read.done);
+      ASSERT_EQ(read.status, Status::kSuccess) << "round " << round;
+      ASSERT_EQ(std::memcmp(src.data(), dst.data(), 256), 0)
+          << "round " << round;
+    }
+    // At these drop rates at least one request or response was lost and
+    // recovered by the idempotent retry path.
+    EXPECT_GT(mc.nic(0).stats().get("via.retransmits"), 0);
+  });
+  ASSERT_TRUE(mc.run());
+}
+
+}  // namespace
+}  // namespace odmpi::via
